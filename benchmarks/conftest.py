@@ -1,0 +1,50 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``test_figN_*``/``test_tabN_*`` module regenerates the data behind one
+table or figure of the paper's evaluation (see DESIGN.md's experiment
+index).  Each prints the regenerated rows/series (run with ``-s`` to see
+them inline; they are also written to ``benchmarks/output/``) and uses the
+``benchmark`` fixture to time the representative computation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_figure(output_dir):
+    """Print a figure's regenerated data and persist it under output/."""
+
+    def _record(name: str, text: str) -> None:
+        banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+        print(banner)
+        (output_dir / f"{name.split(':')[0].strip().replace(' ', '_').lower()}.txt").write_text(
+            banner
+        )
+
+    return _record
+
+
+def format_series_table(header: list[str], rows: list[list]) -> str:
+    widths = [max(len(str(h)), 12) for h in header]
+    out = ["".join(f"{h:>{w}}" for h, w in zip(header, widths))]
+    for row in rows:
+        cells = []
+        for v, w in zip(row, widths):
+            if isinstance(v, float):
+                cells.append(f"{v:>{w}.3f}")
+            else:
+                cells.append(f"{str(v):>{w}}")
+        out.append("".join(cells))
+    return "\n".join(out)

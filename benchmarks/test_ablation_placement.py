@@ -1,0 +1,115 @@
+"""ABLATION — the min-cut placement vs naive policies.
+
+The paper's automation claim is that the DSL partitions CPU/GPU work by
+minimising data movement.  This ablation quantifies what the optimiser buys
+over the two naive policies ("everything on the GPU except pinned
+callbacks" / "everything on the CPU") across problem sizes: the optimiser
+must never be worse than either, and must switch sides at the size where
+transfers stop paying.
+"""
+
+import math
+
+import pytest
+
+from repro.codegen.placement import Task, TaskGraph, optimize_placement
+from repro.gpu.kernel import Kernel, model_launch
+from repro.gpu.spec import A6000
+from repro.perfmodel.costs import BTEWorkload, CostModel
+from repro.perfmodel.machines import CASCADE_LAKE_FINCH
+from repro.perfmodel.scaling import (
+    DEFAULT_KERNEL_BYTES_PER_THREAD,
+    DEFAULT_KERNEL_FLOPS_PER_THREAD,
+)
+
+from .conftest import format_series_table
+
+
+def step_graph(ncells: int, ndirs: int = 20, nbands: int = 55) -> TaskGraph:
+    """The BTE step's task graph at a given discretisation."""
+    w = BTEWorkload(ncells=ncells, ndirs=ndirs, nbands=nbands,
+                    n_boundary_faces=4 * int(math.sqrt(ncells)))
+    cost = CostModel(CASCADE_LAKE_FINCH)
+    kernel = Kernel("interior", lambda: None,
+                    flops_per_thread=DEFAULT_KERNEL_FLOPS_PER_THREAD,
+                    bytes_per_thread=DEFAULT_KERNEL_BYTES_PER_THREAD)
+    g = TaskGraph()
+    g.add_task(Task("interior",
+                    cost_cpu=cost.intensity_step(w.ncells, w.ncomp),
+                    cost_gpu=model_launch(A6000, kernel, w.ndof).duration))
+    g.add_task(Task("boundary", cost_cpu=cost.boundary_step(w.n_boundary_faces, w.ncomp),
+                    pinned="cpu"))
+    g.add_task(Task("post_step", cost_cpu=cost.temperature_step(w.ncells, w.nbands),
+                    pinned="cpu"))
+    u_bytes = w.ndof * 8.0
+    g.add_edge("interior", "post_step", u_bytes)
+    g.add_edge("post_step", "interior", 2 * w.ncells * w.nbands * 8.0)
+    return g
+
+
+def policy_cost(graph: TaskGraph, interior_device: str, link=A6000) -> float:
+    """Modelled step cost if the interior is forced onto one device."""
+    total = 0.0
+    for t in graph.tasks.values():
+        dev = interior_device if t.name == "interior" else "cpu"
+        total += t.cost_cpu if dev == "cpu" else t.cost_gpu
+    if interior_device == "gpu":
+        for e in graph.edges:
+            total += link.pcie_latency_s + e.nbytes / link.pcie_bw_bytes()
+    return total
+
+
+#: (ncells, ndirs, nbands) from trivially small to the paper configuration
+SIZES = [
+    (16, 4, 2),
+    (64, 4, 4),
+    (256, 8, 6),
+    (1024, 8, 13),
+    (4096, 12, 26),
+    (14400, 20, 55),
+    (57600, 20, 55),
+]
+
+
+def test_ablation_optimizer_dominates_naive_policies(record_figure):
+    rows = []
+    for ncells, ndirs, nbands in SIZES:
+        g = step_graph(ncells, ndirs, nbands)
+        plan = optimize_placement(g, A6000)
+        all_cpu = policy_cost(g, "cpu")
+        all_gpu = policy_cost(g, "gpu")
+        rows.append([
+            f"{ncells}x{ndirs * nbands}",
+            plan.device["interior"],
+            plan.objective_seconds * 1e3,
+            all_cpu * 1e3,
+            all_gpu * 1e3,
+        ])
+        # the optimiser never loses to either naive policy
+        assert plan.objective_seconds <= all_cpu + 1e-12
+        assert plan.objective_seconds <= all_gpu + 1e-12
+    record_figure(
+        "ABLATION-placement: min-cut vs all-CPU vs naive-offload "
+        "(modelled step cost, ms)",
+        format_series_table(
+            ["cells x comps", "choice", "min-cut", "all-CPU", "offload"], rows
+        ),
+    )
+    # and it actually switches sides across the size sweep
+    choices = {r[1] for r in rows}
+    assert choices == {"cpu", "gpu"}
+
+
+def test_ablation_crossover_is_monotone():
+    """Once offloading pays at some size, it pays at every larger size."""
+    decisions = []
+    for ncells, ndirs, nbands in SIZES:
+        plan = optimize_placement(step_graph(ncells, ndirs, nbands), A6000)
+        decisions.append(plan.device["interior"] == "gpu")
+    first_gpu = decisions.index(True)
+    assert all(decisions[first_gpu:])
+
+
+def test_ablation_placement_benchmark(benchmark):
+    g = step_graph(14400, 20, 55)
+    benchmark(lambda: optimize_placement(g, A6000))

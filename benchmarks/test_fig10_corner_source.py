@@ -1,0 +1,79 @@
+"""FIG10 — elongated material with a corner heat source (paper Fig. 10).
+
+"Temperature of a smaller-scale, elongated material with a heat source in
+one corner.  Similar to the other example, this has symmetry conditions on
+the left and right, and an isothermal boundary on the bottom" — at a
+100-150 K colour scale.
+
+Shape checks: the corner is the hottest point, isotherms bow outward from
+it, the cold bottom wall stays pinned, and the far end stays at base
+temperature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bte import build_bte_problem, corner_source_scenario
+
+from .conftest import format_series_table
+
+NX, NY = 48, 16
+NSTEPS = 250
+
+
+@pytest.fixture(scope="module")
+def solved():
+    scenario = corner_source_scenario(nx=NX, ny=NY, ndirs=12, n_freq_bands=8,
+                                      dt=5e-12, nsteps=NSTEPS)
+    scenario.sigma = 30e-6
+    problem, model = build_bte_problem(scenario)
+    solver = problem.generate()
+    solver.run()
+    return scenario, solver
+
+
+def test_fig10_field(solved, record_figure):
+    scenario, solver = solved
+    T = solver.state.extra["T"].reshape(NY, NX)
+
+    rows = []
+    for frac in (0.05, 0.25, 0.5, 0.75, 1.0):
+        i = min(int(frac * NX), NX - 1)
+        rows.append([f"x={frac:.2f}Lx", float(T[-1, i]), float(T[NY // 2, i]),
+                     float(T[0, i])])
+    record_figure(
+        "FIG10: corner-source temperature field (reduced elongated run)",
+        format_series_table(["column", "top [K]", "mid [K]", "bottom [K]"], rows)
+        + f"\n\nT range: [{T.min():.2f}, {T.max():.2f}] K "
+        f"(paper colour scale: 100..150 K)",
+    )
+
+    # hottest point is the source corner (top-left)
+    jmax, imax = np.unravel_index(np.argmax(T), T.shape)
+    assert jmax == NY - 1 and imax <= 1
+    # temperature decays monotonically along the top wall away from the corner
+    top = T[-1]
+    coarse = top[:: NX // 8]
+    assert all(a >= b - 1e-9 for a, b in zip(coarse, coarse[1:]))
+    # the far end is still essentially at base temperature
+    assert T[:, -NX // 8 :].max() < scenario.T0 + 0.2 * (T.max() - scenario.T0)
+    # temperature range sits inside the figure's colour scale
+    assert T.min() >= scenario.T0 - 1e-6
+    assert T.max() <= scenario.T_hot + 1e-6
+
+
+def test_fig10_ballistic_at_low_temperature(solved):
+    """At 100 K the mean free paths are longer than at 300 K, so the same
+    geometry is more ballistic — relaxation times must reflect that."""
+    from repro.bte.scattering import relaxation_times
+
+    scenario, solver = solved
+    model = solver.state.extra["bte_model"]
+    tau_cold = relaxation_times(model.bands, 100.0)
+    tau_warm = relaxation_times(model.bands, 300.0)
+    assert np.all(tau_cold > tau_warm)
+
+
+def test_fig10_step_benchmark(solved, benchmark):
+    _, solver = solved
+    benchmark(solver.step)

@@ -1,0 +1,81 @@
+"""FIG5 — execution-time breakdown of the band-parallel strategy (Fig. 5).
+
+Paper: "the calculation of I dominates.  For one to ten processes it
+accounts for about 97%, and even at 55 it takes about 73%" — with the
+remainder shifting into the temperature update (whose Newton inversion runs
+redundantly on every rank under band partitioning) and a small
+communication share.
+"""
+
+import pytest
+
+from repro.bte import build_bte_problem, hotspot_scenario
+from repro.perfmodel import BTEWorkload
+from repro.perfmodel.scaling import (
+    PHASE_COMMUNICATION,
+    PHASE_INTENSITY,
+    PHASE_TEMPERATURE,
+    band_parallel_times,
+)
+
+from .conftest import format_series_table
+
+PROCS = [1, 2, 5, 10, 20, 40, 55]
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    return band_parallel_times(BTEWorkload.paper_configuration(), PROCS)
+
+
+def test_fig5_breakdown(breakdown, record_figure):
+    rows = []
+    for p in PROCS:
+        fr = breakdown.breakdown_fractions(p)
+        rows.append([
+            p,
+            100 * fr[PHASE_INTENSITY],
+            100 * fr[PHASE_TEMPERATURE],
+            100 * fr[PHASE_COMMUNICATION],
+        ])
+    table = format_series_table(
+        ["procs", "intensity %", "temperature %", "comm %"], rows
+    )
+    record_figure("FIG5: band-parallel execution-time breakdown", table)
+
+    # --- the two quoted data points ------------------------------------------
+    assert breakdown.breakdown_fractions(1)[PHASE_INTENSITY] == pytest.approx(0.97, abs=0.02)
+    assert breakdown.breakdown_fractions(55)[PHASE_INTENSITY] == pytest.approx(0.73, abs=0.05)
+    # monotone shift toward the temperature update
+    temps = [breakdown.breakdown_fractions(p)[PHASE_TEMPERATURE] for p in PROCS]
+    assert all(a <= b + 1e-12 for a, b in zip(temps, temps[1:]))
+
+
+def test_fig5_executed_run_breakdown_shape(record_figure):
+    """The same qualitative shift appears in executed SPMD runs."""
+    results = []
+    for p in (1, 6):
+        scenario = hotspot_scenario(nx=8, ny=8, ndirs=8, n_freq_bands=5,
+                                    dt=1e-12, nsteps=4)
+        problem, _ = build_bte_problem(scenario)
+        if p > 1:
+            problem.set_partitioning("bands", p, index="b")
+            solver = problem.solve()
+            fr = solver.state.spmd_result.phase_fractions()
+            results.append((p, fr.get("solve for intensity", 0.0)))
+        else:
+            solver = problem.solve()
+            t = solver.state.timers
+            total = sum(s.total for s in t.stats.values())
+            results.append((p, t.total("solve") / total))
+    record_figure(
+        "FIG5-executed: intensity share at 1 vs 6 ranks (reduced run)",
+        "\n".join(f"p={p}: intensity {x * 100:.1f}%" for p, x in results),
+    )
+    # share drops when the redundant Newton stops scaling
+    assert results[1][1] < results[0][1] + 0.02
+
+
+def test_fig5_benchmark(benchmark):
+    w = BTEWorkload.paper_configuration()
+    benchmark(lambda: band_parallel_times(w, PROCS))

@@ -1,0 +1,115 @@
+"""FIG7 — CPU-only vs CPU+GPU execution time (paper Fig. 7).
+
+Paper's claims, each asserted:
+
+* "Compared to the CPU code with an equal number of partitions, the GPU
+  version is about 18 times faster";
+* "Strong scaling ... is good up to at least 10 devices, but larger
+  numbers did not show further speedup";
+* (Sec. III-D) 20 CPU cores were "slightly slower than the same CPU using
+  one core and one GPU".
+
+Regeneration: band-partitioned sweeps, CPU from the calibrated cost model,
+GPU from the A6000 roofline + PCIe + overlapped-boundary model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import BTEWorkload
+from repro.perfmodel.scaling import band_parallel_times, gpu_hybrid_times
+
+from .conftest import format_series_table
+
+PROCS = [1, 2, 4, 8, 10, 20, 40, 55]
+
+
+@pytest.fixture(scope="module")
+def series():
+    w = BTEWorkload.paper_configuration()
+    cpu = band_parallel_times(w, PROCS)
+    gpu = gpu_hybrid_times(w, PROCS)
+    return cpu, gpu
+
+
+def test_fig7_series(series, record_figure):
+    cpu, gpu = series
+    rows = []
+    for i, p in enumerate(PROCS):
+        rows.append([p, cpu.total[i], gpu.total[i], cpu.total[i] / gpu.total[i]])
+    table = format_series_table(
+        ["procs/GPUs", "CPU only [s]", "CPU+GPU [s]", "speedup"], rows
+    )
+    record_figure("FIG7: CPU-only vs GPU-accelerated execution time", table)
+
+    # ~18x at equal small partition counts
+    speedups = [cpu.total[i] / gpu.total[i] for i in range(2)]
+    for s in speedups:
+        assert 14 < s < 24
+
+    # good scaling to 10 devices, flat afterwards
+    i10, i55 = PROCS.index(10), PROCS.index(55)
+    assert gpu.total[0] / gpu.total[i10] > 4.0  # >4x from 10 devices
+    assert gpu.total[i10] / gpu.total[i55] < 2.0  # little gain past 10
+
+    # both monotone non-increasing
+    assert all(np.diff(gpu.total) < 1e-9)
+
+
+def test_fig7_cpu20_vs_gpu1(series):
+    w = BTEWorkload.paper_configuration()
+    t_cpu20 = band_parallel_times(w, [20]).total[0]
+    t_gpu1 = gpu_hybrid_times(w, [1]).total[0]
+    assert t_gpu1 < t_cpu20  # "slightly slower" than 1 core + 1 GPU
+
+
+def test_fig7_parallel_efficiency_statement(series, record_figure):
+    """'Both curves display consistently good parallel efficiency over the
+    range shown' — up to ~10 devices for the GPU curve."""
+    cpu, gpu = series
+    eff_rows = []
+    for i, p in enumerate(PROCS[: PROCS.index(10) + 1]):
+        eff_cpu = cpu.total[0] / (cpu.total[i] * p)
+        eff_gpu = gpu.total[0] / (gpu.total[i] * p)
+        eff_rows.append([p, eff_cpu, eff_gpu])
+    record_figure(
+        "FIG7-efficiency: parallel efficiency up to 10 devices",
+        format_series_table(["p", "CPU eff", "GPU eff"], eff_rows),
+    )
+    # CPU band strategy keeps >60 % efficiency through 10 ranks
+    assert all(r[1] > 0.6 for r in eff_rows)
+
+
+def test_fig7_executed_multi_gpu_crosscheck(record_figure):
+    """An actually-executed multi-device run (real rank programs, one
+    simulated A6000 per rank) must land near the analytic curve built from
+    the same device/cost models."""
+    from repro.bte.problem import build_bte_problem, hotspot_scenario
+
+    scenario = hotspot_scenario(nx=12, ny=12, ndirs=8, n_freq_bands=6,
+                                dt=1e-12, nsteps=4)
+    problem, model = build_bte_problem(scenario)
+    problem.enable_gpu()
+    problem.set_partitioning("bands", 4, index="b")
+    solver = problem.solve()
+    executed = solver.state.spmd_result.makespan
+
+    w = BTEWorkload(
+        ncells=144, ndirs=8, nbands=model.bands.nbands, nsteps=4,
+        n_boundary_faces=48,
+    )
+    modelled = gpu_hybrid_times(w, [4]).total[0]
+    record_figure(
+        "FIG7-crosscheck: executed multi-GPU run vs analytic model (4 devices)",
+        f"executed makespan : {executed:.6f} s\n"
+        f"analytic model    : {modelled:.6f} s\n"
+        f"ratio             : {executed / modelled:.3f}",
+    )
+    # same device model, same band split; small-problem occupancy effects
+    # and rendezvous noise keep them within a modest factor
+    assert 0.3 < executed / modelled < 3.0
+
+
+def test_fig7_benchmark(benchmark):
+    w = BTEWorkload.paper_configuration()
+    benchmark(lambda: gpu_hybrid_times(w, PROCS))

@@ -1,0 +1,82 @@
+"""FIG8 — execution-time breakdown of the GPU-accelerated version (Fig. 8).
+
+Paper: compared with the CPU breakdown (Fig. 5), the GPU version shows "a
+substantially larger percentage of time spent on the temperature update"
+(the intensity solve got ~40x faster, the CPU post-step did not), while
+"the communication time between the GPU and host does not make up a very
+significant portion of the time despite the need for communicating
+variables at each time step".
+"""
+
+import pytest
+
+from repro.bte import build_bte_problem, hotspot_scenario
+from repro.perfmodel import BTEWorkload
+from repro.perfmodel.scaling import (
+    PHASE_COMMUNICATION,
+    PHASE_INTENSITY,
+    PHASE_TEMPERATURE,
+    band_parallel_times,
+    gpu_hybrid_times,
+)
+
+from .conftest import format_series_table
+
+DEVICES = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    w = BTEWorkload.paper_configuration()
+    return gpu_hybrid_times(w, DEVICES), band_parallel_times(w, DEVICES)
+
+
+def test_fig8_breakdown(breakdowns, record_figure):
+    gpu, cpu = breakdowns
+    rows = []
+    for g in DEVICES:
+        fr = gpu.breakdown_fractions(g)
+        rows.append([
+            g,
+            100 * fr[PHASE_INTENSITY],
+            100 * fr[PHASE_TEMPERATURE],
+            100 * fr[PHASE_COMMUNICATION],
+        ])
+    table = format_series_table(
+        ["GPUs", "intensity(GPU) %", "temperature(CPU) %", "comm(CPU<->GPU) %"],
+        rows,
+    )
+    record_figure("FIG8: GPU-accelerated execution-time breakdown", table)
+
+    for g in DEVICES:
+        fr_gpu = gpu.breakdown_fractions(g)
+        fr_cpu = cpu.breakdown_fractions(g)
+        # substantially larger temperature share than the CPU version
+        assert fr_gpu[PHASE_TEMPERATURE] > 5 * fr_cpu[PHASE_TEMPERATURE]
+        # communication remains insignificant
+        assert fr_gpu[PHASE_COMMUNICATION] < 0.05
+
+
+def test_fig8_executed_hybrid_run_breakdown(record_figure):
+    """The generated hybrid solver's own virtual timeline shows the same
+    structure."""
+    scenario = hotspot_scenario(nx=24, ny=24, ndirs=12, n_freq_bands=10,
+                                dt=1e-12, nsteps=10)
+    problem, _ = build_bte_problem(scenario)
+    problem.enable_gpu()
+    solver = problem.generate()
+    assert solver.target_name == "gpu"
+    solver.run()
+    phases = solver.state.gpu_phases
+    total = sum(phases.values())
+    record_figure(
+        "FIG8-executed: generated hybrid solver timeline (24x24 run)",
+        "\n".join(f"{k:<22} {v / total * 100:6.2f}%" for k, v in sorted(phases.items())),
+    )
+    assert phases["temperature update"] / total > 0.3
+    assert phases["communication"] / total < 0.1
+
+
+def test_fig8_benchmark(benchmark):
+    w = BTEWorkload.paper_configuration()
+    benchmark(lambda: gpu_hybrid_times(w, DEVICES))

@@ -1,0 +1,88 @@
+"""FIG9 — all strategies + the reference Fortran code (paper Fig. 9).
+
+Paper's observations, each asserted:
+
+* "The sequential execution of our code takes roughly twice as long as the
+  Fortran code";
+* "The relatively poor scaling of the Fortran code is due to a slightly
+  different parallelization of one part of the calculation, which becomes
+  increasingly significant at higher process counts";
+* "The best possible times were roughly equal between the 10 GPU run and
+  320 CPU run" (we land within a small factor — see EXPERIMENTS.md);
+* solution correctness: "Our solutions matched theirs" — checked against
+  the hand-written reference solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bte import ReferenceBTESolver, build_bte_problem, hotspot_scenario
+from repro.perfmodel import strong_scaling_table
+
+from .conftest import format_series_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return strong_scaling_table()
+
+
+def test_fig9_series(table, record_figure):
+    procs = sorted({p for st in table.values() for p in st.procs})
+    rows = []
+    for p in procs:
+        row = [p]
+        for st in table.values():
+            row.append(
+                st.total[st.procs.index(p)] if p in st.procs else float("nan")
+            )
+        rows.append(row)
+    out = format_series_table(["procs"] + [f"{k} [s]" for k in table], rows)
+    record_figure("FIG9: all strategies + reference Fortran", out)
+
+    bands, cells, gpu, fortran = (
+        table["bands"], table["cells"], table["GPU"], table["Fortran"],
+    )
+    # Fortran ~2x faster serially
+    assert bands.total[0] / fortran.total[0] == pytest.approx(2.0, rel=0.1)
+    # Fortran's advantage erodes with p (poor scaling of its serial part)
+    ratios = [
+        bands.total[bands.procs.index(p)] / fortran.total[fortran.procs.index(p)]
+        for p in (1, 10, 55)
+    ]
+    assert ratios[0] > ratios[1] > ratios[2]
+    assert ratios[2] < 1.1  # roughly caught up by 55
+
+    # 10-GPU vs 320-CPU "roughly equal" (same order of magnitude)
+    t_gpu10 = gpu.total[gpu.procs.index(10)]
+    t_cpu320 = cells.total[cells.procs.index(320)]
+    assert 0.1 < t_cpu320 / t_gpu10 < 10.0
+
+
+def test_fig9_solution_verification(record_figure):
+    """'Our solutions matched theirs' — DSL-generated vs hand-written."""
+    scenario = hotspot_scenario(nx=10, ny=10, ndirs=8, n_freq_bands=6,
+                                dt=1e-12, nsteps=15)
+    problem, model = build_bte_problem(scenario)
+    solver = problem.solve()
+    ref = ReferenceBTESolver(scenario, model)
+    ref.run()
+    scale = np.abs(ref.intensity_dsl_layout()).max()
+    err = np.abs(solver.solution() - ref.intensity_dsl_layout()).max() / scale
+    record_figure(
+        "FIG9-verification: generated vs hand-written reference solver",
+        f"max relative intensity deviation over 15 steps: {err:.3e}\n"
+        f"max temperature deviation: "
+        f"{np.abs(solver.state.extra['T'] - ref.T).max():.3e} K",
+    )
+    assert err < 1e-12
+
+
+def test_fig9_reference_solver_speed(benchmark):
+    """Benchmark the 'Fortran' comparator's step at reduced size (the basis
+    of its serial-speed advantage is the hand-tuned band loop)."""
+    scenario = hotspot_scenario(nx=16, ny=16, ndirs=8, n_freq_bands=8,
+                                dt=1e-12, nsteps=1)
+    problem, model = build_bte_problem(scenario)
+    ref = ReferenceBTESolver(scenario, model)
+    benchmark(ref.step)

@@ -1,0 +1,94 @@
+"""The multi-discretisation DSL: the same heat problem through FEM and FVM.
+
+The paper's DSL "includes support for finite element and finite volume
+methods (FEM and FVM)" and describes how weak-form input is classified
+"into linear and bilinear groups".  This example declares transient heat
+conduction with a manufactured source twice —
+
+    FEM:  weak_form(u, "-k*dot(grad(u), grad(v)) + f*v")     (P1, lumped mass)
+    FVM:  conservation_form(u, "surface(diffuse(k, u)) + f")  (two-point flux)
+
+— runs both to the manufactured steady state `u = sin(pi x) sin(pi y)`,
+prints the weak-form classification listing, and compares the fields.
+
+Run:  python examples/fem_heat.py
+"""
+
+import numpy as np
+
+from repro.dsl.entities import NODE
+from repro.dsl.problem import Problem
+from repro.fvm.boundary import BCKind
+from repro.mesh.grid import structured_grid, triangulated_grid
+
+D = 1.0
+N = 16
+T_END = 0.35  # several diffusive time constants: effectively steady
+
+
+def source(x):
+    return 2.0 * D * np.pi**2 * np.sin(np.pi * x[:, 0]) * np.sin(np.pi * x[:, 1])
+
+
+def exact(x):
+    return np.sin(np.pi * x[:, 0]) * np.sin(np.pi * x[:, 1])
+
+
+def solve_fem():
+    dt = 0.15 * (1.0 / N) ** 2 / D
+    p = Problem("fem-heat")
+    p.set_domain(2)
+    p.set_solver_type("FEM")
+    p.set_steps(dt, int(round(T_END / dt)))
+    p.set_mesh(triangulated_grid((N, N)))
+    p.add_variable("u", location=NODE)
+    p.add_coefficient("k", D)
+    p.add_coefficient("f", source)
+    for r in (1, 2, 3, 4):
+        p.add_boundary("u", r, BCKind.DIRICHLET, 0.0)
+    p.set_initial("u", 0.0)
+    p.set_weak_form("u", "-k*dot(grad(u), grad(v)) + f*v")
+    solver = p.solve()
+    return solver
+
+
+def solve_fvm():
+    dt = 0.15 * (1.0 / N) ** 2 / D
+    p = Problem("fvm-heat")
+    p.set_domain(2)
+    p.set_steps(dt, int(round(T_END / dt)))
+    p.set_mesh(structured_grid((N, N)))
+    p.add_variable("u")
+    p.add_coefficient("k", D)
+    p.add_coefficient("f", source)
+    for r in (1, 2, 3, 4):
+        p.add_boundary("u", r, BCKind.DIRICHLET, 0.0)
+    p.set_initial("u", 0.0)
+    p.set_conservation_form("u", "surface(diffuse(k, u)) + f")
+    return p.solve()
+
+
+def main() -> None:
+    fem = solve_fem()
+    print("weak-form classification (printed into the generated source):")
+    for line in fem.source.splitlines():
+        if line.strip().startswith(("Bilinear", "Linear", "stiffness", "load")):
+            print("  " + line.strip())
+
+    nodes = fem.state.mesh.nodes
+    err_fem = np.abs(fem.solution()[0] - exact(nodes)).max()
+    print(f"\nFEM  (P1 triangles, {N}x{N}x2):  max error vs manufactured "
+          f"solution {err_fem:.2e}")
+
+    fvm = solve_fvm()
+    cells = fvm.state.mesh.cell_centroids
+    err_fvm = np.abs(fvm.solution()[0] - exact(cells)).max()
+    print(f"FVM  (two-point flux, {N}x{N}):   max error {err_fvm:.2e}")
+
+    assert err_fem < 0.02 and err_fvm < 0.02
+    print("\nsame physics, two discretisations, one DSL — the paper's")
+    print('"multi-discretization" claim in action.')
+
+
+if __name__ == "__main__":
+    main()

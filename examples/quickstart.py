@@ -1,0 +1,80 @@
+"""Quickstart: the paper's Section II model problem, end to end.
+
+Solves the advection-reaction conservation law
+
+    du/dt = -k*u - div(b u)
+
+on a 2-D box with an inflow boundary, using exactly the DSL input shown in
+the paper:
+
+    conservationForm(u, "-k*u - surface(upwind(b, u))")
+
+and prints the symbolic pipeline stages (expanded form, Euler form, the
+LHS/RHS classification) followed by the generated source and the solution.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro.dsl as finch
+from repro.ir.lowering import lower_conservation_form, render_stage_listing
+from repro.mesh import structured_grid
+
+
+def main() -> None:
+    finch.init_problem("quickstart")
+    finch.domain(2)
+    finch.solver_type(finch.FV)
+    finch.time_stepper(finch.EULER_EXPLICIT)
+
+    nx, ny = 40, 12
+    cfl = 0.4
+    dt = cfl / nx
+    nsteps = int(round(1.2 / dt))  # t_end past the crossing time
+    finch.set_steps(dt, nsteps)
+    finch.mesh(structured_grid((nx, ny), [(0.0, 1.0), (0.0, 0.3)]))
+
+    u = finch.variable("u")
+    finch.coefficient("k", 0.8)  # reactive decay rate
+    finch.coefficient("bx", 1.0)  # advection velocity (1, 0)
+    finch.coefficient("by", 0.0)
+
+    finch.boundary(u, 1, finch.DIRICHLET, 1.0)  # inflow at x = 0
+    finch.boundary(u, 2, finch.NEUMANN0)  # outflow
+    finch.boundary(u, 3, finch.NEUMANN0)
+    finch.boundary(u, 4, finch.NEUMANN0)
+    finch.initial(u, 0.0)
+
+    finch.conservation_form(u, "-k*u - surface(upwind([bx;by], u))")
+
+    # --- show the symbolic pipeline (paper Sec. II) --------------------------
+    problem = finch.current_problem()
+    expanded, form = lower_conservation_form(
+        problem.equation.source, problem.unknown, problem.entities, problem.operators
+    )
+    print("=" * 72)
+    print("symbolic pipeline (paper Section II):")
+    print(render_stage_listing(expanded, form, problem.unknown))
+    print("=" * 72)
+
+    solver = finch.solve(u)
+
+    print("\ngenerated source (first 40 lines):")
+    print("\n".join(solver.source.splitlines()[:40]))
+
+    # --- check against the analytic steady state ------------------------------
+    # steady state of du/dt = -k u - u_x with u(0)=1:  u(x) = exp(-k x)
+    sol = solver.solution()[0]
+    x = solver.state.mesh.cell_centroids[:, 0]
+    exact = np.exp(-0.8 * x)
+    err = np.abs(sol - exact).max()
+    print("\nsteady state reached after", nsteps, "steps")
+    print(f"max deviation from exp(-k x): {err:.3e} "
+          f"(first-order upwind on a {nx}-cell grid)")
+    assert err < 0.05, "quickstart did not converge to the analytic profile"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro: reproduction of "Automating GPU Scalability for Complex Scientific
+Models: Phonon Boltzmann Transport Equation" (IPDPS 2024).
+
+A Finch-like PDE DSL with hybrid CPU/GPU code generation, built entirely in
+Python on simulated GPU/MPI substrates, plus the full phonon-BTE
+application the paper demonstrates.  Start with the quickstart::
+
+    import repro.dsl as finch
+    from repro.mesh import structured_grid
+
+    finch.init_problem("advection")
+    finch.domain(2)
+    finch.time_stepper(finch.EULER_EXPLICIT)
+    finch.set_steps(1e-2, 100)
+    finch.mesh(structured_grid((20, 20)))
+    u = finch.variable("u")
+    finch.coefficient("bx", 1.0)
+    finch.coefficient("by", 0.0)
+    for region in (1, 2, 3, 4):
+        finch.boundary(u, region, finch.NEUMANN0)
+    finch.initial(u, 0.0)
+    finch.conservation_form(u, "-surface(upwind([bx;by], u))")
+    solver = finch.solve(u)
+
+Package map (see DESIGN.md for the full inventory):
+
+=====================  =====================================================
+:mod:`repro.dsl`       Finch-like user API (entities, conservation form,
+                       boundaries, hooks, configuration)
+:mod:`repro.symbolic`  expression engine + operator registry
+:mod:`repro.ir`        lowering pipeline and the abstract computational graph
+:mod:`repro.codegen`   CPU / distributed / hybrid-GPU source generation and
+                       the data-movement placement optimiser
+:mod:`repro.mesh`      FV meshes, structured generation, Gmsh I/O,
+                       partitioning
+:mod:`repro.fvm`       finite-volume kernels, fields, boundaries, steppers
+:mod:`repro.gpu`       simulated GPU device (roofline timing, profiler)
+:mod:`repro.runtime`   simulated MPI (threads + virtual clocks)
+:mod:`repro.bte`       the phonon Boltzmann transport application
+:mod:`repro.perfmodel` cost models behind the paper's scaling figures
+=====================  =====================================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bte",
+    "codegen",
+    "dsl",
+    "fvm",
+    "gpu",
+    "ir",
+    "mesh",
+    "perfmodel",
+    "runtime",
+    "symbolic",
+    "util",
+]

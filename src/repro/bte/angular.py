@@ -1,0 +1,160 @@
+"""Angular discretisation: discrete ordinates and specular reflection.
+
+The paper's 2-D demonstration uses "a set of 20 uniformly distributed
+direction vectors".  :func:`uniform_directions_2d` places ``ndirs`` unit
+vectors at angles offset by half a spacing (so no direction is exactly
+parallel to an axis-aligned wall, which would make ``s . n = 0`` faces
+ambiguous for upwinding), with equal solid-angle weights normalised to
+``4*pi`` (the axisymmetric convention: each in-plane ordinate represents a
+slice of the full sphere).
+
+:func:`reflection_map` produces, for a wall normal, the permutation
+``d -> r`` with ``s_r = s_d - 2 (s_d . n) n`` that the symmetry boundary of
+Eq. (6) needs.  With half-offset uniform 2-D sets and axis-aligned walls the
+reflected vector always lands exactly on another ordinate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DirectionSet:
+    """Discrete ordinates: unit vectors and quadrature weights."""
+
+    vectors: np.ndarray  # (ndirs, dim) unit vectors
+    weights: np.ndarray  # (ndirs,), sums to 4*pi
+
+    @property
+    def ndirs(self) -> int:
+        return len(self.weights)
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+    @property
+    def sx(self) -> np.ndarray:
+        return self.vectors[:, 0]
+
+    @property
+    def sy(self) -> np.ndarray:
+        return self.vectors[:, 1]
+
+    @property
+    def sz(self) -> np.ndarray:
+        if self.dim < 3:
+            raise ConfigError("2-D direction sets have no z component")
+        return self.vectors[:, 2]
+
+    def validate(self) -> None:
+        norms = np.linalg.norm(self.vectors, axis=1)
+        if np.any(np.abs(norms - 1.0) > 1e-12):
+            raise ConfigError("direction vectors must be unit length")
+        if abs(self.weights.sum() - 4.0 * math.pi) > 1e-9:
+            raise ConfigError("direction weights must sum to 4*pi")
+        # first moment of an isotropic set vanishes (no spurious drift)
+        moment = (self.vectors * self.weights[:, None]).sum(axis=0)
+        if np.any(np.abs(moment) > 1e-9):
+            raise ConfigError("direction set is not balanced (nonzero first moment)")
+
+
+def uniform_directions_2d(ndirs: int) -> DirectionSet:
+    """``ndirs`` uniformly spaced in-plane ordinates (half-offset angles)."""
+    if ndirs < 4 or ndirs % 2:
+        raise ConfigError(f"ndirs must be an even number >= 4, got {ndirs}")
+    angles = 2.0 * math.pi * (np.arange(ndirs) + 0.5) / ndirs
+    vectors = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    weights = np.full(ndirs, 4.0 * math.pi / ndirs)
+    ds = DirectionSet(vectors=vectors, weights=weights)
+    ds.validate()
+    return ds
+
+
+def product_directions_3d(n_azimuthal: int, n_polar: int) -> DirectionSet:
+    """3-D product quadrature: ``n_azimuthal x n_polar`` ordinates.
+
+    The discretisation the paper quotes for general 3-D problems ("around
+    20 x 20 = 400" directions): azimuthal angles uniform with half-offset,
+    polar angles at the midpoints of equal-``cos(theta)`` slabs (so every
+    ordinate carries the same solid angle ``4*pi / (n_az * n_pol)`` and the
+    set integrates constants and first moments exactly).
+
+    Reflections about the coordinate planes map the set onto itself, so
+    axis-aligned symmetry walls work exactly as in 2-D.
+    """
+    if n_azimuthal < 4 or n_azimuthal % 2:
+        raise ConfigError(
+            f"n_azimuthal must be an even number >= 4, got {n_azimuthal}"
+        )
+    if n_polar < 2 or n_polar % 2:
+        raise ConfigError(f"n_polar must be an even number >= 2, got {n_polar}")
+    phi = 2.0 * math.pi * (np.arange(n_azimuthal) + 0.5) / n_azimuthal
+    # equal-measure polar levels: mu = cos(theta) at slab midpoints
+    mu = -1.0 + 2.0 * (np.arange(n_polar) + 0.5) / n_polar
+    sin_t = np.sqrt(1.0 - mu**2)
+    vectors = np.stack(
+        [
+            np.outer(np.cos(phi), sin_t).ravel(),
+            np.outer(np.sin(phi), sin_t).ravel(),
+            np.outer(np.ones_like(phi), mu).ravel(),
+        ],
+        axis=1,
+    )
+    ndirs = n_azimuthal * n_polar
+    weights = np.full(ndirs, 4.0 * math.pi / ndirs)
+    ds = DirectionSet(vectors=vectors, weights=weights)
+    ds.validate()
+    return ds
+
+
+def reflection_map(directions: DirectionSet, normal: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    """Specular reflection permutation about a wall with outward ``normal``.
+
+    Returns ``r`` with ``directions.vectors[r[d]] == s_d - 2 (s_d.n) n``.
+    Raises :class:`ConfigError` if a reflected vector does not coincide with
+    an existing ordinate (symmetry walls require a compatible set).
+    """
+    n = np.asarray(normal, dtype=np.float64)
+    n = n / np.linalg.norm(n)
+    s = directions.vectors
+    reflected = s - 2.0 * (s @ n)[:, None] * n[None, :]
+    out = np.empty(directions.ndirs, dtype=np.int64)
+    for d in range(directions.ndirs):
+        dist = np.linalg.norm(s - reflected[d], axis=1)
+        j = int(np.argmin(dist))
+        if dist[j] > tol:
+            raise ConfigError(
+                f"reflection of direction {d} does not land on the ordinate set "
+                f"(closest miss {dist[j]:.2e}); use a direction set compatible "
+                "with this wall orientation"
+            )
+        out[d] = j
+    # a specular reflection is an involution
+    if not np.array_equal(out[out], np.arange(directions.ndirs)):
+        raise ConfigError("reflection map is not an involution")
+    return out
+
+
+def component_reflection_map(dir_map: np.ndarray, nbands: int) -> np.ndarray:
+    """Lift a direction permutation to the flattened (d, b) component axis
+    (row-major over (direction, band), matching
+    :class:`repro.fvm.fields.IndexSpace` flattening)."""
+    ndirs = len(dir_map)
+    comp = np.arange(ndirs * nbands).reshape(ndirs, nbands)
+    return comp[dir_map, :].reshape(-1)
+
+
+__all__ = [
+    "DirectionSet",
+    "uniform_directions_2d",
+    "product_directions_3d",
+    "reflection_map",
+    "component_reflection_map",
+]

@@ -1,0 +1,75 @@
+"""Physical constants and silicon material parameters.
+
+Dispersion: quadratic fits to the [100] direction of silicon's phonon
+spectrum (Pop et al. / Mazumder-Majumdar form), the standard inputs of the
+gray/non-gray BTE literature the paper builds on ([2], [4], [14]):
+
+    omega(k) = v_s * k + c * k^2,     k in [0, K_MAX]
+
+Scattering: impurity + Umklapp/normal relaxation rates with the
+Terris-et-al. constants used by the reference large-scale BTE solver
+(Ali, Kollu, Mazumder, Sadayappan 2014 — the paper's ref [14]).
+"""
+
+from __future__ import annotations
+
+import math
+
+# fundamental constants (SI)
+HBAR = 1.054571817e-34  # J s
+KB = 1.380649e-23  # J / K
+
+# silicon lattice constant and Brillouin-zone edge along [100]
+A_SI = 5.43e-10  # m
+K_MAX = 2.0 * math.pi / A_SI  # 1/m  (~1.157e10)
+
+# quadratic dispersion fits: omega = VS * k + C * k^2
+LA_VS = 9.01e3  # m/s
+LA_C = -2.00e-7  # m^2/s
+TA_VS = 5.23e3  # m/s
+TA_C = -2.26e-7  # m^2/s
+
+# TA is doubly degenerate
+TA_DEGENERACY = 2
+LA_DEGENERACY = 1
+
+# relaxation-time constants (Matthiessen: 1/tau = sum of rates)
+#   impurity:        1/tau_i  = A_IMP * omega^4
+#   LA normal+U:     1/tau_NL = B_L * omega^2 * T^3
+#   TA normal (omega < OMEGA_12):  1/tau_NT = B_TN * omega * T^4
+#   TA Umklapp (omega >= OMEGA_12): 1/tau_UT = B_TU * omega^2 / sinh(hbar*omega/(kB*T))
+A_IMP = 1.498e-45  # s^3
+B_L = 1.180e-24  # s K^-3
+B_TN = 8.708e-13  # K^-4
+B_TU = 2.890e-18  # s
+
+#: TA branch frequency at half the zone edge — the normal/Umklapp crossover.
+OMEGA_12 = TA_VS * (K_MAX / 2) + TA_C * (K_MAX / 2) ** 2  # rad/s
+
+# default simulation temperatures (paper Sec. III-A)
+T_COLD = 300.0  # K — initial equilibrium and cold wall
+T_HOT = 350.0  # K — hot-spot peak
+HOTSPOT_SIGMA = 10e-6  # m — 1/e^2 radius of the Gaussian hot spot
+DOMAIN_SIZE = 525e-6  # m — 525 um square domain
+
+__all__ = [
+    "HBAR",
+    "KB",
+    "A_SI",
+    "K_MAX",
+    "LA_VS",
+    "LA_C",
+    "TA_VS",
+    "TA_C",
+    "TA_DEGENERACY",
+    "LA_DEGENERACY",
+    "A_IMP",
+    "B_L",
+    "B_TN",
+    "B_TU",
+    "OMEGA_12",
+    "T_COLD",
+    "T_HOT",
+    "HOTSPOT_SIGMA",
+    "DOMAIN_SIZE",
+]

@@ -1,0 +1,160 @@
+"""Silicon phonon dispersion and the spectral band discretisation.
+
+The frequency axis ``[0, omega_max(LA)]`` is cut into ``n_freq_bands`` equal
+bands.  Every band yields an LA "polarised band"; bands whose centre lies
+below the TA branch cutoff additionally yield a TA band.  With the paper's
+40 frequency bands this gives 40 LA + 15 TA = 55 polarised bands — the
+numbers quoted in Sections I and III-A.
+
+For each (band, polarisation):
+
+* the wavevector ``k`` solving ``omega(k) = omega_centre`` (the physical
+  root of the quadratic),
+* group velocity ``vg = domega/dk = v_s + 2 c k``,
+* density of states ``D(omega) = g * k^2 / (2 pi^2 vg)`` (per polarisation,
+  degeneracy ``g``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bte import constants as C
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One phonon branch with quadratic dispersion ``omega = vs*k + c*k^2``."""
+
+    name: str
+    vs: float
+    c: float
+    k_max: float
+    degeneracy: int
+
+    def omega(self, k: np.ndarray | float) -> np.ndarray | float:
+        return self.vs * k + self.c * np.square(k)
+
+    @property
+    def omega_max(self) -> float:
+        """Maximum frequency on the branch (at the zone edge, since the
+        quadratic fits stay monotonic up to ``k_max``)."""
+        return float(self.omega(self.k_max))
+
+    def k_of_omega(self, omega: np.ndarray | float) -> np.ndarray:
+        """Invert the dispersion (physical root of the quadratic)."""
+        omega = np.asarray(omega, dtype=np.float64)
+        if np.any(omega < 0) or np.any(omega > self.omega_max * (1 + 1e-12)):
+            raise ConfigError(
+                f"branch {self.name}: frequency outside [0, {self.omega_max:.4g}]"
+            )
+        if self.c == 0.0:
+            return omega / self.vs
+        disc = self.vs**2 + 4.0 * self.c * omega
+        disc = np.maximum(disc, 0.0)
+        return (-self.vs + np.sqrt(disc)) / (2.0 * self.c)
+
+    def group_velocity(self, k: np.ndarray | float) -> np.ndarray | float:
+        return self.vs + 2.0 * self.c * np.asarray(k, dtype=np.float64)
+
+    def dos(self, k: np.ndarray | float, vg: np.ndarray | float) -> np.ndarray:
+        """Density of states per unit volume and frequency (isotropic 3-D)."""
+        k = np.asarray(k, dtype=np.float64)
+        return self.degeneracy * np.square(k) / (2.0 * math.pi**2 * np.asarray(vg))
+
+
+LA_BRANCH = Branch("LA", C.LA_VS, C.LA_C, C.K_MAX, C.LA_DEGENERACY)
+TA_BRANCH = Branch("TA", C.TA_VS, C.TA_C, C.K_MAX, C.TA_DEGENERACY)
+
+
+@dataclass
+class BandSet:
+    """The polarised spectral bands of one discretisation.
+
+    All arrays have length ``nbands`` (polarised bands).  ``freq_band[i]``
+    maps back to the underlying frequency band (0-based), ``branch[i]`` is
+    ``'LA'`` or ``'TA'``.
+    """
+
+    n_freq_bands: int
+    omega: np.ndarray  # band-centre frequencies (rad/s)
+    domega: np.ndarray  # band widths (rad/s)
+    vg: np.ndarray  # group velocities (m/s)
+    dos: np.ndarray  # density of states at the centre (s/m^3/rad)
+    branch: list[str] = field(default_factory=list)
+    freq_band: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def nbands(self) -> int:
+        return len(self.omega)
+
+    @property
+    def n_la(self) -> int:
+        return sum(1 for b in self.branch if b == "LA")
+
+    @property
+    def n_ta(self) -> int:
+        return sum(1 for b in self.branch if b == "TA")
+
+    def __repr__(self) -> str:
+        return (
+            f"BandSet(n_freq_bands={self.n_freq_bands}, nbands={self.nbands} "
+            f"[{self.n_la} LA + {self.n_ta} TA])"
+        )
+
+
+def silicon_bands(n_freq_bands: int = 40) -> BandSet:
+    """The paper's spectral discretisation for silicon.
+
+    >>> bands = silicon_bands(40)
+    >>> bands.nbands, bands.n_la, bands.n_ta
+    (55, 40, 15)
+    """
+    if n_freq_bands < 1:
+        raise ConfigError(f"need at least one frequency band, got {n_freq_bands}")
+    omega_max = LA_BRANCH.omega_max
+    edges = np.linspace(0.0, omega_max, n_freq_bands + 1)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    widths = np.diff(edges)
+
+    omega: list[float] = []
+    domega: list[float] = []
+    vg: list[float] = []
+    dos: list[float] = []
+    branch: list[str] = []
+    freq_band: list[int] = []
+
+    for br in (LA_BRANCH, TA_BRANCH):
+        for i, (w, dw) in enumerate(zip(centres, widths)):
+            # a band belongs to a branch only if the branch covers the whole
+            # band (partial top bands are dropped) — this reproduces the
+            # paper's 40 LA + 15 TA = 55 polarised bands
+            if w + 0.5 * dw > br.omega_max:
+                continue
+            k = float(br.k_of_omega(w))
+            v = float(br.group_velocity(k))
+            if v <= 0.0:
+                continue  # zone-edge TA modes with vanishing velocity carry no flux
+            omega.append(float(w))
+            domega.append(float(dw))
+            vg.append(v)
+            dos.append(float(br.dos(k, v)))
+            branch.append(br.name)
+            freq_band.append(i)
+
+    return BandSet(
+        n_freq_bands=n_freq_bands,
+        omega=np.array(omega),
+        domega=np.array(domega),
+        vg=np.array(vg),
+        dos=np.array(dos),
+        branch=branch,
+        freq_band=np.array(freq_band, dtype=np.int64),
+    )
+
+
+__all__ = ["Branch", "BandSet", "silicon_bands", "LA_BRANCH", "TA_BRANCH"]

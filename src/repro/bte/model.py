@@ -1,0 +1,234 @@
+"""BTEModel: the glue between the physics and the DSL callbacks.
+
+Owns the spectral bands, the direction set and the component flattening
+(components are (direction, band) row-major, matching the DSL's
+``index=[d, b]`` declaration order) and provides:
+
+* the post-step temperature update ("the BTE also involves an additional
+  processing step to evolve the temperature in each cell", Sec. II-B) —
+  intensity -> energy reduction, Newton temperature inversion, refresh of
+  the ``Io`` and ``beta`` (=tau) variables;
+* the isothermal flux boundary callback of the paper's
+  ``boundary(I, 1, FLUX, "isothermal(I,vg,Sx,Sy,b,d,normal,300)")``;
+* specular-symmetry reflection maps for Eq. (6);
+* initial equilibrium intensities.
+
+Flux-callback sign convention: FLUX callbacks return the *classified signed
+face integrand*, i.e. exactly what the interior expression
+``-vg[b] * (s_d . n) * I_upwind`` would produce on those faces, with ghost
+intensities substituted per Eq. (6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.bte.angular import (
+    DirectionSet,
+    component_reflection_map,
+    reflection_map,
+    uniform_directions_2d,
+)
+from repro.bte.dispersion import BandSet, silicon_bands
+from repro.bte.equilibrium import (
+    equilibrium_intensity,
+    pseudo_temperature,
+)
+from repro.bte.scattering import relaxation_times
+from repro.fvm.boundary import BoundaryContext
+from repro.util.errors import ConfigError
+
+
+class BTEModel:
+    """Bands x directions bundle with the BTE's coupling operations."""
+
+    def __init__(self, bands: BandSet | None = None, directions: DirectionSet | None = None):
+        self.bands = bands if bands is not None else silicon_bands(40)
+        self.dirs = directions if directions is not None else uniform_directions_2d(20)
+        nb, nd = self.bands.nbands, self.dirs.ndirs
+        self.ncomp = nd * nb
+        # flattened (d, b) component axis, row-major over (direction, band)
+        comp = np.arange(self.ncomp)
+        self.comp_dir = comp // nb
+        self.comp_band = comp % nb
+        self.weight_comp = self.dirs.weights[self.comp_dir]
+        self.vg_comp = self.bands.vg[self.comp_band]
+
+    # ------------------------------------------------------------- reductions
+    def energy_from_intensity(self, I: np.ndarray) -> np.ndarray:
+        """Per-cell energy density: ``E = sum_d w_d sum_b I_{d,b}``.
+
+        ``I`` has shape ``(ncomp, ncells)``; the result ``(ncells,)``.
+        """
+        if I.shape[0] != self.ncomp:
+            raise ConfigError(
+                f"intensity has {I.shape[0]} components, model expects {self.ncomp}"
+            )
+        return self.weight_comp @ I
+
+    def band_energies(self, I: np.ndarray, comps: np.ndarray | None = None) -> np.ndarray:
+        """Per-band direction-integrated energy, ``(nbands, ncells)``.
+
+        With ``comps`` given, only those components contribute (band
+        partitioning: each rank sums its own bands, zeros elsewhere, and the
+        allreduce completes the picture).
+        """
+        nb = self.bands.nbands
+        out = np.zeros((nb, I.shape[1]))
+        if comps is None:
+            w = self.weight_comp
+            np.add.at(out, self.comp_band, w[:, None] * I)
+        else:
+            w = self.weight_comp[comps]
+            np.add.at(out, self.comp_band[comps], w[:, None] * I[comps])
+        return out
+
+    def heat_flux(self, I: np.ndarray) -> np.ndarray:
+        """Per-cell heat-flux vector ``q = sum w_d vg_b s_d I`` , (dim, ncells)."""
+        s = self.dirs.vectors[self.comp_dir]  # (ncomp, dim)
+        wv = (self.weight_comp * self.vg_comp)[:, None] * s  # (ncomp, dim)
+        return wv.T @ I
+
+    # --------------------------------------------------------------- post-step
+    def temperature_update(self, state) -> None:
+        """The paper's ``postStepFunction``: E -> T -> (Io, beta).
+
+        Reads the intensity from ``state.u``; keeps the per-cell temperature
+        in ``state.extra['T']`` (also the Newton starting guess).
+        """
+        I = state.u
+        T_prev = state.extra.get("T")
+        if T_prev is None:
+            T_prev = np.full(I.shape[1], float(state.extra.get("T0", 300.0)))
+
+        if getattr(state, "owned_comps", None) is not None:
+            # band partitioning: each rank holds only its components' valid
+            # intensities; the closure needs all bands -> allreduce of the
+            # partial per-band, per-cell sums (the paper's only band-strategy
+            # communication, Sec. III-C)
+            own = state.owned_comps
+            e_partial = self.band_energies(I, comps=own)
+            e_act = state.comm.allreduce(e_partial)
+            T = pseudo_temperature(self.bands, e_act, T_prev)
+            state.extra["T"] = T
+            state.fields["Io"].data[...] = equilibrium_intensity(self.bands, T)
+            state.fields["beta"].data[...] = relaxation_times(self.bands, T)
+            return
+
+        if getattr(state, "owned_cells", None) is not None:
+            # cell partitioning: bands are all local, the update restricts
+            # to owned cells (ghost columns never feed volume terms)
+            own = state.owned_cells
+            e_act = self.band_energies(I[:, own])
+            T_own = pseudo_temperature(self.bands, e_act, T_prev[own])
+            T = T_prev.copy()
+            T[own] = T_own
+            state.extra["T"] = T
+            state.fields["Io"].data[:, own] = equilibrium_intensity(self.bands, T_own)
+            state.fields["beta"].data[:, own] = relaxation_times(self.bands, T_own)
+            return
+
+        e_act = self.band_energies(I)
+        T = pseudo_temperature(self.bands, e_act, T_prev)
+        state.extra["T"] = T
+        state.fields["Io"].data[...] = equilibrium_intensity(self.bands, T)
+        state.fields["beta"].data[...] = relaxation_times(self.bands, T)
+
+    def initialize_state(self, state, T0: float) -> None:
+        """Set the uniform-equilibrium initial condition at temperature T0."""
+        ncells = state.ncells
+        T = np.full(ncells, float(T0))
+        state.extra["T"] = T
+        Io = equilibrium_intensity(self.bands, T)  # (nbands, ncells)
+        state.fields["Io"].data[...] = Io
+        state.fields["beta"].data[...] = relaxation_times(self.bands, T)
+        state.fields["I"].data[...] = Io[self.comp_band, :]
+
+    def initial_intensity(self, T0: float) -> np.ndarray:
+        """Per-component equilibrium intensity at uniform ``T0``, (ncomp,)."""
+        Io = equilibrium_intensity(self.bands, float(T0))  # (nbands,)
+        return Io[self.comp_band]
+
+    # ---------------------------------------------------------------- boundary
+    def isothermal(self, ctx: BoundaryContext, I_owner, vg, *args):
+        """The paper's isothermal flux callback (DSL-string signature).
+
+        2-D deck: ``isothermal(I, vg, Sx, Sy, b, d, normal, 300)``;
+        3-D deck: ``isothermal(I, vg, Sx, Sy, Sz, b, d, normal, 300)``.
+
+        Ghost intensities are the wall-equilibrium ``Io(T_wall)`` for
+        incoming directions (Eq. 6, isothermal row); outgoing directions
+        upwind the interior value.  Returns the signed integrand
+        ``-vg * (s.n) * I_upwind``.
+        """
+        *s_components, _b, _d, normals, T_wall = args
+        if len(s_components) != self.dirs.dim:
+            raise ConfigError(
+                f"isothermal callback received {len(s_components)} direction "
+                f"components for a {self.dirs.dim}-D ordinate set"
+            )
+        sdotn = np.zeros((self.ncomp, normals.shape[0]))
+        for axis, s in enumerate(s_components):
+            sdotn += s[self.comp_dir][:, None] * normals[:, axis][None, :]
+        ghost = equilibrium_intensity(self.bands, float(T_wall))[self.comp_band]
+        upwound = np.where(sdotn > 0.0, I_owner, ghost[:, None])
+        return -(vg[self.comp_band][:, None] * sdotn * upwound)
+
+    def make_isothermal_profile_bc(
+        self, T_profile: Callable[[np.ndarray], np.ndarray]
+    ) -> Callable[[BoundaryContext], np.ndarray]:
+        """Isothermal wall with a position-dependent temperature.
+
+        ``T_profile(face_centers) -> (nfaces,)`` — this is how the hot wall's
+        Gaussian hot spot enters (Fig. 1).  Returns a FLUX callback.
+        """
+
+        def hot_wall(ctx: BoundaryContext) -> np.ndarray:
+            T_face = np.asarray(T_profile(ctx.centers), dtype=np.float64)
+            if T_face.shape != (ctx.nfaces,):
+                raise ConfigError(
+                    f"temperature profile returned shape {T_face.shape}, "
+                    f"expected ({ctx.nfaces},)"
+                )
+            sdotn = (self.dirs.vectors @ ctx.normals.T)[self.comp_dir]
+            # (nbands, nfaces) wall equilibrium, lifted to components
+            Io_face = equilibrium_intensity(self.bands, T_face)
+            ghost = Io_face[self.comp_band, :]
+            upwound = np.where(sdotn > 0.0, ctx.owner_values, ghost)
+            return -(self.vg_comp[:, None] * sdotn * upwound)
+
+        hot_wall.__name__ = "isothermal_profile"
+        return hot_wall
+
+    def stable_dt(self, mesh, T_max: float = 400.0, safety: float = 0.4) -> float:
+        """A stable explicit step for this model on ``mesh``.
+
+        Two constraints bind (both discussed implicitly by the paper's
+        choice of 1 ps steps): the advective CFL ``h_min / vg_max`` and the
+        stiffest relaxation time ``tau_min`` (evaluated at ``T_max``, since
+        scattering strengthens with temperature).
+        """
+        from repro.bte.scattering import relaxation_times
+
+        # smallest cell extent: volume / largest face area is a robust
+        # lower bound for arbitrary cells
+        h_min = float(np.min(mesh.cell_volumes) ** (1.0 / mesh.dim))
+        vg_max = float(self.bands.vg.max())
+        tau_min = float(relaxation_times(self.bands, float(T_max)).min())
+        return safety * min(h_min / vg_max, tau_min)
+
+    def symmetry_map(self, normal: np.ndarray) -> np.ndarray:
+        """Component permutation for a specular symmetry wall (Eq. 6)."""
+        dmap = reflection_map(self.dirs, normal)
+        return component_reflection_map(dmap, self.bands.nbands)
+
+    def __repr__(self) -> str:
+        return (
+            f"BTEModel({self.bands!r}, ndirs={self.dirs.ndirs}, "
+            f"ncomp={self.ncomp})"
+        )
+
+
+__all__ = ["BTEModel"]

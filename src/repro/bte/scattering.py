@@ -1,0 +1,67 @@
+"""Phonon relaxation times (single-mode relaxation-time approximation).
+
+Matthiessen's rule over the standard silicon channels (constants in
+:mod:`repro.bte.constants`, after Terris et al. as used by the paper's
+reference solver [14]):
+
+* impurity scattering  ``1/tau_i  = A * omega^4``  (all branches);
+* LA normal+Umklapp    ``1/tau_NL = B_L * omega^2 * T^3``;
+* TA normal            ``1/tau_NT = B_TN * omega * T^4``     (omega < omega_12);
+* TA Umklapp           ``1/tau_UT = B_TU * omega^2 / sinh(hbar*omega/(kB*T))``
+  (omega >= omega_12).
+
+The rates are temperature dependent, which is why the BTE must refresh
+``tau`` (the ``beta`` variable of the input deck) from the new temperature
+field after every step — the coupling that forces the paper's CPU post-step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bte import constants as C
+from repro.bte.dispersion import BandSet
+
+
+def impurity_rate(omega: np.ndarray) -> np.ndarray:
+    """Impurity (Rayleigh) scattering rate, 1/s."""
+    return C.A_IMP * omega**4
+
+
+def la_phonon_rate(omega: np.ndarray, T: np.ndarray | float) -> np.ndarray:
+    """Combined normal+Umklapp rate for the LA branch."""
+    return C.B_L * omega**2 * np.asarray(T, dtype=np.float64) ** 3
+
+
+def ta_phonon_rate(omega: np.ndarray, T: np.ndarray | float) -> np.ndarray:
+    """Normal/Umklapp rate for the TA branch (piecewise in frequency)."""
+    omega = np.asarray(omega, dtype=np.float64)
+    T = np.asarray(T, dtype=np.float64)
+    normal = C.B_TN * omega * T**4
+    x = C.HBAR * omega / (C.KB * np.maximum(T, 1.0))
+    umklapp = C.B_TU * omega**2 / np.sinh(np.clip(x, 1e-12, 50.0))
+    return np.where(omega < C.OMEGA_12, normal, umklapp)
+
+
+def relaxation_times(bands: BandSet, T: np.ndarray | float) -> np.ndarray:
+    """Per-band relaxation time ``tau`` at temperature ``T``.
+
+    ``T`` is a scalar or an ``(ncells,)`` array; the result has shape
+    ``(nbands,)`` or ``(nbands, ncells)`` accordingly.
+    """
+    T = np.asarray(T, dtype=np.float64)
+    scalar = T.ndim == 0
+    Tc = T.reshape(1, -1)  # (1, ncells)
+    omega = bands.omega[:, None]  # (nbands, 1)
+    rate = impurity_rate(omega) * np.ones_like(Tc)
+    is_la = np.array([b == "LA" for b in bands.branch])[:, None]
+    rate = rate + np.where(
+        is_la,
+        la_phonon_rate(omega, Tc),
+        ta_phonon_rate(omega, Tc),
+    )
+    tau = 1.0 / rate
+    return tau[:, 0] if scalar else tau
+
+
+__all__ = ["impurity_rate", "la_phonon_rate", "ta_phonon_rate", "relaxation_times"]

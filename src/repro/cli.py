@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package inventory, the paper configuration's counts, model constants.
+``figures [--out DIR]``
+    Regenerate the scaling/profile artefacts of the paper's evaluation
+    (Figs. 4, 5, 7, 8, 9 and the profiling table) from the cost models and
+    write one text file per artefact.  The field figures (2, 10) need real
+    transient runs; regenerate those with ``pytest benchmarks/ -s``.
+``bte [--nx N] [--steps N]``
+    Run a reduced hot-spot BTE transient and print the temperature summary
+    (a fast version of ``examples/bte_hotspot.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.bte.dispersion import silicon_bands
+    from repro.perfmodel.costs import BTEWorkload
+
+    bands = silicon_bands(40)
+    w = BTEWorkload.paper_configuration()
+    print(f"repro {repro.__version__} — IPDPS 2024 phonon-BTE DSL reproduction")
+    print()
+    print("paper configuration (Sec. III-A):")
+    print(f"  mesh cells          : {w.ncells:,} (120 x 120)")
+    print(f"  directions          : {w.ndirs}")
+    print(f"  polarised bands     : {bands.nbands} "
+          f"({bands.n_la} LA + {bands.n_ta} TA from {bands.n_freq_bands} "
+          "frequency bands)")
+    print(f"  intensity DOF       : {w.ndof:,}")
+    print()
+    print("packages: symbolic, ir, dsl, codegen(+placement), mesh, fvm, gpu,")
+    print("          runtime, bte, perfmodel  — see DESIGN.md")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.gpu.kernel import Kernel, model_launch
+    from repro.gpu.profiler import Profiler
+    from repro.gpu.spec import A6000
+    from repro.perfmodel import strong_scaling_table
+    from repro.perfmodel.scaling import (
+        DEFAULT_KERNEL_BYTES_PER_THREAD,
+        DEFAULT_KERNEL_FLOPS_PER_THREAD,
+        PHASE_COMMUNICATION,
+        PHASE_INTENSITY,
+        PHASE_TEMPERATURE,
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def emit(name: str, text: str) -> None:
+        path = out / f"{name}.txt"
+        path.write_text(text + "\n")
+        written.append(path)
+        print(f"--- {name} " + "-" * max(0, 60 - len(name)))
+        print(text)
+        print()
+
+    tab = strong_scaling_table()
+
+    # FIG4 / FIG9: total-time series
+    procs = sorted({p for st in tab.values() for p in st.procs})
+    header = f"{'procs':>6}" + "".join(f"{k:>12}" for k in tab)
+    lines = [header]
+    for p in procs:
+        row = f"{p:>6}"
+        for st in tab.values():
+            row += (
+                f"{st.total[st.procs.index(p)]:>11.1f}s" if p in st.procs else f"{'-':>12}"
+            )
+        lines.append(row)
+    emit("fig9_all_strategies", "\n".join(lines))
+
+    # FIG5 / FIG8: breakdowns
+    for name, key in (("fig5_band_breakdown", "bands"), ("fig8_gpu_breakdown", "GPU")):
+        st = tab[key]
+        lines = [f"{'p':>4} {'intensity%':>11} {'temperature%':>13} {'comm%':>8}"]
+        for p in st.procs:
+            fr = st.breakdown_fractions(p)
+            lines.append(
+                f"{p:>4} {fr[PHASE_INTENSITY] * 100:>10.1f} "
+                f"{fr[PHASE_TEMPERATURE] * 100:>12.1f} "
+                f"{fr[PHASE_COMMUNICATION] * 100:>7.2f}"
+            )
+        emit(name, "\n".join(lines))
+
+    # FIG7: CPU vs GPU speedup
+    b, g = tab["bands"], tab["GPU"]
+    lines = [f"{'p':>4} {'CPU[s]':>10} {'GPU[s]':>10} {'speedup':>9}"]
+    for p in g.procs:
+        if p in b.procs:
+            tc = b.total[b.procs.index(p)]
+            tg = g.total[g.procs.index(p)]
+            lines.append(f"{p:>4} {tc:>10.1f} {tg:>10.1f} {tc / tg:>8.1f}x")
+    emit("fig7_gpu_speedup", "\n".join(lines))
+
+    # TAB1: device profile
+    prof = Profiler(A6000)
+    kernel = Kernel(
+        "I_interior_step", lambda: None,
+        flops_per_thread=DEFAULT_KERNEL_FLOPS_PER_THREAD,
+        bytes_per_thread=DEFAULT_KERNEL_BYTES_PER_THREAD,
+    )
+    prof.record_launch(model_launch(A6000, kernel, 15_840_000))
+    emit(
+        "tab1_gpu_profile",
+        prof.report().table() + "\npaper: SM 86% | memory 11% | FLOP 49% of peak",
+    )
+
+    print(f"wrote {len(written)} artefact(s) to {out}/")
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """Show the Sec. II symbolic pipeline for an equation string."""
+    from repro.dsl.entities import CELL, VAR_ARRAY, Coefficient, EntityTable, Index, Variable
+    from repro.ir.lowering import lower_conservation_form, render_stage_listing
+    from repro.symbolic.expr import free_indices, free_symbols, Indexed, Sym, preorder
+    from repro.symbolic.operators import default_registry
+    from repro.symbolic.parser import parse
+
+    source = args.equation
+    unknown_name = args.unknown
+    parsed = parse(source)
+
+    # infer a plausible entity table from the expression: the unknown as
+    # declared, every other bare symbol a scalar coefficient, every indexed
+    # base a variable/coefficient over the indices it uses
+    ents = EntityTable()
+    index_sizes: dict[str, Index] = {}
+    for name in sorted(free_indices(parsed)):
+        index_sizes[name] = ents.add_index(Index(name, 1, 4))
+    indexed_bases: dict[str, tuple[str, ...]] = {}
+    for node in preorder(parsed):
+        if isinstance(node, Indexed):
+            indexed_bases.setdefault(
+                node.base, tuple(i for i in node.indices if isinstance(i, str))
+            )
+    reg = default_registry()
+    if unknown_name in indexed_bases:
+        unknown = ents.add_variable(Variable(
+            unknown_name, VAR_ARRAY, CELL,
+            tuple(index_sizes[i] for i in indexed_bases.pop(unknown_name)),
+        ))
+    else:
+        unknown = ents.add_variable(Variable(unknown_name))
+    for base, idxs in indexed_bases.items():
+        ents.add_variable(Variable(
+            base, VAR_ARRAY, CELL, tuple(index_sizes[i] for i in idxs)
+        ))
+    skip = set(reg.names()) | set(index_sizes) | {unknown_name} | set(indexed_bases)
+    skip |= {"dt", "normal", "t", "x", "y", "z"}
+    for name in sorted(free_symbols(parsed)):
+        if name not in skip:
+            ents.add_coefficient(Coefficient(name, 1.0))
+
+    expanded, form = lower_conservation_form(source, unknown, ents, reg)
+    print(f"input:    conservationForm({unknown_name}, \"{source}\")")
+    print()
+    print(render_stage_listing(expanded, form, unknown))
+    return 0
+
+
+def cmd_latex(args: argparse.Namespace) -> int:
+    """Render an equation string (and optionally its expanded form) as LaTeX."""
+    from repro.symbolic.latex import to_latex
+    from repro.symbolic.parser import parse
+
+    print(to_latex(parse(args.equation)))
+    return 0
+
+
+def cmd_bte(args: argparse.Namespace) -> int:
+    from repro.bte import build_bte_problem, hotspot_scenario
+
+    scenario = hotspot_scenario(
+        nx=args.nx, ny=args.nx, ndirs=args.ndirs,
+        n_freq_bands=args.bands, dt=args.dt, nsteps=args.steps,
+    )
+    scenario.sigma = max(scenario.sigma, 2.5 * scenario.lx / args.nx)
+    problem, model = build_bte_problem(scenario)
+    print(f"running {scenario.name}: {args.nx}x{args.nx} cells, "
+          f"{model.ncomp} components/cell, {args.steps} steps ...")
+    solver = problem.solve()
+    T = solver.state.extra["T"]
+    print(f"T in [{T.min():.4f}, {T.max():.4f}] K after "
+          f"{args.steps * args.dt * 1e9:.3f} ns")
+    for phase, frac in sorted(solver.breakdown().items()):
+        print(f"  {phase:<12} {frac * 100:5.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="package and configuration summary")
+
+    p_fig = sub.add_parser("figures", help="regenerate the scaling artefacts")
+    p_fig.add_argument("--out", default="figures_out", help="output directory")
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="show the Sec. II symbolic pipeline for an equation"
+    )
+    p_pipe.add_argument("equation", help='e.g. "-k*u - surface(upwind(b, u))"')
+    p_pipe.add_argument("--unknown", default="u", help="unknown variable name")
+
+    p_tex = sub.add_parser("latex", help="render an equation string as LaTeX")
+    p_tex.add_argument("equation")
+
+    p_bte = sub.add_parser("bte", help="run a reduced hot-spot BTE transient")
+    p_bte.add_argument("--nx", type=int, default=24)
+    p_bte.add_argument("--ndirs", type=int, default=8)
+    p_bte.add_argument("--bands", type=int, default=8)
+    p_bte.add_argument("--dt", type=float, default=1e-12)
+    p_bte.add_argument("--steps", type=int, default=50)
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return cmd_info(args)
+    if args.command == "figures":
+        return cmd_figures(args)
+    if args.command == "pipeline":
+        return cmd_pipeline(args)
+    if args.command == "latex":
+        return cmd_latex(args)
+    if args.command == "bte":
+        return cmd_bte(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Code generation targets.
+
+Three targets mirror the paper's generation modes:
+
+* ``cpu`` (:mod:`~repro.codegen.cpu_serial`) — nested-loop serial solver,
+  loop order from ``assemblyLoops``;
+* ``distributed`` (:mod:`~repro.codegen.cpu_distributed`) — SPMD rank
+  program over the simulated communicator, with cell (mesh) or band
+  (equation) partitioning;
+* ``gpu`` (:mod:`~repro.codegen.gpu_hybrid`) — flattened one-thread-per-DOF
+  kernels on the simulated device, asynchronous launch overlapped with
+  CPU-pinned boundary callbacks, data movement planned by the placement
+  optimiser (:mod:`~repro.codegen.placement`).
+
+All targets emit genuine Python source (inspect ``solver.source``), compile
+it with :func:`compile`/``exec`` and drive it through a shared
+:class:`~repro.codegen.state.SolverState`.
+"""
+
+from repro.codegen.target_base import CodegenTarget, GeneratedSolver
+from repro.codegen.state import SolverState
+from repro.codegen.emit import ExprEmitter, EmittedExpr
+from repro.codegen.probes import TransientRecorder, LineProbe, wall_heat_flux
+from repro.util.errors import CodegenError
+
+
+def make_target(name: str) -> CodegenTarget:
+    """Instantiate a codegen target by name: 'cpu', 'distributed' or 'gpu'."""
+    if name == "cpu":
+        from repro.codegen.cpu_serial import CPUSerialTarget
+
+        return CPUSerialTarget()
+    if name == "distributed":
+        from repro.codegen.cpu_distributed import CPUDistributedTarget
+
+        return CPUDistributedTarget()
+    if name == "gpu":
+        from repro.codegen.gpu_hybrid import GPUHybridTarget
+
+        return GPUHybridTarget()
+    if name == "gpu_distributed":
+        from repro.codegen.gpu_multi import GPUMultiTarget
+
+        return GPUMultiTarget()
+    if name == "interp":
+        from repro.codegen.interpreted import InterpretedTarget
+
+        return InterpretedTarget()
+    if name == "fem":
+        from repro.codegen.fem_target import FEMTarget
+
+        return FEMTarget()
+    raise CodegenError(
+        f"unknown codegen target {name!r} "
+        "(cpu/distributed/gpu/gpu_distributed/interp)"
+    )
+
+
+__all__ = [
+    "make_target",
+    "CodegenTarget",
+    "GeneratedSolver",
+    "SolverState",
+    "ExprEmitter",
+    "EmittedExpr",
+    "TransientRecorder",
+    "LineProbe",
+    "wall_heat_flux",
+]

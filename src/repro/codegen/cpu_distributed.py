@@ -1,0 +1,295 @@
+"""Distributed CPU code-generation target (SPMD over the simulated runtime).
+
+Implements the paper's two CPU parallel strategies (Sec. III-C, Fig. 3):
+
+* ``cells`` — the mesh is partitioned (Metis-style, via
+  :mod:`repro.mesh.partition`); every rank updates its owned cells and
+  exchanges the interface values of *all* ``I[d,b]`` components with its
+  neighbours each step;
+* ``bands`` — the equations are partitioned: every rank owns a contiguous
+  block of the partition index's values over the whole mesh; no halo is
+  needed and the only communication is the per-step allreduce inside the
+  temperature update.
+
+Rank programs execute real numerics on real exchanged data (tests assert
+agreement with the serial solver to round-off) while virtual clocks are
+charged from the calibrated :class:`~repro.perfmodel.costs.CostModel` — see
+DESIGN.md for the substitution rationale.  Per-rank work is computed on
+full-size arrays with writes restricted to the owned portion: stale entries
+are never *read* (ghost columns are refreshed by the halo exchange before
+each step; unowned outputs are discarded), which keeps the generated code
+close to the serial version it derives from.
+
+Note: a distributed run always starts from the declared initial conditions
+(each rank builds its state from the problem), so ``run_steps`` describes a
+whole run, not an increment on the master state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.codegen.cpu_serial import emit_rhs_function, eval_fcoef
+from repro.codegen.emit import ExprEmitter
+from repro.codegen.state import SolverState
+from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.ir.build import build_ir
+from repro.ir.lowering import lower_conservation_form
+from repro.ir.nodes import print_ir
+from repro.mesh.partition import build_partition_layout, partition_cells
+from repro.perfmodel.costs import CostModel
+from repro.perfmodel.machines import CASCADE_LAKE_FINCH
+from repro.runtime.executor import run_spmd
+from repro.runtime.netmodel import IB_CLUSTER
+from repro.util.errors import CodegenError
+
+if TYPE_CHECKING:
+    from repro.dsl.problem import Problem
+
+
+_RANK_PROGRAM_CELLS = '''
+
+def rank_program(comm):
+    """One rank of the cell-partitioned solver (Fig. 3, top)."""
+    state = make_rank_state(comm.rank)
+    state.comm = comm
+    owned = state.owned_cells
+    for _ in range(RUN_NSTEPS[0]):
+        for cb in PRE_STEP_CALLBACKS:
+            cb.fn(state)
+        # refresh ghost columns: send owned interface cells, receive theirs
+        sends = {q: np.ascontiguousarray(state.u[:, cells])
+                 for q, cells in SEND_CELLS[comm.rank].items()}
+        received = comm.exchange(sends, tag=7)
+        for q, data in received.items():
+            state.u[:, RECV_CELLS[comm.rank][q]] = data
+        with state.timers.time('solve'):
+            rhs = compute_rhs(state, state.u, state.time)
+            state.u[:, owned] = kernels.euler_update(
+                state.u[:, owned], state.dt, rhs[:, owned], 0.0)
+        comm.compute(COST_SOLVE, phase='solve for intensity')
+        for cb in POST_STEP_CALLBACKS:
+            with state.timers.time('post_step'):
+                cb.fn(state)
+        comm.compute(COST_TEMP, phase='temperature update')
+        state.time += state.dt
+        state.step_index += 1
+    T = state.extra.get('T')
+    return {
+        'u_owned': state.u[:, owned].copy(),
+        'T': None if T is None else np.asarray(T)[owned].copy(),
+        'timers': state.timers,
+    }
+'''
+
+_RANK_PROGRAM_BANDS = '''
+
+def rank_program(comm):
+    """One rank of the band-partitioned solver (Fig. 3, bottom).
+
+    No halo: bands couple only through the temperature update's energy
+    reduction (done inside the post-step callback via comm.allreduce).
+    """
+    state = make_rank_state(comm.rank)
+    state.comm = comm
+    owned = state.owned_comps
+    for _ in range(RUN_NSTEPS[0]):
+        for cb in PRE_STEP_CALLBACKS:
+            cb.fn(state)
+        with state.timers.time('solve'):
+            rhs = compute_rhs(state, state.u, state.time)
+            state.u[owned] = kernels.euler_update(
+                state.u[owned], state.dt, rhs[owned], 0.0)
+        comm.compute(COST_SOLVE, phase='solve for intensity')
+        for cb in POST_STEP_CALLBACKS:
+            with state.timers.time('post_step'):
+                cb.fn(state)
+        comm.compute(COST_TEMP, phase='temperature update')
+        state.time += state.dt
+        state.step_index += 1
+    T = state.extra.get('T')
+    return {
+        'u_owned': state.u[owned].copy(),
+        'T': None if T is None else np.asarray(T).copy(),
+        'timers': state.timers,
+    }
+'''
+
+_DRIVER = '''
+
+def step_once(state):
+    """Single-step SPMD run (mostly for tests; prefer run_steps)."""
+    run_steps(state, 1)
+
+
+def run_steps(state, nsteps):
+    """Launch one rank program per partition and merge the results."""
+    RUN_NSTEPS[0] = nsteps
+    result = run_spmd(NPARTS, rank_program, NETWORK)
+    merge_results(state, result, nsteps)
+    state.spmd_result = result
+    state.check_health()
+    return state
+'''
+
+
+class CPUDistributedTarget(CodegenTarget):
+    """Cell- or band-partitioned SPMD generation."""
+
+    name = "distributed"
+
+    def generate(self, problem: "Problem") -> GeneratedSolver:
+        if problem.equation is None:
+            raise CodegenError("no conservation_form declared")
+        cfg = problem.config
+        if cfg.partition_strategy not in ("cells", "bands"):
+            raise CodegenError(
+                "distributed target needs partitioning('cells'|'bands', nparts)"
+            )
+        if cfg.stepper not in ("euler", "euler_explicit"):
+            raise CodegenError(
+                "the distributed rank programs implement the paper's "
+                f"forward-Euler scheme; got {cfg.stepper!r}"
+            )
+        nparts = cfg.nparts
+        unknown = problem.unknown
+        expanded, form = lower_conservation_form(
+            problem.equation.source, unknown, problem.entities, problem.operators
+        )
+        ir = build_ir(problem, form, flavor="distributed")
+        emitter = ExprEmitter(problem, form)
+
+        lines = source_header("cpu_distributed", problem, print_ir(ir))
+        lines += emit_rhs_function(problem, emitter)
+        lines.append(
+            _RANK_PROGRAM_CELLS if cfg.partition_strategy == "cells" else _RANK_PROGRAM_BANDS
+        )
+        lines.append(_DRIVER)
+        source = "\n".join(lines) + "\n"
+
+        master = SolverState(problem)
+        machine = problem.extra.get("machine_rates", CASCADE_LAKE_FINCH)
+        network = problem.extra.get("network_model", IB_CLUSTER)
+        cost = CostModel(machine)
+
+        env: dict = dict(emitter.component_tables())
+        env["NCOMP"] = master.ncomp
+        env["NPARTS"] = nparts
+        env["RUN_NSTEPS"] = [cfg.nsteps]  # boxed so run_steps can set it
+        env["NETWORK"] = network
+        env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
+        env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
+        env["run_spmd"] = run_spmd
+        env["eval_fcoef"] = eval_fcoef
+        for name, coef in emitter.function_coefficients().items():
+            env[f"coef_fn_{name}"] = coef.value
+
+        layout = None
+        owned_comp_sets: list[np.ndarray] | None = None
+        nbands = _band_count(problem)
+        if cfg.partition_strategy == "cells":
+            parts = partition_cells(problem.mesh, nparts, method="graph")
+            # second-order reconstructions read neighbours-of-neighbours:
+            # they need a two-layer halo
+            layout = build_partition_layout(
+                problem.mesh, parts, halo_layers=max(1, cfg.flux_order)
+            )
+            env["SEND_CELLS"] = layout.send_cells
+            env["RECV_CELLS"] = layout.recv_cells
+            n_own_max = max(len(o) for o in layout.owned)
+            env["COST_SOLVE"] = cost.intensity_step(n_own_max, master.ncomp)
+            env["COST_TEMP"] = cost.temperature_step(n_own_max, nbands)
+
+            def make_rank_state(rank: int) -> SolverState:
+                st = SolverState(problem)
+                st.owned_cells = layout.owned[rank]
+                return st
+
+        else:
+            owned_comp_sets = _split_components(problem, nparts)
+            ndirs = max(1, master.ncomp // max(nbands, 1))
+            n_comp_max = max(len(o) for o in owned_comp_sets)
+            env["COST_SOLVE"] = cost.intensity_step(master.ncells, n_comp_max)
+            # Newton runs redundantly on every rank; the Io/tau refresh only
+            # covers the rank's own bands (the paper's Fig. 5 asymmetry)
+            env["COST_TEMP"] = cost.newton_step(master.ncells) + cost.iobeta_step(
+                master.ncells, max(1, n_comp_max // ndirs)
+            )
+
+            def make_rank_state(rank: int) -> SolverState:
+                st = SolverState(problem)
+                st.owned_comps = owned_comp_sets[rank]
+                return st
+
+        env["make_rank_state"] = make_rank_state
+        env["merge_results"] = _make_merger(problem, cfg.partition_strategy, layout, owned_comp_sets)
+
+        solver = GeneratedSolver(self.name, source, env, master)
+        solver.ir = ir
+        solver.classified_form = form
+        solver.expanded_expr = expanded
+        solver.layout = layout
+        return solver
+
+
+def _band_count(problem: "Problem") -> int:
+    """Size of the partition index (or the unknown's last index) used to
+    split the temperature-update cost."""
+    unknown = problem.unknown
+    cfg = problem.config
+    if cfg.partition_index and cfg.partition_index in unknown.space.names:
+        return unknown.space.size(cfg.partition_index)
+    if unknown.space.names:
+        return unknown.space.sizes[-1]
+    return 1
+
+
+def _split_components(problem: "Problem", nparts: int) -> list[np.ndarray]:
+    """Owned component sets for band partitioning: contiguous blocks of the
+    partition index's values, all other indices complete."""
+    unknown = problem.unknown
+    space = unknown.space
+    ix = problem.config.partition_index
+    if ix is None:
+        raise CodegenError("band partitioning needs partition_index")
+    size = space.size(ix)
+    if nparts > size:
+        raise CodegenError(
+            f"cannot split index {ix!r} of size {size} over {nparts} ranks "
+            "(the paper's band-strategy limit)"
+        )
+    values = space.axis_values(ix)
+    blocks = np.array_split(np.arange(size), nparts)
+    return [np.flatnonzero(np.isin(values, blk)) for blk in blocks]
+
+
+def _make_merger(problem: "Problem", strategy: str, layout, owned_comp_sets):
+    """Build the function that folds rank results into the master state."""
+
+    def merge(state: SolverState, result, nsteps: int) -> None:
+        ranks = result.results
+        if strategy == "cells":
+            T = None
+            for rank, out in enumerate(ranks):
+                owned = layout.owned[rank]
+                state.u[:, owned] = out["u_owned"]
+                if out["T"] is not None:
+                    if T is None:
+                        T = np.full(state.ncells, float(problem.extra.get("T0", 0.0)))
+                    T[owned] = out["T"]
+            if T is not None:
+                state.extra["T"] = T
+        else:
+            for rank, out in enumerate(ranks):
+                state.u[owned_comp_sets[rank]] = out["u_owned"]
+            if ranks and ranks[0]["T"] is not None:
+                state.extra["T"] = ranks[0]["T"]
+        state.time += state.dt * nsteps
+        state.step_index += nsteps
+
+    return merge
+
+
+__all__ = ["CPUDistributedTarget"]

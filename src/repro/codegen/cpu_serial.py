@@ -1,0 +1,204 @@
+"""CPU serial code-generation target.
+
+Generates the nested-loop solver of the paper's Section II-B sketch: a
+sequential time loop around a (vectorised) cell sweep, with the component
+loop structure taken from ``assemblyLoops``.  The emitted source is plain
+Python over NumPy + :mod:`repro.fvm.kernels`, kept deliberately readable
+(comments carry the classified symbolic terms they implement).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.codegen.emit import ExprEmitter
+from repro.codegen.state import SolverState
+from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.ir.build import build_ir
+from repro.ir.lowering import lower_conservation_form
+from repro.ir.nodes import print_ir
+from repro.fvm.timesteppers import make_stepper
+from repro.util.errors import CodegenError
+
+if TYPE_CHECKING:
+    from repro.dsl.problem import Problem
+
+
+def _indent(lines: list[str], level: int = 1) -> list[str]:
+    pad = "    " * level
+    return [pad + ln if ln else ln for ln in lines]
+
+
+def emit_rhs_function(problem: "Problem", emitter: ExprEmitter) -> list[str]:
+    """Source of ``compute_rhs(state, u, t)`` — shared by CPU targets."""
+    form = emitter.form
+    fcoefs = emitter.function_coefficients()
+    surface = emitter.emit_sum(form.surface_terms, "surface")
+    volume = emitter.emit_sum(form.volume_terms, "volume")
+
+    body: list[str] = [
+        '"""Semi-discrete RHS du/dt: volume sources + surface divergence."""',
+        "geom = state.geom",
+        "dt = state.dt",
+    ]
+    if form.surface_terms:
+        body += [
+            "owner = geom.owner",
+        ]
+        for axis in range(problem.config.dimension):
+            name = ("normal_x", "normal_y", "normal_z")[axis]
+            if name in surface.reads:
+                body.append(f"{name} = geom.normal[:, {axis}]")
+        if "face_dist" in surface.reads:
+            body.append("face_dist = geom.face_dist")
+    for name, coef in fcoefs.items():
+        body += [
+            f"# function coefficient {name!r} evaluated on centres",
+            f"fcoef_{name} = eval_fcoef(state, coef_fn_{name}, geom.cell_center, t)",
+        ]
+        if f"fcoef_{name}_face" in (surface.reads | volume.reads):
+            body.append(
+                f"fcoef_{name}_face = eval_fcoef(state, coef_fn_{name}, geom.center, t)"
+            )
+    body += [
+        "",
+        "# boundary ghost values (user callbacks execute on the CPU)",
+        "ghost = state.bset.ghost_values(u, t, dt, state.extra)",
+    ]
+    if form.surface_terms:
+        body += [
+            "u1, u2 = geom.gather_sides(u, ghost)",
+            "flux = state.buffer('flux', (NCOMP, geom.nfaces))",
+        ]
+    body += [
+        "source = state.buffer('source', (NCOMP, geom.ncells))"
+        if form.volume_terms
+        else "source = 0.0"
+    ]
+    body += [
+        "",
+        "# component blocks follow assemblyLoops order: "
+        + ", ".join(problem.config.assembly_order),
+        "for sel in state.comp_blocks:",
+    ]
+    block: list[str] = []
+    if form.surface_terms:
+        block += [f"# RHS surface: {t}" for t in map(str, form.surface_terms)]
+        if surface.prelude:
+            block.append("# hoisted coefficient-only subexpressions")
+            block += surface.prelude
+        block.append(f"flux[sel] = {surface.code}")
+    if form.volume_terms:
+        block += [f"# RHS volume: {t}" for t in map(str, form.volume_terms)]
+        block += volume.prelude
+        block.append(f"source[sel] = {volume.code}")
+    if not block:
+        block = ["pass"]
+    body += _indent(block)
+    if form.surface_terms:
+        body += [
+            "",
+            "# FLUX-type boundary callbacks override their faces",
+            "for faces, values in state.bset.flux_overrides(u, t, dt, state.extra):",
+            "    flux[:, faces] = values",
+            "div = geom.surface_divergence(flux)",
+            "return source + div",
+        ]
+    else:
+        body += ["return source + np.zeros((NCOMP, geom.ncells))"]
+
+    return ["def compute_rhs(state, u, t):"] + _indent(body)
+
+
+def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
+    """Source of ``step_once``/``run_steps`` (serial time loop)."""
+    lines: list[str] = ["", ""]
+    lines.append("def step_once(state):")
+    step_body = ['"""Advance one explicit step (Eq. 3 of the paper)."""']
+    if scheme == "euler":
+        step_body += [
+            "with state.timers.time('solve'):",
+            "    rhs = compute_rhs(state, state.u, state.time)",
+            "    state.u = kernels.euler_update(state.u, state.dt, rhs, 0.0)",
+        ]
+    else:
+        step_body += [
+            "with state.timers.time('solve'):",
+            "    u_new = stepper.advance(state.u, state.time, state.dt,",
+            "                            lambda uu, tt: compute_rhs(state, uu, tt))",
+            "    state.u = u_new",
+        ]
+    step_body += [
+        "state.time += state.dt",
+        "state.step_index += 1",
+    ]
+    lines += _indent(step_body)
+    lines += ["", ""]
+    lines.append("def run_steps(state, nsteps):")
+    run_body = [
+        '"""The sequential time loop (paper: "the time step loop is always',
+        'done sequentially").  Hooks run on the CPU around each step."""',
+        "for _ in range(nsteps):",
+        "    for cb in PRE_STEP_CALLBACKS:",
+        "        with state.timers.time('pre_step'):",
+        "            cb.fn(state)",
+        "    step_once(state)",
+        "    for cb in POST_STEP_CALLBACKS:",
+        "        with state.timers.time('post_step'):",
+        "            cb.fn(state)",
+        "state.check_health()",
+        "return state",
+    ]
+    lines += _indent(run_body)
+    return lines
+
+
+# shared helper injected into every generated namespace
+def eval_fcoef(state, fn, points, t):
+    """Evaluate a function coefficient on points (f(x) or f(x, t))."""
+    import numpy as np
+
+    try:
+        return np.asarray(fn(points, t), dtype=np.float64)
+    except TypeError:
+        return np.asarray(fn(points), dtype=np.float64)
+
+
+class CPUSerialTarget(CodegenTarget):
+    """Serial CPU generation (the baseline the paper's Fig. 9 starts from)."""
+
+    name = "cpu"
+
+    def generate(self, problem: "Problem") -> GeneratedSolver:
+        if problem.equation is None:
+            raise CodegenError("no conservation_form declared")
+        unknown = problem.unknown
+        expanded, form = lower_conservation_form(
+            problem.equation.source, unknown, problem.entities, problem.operators
+        )
+        ir = build_ir(problem, form, flavor="cpu")
+        emitter = ExprEmitter(problem, form)
+
+        lines = source_header("cpu_serial", problem, print_ir(ir))
+        lines += emit_rhs_function(problem, emitter)
+        lines += emit_step_and_run(problem, problem.config.stepper)
+        source = "\n".join(lines) + "\n"
+
+        state = SolverState(problem)
+        env = dict(emitter.component_tables())
+        env["NCOMP"] = state.ncomp
+        env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
+        env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
+        env["stepper"] = make_stepper(problem.config.stepper)
+        env["eval_fcoef"] = eval_fcoef
+        for name, coef in emitter.function_coefficients().items():
+            env[f"coef_fn_{name}"] = coef.value
+
+        solver = GeneratedSolver(self.name, source, env, state)
+        solver.ir = ir
+        solver.classified_form = form
+        solver.expanded_expr = expanded
+        return solver
+
+
+__all__ = ["CPUSerialTarget", "emit_rhs_function", "emit_step_and_run", "eval_fcoef"]

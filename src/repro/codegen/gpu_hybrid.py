@@ -1,0 +1,451 @@
+"""Hybrid CPU/GPU code-generation target (paper Sec. II-B and III-D).
+
+Per step, exactly the paper's "one example configuration":
+
+.. code-block:: text
+
+    GPU kernel:  interior flux + source + explicit update, loops flattened,
+                 one thread per degree of freedom (launched asynchronously)
+    CPU code:    boundary contribution via the user callbacks, overlapped
+                 with the kernel (Fig. 6)
+                 synchronize, fetch u_new from the device
+                 u = u_new + u_bdry
+                 post-step temperature update (user callback, CPU)
+                 send the mutated arrays back to the device
+
+Before generating, the target builds the step's task graph and runs the
+min-cut placement optimiser (:mod:`repro.codegen.placement`) — the paper's
+"automatically partitions tasks between the CPU and GPU by minimizing the
+data movement"; the resulting plan and transfer schedule are attached to
+the solver (``solver.placement``, ``solver.transfer_plan``) and honoured by
+the generated code (user callbacks are pinned to the CPU; if the optimiser
+decides the interior update is not worth offloading — tiny problems — the
+kernel simply runs on the host path).
+
+Numerics run for real on the simulated device's buffers; kernel and PCIe
+times come from the device model (see DESIGN.md).  Host work is charged to
+the virtual host clock via the calibrated cost model, so the per-step
+timeline reproduces the overlap structure of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.codegen.emit import ExprEmitter
+from repro.codegen.placement import Task, TaskGraph, optimize_placement, plan_transfers
+from repro.codegen.placement.transfers import ArrayUse
+from repro.codegen.state import SolverState
+from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.gpu.device import Device
+from repro.gpu.kernel import Kernel, model_launch
+from repro.ir.build import build_ir
+from repro.ir.lowering import lower_conservation_form
+from repro.ir.nodes import print_ir
+from repro.perfmodel.costs import CostModel
+from repro.perfmodel.machines import CASCADE_LAKE_FINCH, default_gpu_spec
+from repro.util.errors import CodegenError
+from repro.util.timing import VirtualClock
+
+if TYPE_CHECKING:
+    from repro.dsl.problem import Problem
+
+#: Executed-work multipliers calibrated against the paper's Nsight profile
+#: of the one-GPU BTE kernel (49 % of FP64 peak, 11 % DRAM throughput, the
+#: ~18x end-to-end speedup).  The flattened one-thread-per-DOF kernel
+#: executes far more device work than the integrand's minimal operation
+#: count: every thread privately redoes the face loop (geometry fetch,
+#: index arithmetic, projections), FP64 divides occupy many issue slots on
+#: GA102, the upwind conditional splits warps, and the neighbour gathers
+#: replay uncoalesced transactions.  Override per problem via
+#: ``problem.extra['gpu_flop_factor' / 'gpu_byte_factor']``.
+DEFAULT_FLOP_FACTOR = 200.0
+DEFAULT_BYTE_FACTOR = 16.0
+
+
+def _indent(lines: list[str], level: int = 1) -> list[str]:
+    pad = "    " * level
+    return [pad + ln if ln else ln for ln in lines]
+
+
+def _reject_reconstructions(form) -> None:
+    """Second-order reconstructions need gradient operators and ghost data
+    the flattened device kernels do not carry — fail with guidance."""
+    from repro.symbolic.expr import Reconstruction, preorder
+
+    for term in form.surface_terms:
+        if any(isinstance(n, Reconstruction) for n in preorder(term)):
+            raise CodegenError(
+                "flux_order(2) reconstructions are CPU-only in this "
+                "reproduction; use the cpu or distributed targets"
+            )
+
+
+def _emit_kernel_source(problem: "Problem", emitter: ExprEmitter) -> list[str]:
+    """The flattened interior kernel (one thread per DOF, vectorised body)."""
+    form = emitter.form
+    surface = emitter.emit_sum(form.surface_terms, "surface")
+    volume = emitter.emit_sum(form.volume_terms, "volume")
+    known = emitter.referenced_known_variables()
+    args = ["u"] + [f"var_{n}" for n in known] + ["u_new"]
+    lines = [
+        "",
+        "",
+        f"def interior_kernel({', '.join(args)}, sel=slice(None)):",
+    ]
+    body = [
+        '"""Interior bulk: uniform work, no thread divergence between DOFs',
+        '(paper Sec. III-D).  Boundary faces contribute zero here; the CPU',
+        'adds their part after the device result returns.  ``sel`` restricts',
+        'the component rows (multi-device band partitioning launches one',
+        'kernel per rank over its own bands)."""',
+    ]
+    if form.surface_terms:
+        body += [
+            "# owner/neighbour gathers restricted to interior faces",
+            "owner = OWNER_INT",
+            "u1 = u[:, owner]",
+            "u2 = u[:, NEIGH_INT]",
+        ]
+        for axis, name in enumerate(("normal_x", "normal_y", "normal_z")):
+            if name in surface.reads:
+                body.append(f"{name} = NORMALS_INT[:, {axis}]")
+        if "face_dist" in surface.reads:
+            body.append("face_dist = FACEDIST_INT")
+        body += [f"# face flux: {t}" for t in map(str, form.surface_terms)]
+        body += surface.prelude
+        body += [
+            f"flux = {surface.code}",
+            "div = (DIV_INT @ flux.T).T",
+        ]
+    else:
+        body.append("div = 0.0")
+    if form.volume_terms:
+        body += [f"# volume source: {t}" for t in map(str, form.volume_terms)]
+        body += volume.prelude
+        body.append(f"source = {volume.code}")
+    else:
+        body.append("source = 0.0")
+    body += [
+        "# explicit update, Eq. (3)",
+        "u_new[sel] = u[sel] + DT * (source + div)",
+    ]
+    return lines + _indent(body)
+
+
+def _emit_boundary_source(problem: "Problem", emitter: ExprEmitter) -> list[str]:
+    """CPU-side boundary contribution (rhs part from boundary faces)."""
+    form = emitter.form
+    surface = emitter.emit_sum(form.surface_terms, "surface")
+    lines = [
+        "",
+        "",
+        "def compute_boundary_contribution(state, u, t):",
+    ]
+    body = [
+        '"""Boundary part of the RHS (per paper Fig. 6 this runs on the CPU,',
+        'concurrently with the interior kernel).  Returns du/dt|_boundary."""',
+        "geom = state.geom",
+        "dt = state.dt",
+        "sel = slice(None)",
+    ]
+    if not form.surface_terms:
+        body.append("return np.zeros((NCOMP, geom.ncells))")
+        return lines + _indent(body)
+    body += [
+        "bfaces = geom.bfaces",
+        "owner = geom.owner[bfaces]",
+        "# ghost values from the boundary conditions (user callbacks)",
+        "ghost = state.bset.ghost_values(u, t, dt, state.extra)",
+        "u1 = u[:, owner]",
+        "u2 = ghost",
+    ]
+    for axis, name in enumerate(("normal_x", "normal_y", "normal_z")):
+        if name in surface.reads:
+            body.append(f"{name} = geom.normal[bfaces, {axis}]")
+    if "face_dist" in surface.reads:
+        body.append("face_dist = geom.face_dist[bfaces]")
+    body += [f"# face flux: {t}" for t in map(str, form.surface_terms)]
+    body += surface.prelude
+    body += [
+        f"flux = {surface.code}",
+        "# FLUX-type callbacks override their faces",
+        "for faces, values in state.bset.flux_overrides(u, t, dt, state.extra):",
+        "    flux[:, BFACE_SLOT[faces]] = values",
+        "return (DIV_BDRY @ flux.T).T",
+    ]
+    return lines + _indent(body)
+
+
+_STEP_AND_RUN = '''
+
+def step_once(state):
+    """One hybrid step (the paper's host-code sketch, Sec. II-B)."""
+    dev = state.device
+    host = state.host_clock
+    t = state.time
+
+    # --- send per-step host-mutated arrays to the device -------------------
+    t0 = host.now()
+    with state.timers.time('h2d'):
+        end = dev.h2d('u', state.u, t0)
+        for name in H2D_EACH_STEP:
+            end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, t0))
+    host.advance_to(end)
+    state.gpu_phases['communication'] += host.now() - t0
+
+    # --- asynchronous interior kernel (one thread per DOF) -----------------
+    launch_time = host.now()
+    kernel_args = [dev.buffers[n].array for n in ['u'] + KERNEL_VAR_NAMES] \
+        + [dev.buffers['u_new'].array]
+    with state.timers.time('solve'):
+        dev.launch(KERNEL, NDOF, *kernel_args, host_time=launch_time)
+
+    # --- CPU boundary contribution, overlapped with the kernel (Fig. 6) ----
+    with state.timers.time('boundary'):
+        du_bdry = compute_boundary_contribution(state, state.u, t)
+    host.advance(COST_BOUNDARY)
+
+    # --- synchronize, fetch, combine ---------------------------------------
+    sync_time = dev.synchronize(host.now())
+    state.gpu_phases['solve for intensity'] += sync_time - launch_time
+    host.advance_to(sync_time)
+    d2h_start = host.now()
+    with state.timers.time('d2h'):
+        u_new, end = dev.d2h('u_new', host_time=d2h_start)
+    host.advance_to(end)
+    state.gpu_phases['communication'] += host.now() - d2h_start
+    # u = u_new + u_bdry (the boundary part of the explicit update)
+    state.u = u_new + state.dt * du_bdry
+
+    state.time += state.dt
+    state.step_index += 1
+
+
+def run_steps(state, nsteps):
+    """Sequential time loop around the hybrid step + CPU hooks."""
+    for _ in range(nsteps):
+        for cb in PRE_STEP_CALLBACKS:
+            with state.timers.time('pre_step'):
+                cb.fn(state)
+        step_once(state)
+        for cb in POST_STEP_CALLBACKS:
+            with state.timers.time('post_step'):
+                cb.fn(state)
+        if POST_STEP_CALLBACKS:
+            state.host_clock.advance(COST_TEMP)
+            state.gpu_phases['temperature update'] += COST_TEMP
+    state.check_health()
+    return state
+'''
+
+
+class GPUHybridTarget(CodegenTarget):
+    """Generation for the simulated-GPU hybrid path (``use_gpu()``)."""
+
+    name = "gpu"
+
+    def generate(self, problem: "Problem") -> GeneratedSolver:
+        if problem.equation is None:
+            raise CodegenError("no conservation_form declared")
+        if problem.config.stepper not in ("euler", "euler_explicit"):
+            raise CodegenError(
+                "the hybrid GPU target implements the paper's forward-Euler "
+                f"scheme; got {problem.config.stepper!r} (use the cpu target "
+                "for RK schemes)"
+            )
+        unknown = problem.unknown
+        expanded, form = lower_conservation_form(
+            problem.equation.source, unknown, problem.entities, problem.operators
+        )
+        _reject_reconstructions(form)
+        ir = build_ir(problem, form, flavor="gpu")
+        emitter = ExprEmitter(problem, form, var_mode="local")
+
+        state = SolverState(problem)
+        geom = state.geom
+        spec = problem.config.gpu_spec or default_gpu_spec()
+        machine = problem.extra.get("machine_rates", CASCADE_LAKE_FINCH)
+        cost = CostModel(machine)
+
+        # ---- work estimates for the device model --------------------------
+        surface = emitter.emit_sum(form.surface_terms, "surface")
+        volume = emitter.emit_sum(form.volume_terms, "volume")
+        faces_per_cell = 2.0 * geom.nfaces / geom.ncells
+        flops_per_dof = (
+            faces_per_cell * (surface.flops + 2)  # flux + area-weighted gather
+            + volume.flops
+            + 3  # explicit update
+        )
+        bytes_per_dof = (
+            faces_per_cell * surface.bytes_per_value / 2.0 + volume.bytes_per_value
+        )
+        flop_factor = float(problem.extra.get("gpu_flop_factor", DEFAULT_FLOP_FACTOR))
+        byte_factor = float(problem.extra.get("gpu_byte_factor", DEFAULT_BYTE_FACTOR))
+
+        # ---- placement optimisation ---------------------------------------
+        ndof = state.ncomp * state.ncells
+        nbands = unknown.space.sizes[-1] if unknown.space.names else 1
+        kernel_stub = Kernel(
+            f"{unknown.name}_interior_step",
+            body=lambda *a: None,
+            flops_per_thread=flops_per_dof * flop_factor,
+            bytes_per_thread=bytes_per_dof * byte_factor,
+        )
+        gpu_interior_time = model_launch(spec, kernel_stub, ndof).duration
+        known_vars = emitter.referenced_known_variables()
+
+        tg = TaskGraph()
+        tg.add_task(Task(
+            "interior_update",
+            cost_cpu=cost.intensity_step(state.ncells, state.ncomp),
+            cost_gpu=gpu_interior_time,
+        ))
+        tg.add_task(Task(
+            "boundary_callbacks",
+            cost_cpu=cost.boundary_step(geom.boundary_face_count(), state.ncomp),
+            pinned="cpu",
+        ))
+        tg.add_task(Task(
+            "post_step_callbacks",
+            cost_cpu=cost.temperature_step(state.ncells, nbands),
+            pinned="cpu",
+        ))
+        u_bytes = float(state.u.nbytes)
+        tg.add_edge("interior_update", "post_step_callbacks", u_bytes, label=unknown.name)
+        tg.add_edge("boundary_callbacks", "post_step_callbacks",
+                    geom.boundary_face_count() * state.ncomp * 8.0, label="u_bdry")
+        known_bytes = 0.0
+        for name in known_vars:
+            nb = float(state.fields[name].data.nbytes)
+            known_bytes += nb
+            tg.add_edge("post_step_callbacks", "interior_update", nb, label=name)
+        placement = optimize_placement(tg, spec)
+
+        if placement.device["interior_update"] == "cpu" and problem.extra.get(
+            "gpu_force_offload", False
+        ):
+            # the user overrode the optimiser: rebuild the plan with the
+            # interior pinned to the device so the transfer schedule (the
+            # per-step Io/beta H2D, the u round trip) matches the code that
+            # will actually run
+            tg_forced = TaskGraph()
+            for t in tg.tasks.values():
+                tg_forced.add_task(
+                    Task(t.name, t.cost_cpu, t.cost_gpu,
+                         pinned="gpu" if t.name == "interior_update" else t.pinned)
+                )
+            for e in tg.edges:
+                tg_forced.add_edge(e.src, e.dst, e.nbytes, e.label)
+            placement = optimize_placement(tg_forced, spec)
+
+        if placement.device["interior_update"] == "cpu" and not problem.extra.get(
+            "gpu_force_offload", False
+        ):
+            # the optimiser decided offloading does not pay (tiny problem or
+            # transfer-dominated): generate the CPU path, but keep the plan
+            # on the solver so callers can see why
+            from repro.codegen.cpu_serial import CPUSerialTarget
+
+            solver = CPUSerialTarget().generate(problem)
+            solver.placement = placement
+            solver.transfer_plan = None
+            solver.source = (
+                "# NOTE: the placement optimiser kept every task on the CPU\n"
+                "# (offload would cost more in transfers than it saves):\n"
+                + "\n".join("#   " + ln for ln in placement.report().splitlines())
+                + "\n\n"
+                + solver.source
+            )
+            solver.recompile()
+            return solver
+
+        arrays = [
+            ArrayUse("u", u_bytes,
+                     readers=("interior_update", "boundary_callbacks", "post_step_callbacks"),
+                     writers=("interior_update", "post_step_callbacks")),
+            ArrayUse("geometry", float(geom.normal.nbytes + geom.area.nbytes),
+                     readers=("interior_update",), writers=(), mutated_each_step=False),
+        ] + [
+            ArrayUse(f"var_{name}", float(state.fields[name].data.nbytes),
+                     readers=("interior_update",), writers=("post_step_callbacks",))
+            for name in known_vars
+        ]
+        transfer_plan = plan_transfers(placement, arrays)
+
+        # ---- source ---------------------------------------------------------
+        lines = source_header("gpu_hybrid", problem, print_ir(ir))
+        lines.append("# placement decided by the min-cut optimiser:")
+        lines += ["#   " + ln for ln in placement.report().splitlines()]
+        lines += ["#   " + ln for ln in transfer_plan.report().splitlines()]
+        lines += _emit_kernel_source(problem, emitter)
+        lines += _emit_boundary_source(problem, emitter)
+        lines.append(_STEP_AND_RUN)
+        source = "\n".join(lines) + "\n"
+
+        # ---- device setup ----------------------------------------------------
+        device = Device(spec, name=f"gpu0:{spec.name}")
+        interior = geom.interior_mask
+        int_faces = np.flatnonzero(interior)
+        env: dict = dict(emitter.component_tables())
+        env["NCOMP"] = state.ncomp
+        env["NDOF"] = ndof
+        env["DT"] = problem.config.dt
+        env["OWNER_INT"] = geom.owner[int_faces]
+        env["NEIGH_INT"] = geom.neighbor[int_faces]
+        env["NORMALS_INT"] = geom.normal[int_faces]
+        env["FACEDIST_INT"] = geom.face_dist[int_faces]
+        env["DIV_INT"] = geom.divergence[:, int_faces]
+        env["DIV_BDRY"] = geom.divergence[:, geom.bfaces]
+        env["BFACE_SLOT"] = geom.bface_slot
+        env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
+        env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
+        env["COST_BOUNDARY"] = cost.boundary_step(geom.boundary_face_count(), state.ncomp)
+        env["COST_TEMP"] = cost.temperature_step(state.ncells, nbands)
+        # kernel argument order is fixed by the generated signature; the
+        # per-step H2D list is the subset the transfer plan marked as
+        # host-mutated (for the BTE: Io and beta after the temperature update)
+        env["KERNEL_VAR_NAMES"] = [f"var_{n}" for n in known_vars]
+        env["H2D_EACH_STEP"] = [
+            n for n in env["KERNEL_VAR_NAMES"] if n in transfer_plan.h2d_each_step
+        ]
+
+        solver = GeneratedSolver(self.name, source, env, state)
+
+        # the kernel object wraps the *generated* body with the work estimates
+        kernel = Kernel(
+            f"{unknown.name}_interior_step",
+            body=solver.namespace["interior_kernel"],
+            flops_per_thread=flops_per_dof * flop_factor,
+            bytes_per_thread=bytes_per_dof * byte_factor,
+            doc="generated flattened interior step",
+        )
+        solver.namespace["KERNEL"] = kernel
+
+        # device-resident buffers: the unknown (both directions each step),
+        # per-step refreshed known variables, static geometry (sent once)
+        device.alloc("u", state.u)
+        device.alloc_empty("u_new", state.u.shape)
+        for name in known_vars:
+            device.alloc(f"var_{name}", state.fields[name].data)
+        state.device = device
+        state.host_clock = VirtualClock()
+        state.gpu_phases = {
+            "solve for intensity": 0.0,
+            "temperature update": 0.0,
+            "communication": 0.0,
+        }
+
+        solver.ir = ir
+        solver.classified_form = form
+        solver.expanded_expr = expanded
+        solver.placement = placement
+        solver.transfer_plan = transfer_plan
+        solver.device = device
+        solver.kernel = kernel
+        return solver
+
+
+__all__ = ["GPUHybridTarget", "DEFAULT_FLOP_FACTOR", "DEFAULT_BYTE_FACTOR"]

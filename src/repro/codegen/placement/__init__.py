@@ -1,0 +1,25 @@
+"""CPU/GPU task placement minimising data movement.
+
+The paper's central automation: "the DSL automatically partitions tasks
+between the CPU and GPU by minimizing the data movement" with user callbacks
+pinned to the CPU.  This package models the per-step computation as a task
+graph (:mod:`~repro.codegen.placement.graph`) and solves the two-device
+assignment as a minimum s-t cut (:mod:`~repro.codegen.placement.optimizer`)
+— Stone's classical network-flow formulation of the module-allocation
+problem, with execution costs on the terminal arcs and per-step transfer
+costs on the data arcs.
+"""
+
+from repro.codegen.placement.graph import Task, DataEdge, TaskGraph
+from repro.codegen.placement.optimizer import PlacementPlan, optimize_placement
+from repro.codegen.placement.transfers import TransferPlan, plan_transfers
+
+__all__ = [
+    "Task",
+    "DataEdge",
+    "TaskGraph",
+    "PlacementPlan",
+    "optimize_placement",
+    "TransferPlan",
+    "plan_transfers",
+]

@@ -1,0 +1,83 @@
+"""Task-graph model of one solver step.
+
+Nodes are *tasks* (units of per-step work with a CPU and a GPU execution
+cost; user callbacks are pinned to the CPU, per the paper's constraint) and
+edges are *data dependencies* carrying bytes that must cross the PCIe link
+whenever the two endpoint tasks land on different devices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.errors import CodegenError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of per-step work.
+
+    ``cost_cpu``/``cost_gpu`` are seconds per step; ``pinned`` forces the
+    device (``'cpu'`` for user callbacks — "unless these are intentionally
+    written for GPU processing, they may be challenging to automatically
+    port", Sec. I).
+    """
+
+    name: str
+    cost_cpu: float
+    cost_gpu: float = math.inf
+    pinned: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.pinned not in (None, "cpu", "gpu"):
+            raise CodegenError(f"task {self.name}: pinned must be 'cpu'/'gpu'/None")
+        if self.cost_cpu < 0 or self.cost_gpu < 0:
+            raise CodegenError(f"task {self.name}: negative cost")
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """Per-step data flowing between two tasks."""
+
+    src: str
+    dst: str
+    nbytes: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise CodegenError(f"edge {self.src}->{self.dst}: negative bytes")
+
+
+@dataclass
+class TaskGraph:
+    """All tasks + data edges of one step."""
+
+    tasks: dict[str, Task] = field(default_factory=dict)
+    edges: list[DataEdge] = field(default_factory=list)
+
+    def add_task(self, task: Task) -> Task:
+        if task.name in self.tasks:
+            raise CodegenError(f"duplicate task {task.name!r}")
+        self.tasks[task.name] = task
+        return task
+
+    def add_edge(self, src: str, dst: str, nbytes: float, label: str = "") -> DataEdge:
+        for name in (src, dst):
+            if name not in self.tasks:
+                raise CodegenError(f"edge references unknown task {name!r}")
+        edge = DataEdge(src, dst, nbytes, label)
+        self.edges.append(edge)
+        return edge
+
+    def total_bytes(self) -> float:
+        return sum(e.nbytes for e in self.edges)
+
+    def validate(self) -> None:
+        for t in self.tasks.values():
+            if t.pinned == "gpu" and not math.isfinite(t.cost_gpu):
+                raise CodegenError(f"task {t.name} pinned to gpu but has no gpu cost")
+
+
+__all__ = ["Task", "DataEdge", "TaskGraph"]

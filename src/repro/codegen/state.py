@@ -1,0 +1,324 @@
+"""Runtime state shared by all generated solvers.
+
+A :class:`SolverState` is built once per generated solver: it owns the
+fields (unknown + known variables), the FV geometry, the lowered boundary
+conditions, the component-block structure implied by ``assemblyLoops``, the
+phase timers behind the execution-time breakdowns, and the user ``extra``
+dict that callbacks use to carry problem-specific data (the BTE keeps its
+temperature array there).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.fvm.boundary import (
+    BCKind,
+    BoundaryCondition,
+    BoundaryContext,
+    BoundarySet,
+)
+from repro.fvm.fields import CellField
+from repro.fvm.geometry import FVGeometry
+from repro.symbolic.expr import Call, Indexed, Num, Sym
+from repro.util.errors import CodegenError, ConfigError
+from repro.util.misc import check_finite
+from repro.util.timing import TimerRegistry
+
+if TYPE_CHECKING:
+    from repro.dsl.problem import BoundarySpec, Problem
+
+
+class SolverState:
+    """Mutable runtime state of one generated solver."""
+
+    def __init__(self, problem: "Problem"):
+        if problem.mesh is None:
+            raise ConfigError("problem has no mesh")
+        self.problem = problem
+        self.mesh = problem.mesh
+        self.geom = FVGeometry(problem.mesh)
+        self.unknown = problem.unknown
+        self.dt = problem.config.dt
+        self.nsteps = problem.config.nsteps
+        self.time = 0.0
+        self.step_index = 0
+        self.timers = TimerRegistry()
+        self.extra: dict[str, Any] = dict(problem.extra)
+        self.extra.setdefault("state", self)
+
+        # distributed context (set by the distributed/gpu targets):
+        # exactly one of owned_comps/owned_cells is set on a rank state;
+        # callbacks use them (plus `comm`) to restrict work and reduce.
+        self.comm = None  # repro.runtime.Communicator on rank states
+        self.owned_comps: np.ndarray | None = None  # band partitioning
+        self.owned_cells: np.ndarray | None = None  # cell partitioning
+
+        # fields: the unknown plus every declared variable
+        self.fields: dict[str, CellField] = {}
+        for name, var in problem.entities.variables.items():
+            self.fields[name] = CellField(name, var.space, self.mesh.ncells)
+        self._apply_initial_conditions()
+
+        self.bset = self._build_boundary_set()
+        self.comp_blocks = self._build_component_blocks()
+        self._scratch: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------- properties
+    @property
+    def u(self) -> np.ndarray:
+        """The unknown's data, ``(ncomp, ncells)``."""
+        return self.fields[self.unknown.name].data
+
+    @u.setter
+    def u(self, values: np.ndarray) -> None:
+        self.fields[self.unknown.name].data[...] = values
+
+    @property
+    def ncomp(self) -> int:
+        return self.fields[self.unknown.name].ncomp
+
+    @property
+    def ncells(self) -> int:
+        return self.mesh.ncells
+
+    def field(self, name: str) -> CellField:
+        if name not in self.fields:
+            raise CodegenError(f"no field named {name!r}")
+        return self.fields[name]
+
+    def check_health(self) -> None:
+        """NaN/Inf guard, called by generated run loops between steps."""
+        check_finite(self.unknown.name, self.u)
+
+    def buffer(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A reusable scratch array (allocated once, reused every step).
+
+        The generated hot loop calls this instead of ``np.empty`` so the
+        per-step flux/source temporaries stop churning the allocator —
+        the "be easy on the memory" guidance for the innermost loop.
+        """
+        buf = self._scratch.get(name)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=np.float64)
+            self._scratch[name] = buf
+        return buf
+
+    # ----------------------------------------------------------------- initial
+    def _apply_initial_conditions(self) -> None:
+        for name, values in self.problem.initial_values.items():
+            fld = self.fields[name]
+            if callable(values):
+                out = np.asarray(values(self.mesh.cell_centroids), dtype=np.float64)
+                if out.shape == (fld.ncells,):
+                    fld.data[:] = out[None, :]
+                elif out.shape == fld.data.shape:
+                    fld.data[...] = out
+                else:
+                    raise ConfigError(
+                        f"initial({name}): callable returned shape {out.shape}, "
+                        f"expected ({fld.ncells},) or {fld.data.shape}"
+                    )
+                continue
+            arr = np.asarray(values, dtype=np.float64)
+            if arr.ndim == 0:
+                fld.fill(float(arr))
+            elif arr.shape == (fld.ncomp,):
+                fld.data[...] = arr[:, None]
+            elif arr.shape == fld.data.shape:
+                fld.data[...] = arr
+            else:
+                raise ConfigError(
+                    f"initial({name}): shape {arr.shape} matches neither "
+                    f"({fld.ncomp},) nor {fld.data.shape}"
+                )
+
+    # ---------------------------------------------------------------- boundary
+    def _build_boundary_set(self) -> BoundarySet:
+        bset = BoundarySet(self.geom, self.ncomp)
+        for spec in self.problem.boundaries:
+            if spec.variable != self.unknown.name:
+                continue  # conditions of known variables are handled by callbacks
+            bset.add(self._lower_boundary_spec(spec))
+        return bset
+
+    def _lower_boundary_spec(self, spec: "BoundarySpec") -> BoundaryCondition:
+        if spec.kind == BCKind.NEUMANN:
+            raise ConfigError(
+                "valued Neumann boundaries are a weak-form (FEM) feature; the "
+                "FV path takes prescribed fluxes via FLUX callbacks"
+            )
+        if spec.kind in (BCKind.DIRICHLET, BCKind.NEUMANN0):
+            return BoundaryCondition(
+                region=spec.region, kind=spec.kind, value=spec.value
+            )
+        if spec.kind == BCKind.SYMMETRY:
+            return BoundaryCondition(
+                region=spec.region,
+                kind=spec.kind,
+                reflection_map=spec.reflection_map,
+            )
+        # FLUX / GHOST_CALLBACK: wrap the user callback so DSL-string
+        # arguments are resolved automatically ("the relevant values for
+        # parameters ... will be interpreted automatically by Finch")
+        if spec.python_callback is not None:
+            fn = spec.python_callback
+            return BoundaryCondition(
+                region=spec.region, kind=spec.kind, callback=fn,
+                name=getattr(fn, "__name__", "callback"),
+            )
+        assert spec.call is not None
+        adapter = self._make_callback_adapter(spec.call)
+        return BoundaryCondition(
+            region=spec.region, kind=spec.kind, callback=adapter,
+            name=spec.call.func,
+        )
+
+    def _make_callback_adapter(self, call: Call):
+        """Bind a parsed ``isothermal(I, vg, ..., 300)`` invocation.
+
+        Argument resolution at call time: the unknown -> owner-side values;
+        other variables -> their field data; coefficients -> declared values
+        (function coefficients evaluated on the region's face centres);
+        index entities -> the :class:`~repro.dsl.entities.Index`; the
+        reserved name ``normal`` -> the region's outward normals; literals ->
+        floats.
+        """
+        entities = self.problem.entities
+        cb = entities.callbacks[call.func]
+        unknown_name = self.unknown.name
+
+        resolvers = []
+        for arg in call.args:
+            if isinstance(arg, Num):
+                value = float(arg.value)
+                resolvers.append(lambda ctx, v=value: v)
+                continue
+            name = arg.base if isinstance(arg, Indexed) else (
+                arg.name if isinstance(arg, Sym) else None
+            )
+            if name is None:
+                raise CodegenError(
+                    f"boundary callback argument {arg} must be an entity name "
+                    "or a numeric literal"
+                )
+            if name == "normal":
+                resolvers.append(lambda ctx: ctx.normals)
+                continue
+            kind = entities.kind_of(name)
+            if kind == "variable":
+                if name == unknown_name:
+                    resolvers.append(lambda ctx: ctx.owner_values)
+                else:
+                    fld = self.fields[name]
+                    resolvers.append(
+                        lambda ctx, f=fld: f.data[:, ctx.owner_cells]
+                    )
+            elif kind == "coefficient":
+                coef = entities.coefficients[name]
+                if coef.is_function:
+                    fn = coef.value
+                    resolvers.append(lambda ctx, f=fn: _eval_on_points(f, ctx.centers, ctx.time))
+                else:
+                    value = coef.value
+                    resolvers.append(lambda ctx, v=value: v)
+            elif kind == "index":
+                ix = entities.indices[name]
+                resolvers.append(lambda ctx, i=ix: i)
+            else:
+                raise CodegenError(
+                    f"cannot resolve boundary callback argument {name!r}"
+                )
+
+        def adapter(ctx: BoundaryContext) -> np.ndarray:
+            return cb.fn(ctx, *[r(ctx) for r in resolvers])
+
+        adapter.__name__ = f"bc_{call.func}"
+        return adapter
+
+    # --------------------------------------------------------- component blocks
+    def _build_component_blocks(self) -> list[Any]:
+        """Selectors implied by ``assemblyLoops``.
+
+        Index names appearing *before* ``'cells'`` in the order become outer
+        loops: one block per combination of their values.  With ``'cells'``
+        outermost there is a single all-components block (fully fused).
+        """
+        order = self.problem.config.assembly_order
+        space = self.unknown.space
+        outer = [n for n in order[: order.index("cells")]]
+        if not outer or space.ncomp <= 1:
+            return [slice(None)]
+        axes = [space.axis_values(n) for n in outer]
+        sizes = [space.size(n) for n in outer]
+        blocks: list[np.ndarray] = []
+
+        def rec(level: int, mask: np.ndarray) -> None:
+            if level == len(outer):
+                blocks.append(np.flatnonzero(mask))
+                return
+            for v in range(sizes[level]):
+                rec(level + 1, mask & (axes[level] == v))
+
+        rec(0, np.ones(space.ncomp, dtype=bool))
+        return [b for b in blocks if len(b)]
+
+    # ------------------------------------------------------------ checkpoints
+    def save_checkpoint(self, path) -> None:
+        """Write a restartable snapshot (fields, clock, temperature) as NPZ.
+
+        Restoring with :meth:`restore_checkpoint` onto a solver built from
+        the same problem resumes the run bit-exactly (tested).
+        """
+        payload: dict[str, Any] = {
+            "__time": np.array(self.time),
+            "__step_index": np.array(self.step_index),
+        }
+        for name, fld in self.fields.items():
+            payload[f"field_{name}"] = fld.data
+        T = self.extra.get("T")
+        if T is not None:
+            payload["__T"] = np.asarray(T)
+        np.savez(path, **payload)
+
+    def restore_checkpoint(self, path) -> None:
+        """Load a snapshot written by :meth:`save_checkpoint`."""
+        with np.load(path) as data:
+            for name, fld in self.fields.items():
+                key = f"field_{name}"
+                if key not in data:
+                    raise ConfigError(f"checkpoint lacks field {name!r}")
+                if data[key].shape != fld.data.shape:
+                    raise ConfigError(
+                        f"checkpoint field {name!r} has shape {data[key].shape}, "
+                        f"expected {fld.data.shape} (different problem?)"
+                    )
+                fld.data[...] = data[key]
+            self.time = float(data["__time"])
+            self.step_index = int(data["__step_index"])
+            if "__T" in data:
+                self.extra["T"] = data["__T"].copy()
+
+    # ------------------------------------------------------------------- misc
+    def breakdown(self) -> dict[str, float]:
+        """Phase fractions from the timers (Figs. 5 and 8 material)."""
+        return self.timers.fractions()
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverState(problem={self.problem.name!r}, step={self.step_index}/"
+            f"{self.nsteps}, time={self.time:.3e})"
+        )
+
+
+def _eval_on_points(fn, points: np.ndarray, time: float) -> np.ndarray:
+    """Call a function coefficient on points, tolerating f(x) or f(x, t)."""
+    try:
+        return np.asarray(fn(points, time), dtype=np.float64)
+    except TypeError:
+        return np.asarray(fn(points), dtype=np.float64)
+
+
+__all__ = ["SolverState"]

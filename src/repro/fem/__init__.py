@@ -1,0 +1,47 @@
+"""Finite-element substrate (P1 Lagrange elements).
+
+The paper's DSL "includes support for finite element and finite volume
+methods"; its Section II notes that for weak-form (FEM) input "the terms
+would be organized into linear and bilinear groups".  The demonstration is
+FVM, so this package implements the *other* discretisation at its simplest
+useful level — continuous P1 elements on segments (1-D) and triangles
+(2-D) with mass lumping for explicit time stepping:
+
+* :mod:`~repro.fem.p1` — reference-element geometry: per-element shape-
+  function gradients, volumes, node quadrature;
+* :mod:`~repro.fem.assemble` — global sparse operators: stiffness, mass
+  (consistent and lumped), advection, load vectors; Dirichlet node sets
+  per boundary region;
+* :mod:`~repro.fem.weakform` — the weak-form pipeline: parse -> expand ->
+  classify into the paper's **bilinear** (mass/stiffness/advection) and
+  **linear** (load) groups;
+* the ``fem`` code-generation target lives in
+  :mod:`repro.codegen.fem_target` and is selected by ``solver_type(FEM)``
+  + ``weak_form(u, "...")``.
+"""
+
+from repro.fem.p1 import P1Mesh, build_p1
+from repro.fem.assemble import (
+    assemble_stiffness,
+    assemble_mass,
+    lumped_mass,
+    assemble_load,
+    assemble_advection,
+    boundary_lumped_mass,
+    dirichlet_nodes,
+)
+from repro.fem.weakform import WeakForm, lower_weak_form
+
+__all__ = [
+    "P1Mesh",
+    "build_p1",
+    "assemble_stiffness",
+    "assemble_mass",
+    "lumped_mass",
+    "assemble_load",
+    "assemble_advection",
+    "boundary_lumped_mass",
+    "dirichlet_nodes",
+    "WeakForm",
+    "lower_weak_form",
+]

@@ -1,0 +1,114 @@
+"""P1 (linear Lagrange) element geometry on segments and triangles.
+
+For every element the barycentric shape functions have constant gradients;
+this module precomputes them together with element measures, giving the
+assembly routines everything they need in flat arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.util.errors import MeshError
+
+
+@dataclass
+class P1Mesh:
+    """Per-element P1 data derived from a :class:`~repro.mesh.Mesh`.
+
+    Attributes
+    ----------
+    elements:
+        ``(nelem, dim+1)`` node indices (segments or triangles).
+    volume:
+        Element measures (lengths / areas).
+    grads:
+        ``(nelem, dim+1, dim)`` constant shape-function gradients.
+    """
+
+    mesh: Mesh
+    elements: np.ndarray
+    volume: np.ndarray
+    grads: np.ndarray
+
+    @property
+    def nnodes(self) -> int:
+        return self.mesh.nnodes
+
+    @property
+    def nelem(self) -> int:
+        return len(self.elements)
+
+    @property
+    def dim(self) -> int:
+        return self.mesh.dim
+
+    def node_regions(self) -> dict[int, np.ndarray]:
+        """Boundary nodes per region (nodes of the region's faces)."""
+        out: dict[int, np.ndarray] = {}
+        for region in self.mesh.boundary_regions():
+            nodes: list[int] = []
+            for f in self.mesh.boundary_faces(region):
+                nodes.extend(int(n) for n in self.mesh.face_nodes(f))
+            out[region] = np.unique(np.array(nodes, dtype=np.int64))
+        return out
+
+
+def build_p1(mesh: Mesh) -> P1Mesh:
+    """Precompute P1 data.  Requires simplex cells (2-node segments in 1-D,
+    triangles in 2-D; use :func:`repro.mesh.grid.triangulated_grid`)."""
+    if mesh.dim == 1:
+        expected = 2
+    elif mesh.dim == 2:
+        expected = 3
+    else:
+        raise MeshError("P1 elements are implemented for 1-D and 2-D meshes")
+
+    elements = np.zeros((mesh.ncells, expected), dtype=np.int64)
+    for c in range(mesh.ncells):
+        nodes = mesh.cell_nodes(c)
+        if len(nodes) != expected:
+            raise MeshError(
+                f"P1 assembly needs simplex cells: cell {c} has {len(nodes)} "
+                f"nodes (triangulate the mesh first)"
+            )
+        elements[c] = nodes
+
+    coords = mesh.nodes
+    nelem = mesh.ncells
+    volume = np.zeros(nelem)
+    grads = np.zeros((nelem, expected, mesh.dim))
+
+    if mesh.dim == 1:
+        x = coords[elements[:, 1], 0] - coords[elements[:, 0], 0]
+        if np.any(np.abs(x) <= 0):
+            raise MeshError("degenerate 1-D element")
+        volume = np.abs(x)
+        grads[:, 0, 0] = -1.0 / x
+        grads[:, 1, 0] = 1.0 / x
+    else:
+        p0 = coords[elements[:, 0]]
+        p1 = coords[elements[:, 1]]
+        p2 = coords[elements[:, 2]]
+        det = (p1[:, 0] - p0[:, 0]) * (p2[:, 1] - p0[:, 1]) - (
+            p2[:, 0] - p0[:, 0]
+        ) * (p1[:, 1] - p0[:, 1])
+        if np.any(np.abs(det) < 1e-300):
+            raise MeshError("degenerate triangle in P1 mesh")
+        volume = 0.5 * np.abs(det)
+        # gradient of barycentric lambda_i: rotate opposite edge by 90 deg
+        inv = 1.0 / det
+        grads[:, 0, 0] = (p1[:, 1] - p2[:, 1]) * inv
+        grads[:, 0, 1] = (p2[:, 0] - p1[:, 0]) * inv
+        grads[:, 1, 0] = (p2[:, 1] - p0[:, 1]) * inv
+        grads[:, 1, 1] = (p0[:, 0] - p2[:, 0]) * inv
+        grads[:, 2, 0] = (p0[:, 1] - p1[:, 1]) * inv
+        grads[:, 2, 1] = (p1[:, 0] - p0[:, 0]) * inv
+
+    return P1Mesh(mesh=mesh, elements=elements, volume=volume, grads=grads)
+
+
+__all__ = ["P1Mesh", "build_p1"]

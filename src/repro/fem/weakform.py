@@ -1,0 +1,164 @@
+"""Weak-form lowering: parse -> resolve -> classify bilinear/linear groups.
+
+The paper (Sec. II-A): for weak-form equations "the terms would be
+organized into linear and bilinear groups, and for volume, boundary, or
+surface integration".  This module implements that classification for the
+P1 path.  Input, e.g. transient heat conduction with a source:
+
+    weak_form(u, "-k*dot(grad(u), grad(v)) + f*v")
+
+declares ``∫ du/dt v = -∫ k grad(u).grad(v) + ∫ f v`` (the time term is
+implicit, as in the conservation-form path).  Recognised term shapes
+(arbitrary coefficient factors allowed on each):
+
+=========================================  ==========  ==================
+term structure                             group       assembled operator
+=========================================  ==========  ==================
+``dot(grad(u), grad(v))``                  bilinear    stiffness ``K``
+``u * v``                                  bilinear    mass ``M`` (reaction)
+``dot([bx;by], grad(u)) * v``              bilinear    advection ``C``
+``f * v`` / ``coeff * v``                  linear      load ``F``
+=========================================  ==========  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.symbolic.expr import Call, Expr, Mul, Num, Sym, Vector, preorder
+from repro.symbolic.parser import parse
+from repro.symbolic.simplify import collect_terms, simplify
+from repro.util.errors import DSLError
+
+if TYPE_CHECKING:
+    from repro.dsl.problem import Problem
+
+
+@dataclass
+class WeakTerm:
+    """One classified weak-form term: operator kind + coefficient factors."""
+
+    kind: str  # 'stiffness' | 'mass' | 'advection' | 'load'
+    coefficient: Expr  # product of scalar/number/function-coefficient factors
+    velocity: tuple[Expr, ...] | None = None  # advection only
+
+    def __str__(self) -> str:
+        extra = f", b={list(map(str, self.velocity))}" if self.velocity else ""
+        return f"{self.kind}(coeff={self.coefficient}{extra})"
+
+
+@dataclass
+class WeakForm:
+    """The paper's bilinear/linear grouping of a weak-form equation."""
+
+    unknown: str
+    test: str
+    bilinear: list[WeakTerm] = field(default_factory=list)
+    linear: list[WeakTerm] = field(default_factory=list)
+
+    def listing(self) -> str:
+        lines = ["Bilinear volume:"]
+        lines += [f"  {t}" for t in self.bilinear] or ["  (none)"]
+        lines.append("Linear volume:")
+        lines += [f"  {t}" for t in self.linear] or ["  (none)"]
+        return "\n".join(lines)
+
+
+def _is_grad_of(node: Expr, name: str) -> bool:
+    return (
+        isinstance(node, Call)
+        and node.func == "grad"
+        and len(node.args) == 1
+        and isinstance(node.args[0], Sym)
+        and node.args[0].name == name
+    )
+
+
+def lower_weak_form(problem: "Problem", unknown: str, source: str,
+                    test: str = "v") -> WeakForm:
+    """Parse + classify a weak-form input string."""
+    parsed = parse(source)
+    ents = problem.entities
+    form = WeakForm(unknown=unknown, test=test)
+
+    if not any(
+        isinstance(node, Sym) and node.name == test for node in preorder(parsed)
+    ):
+        raise DSLError(f"weak form contains no test function {test!r}")
+
+    for term in collect_terms(parsed):
+        factors = list(term.args) if isinstance(term, Mul) else [term]
+        coeff_factors: list[Expr] = []
+        structural: list[Expr] = []
+        for f in factors:
+            if isinstance(f, Num):
+                coeff_factors.append(f)
+            elif isinstance(f, Sym) and f.name == test:
+                structural.append(f)
+            elif isinstance(f, Sym) and f.name == unknown:
+                structural.append(f)
+            elif isinstance(f, Sym):
+                kind = ents.kind_of(f.name)
+                if kind == "coefficient":
+                    coeff_factors.append(f)
+                else:
+                    raise DSLError(
+                        f"weak form: unknown symbol {f.name!r} in term {term}"
+                    )
+            elif isinstance(f, Call):
+                structural.append(f)
+            else:
+                raise DSLError(
+                    f"weak form: unsupported term shape (factor {f} in {term})"
+                )
+
+        coeff = simplify(Mul(*coeff_factors)) if coeff_factors else Num(1)
+        form_kind, velocity = _match_structure(structural, unknown, test, ents)
+        wt = WeakTerm(kind=form_kind, coefficient=coeff, velocity=velocity)
+        (form.linear if form_kind == "load" else form.bilinear).append(wt)
+
+    return form
+
+
+def _match_structure(structural: list[Expr], unknown: str, test: str, ents
+                     ) -> tuple[str, tuple[Expr, ...] | None]:
+    """Identify the canonical shape of a term's non-coefficient factors."""
+    syms = [f for f in structural if isinstance(f, Sym)]
+    calls = [f for f in structural if isinstance(f, Call)]
+    has_u = any(s.name == unknown for s in syms)
+    has_v = any(s.name == test for s in syms)
+
+    # dot(grad(u), grad(v)) [alone]
+    if len(calls) == 1 and not syms:
+        c = calls[0]
+        if c.func == "dot" and len(c.args) == 2:
+            a, b = c.args
+            if _is_grad_of(a, unknown) and _is_grad_of(b, test):
+                return "stiffness", None
+            if _is_grad_of(a, test) and _is_grad_of(b, unknown):
+                return "stiffness", None
+    # dot(b, grad(u)) * v
+    if len(calls) == 1 and has_v and not has_u:
+        c = calls[0]
+        if c.func == "dot" and len(c.args) == 2:
+            vec, grad = c.args
+            if _is_grad_of(vec, unknown):
+                vec, grad = grad, vec
+            if _is_grad_of(grad, unknown) and isinstance(vec, Vector):
+                return "advection", tuple(vec.components)
+    # u * v
+    if not calls and has_u and has_v and len(syms) == 2:
+        return "mass", None
+    # f * v (load): only the test function among structural symbols
+    if not calls and has_v and not has_u and len(syms) == 1:
+        return "load", None
+
+    raise DSLError(
+        "weak form: unsupported term shape "
+        f"{[str(s) for s in structural]} — supported: dot(grad(u),grad(v)), "
+        "u*v, dot([b..],grad(u))*v, f*v (with coefficient factors)"
+    )
+
+
+__all__ = ["WeakForm", "WeakTerm", "lower_weak_form"]

@@ -1,0 +1,231 @@
+"""Boundary-condition bookkeeping for FV solvers.
+
+The paper handles boundaries in two ways, both supported here:
+
+* simple conditions expressible as *ghost values* — Dirichlet value, zero
+  gradient, or specular symmetry — which feed the same upwind flux kernel as
+  interior faces;
+* complex conditions as *user callback functions* (e.g. the BTE's
+  ``isothermal`` flux), which are pinned to the CPU by the hybrid codegen and
+  may either provide ghost values or directly override the face flux.
+
+Callbacks receive a :class:`BoundaryContext` carrying the region's face
+geometry and the owner-side solution, and return an array of shape
+``(ncomp, nfaces_in_region)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.fvm.geometry import FVGeometry
+from repro.util.errors import ConfigError
+
+
+class BCKind(enum.Enum):
+    """How a boundary region is treated."""
+
+    DIRICHLET = "dirichlet"  # prescribed ghost value
+    NEUMANN0 = "neumann0"  # zero gradient: ghost = owner
+    NEUMANN = "neumann"  # prescribed outward flux value (FEM natural BC)
+    SYMMETRY = "symmetry"  # specular reflection (needs a reflection map)
+    FLUX = "flux"  # callback returns the face flux directly
+    GHOST_CALLBACK = "ghost_callback"  # callback returns ghost values
+
+
+@dataclass
+class BoundaryContext:
+    """Everything a boundary callback may need, prepacked as arrays."""
+
+    region: int
+    faces: np.ndarray  # global face ids in this region
+    normals: np.ndarray  # (nf, dim) outward
+    centers: np.ndarray  # (nf, dim)
+    areas: np.ndarray  # (nf,)
+    owner_cells: np.ndarray  # (nf,)
+    owner_values: np.ndarray  # (ncomp, nf) current solution on the inside
+    time: float
+    dt: float
+    extra: dict[str, Any] = field(default_factory=dict)  # problem-specific data
+
+    @property
+    def nfaces(self) -> int:
+        return len(self.faces)
+
+
+#: callback signature: (BoundaryContext) -> (ncomp, nfaces) array
+BoundaryCallback = Callable[[BoundaryContext], np.ndarray]
+
+
+@dataclass
+class BoundaryCondition:
+    """One region's condition for one variable."""
+
+    region: int
+    kind: BCKind
+    value: float | np.ndarray | None = None  # DIRICHLET constant(s)
+    callback: BoundaryCallback | None = None  # FLUX / GHOST_CALLBACK
+    reflection_map: np.ndarray | None = None  # SYMMETRY: comp -> reflected comp
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind in (BCKind.DIRICHLET, BCKind.NEUMANN) and self.value is None:
+            raise ConfigError(
+                f"{self.kind.value} BC on region {self.region} needs a value"
+            )
+        if self.kind in (BCKind.FLUX, BCKind.GHOST_CALLBACK) and self.callback is None:
+            raise ConfigError(
+                f"{self.kind.value} BC on region {self.region} needs a callback"
+            )
+        if self.kind == BCKind.SYMMETRY and self.reflection_map is None:
+            raise ConfigError(
+                f"symmetry BC on region {self.region} needs a reflection map "
+                "(component -> mirrored component)"
+            )
+
+
+class BoundarySet:
+    """All boundary conditions of one variable on one mesh.
+
+    ``ghost_values`` fills the ghost array consumed by
+    :meth:`repro.fvm.geometry.FVGeometry.gather_sides`; ``flux_overrides``
+    yields ``(boundary_slot_ids, flux_values)`` pairs applied after the bulk
+    flux computation.  Symmetry regions may carry *per-region* reflection
+    maps because the mirrored direction depends on the wall's orientation.
+    """
+
+    def __init__(self, geom: FVGeometry, ncomp: int):
+        self.geom = geom
+        self.ncomp = ncomp
+        self.conditions: dict[int, BoundaryCondition] = {}
+
+    def add(self, bc: BoundaryCondition) -> None:
+        if bc.region not in self.geom.region_faces:
+            raise ConfigError(
+                f"mesh has no boundary region {bc.region} "
+                f"(regions: {sorted(self.geom.region_faces)})"
+            )
+        if bc.region in self.conditions:
+            raise ConfigError(f"region {bc.region} already has a boundary condition")
+        if bc.reflection_map is not None and len(bc.reflection_map) != self.ncomp:
+            raise ConfigError(
+                f"reflection map length {len(bc.reflection_map)} != ncomp {self.ncomp}"
+            )
+        self.conditions[bc.region] = bc
+
+    def check_complete(self) -> None:
+        missing = set(self.geom.region_faces) - set(self.conditions)
+        if missing:
+            raise ConfigError(f"boundary regions without conditions: {sorted(missing)}")
+
+    def _context(
+        self, bc: BoundaryCondition, u: np.ndarray, time: float, dt: float,
+        extra: dict[str, Any] | None,
+    ) -> BoundaryContext:
+        g = self.geom
+        faces = g.region_faces[bc.region]
+        return BoundaryContext(
+            region=bc.region,
+            faces=faces,
+            normals=g.normal[faces],
+            centers=g.center[faces],
+            areas=g.area[faces],
+            owner_cells=g.owner[faces],
+            owner_values=u[..., g.owner[faces]],
+            time=time,
+            dt=dt,
+            extra=dict(extra or {}),
+        )
+
+    def ghost_values(
+        self,
+        u: np.ndarray,
+        time: float = 0.0,
+        dt: float = 0.0,
+        extra: dict[str, Any] | None = None,
+    ) -> np.ndarray:
+        """Ghost array of shape ``(ncomp, n_boundary_faces)``.
+
+        FLUX regions get zero-gradient ghosts here (their flux is replaced
+        afterwards by :meth:`flux_overrides`, so the ghost value is unused
+        except for keeping shapes uniform).
+        """
+        g = self.geom
+        nb = g.boundary_face_count()
+        ghost = np.empty((self.ncomp, nb), dtype=np.float64)
+        # default: zero gradient everywhere (also covers FLUX regions)
+        ghost[:] = u[..., g.owner[g.bfaces]].reshape(self.ncomp, nb)
+        for region, bc in self.conditions.items():
+            slots = g.region_slots[region]
+            if bc.kind == BCKind.DIRICHLET:
+                val = np.asarray(bc.value, dtype=np.float64)
+                if val.ndim == 0:
+                    ghost[:, slots] = float(val)
+                else:
+                    if val.shape != (self.ncomp,):
+                        raise ConfigError(
+                            f"Dirichlet value shape {val.shape} != ({self.ncomp},)"
+                        )
+                    ghost[:, slots] = val[:, None]
+            elif bc.kind == BCKind.NEUMANN0 or bc.kind == BCKind.FLUX:
+                pass  # zero gradient already in place
+            elif bc.kind == BCKind.SYMMETRY:
+                faces = g.region_faces[region]
+                owner_vals = u[..., g.owner[faces]].reshape(self.ncomp, len(faces))
+                ghost[:, slots] = owner_vals[bc.reflection_map, :]
+            elif bc.kind == BCKind.GHOST_CALLBACK:
+                ctx = self._context(bc, u, time, dt, extra)
+                vals = np.asarray(bc.callback(ctx), dtype=np.float64)
+                if vals.shape != (self.ncomp, ctx.nfaces):
+                    raise ConfigError(
+                        f"ghost callback on region {region} returned shape "
+                        f"{vals.shape}, expected {(self.ncomp, ctx.nfaces)}"
+                    )
+                ghost[:, slots] = vals
+        return ghost
+
+    def flux_overrides(
+        self,
+        u: np.ndarray,
+        time: float = 0.0,
+        dt: float = 0.0,
+        extra: dict[str, Any] | None = None,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``(face_ids, flux_values)`` for every FLUX-callback region.
+
+        ``flux_values`` has shape ``(ncomp, nfaces_in_region)`` and is the
+        flux *per unit area* signed with the owner-outward normal.
+        """
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        for region, bc in self.conditions.items():
+            if bc.kind != BCKind.FLUX:
+                continue
+            ctx = self._context(bc, u, time, dt, extra)
+            vals = np.asarray(bc.callback(ctx), dtype=np.float64)
+            if vals.shape != (self.ncomp, ctx.nfaces):
+                raise ConfigError(
+                    f"flux callback on region {region} returned shape "
+                    f"{vals.shape}, expected {(self.ncomp, ctx.nfaces)}"
+                )
+            out.append((ctx.faces, vals))
+        return out
+
+    def has_callbacks(self) -> bool:
+        return any(
+            bc.kind in (BCKind.FLUX, BCKind.GHOST_CALLBACK)
+            for bc in self.conditions.values()
+        )
+
+
+__all__ = [
+    "BCKind",
+    "BoundaryContext",
+    "BoundaryCallback",
+    "BoundaryCondition",
+    "BoundarySet",
+]

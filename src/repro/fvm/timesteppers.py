@@ -1,0 +1,86 @@
+"""Explicit time-integration schemes.
+
+The paper uses forward Euler ("a simple explicit scheme such as forward
+Euler is reasonable" for the small steps the BTE transient needs); RK2/RK4
+are provided as the DSL's other explicit options, exercised by the examples
+and tests.  A stepper advances ``u_{n} -> u_{n+1}`` given a right-hand side
+``rhs(u, t) -> du/dt`` computed by the generated/assembled code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+RHS = Callable[[np.ndarray, float], np.ndarray]
+
+
+class TimeStepper:
+    """Base class: subclasses implement :meth:`advance`."""
+
+    name = "base"
+    stages = 1
+
+    def advance(self, u: np.ndarray, t: float, dt: float, rhs: RHS) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ForwardEuler(TimeStepper):
+    """``u + dt * rhs(u, t)`` — the paper's scheme (EULER_EXPLICIT)."""
+
+    name = "euler"
+    stages = 1
+
+    def advance(self, u: np.ndarray, t: float, dt: float, rhs: RHS) -> np.ndarray:
+        return u + dt * rhs(u, t)
+
+
+class RK2(TimeStepper):
+    """Explicit midpoint method (2nd order)."""
+
+    name = "rk2"
+    stages = 2
+
+    def advance(self, u: np.ndarray, t: float, dt: float, rhs: RHS) -> np.ndarray:
+        k1 = rhs(u, t)
+        k2 = rhs(u + 0.5 * dt * k1, t + 0.5 * dt)
+        return u + dt * k2
+
+
+class RK4(TimeStepper):
+    """Classic 4th-order Runge–Kutta."""
+
+    name = "rk4"
+    stages = 4
+
+    def advance(self, u: np.ndarray, t: float, dt: float, rhs: RHS) -> np.ndarray:
+        k1 = rhs(u, t)
+        k2 = rhs(u + 0.5 * dt * k1, t + 0.5 * dt)
+        k3 = rhs(u + 0.5 * dt * k2, t + 0.5 * dt)
+        k4 = rhs(u + dt * k3, t + dt)
+        return u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+_STEPPERS: dict[str, type[TimeStepper]] = {
+    "euler": ForwardEuler,
+    "euler_explicit": ForwardEuler,
+    "rk2": RK2,
+    "midpoint": RK2,
+    "rk4": RK4,
+}
+
+
+def make_stepper(name: str) -> TimeStepper:
+    """Instantiate a stepper by name (``euler``/``rk2``/``rk4``)."""
+    key = name.lower()
+    if key not in _STEPPERS:
+        raise ConfigError(
+            f"unknown time stepper {name!r}; available: {sorted(set(_STEPPERS))}"
+        )
+    return _STEPPERS[key]()
+
+
+__all__ = ["TimeStepper", "ForwardEuler", "RK2", "RK4", "make_stepper", "RHS"]

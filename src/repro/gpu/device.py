@@ -1,0 +1,177 @@
+"""The simulated device: buffers, transfers, streams, timelines.
+
+Semantics mirror CUDA's host API closely enough that the generated hybrid
+code reads like real CUDA host code:
+
+* ``device.alloc(array)`` copies host data into a device buffer (H2D charged
+  to the transfer link);
+* ``stream.launch(kernel, n_threads, args...)`` is *asynchronous*: it
+  executes the body immediately (data correctness) but only advances the
+  stream's virtual timeline — the host clock is not blocked;
+* ``device.synchronize(host_time)`` joins the host and device timelines the
+  way ``cudaDeviceSynchronize`` does: the host resumes at
+  ``max(host_time, device_time)``.
+
+The hybrid executor uses that join to model the paper's Figure 6 overlap
+(interior kernel on GPU concurrent with boundary callbacks on CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.kernel import Kernel, KernelLaunchRecord, model_launch
+from repro.gpu.profiler import Profiler
+from repro.gpu.spec import DeviceSpec, A6000
+from repro.util.errors import CodegenError
+from repro.util.timing import VirtualClock
+
+
+@dataclass
+class DeviceBuffer:
+    """A named allocation in simulated device memory.
+
+    ``array`` is the live numpy storage — kernels mutate it in place.  The
+    ``on_device`` flag tracks residency so stale-access bugs (reading a
+    buffer on the host without a D2H copy) are caught by tests.
+    """
+
+    name: str
+    array: np.ndarray
+    on_device: bool = True
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+
+class Stream:
+    """An in-order execution queue with its own virtual timeline."""
+
+    def __init__(self, device: "Device", name: str = "stream0"):
+        self.device = device
+        self.name = name
+        self.clock = VirtualClock()
+        self.records: list[KernelLaunchRecord] = []
+
+    def launch(self, kernel: Kernel, n_threads: int, *args, block: int = 256,
+               host_time: float = 0.0) -> KernelLaunchRecord:
+        """Asynchronously run ``kernel`` over ``n_threads`` threads.
+
+        The body runs now (so results are immediately correct); the stream
+        timeline advances by the modelled duration, starting no earlier than
+        ``host_time`` (a kernel cannot start before the host issued it).
+        """
+        record = model_launch(self.device.spec, kernel, n_threads, block)
+        self.clock.advance_to(host_time)
+        record.start = self.clock.now()
+        kernel.body(*args)
+        self.clock.advance(record.duration)
+        record.end = self.clock.now()
+        self.records.append(record)
+        self.device.profiler.record_launch(record)
+        return record
+
+    def busy_until(self) -> float:
+        return self.clock.now()
+
+
+class Device:
+    """One simulated GPU."""
+
+    def __init__(self, spec: DeviceSpec = A6000, name: str = "gpu0"):
+        self.spec = spec
+        self.name = name
+        self.buffers: dict[str, DeviceBuffer] = {}
+        self.default_stream = Stream(self, "stream0")
+        self.transfer_clock = VirtualClock()
+        self.profiler = Profiler(spec)
+        self.allocated_bytes = 0
+
+    # ------------------------------------------------------------- memory
+    def alloc(self, name: str, host_array: np.ndarray, host_time: float = 0.0) -> DeviceBuffer:
+        """Allocate + copy ``host_array`` to the device (charged H2D)."""
+        if name in self.buffers:
+            raise CodegenError(f"device buffer {name!r} already allocated")
+        arr = np.array(host_array, dtype=np.float64, copy=True, order="C")
+        buf = DeviceBuffer(name, arr, on_device=True)
+        self.buffers[name] = buf
+        self.allocated_bytes += buf.nbytes
+        limit = self.spec.memory_gb * 1e9
+        if self.allocated_bytes > limit:
+            raise CodegenError(
+                f"device {self.name}: out of memory "
+                f"({self.allocated_bytes / 1e9:.2f} GB > {self.spec.memory_gb} GB)"
+            )
+        self._charge_transfer(buf.nbytes, host_time)
+        return buf
+
+    def alloc_empty(self, name: str, shape: tuple[int, ...]) -> DeviceBuffer:
+        """Allocate without an H2D copy (like ``CUDA.zeros``)."""
+        if name in self.buffers:
+            raise CodegenError(f"device buffer {name!r} already allocated")
+        buf = DeviceBuffer(name, np.zeros(shape, dtype=np.float64), on_device=True)
+        self.buffers[name] = buf
+        self.allocated_bytes += buf.nbytes
+        return buf
+
+    def free(self, name: str) -> None:
+        buf = self.buffers.pop(name, None)
+        if buf is not None:
+            self.allocated_bytes -= buf.nbytes
+
+    def h2d(self, name: str, host_array: np.ndarray, host_time: float = 0.0) -> float:
+        """Copy host data into an existing buffer; returns transfer end time."""
+        buf = self._get(name)
+        if buf.array.shape != host_array.shape:
+            raise CodegenError(
+                f"h2d {name!r}: shape mismatch {host_array.shape} -> {buf.array.shape}"
+            )
+        buf.array[...] = host_array
+        buf.on_device = True
+        return self._charge_transfer(buf.nbytes, host_time)
+
+    def d2h(self, name: str, out: np.ndarray | None = None, host_time: float = 0.0
+            ) -> tuple[np.ndarray, float]:
+        """Copy a buffer back to the host; returns ``(array, end_time)``."""
+        buf = self._get(name)
+        end = self._charge_transfer(buf.nbytes, host_time)
+        if out is not None:
+            out[...] = buf.array
+            return out, end
+        return buf.array.copy(), end
+
+    def _get(self, name: str) -> DeviceBuffer:
+        buf = self.buffers.get(name)
+        if buf is None:
+            raise CodegenError(f"no device buffer named {name!r}")
+        return buf
+
+    def _charge_transfer(self, nbytes: int, host_time: float) -> float:
+        """Advance the transfer timeline by latency + size/bandwidth."""
+        self.transfer_clock.advance_to(host_time)
+        dt = self.spec.pcie_latency_s + nbytes / self.spec.pcie_bw_bytes()
+        self.transfer_clock.advance(dt)
+        self.profiler.record_transfer(nbytes, dt)
+        return self.transfer_clock.now()
+
+    # ------------------------------------------------------------ execution
+    def launch(self, kernel: Kernel, n_threads: int, *args, block: int = 256,
+               host_time: float = 0.0) -> KernelLaunchRecord:
+        """Launch on the default stream."""
+        return self.default_stream.launch(
+            kernel, n_threads, *args, block=block, host_time=host_time
+        )
+
+    def synchronize(self, host_time: float = 0.0) -> float:
+        """Join host and device timelines; returns the new host time."""
+        return max(host_time, self.default_stream.busy_until(), self.transfer_clock.now())
+
+    def reset_timelines(self) -> None:
+        self.default_stream.clock.reset()
+        self.transfer_clock.reset()
+
+
+__all__ = ["Device", "DeviceBuffer", "Stream"]

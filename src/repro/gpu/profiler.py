@@ -1,0 +1,104 @@
+"""Profiling counters for the simulated device.
+
+Accumulates per-kernel launch records and transfer events and derives the
+three metrics the paper reports from Nsight profiling of the one-GPU BTE run:
+
+======================  =====================================================
+paper metric            model definition
+======================  =====================================================
+SM utilisation          fraction of busy kernel time during which SMs have
+                        resident work: occupancy x tail efficiency, weighted
+                        by execution time
+memory throughput       achieved DRAM bytes / (busy time x peak bandwidth)
+FLOP performance        achieved FLOPs / (busy time x FP64 peak)
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.spec import DeviceSpec
+
+
+@dataclass
+class ProfileReport:
+    """Aggregated metrics for a set of kernel launches."""
+
+    device: str
+    n_launches: int
+    busy_time: float
+    total_flops: float
+    total_bytes: float
+    sm_utilization: float
+    memory_throughput_fraction: float
+    flop_fraction_of_peak: float
+    transfer_bytes: float
+    transfer_time: float
+
+    def table(self) -> str:
+        """Formatted like the paper's inline profiling table."""
+        rows = [
+            ("SM utilization", f"{self.sm_utilization * 100:.0f}%"),
+            ("memory throughput", f"{self.memory_throughput_fraction * 100:.0f}%"),
+            ("FLOP performance", f"{self.flop_fraction_of_peak * 100:.0f}% of peak"),
+        ]
+        width = max(len(r[0]) for r in rows)
+        return "\n".join(f"{name:<{width}} | {value}" for name, value in rows)
+
+
+@dataclass
+class Profiler:
+    """Accumulates launch/transfer records for one device."""
+
+    spec: DeviceSpec
+    launches: list = field(default_factory=list)
+    transfer_bytes: float = 0.0
+    transfer_time: float = 0.0
+
+    def record_launch(self, record) -> None:
+        self.launches.append(record)
+
+    def record_transfer(self, nbytes: int, duration: float) -> None:
+        self.transfer_bytes += nbytes
+        self.transfer_time += duration
+
+    def report(self, kernel: str | None = None) -> ProfileReport:
+        """Metrics over all launches, or only those of one kernel name."""
+        records = [r for r in self.launches if kernel is None or r.kernel == kernel]
+        busy = sum(r.exec_time for r in records)
+        flops = sum(r.total_flops for r in records)
+        nbytes = sum(r.total_bytes for r in records)
+        if busy > 0:
+            flop_frac = flops / (busy * self.spec.fp64_peak_flops())
+            mem_frac = nbytes / (busy * self.spec.dram_bw_bytes())
+            sm_util = (
+                sum(
+                    r.exec_time * r.occupancy * r.tail_efficiency
+                    for r in records
+                )
+                / busy
+                * self.spec.sm_activity
+            )
+        else:
+            flop_frac = mem_frac = sm_util = 0.0
+        return ProfileReport(
+            device=self.spec.name,
+            n_launches=len(records),
+            busy_time=busy,
+            total_flops=flops,
+            total_bytes=nbytes,
+            sm_utilization=min(sm_util, 1.0),
+            memory_throughput_fraction=min(mem_frac, 1.0),
+            flop_fraction_of_peak=min(flop_frac, 1.0),
+            transfer_bytes=self.transfer_bytes,
+            transfer_time=self.transfer_time,
+        )
+
+    def reset(self) -> None:
+        self.launches.clear()
+        self.transfer_bytes = 0.0
+        self.transfer_time = 0.0
+
+
+__all__ = ["Profiler", "ProfileReport"]

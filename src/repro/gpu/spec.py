@@ -1,0 +1,118 @@
+"""Device specifications for the simulated GPU.
+
+Numbers are the published datasheet values for the cards the paper used.
+The paper notes its kernels ran against the *double-precision* roofline
+(FP32 was insufficient for long simulations), so FP64 peak is the number
+that matters for the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU model.
+
+    Attributes
+    ----------
+    fp64_peak_gflops:
+        Peak double-precision rate (GFLOP/s).  GA102 (A6000) executes FP64
+        at 1/64 of FP32; GA100 (A100) has full-rate FP64 tensor-free at
+        9.7 TFLOP/s.
+    dram_bw_gbs:
+        Device memory bandwidth (GB/s).
+    pcie_bw_gbs / pcie_latency_s:
+        Host link model used by the transfer engine (effective, not
+        theoretical, bandwidth).
+    issue_efficiency:
+        Fraction of peak issue rate a real-world kernel with branches and
+        mixed instructions sustains (calibrated so the BTE kernel lands near
+        the paper's measured 49 % of DP peak).
+    mem_efficiency:
+        Achievable fraction of DRAM bandwidth for strided FV access.
+    sm_activity:
+        Fraction of cycles in which a busy SM has an *eligible* warp
+        (memory/sync stalls keep it below one) — this is what Nsight's
+        "SM utilization" reports; the paper measured 86 %.
+    """
+
+    name: str
+    num_sms: int
+    clock_ghz: float
+    max_threads_per_sm: int
+    warp_size: int
+    fp64_peak_gflops: float
+    fp32_peak_gflops: float
+    dram_bw_gbs: float
+    memory_gb: float
+    pcie_bw_gbs: float
+    pcie_latency_s: float
+    launch_latency_s: float
+    issue_efficiency: float = 0.50
+    mem_efficiency: float = 0.65
+    sm_activity: float = 0.87
+
+    def fp64_peak_flops(self) -> float:
+        return self.fp64_peak_gflops * 1e9
+
+    def dram_bw_bytes(self) -> float:
+        return self.dram_bw_gbs * 1e9
+
+    def pcie_bw_bytes(self) -> float:
+        return self.pcie_bw_gbs * 1e9
+
+    def max_resident_threads(self) -> int:
+        return self.num_sms * self.max_threads_per_sm
+
+
+#: NVIDIA RTX A6000 (GA102): 84 SMs, FP64 = FP32/64.
+A6000 = DeviceSpec(
+    name="NVIDIA RTX A6000",
+    num_sms=84,
+    clock_ghz=1.80,
+    max_threads_per_sm=1536,
+    warp_size=32,
+    fp64_peak_gflops=604.8,  # 38.7 TFLOP/s FP32 / 64
+    fp32_peak_gflops=38710.0,
+    dram_bw_gbs=768.0,
+    memory_gb=48.0,
+    pcie_bw_gbs=24.0,  # effective PCIe 4.0 x16
+    pcie_latency_s=8e-6,
+    launch_latency_s=6e-6,
+)
+
+#: NVIDIA A100-SXM4-40GB (GA100): full-rate FP64.
+A100 = DeviceSpec(
+    name="NVIDIA A100 40GB",
+    num_sms=108,
+    clock_ghz=1.41,
+    max_threads_per_sm=2048,
+    warp_size=32,
+    fp64_peak_gflops=9700.0,
+    fp32_peak_gflops=19500.0,
+    dram_bw_gbs=1555.0,
+    memory_gb=40.0,
+    pcie_bw_gbs=24.0,
+    pcie_latency_s=8e-6,
+    launch_latency_s=6e-6,
+)
+
+#: A deliberately small device for fast tests.
+LAPTOP_GPU = DeviceSpec(
+    name="test-gpu",
+    num_sms=8,
+    clock_ghz=1.0,
+    max_threads_per_sm=1024,
+    warp_size=32,
+    fp64_peak_gflops=50.0,
+    fp32_peak_gflops=1600.0,
+    dram_bw_gbs=100.0,
+    memory_gb=4.0,
+    pcie_bw_gbs=8.0,
+    pcie_latency_s=10e-6,
+    launch_latency_s=10e-6,
+)
+
+__all__ = ["DeviceSpec", "A6000", "A100", "LAPTOP_GPU"]

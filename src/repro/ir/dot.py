@@ -1,0 +1,82 @@
+"""Graphviz (DOT) export of the IR computational graph.
+
+The paper describes the IR as "a computational graph" with "metadata about
+the parts of the computation and comment nodes"; :func:`to_dot` renders it
+so the structure can be inspected visually (``dot -Tsvg``), with node
+shapes distinguishing control flow, computation, communication and
+callbacks.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    AssemblyLoops,
+    Block,
+    CallbackCall,
+    Comment,
+    ComputeFaceFlux,
+    ComputeGhosts,
+    ComputeVolumeSource,
+    DeviceSync,
+    DeviceTransfer,
+    ExplicitUpdate,
+    GlobalReduction,
+    HaloExchange,
+    IRNode,
+    KernelLaunch,
+    TimeLoop,
+)
+
+_SHAPES = {
+    TimeLoop: ("box", "lightblue"),
+    AssemblyLoops: ("box", "lightblue"),
+    Block: ("point", "gray"),
+    Comment: ("note", "lightyellow"),
+    ComputeGhosts: ("ellipse", "white"),
+    ComputeFaceFlux: ("ellipse", "white"),
+    ComputeVolumeSource: ("ellipse", "white"),
+    ExplicitUpdate: ("ellipse", "palegreen"),
+    HaloExchange: ("parallelogram", "lightsalmon"),
+    DeviceTransfer: ("parallelogram", "lightsalmon"),
+    GlobalReduction: ("parallelogram", "lightsalmon"),
+    KernelLaunch: ("box3d", "plum"),
+    DeviceSync: ("hexagon", "plum"),
+    CallbackCall: ("component", "khaki"),
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(root: IRNode, name: str = "ir") -> str:
+    """Render the IR (sub)tree as a DOT digraph string."""
+    lines = [
+        f'digraph "{_escape(name)}" {{',
+        "  rankdir=TB;",
+        '  node [fontname="monospace", fontsize=10];',
+    ]
+    counter = [0]
+
+    def emit(node: IRNode, parent_id: str | None) -> None:
+        nid = f"n{counter[0]}"
+        counter[0] += 1
+        shape, fill = _SHAPES.get(type(node), ("ellipse", "white"))
+        label = _escape(node.describe())
+        if len(label) > 60:
+            label = label[:57] + "..."
+        lines.append(
+            f'  {nid} [label="{label}", shape={shape}, style=filled, '
+            f'fillcolor={fill}];'
+        )
+        if parent_id is not None:
+            lines.append(f"  {parent_id} -> {nid};")
+        for child in node.children():
+            emit(child, nid)
+
+    emit(root, None)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = ["to_dot"]

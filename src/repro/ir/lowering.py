@@ -1,0 +1,396 @@
+"""Symbolic lowering: input expression -> expanded -> time-discretised ->
+classified terms.
+
+This reproduces, stage for stage, the pipeline shown in Section II of the
+paper (including the textual listings, which the tests assert against):
+
+>>> # input:    conservationForm(u, "-k*u - surface(upwind(b, u))")
+>>> # stage 1:  -TIMEDERIVATIVE*_u_1 - _k_1*_u_1 - SURFACE*conditional(...)
+>>> # stage 2:  _u_1 = _u_1 - dt*_k_1*_u_1 - dt*SURFACE*conditional(...)
+>>> # stage 3:  LHS volume: -_u_1
+>>> #           RHS volume: _u_1 - dt*_k_1*_u_1
+>>> #           RHS surface: -dt*conditional(...)
+
+Sign convention: ``conservation_form(u, expr)`` declares ``du/dt = expr``
+where every ``surface(f)`` factor inside ``expr`` denotes the surface-
+integral contribution ``(1/V) \\oint f dA`` *with the sign written in the
+expression*.  (The paper's Sec. III-B listing and its appendix disagree on
+the sign of the BTE's surface term; we follow the general rule of Sec. II —
+outflux enters with a minus — and note the discrepancy in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.entities import EntityTable, Variable
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Expr,
+    Indexed,
+    Mul,
+    Num,
+    SideValue,
+    Surface,
+    Sym,
+    TimeDerivative,
+    preorder,
+    substitute,
+)
+from repro.symbolic.operators import OperatorRegistry, default_registry
+from repro.symbolic.parser import parse
+from repro.symbolic.simplify import collect_terms, simplify
+from repro.util.errors import DSLError
+
+
+# ---------------------------------------------------------------------------
+# stage 1: expansion
+# ---------------------------------------------------------------------------
+
+def expand(
+    expr: Expr,
+    unknown: Variable,
+    entities: EntityTable,
+    registry: OperatorRegistry | None = None,
+) -> Expr:
+    """Resolve entities/operators and attach the implicit time derivative.
+
+    * registered operator :class:`Call` nodes are rewritten by the registry
+      (``upwind`` becomes the ``conditional`` construct, ``surface`` becomes
+      the :class:`Surface` marker);
+    * calls to registered *callback functions* are kept as opaque
+      :class:`Call` nodes;
+    * scalar variable/coefficient references are flattened to the paper's
+      component naming: ``u -> _u_1``, ``k -> _k_1``; indexed references
+      keep their index labels;
+    * the implicit ``-TIMEDERIVATIVE * unknown`` term is prepended.
+    """
+    reg = registry or default_registry()
+
+    def rewrite(node: Expr) -> Expr | None:
+        if isinstance(node, Call):
+            if node.func in reg:
+                return reg.expand_call(node)
+            if entities.kind_of(node.func) == "callback":
+                return None  # keep as host-side call
+            from repro.symbolic.evaluate import DEFAULT_FUNCTIONS
+
+            if node.func in DEFAULT_FUNCTIONS:
+                return None  # plain math function, evaluated elementwise
+            raise DSLError(
+                f"unknown function {node.func!r}: neither a registered "
+                "symbolic operator, a math function, nor an imported callback"
+            )
+        if isinstance(node, Sym):
+            kind = entities.kind_of(node.name)
+            if kind in ("variable", "coefficient"):
+                ent = (
+                    entities.variables[node.name]
+                    if kind == "variable"
+                    else entities.coefficients[node.name]
+                )
+                if getattr(ent, "indices", ()):
+                    raise DSLError(
+                        f"{kind} {node.name!r} is indexed and must be "
+                        f"referenced as {node.name}[{','.join(ent.index_names())}]"
+                    )
+                return Sym(f"_{node.name}_1")
+            if kind == "index":
+                return None  # bare index symbols appear inside callback args
+            if kind == "callback":
+                raise DSLError(f"callback {node.name!r} must be called, not referenced")
+            if node.name in _RESERVED:
+                return None
+            raise DSLError(f"unknown symbol {node.name!r} in equation input")
+        if isinstance(node, Indexed):
+            _check_indexed(node, entities)
+            return None
+        return None
+
+    resolved = substitute(expr, rewrite)
+    _check_surface_nesting(resolved)
+    unknown_ref = _unknown_reference(unknown)
+    return Add(Mul(Num(-1), TimeDerivative(unknown_ref)), resolved)
+
+
+_RESERVED = {"dt", "t", "time", "normal", "x", "y", "z"}
+
+
+def _unknown_reference(unknown: Variable) -> Expr:
+    if unknown.indices:
+        return Indexed(unknown.name, unknown.index_names())
+    return Sym(f"_{unknown.name}_1")
+
+
+def _check_indexed(node: Indexed, entities: EntityTable) -> None:
+    kind = entities.kind_of(node.base)
+    if kind == "variable":
+        declared = entities.variables[node.base].index_names()
+    elif kind == "coefficient":
+        declared = entities.coefficients[node.base].index_names()
+    else:
+        raise DSLError(f"unknown indexed entity {node.base!r}")
+    if len(node.indices) != len(declared):
+        raise DSLError(
+            f"{node.base}[{','.join(map(str, node.indices))}]: expected "
+            f"{len(declared)} indices {declared}"
+        )
+    for given, want in zip(node.indices, declared):
+        if isinstance(given, str) and given != want:
+            raise DSLError(
+                f"{node.base}: index {given!r} does not match declared {want!r}"
+            )
+
+
+def _check_surface_nesting(expr: Expr) -> None:
+    """Surface markers must not nest (an integral of an integral)."""
+    for node in preorder(expr):
+        if isinstance(node, Surface):
+            for inner in preorder(node.expr):
+                if isinstance(inner, Surface):
+                    raise DSLError("nested surface(...) integrals are not allowed")
+
+
+# ---------------------------------------------------------------------------
+# stage 2: explicit time integration (Eq. 2 of the paper)
+# ---------------------------------------------------------------------------
+
+def euler_form(expanded: Expr, unknown: Variable) -> Expr:
+    """Forward-Euler transform of the expanded equation.
+
+    ``-TIMEDERIVATIVE*u + R(u) = 0`` becomes the update expression
+    ``u - u0 - dt*R(u0) = 0`` rendered as ``-u + u0 + dt*R(u0)`` so the
+    classification below reads off the paper's listing directly.  The
+    right-hand side references are left textually identical (the *known*
+    previous-step value is implied, as in the paper).
+    """
+    unknown_ref = _unknown_reference(unknown)
+    dt = Sym("dt")
+
+    def rewrite(node: Expr) -> Expr | None:
+        if isinstance(node, TimeDerivative):
+            # TIMEDERIVATIVE*u integrates to (u_new - u0); the new-time value
+            # is tagged with a marker so classification can move it to the LHS
+            return Add(_NewTime(node.expr), Mul(Num(-1), node.expr))
+        return None
+
+    # distribute dt over all non-time-derivative terms
+    terms = []
+    for term in Add(expanded).args if isinstance(expanded, Add) else [expanded]:
+        if _contains_time_derivative(term):
+            terms.append(substitute(term, rewrite))
+        else:
+            terms.append(Mul(dt, term))
+    del unknown_ref
+    return Add(*terms)
+
+
+class _NewTime(Expr):
+    """Internal marker wrapping the new-time-level unknown."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        object.__setattr__(self, "expr", expr)
+
+    def __setattr__(self, name, value):  # noqa: ANN001
+        raise AttributeError("Expr nodes are immutable")
+
+    def _key(self) -> tuple:
+        return (self.expr,)
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+    def rebuild(self, *children: Expr) -> "_NewTime":
+        (e,) = children
+        return _NewTime(e)
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+def _contains_time_derivative(expr: Expr) -> bool:
+    return any(isinstance(n, TimeDerivative) for n in preorder(expr))
+
+
+def _contains(expr: Expr, kind: type) -> bool:
+    return any(isinstance(n, kind) for n in preorder(expr))
+
+
+# ---------------------------------------------------------------------------
+# stage 3: classification
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClassifiedForm:
+    """Sorted terms of one equation, plus the semi-discrete integrands.
+
+    ``lhs_volume`` / ``rhs_volume`` / ``rhs_surface`` are the dt-folded
+    textual groups of the paper's listing.  ``volume_terms`` and
+    ``surface_terms`` are the semi-discrete integrands (no ``dt``, Surface
+    markers stripped) that the code generators evaluate:
+
+        du/dt  =  sum(volume_terms)  +  (1/V) * sum_f A_f * sum(surface_terms)
+
+    Surface integrands reference face-side values via :class:`SideValue`.
+    """
+
+    unknown: Variable
+    lhs_volume: list[Expr] = field(default_factory=list)
+    rhs_volume: list[Expr] = field(default_factory=list)
+    rhs_surface: list[Expr] = field(default_factory=list)
+    volume_terms: list[Expr] = field(default_factory=list)
+    surface_terms: list[Expr] = field(default_factory=list)
+    callbacks_used: list[str] = field(default_factory=list)
+
+
+def classify(expanded: Expr, unknown: Variable, entities: EntityTable) -> ClassifiedForm:
+    """Sort the Euler-form terms into the paper's LHS/RHS x volume/surface
+    groups and extract the semi-discrete integrands."""
+    euler = euler_form(expanded, unknown)
+    form = ClassifiedForm(unknown=unknown)
+
+    for term in collect_terms(euler):
+        if _contains(term, _NewTime):
+            # the new-time term stays on the LHS as written (paper: "-_u_1")
+            lhs = simplify(
+                substitute(term, lambda n: n.expr if isinstance(n, _NewTime) else None)
+            )
+            form.lhs_volume.append(lhs)
+        elif _contains(term, Surface):
+            form.rhs_surface.append(simplify(_strip_surface(term)))
+        else:
+            form.rhs_volume.append(simplify(term))
+
+    # semi-discrete integrands: divide the dt factor back out
+    inv_dt = Mul(Sym("dt"), Num(-1))  # placeholder, replaced below
+    del inv_dt
+    for term in form.rhs_surface:
+        form.surface_terms.append(_drop_dt(term))
+    for term in form.rhs_volume:
+        if _is_bare_unknown(term, unknown):
+            continue  # the u0 carried over by Euler, not part of the RHS
+        form.volume_terms.append(_drop_dt(term))
+
+    for node in preorder(expanded):
+        if isinstance(node, Call) and entities.kind_of(node.func) == "callback":
+            if node.func not in form.callbacks_used:
+                form.callbacks_used.append(node.func)
+
+    _validate_classified(form, unknown)
+    return form
+
+
+def _strip_surface(term: Expr) -> Expr:
+    """Replace ``Surface(x)`` factors by ``x`` within a term."""
+    return substitute(term, lambda n: n.expr if isinstance(n, Surface) else None)
+
+
+def _drop_dt(term: Expr) -> Expr:
+    """Remove one factor of the symbol ``dt`` from a product term."""
+    dt = Sym("dt")
+
+    def walk(node: Expr) -> Expr:
+        if node == dt:
+            return Num(1)
+        if isinstance(node, Mul):
+            args = list(node.args)
+            for i, a in enumerate(args):
+                if a == dt:
+                    args[i] = Num(1)
+                    return simplify(Mul(*args))
+            return node
+        return node
+
+    out = walk(term)
+    if out == term:
+        raise DSLError(f"internal: term {term} carries no dt factor")
+    return simplify(out)
+
+
+def _is_bare_unknown(term: Expr, unknown: Variable) -> bool:
+    return term == _unknown_reference(unknown)
+
+
+def _validate_classified(form: ClassifiedForm, unknown: Variable) -> None:
+    if len(form.lhs_volume) != 1:
+        raise DSLError(
+            "explicit schemes need exactly one time-derivative term; got "
+            f"{len(form.lhs_volume)} (is the unknown missing from the equation?)"
+        )
+    expected = simplify(Mul(Num(-1), _unknown_reference(unknown)))
+    if simplify(form.lhs_volume[0]) != expected:
+        raise DSLError(
+            f"unsupported LHS term {form.lhs_volume[0]} (expected {expected})"
+        )
+    for term in form.volume_terms:
+        if _contains(term, SideValue):
+            raise DSLError(f"volume term {term} references face-side values")
+    for term in form.surface_terms:
+        if _contains(term, Surface):
+            raise DSLError(f"nested surface marker survived in {term}")
+
+
+# ---------------------------------------------------------------------------
+# driver + paper-style listings
+# ---------------------------------------------------------------------------
+
+def lower_conservation_form(
+    source: str,
+    unknown: Variable,
+    entities: EntityTable,
+    registry: OperatorRegistry | None = None,
+) -> tuple[Expr, ClassifiedForm]:
+    """Full pipeline: parse -> expand -> classify.  Returns
+    ``(expanded_expr, classified_form)``."""
+    parsed = parse(source)
+    expanded = expand(parsed, unknown, entities, registry)
+    form = classify(expanded, unknown, entities)
+    return expanded, form
+
+
+def render_stage_listing(expanded: Expr, form: ClassifiedForm, unknown: Variable) -> str:
+    """The three textual stages as the paper prints them."""
+    euler = simplify(euler_form(expanded, unknown))
+    lines = [
+        "expanded:",
+        f"  {simplify(expanded)}",
+        "time-discretized (forward Euler):",
+        f"  {_unknown_reference(unknown)} = {_render_euler_rhs(euler)}",
+        "LHS volume:",
+        f"  {' + '.join(str(t) for t in form.lhs_volume)}",
+        "RHS volume:",
+        f"  {_join_terms(form.rhs_volume)}",
+        "RHS surface:",
+        f"  {_join_terms(form.rhs_surface)}",
+    ]
+    return "\n".join(lines)
+
+
+def _join_terms(terms: list[Expr]) -> str:
+    if not terms:
+        return "0"
+    out = str(terms[0])
+    for t in terms[1:]:
+        s = str(t)
+        out += s if s.startswith("-") else f"+{s}"
+    return out
+
+
+def _render_euler_rhs(euler: Expr) -> str:
+    """Render the Euler form as 'u_new = <rhs>' by moving _NewTime left."""
+    rhs = [t for t in collect_terms(euler) if not _contains(t, _NewTime)]
+    return _join_terms([simplify(t) for t in rhs])
+
+
+__all__ = [
+    "ClassifiedForm",
+    "expand",
+    "euler_form",
+    "classify",
+    "lower_conservation_form",
+    "render_stage_listing",
+]

@@ -1,0 +1,256 @@
+"""IR node types: an abstract computational graph of the per-step program.
+
+The IR stays "at a relatively abstract level to be compatible with several
+different code generation targets" (paper, Sec. II-A): nodes describe *what*
+must happen each step — ghost computation, face-flux evaluation, the cell
+update, halo exchange, callbacks, device transfers — not how a target lays
+it out.  Comment nodes and metadata ride along so targets can emit readable
+source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.symbolic.expr import Expr
+
+
+@dataclass
+class IRNode:
+    """Base IR node; ``meta`` carries target hints and provenance."""
+
+    meta: dict[str, Any] = field(default_factory=dict, kw_only=True)
+
+    def children(self) -> list["IRNode"]:
+        return []
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class Comment(IRNode):
+    """A comment that survives into generated source."""
+
+    text: str = ""
+
+    def describe(self) -> str:
+        return f"# {self.text}"
+
+
+@dataclass
+class Block(IRNode):
+    """Ordered sequence of nodes."""
+
+    body: list[IRNode] = field(default_factory=list)
+
+    def children(self) -> list[IRNode]:
+        return self.body
+
+    def describe(self) -> str:
+        return "block"
+
+
+@dataclass
+class TimeLoop(IRNode):
+    """``for step = 1:Nsteps`` — always sequential (paper, Sec. II-B)."""
+
+    body: Block = field(default_factory=Block)
+    nsteps_symbol: str = "nsteps"
+    dt_symbol: str = "dt"
+
+    def children(self) -> list[IRNode]:
+        return [self.body]
+
+    def describe(self) -> str:
+        return f"for step = 1:{self.nsteps_symbol}"
+
+
+@dataclass
+class AssemblyLoops(IRNode):
+    """Loop nest over 'cells' and index names, in user-chosen order.
+
+    ``order`` is e.g. ``['b', 'cells', 'd']`` from ``assemblyLoops``; the
+    body describes the per-iterate work.  Targets may honour the order
+    literally (CPU nest), use it to pick the partition axis (distributed),
+    or flatten it entirely (GPU one-thread-per-DOF).
+    """
+
+    order: list[str] = field(default_factory=lambda: ["cells"])
+    body: Block = field(default_factory=Block)
+
+    def children(self) -> list[IRNode]:
+        return [self.body]
+
+    def describe(self) -> str:
+        return "for " + " / ".join(self.order)
+
+
+@dataclass
+class ComputeGhosts(IRNode):
+    """Evaluate boundary ghost values of the unknown."""
+
+    variable: str = ""
+    has_callbacks: bool = False
+
+    def describe(self) -> str:
+        extra = " (user callbacks on CPU)" if self.has_callbacks else ""
+        return f"ghosts({self.variable}){extra}"
+
+
+@dataclass
+class ComputeFaceFlux(IRNode):
+    """Evaluate the surface integrands on all faces (signed, per unit area)."""
+
+    variable: str = ""
+    terms: list[Expr] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"face_flux({self.variable}) = " + " + ".join(str(t) for t in self.terms)
+
+
+@dataclass
+class ApplyFluxBC(IRNode):
+    """Override boundary-face fluxes from FLUX-type callback conditions."""
+
+    variable: str = ""
+    regions: list[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"flux_bc({self.variable}, regions={self.regions})"
+
+
+@dataclass
+class ComputeVolumeSource(IRNode):
+    """Evaluate the volume integrands on all cells."""
+
+    variable: str = ""
+    terms: list[Expr] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"source({self.variable}) = " + " + ".join(str(t) for t in self.terms)
+
+
+@dataclass
+class ExplicitUpdate(IRNode):
+    """``u_new = u + dt * (source + surface_divergence)`` (Eq. 3)."""
+
+    variable: str = ""
+    scheme: str = "euler"
+
+    def describe(self) -> str:
+        return f"{self.variable} += dt * rhs   [{self.scheme}]"
+
+
+@dataclass
+class HaloExchange(IRNode):
+    """Distributed neighbour exchange of the unknown's interface cells."""
+
+    variable: str = ""
+
+    def describe(self) -> str:
+        return f"halo_exchange({self.variable})"
+
+
+@dataclass
+class CallbackCall(IRNode):
+    """Invoke a user callback (pre-step / post-step hooks); CPU-pinned."""
+
+    name: str = ""
+    when: str = "post_step"  # or "pre_step"
+
+    def describe(self) -> str:
+        return f"callback {self.name}()   [{self.when}, CPU]"
+
+
+@dataclass
+class DeviceTransfer(IRNode):
+    """Host<->device copy of named arrays ('h2d' or 'd2h')."""
+
+    direction: str = "h2d"
+    arrays: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return f"{self.direction}({', '.join(self.arrays)})"
+
+
+@dataclass
+class KernelLaunch(IRNode):
+    """Asynchronous launch of a generated GPU kernel covering some nodes."""
+
+    kernel: str = ""
+    covers: list[IRNode] = field(default_factory=list)
+    asynchronous: bool = True
+
+    def children(self) -> list[IRNode]:
+        return self.covers
+
+    def describe(self) -> str:
+        mode = "async" if self.asynchronous else "sync"
+        return f"launch {self.kernel} [{mode}]"
+
+
+@dataclass
+class DeviceSync(IRNode):
+    """Join host and device timelines (cudaDeviceSynchronize)."""
+
+    def describe(self) -> str:
+        return "synchronize device"
+
+
+@dataclass
+class GlobalReduction(IRNode):
+    """Cross-rank reduction (the band-coupled temperature update needs one)."""
+
+    what: str = ""
+    op: str = "sum"
+
+    def describe(self) -> str:
+        return f"allreduce({self.what}, {self.op})"
+
+
+@dataclass
+class IRProgram(IRNode):
+    """Root node: prelude (setup) + the time loop, plus problem metadata."""
+
+    name: str = "program"
+    prelude: Block = field(default_factory=Block)
+    time_loop: TimeLoop = field(default_factory=TimeLoop)
+
+    def children(self) -> list[IRNode]:
+        return [self.prelude, self.time_loop]
+
+    def describe(self) -> str:
+        return f"program {self.name}"
+
+
+def print_ir(node: IRNode, indent: int = 0) -> str:
+    """Readable indented rendering of an IR (sub)tree."""
+    pad = "  " * indent
+    lines = [pad + node.describe()]
+    for child in node.children():
+        lines.append(print_ir(child, indent + 1))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "IRNode",
+    "Comment",
+    "Block",
+    "TimeLoop",
+    "AssemblyLoops",
+    "ComputeGhosts",
+    "ComputeFaceFlux",
+    "ApplyFluxBC",
+    "ComputeVolumeSource",
+    "ExplicitUpdate",
+    "HaloExchange",
+    "CallbackCall",
+    "DeviceTransfer",
+    "KernelLaunch",
+    "DeviceSync",
+    "GlobalReduction",
+    "IRProgram",
+    "print_ir",
+]

@@ -1,0 +1,48 @@
+"""Mesh substrate: unstructured FV meshes, structured generation, I/O,
+partitioning and halo construction.
+
+This package plays the role of Finch's internal grid utility + Gmsh import +
+Metis partitioning:
+
+* :class:`~repro.mesh.mesh.Mesh` — face-based finite-volume mesh with owner/
+  neighbour connectivity, outward normals, areas, volumes and boundary
+  regions;
+* :func:`~repro.mesh.grid.structured_grid` — the "simple generation utility"
+  (uniform 1-D/2-D/3-D grids, e.g. the paper's 120x120 domain);
+* :mod:`~repro.mesh.gmsh_io` — Gmsh v2.2 ASCII reader/writer;
+* :mod:`~repro.mesh.partition` — recursive coordinate bisection and
+  KL-refined greedy graph partitioning (Metis stand-in) plus halo maps used
+  by the distributed runtime.
+"""
+
+from repro.mesh.mesh import Mesh, build_mesh
+from repro.mesh.grid import structured_grid, interval_mesh
+from repro.mesh.partition import (
+    partition_cells,
+    partition_rcb,
+    partition_graph,
+    PartitionLayout,
+    build_partition_layout,
+)
+from repro.mesh.gmsh_io import read_gmsh, write_gmsh
+from repro.mesh.medit_io import read_medit, write_medit
+from repro.mesh.vtk_io import write_vtk
+from repro.mesh.grid import triangulated_grid
+
+__all__ = [
+    "Mesh",
+    "build_mesh",
+    "structured_grid",
+    "interval_mesh",
+    "partition_cells",
+    "partition_rcb",
+    "partition_graph",
+    "PartitionLayout",
+    "build_partition_layout",
+    "read_gmsh",
+    "write_gmsh",
+    "read_medit",
+    "write_medit",
+    "write_vtk",
+    "triangulated_grid",
+]

@@ -1,0 +1,150 @@
+"""Gmsh v2.2 ASCII mesh reader/writer.
+
+Supports what the paper's runs need: 2-node lines (boundary tags), triangles,
+quadrilaterals and 8-node hexahedra, with physical tags mapped onto boundary
+region ids.  Cells of the highest dimension present become FV cells; lower-
+dimensional tagged elements become boundary-region tags.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh, build_mesh
+from repro.util.errors import MeshError
+
+# gmsh element type -> (node count, element dimension)
+_ELEMENT_TYPES = {
+    1: (2, 1),  # 2-node line
+    2: (3, 2),  # 3-node triangle
+    3: (4, 2),  # 4-node quadrangle
+    5: (8, 3),  # 8-node hexahedron
+    15: (1, 0),  # 1-node point
+}
+
+
+def read_gmsh(path: str | Path | io.TextIOBase, name: str | None = None) -> Mesh:
+    """Read a Gmsh 2.2 ASCII ``.msh`` file into a :class:`Mesh`."""
+    if isinstance(path, (str, Path)):
+        text = Path(path).read_text()
+        label = name or Path(path).stem
+    else:
+        text = path.read()
+        label = name or "gmsh"
+    lines = [ln.strip() for ln in text.splitlines()]
+    i = 0
+
+    def expect_section(tag: str) -> int:
+        nonlocal i
+        while i < len(lines) and lines[i] != tag:
+            i += 1
+        if i >= len(lines):
+            raise MeshError(f"gmsh file missing section {tag}")
+        i += 1
+        return i
+
+    expect_section("$MeshFormat")
+    fmt = lines[i].split()
+    if not fmt or not fmt[0].startswith("2."):
+        raise MeshError(f"unsupported gmsh format {fmt[0] if fmt else '?'} (need 2.x ASCII)")
+
+    expect_section("$Nodes")
+    nnodes = int(lines[i])
+    i += 1
+    node_ids: dict[int, int] = {}
+    coords = np.zeros((nnodes, 3))
+    for k in range(nnodes):
+        parts = lines[i + k].split()
+        node_ids[int(parts[0])] = k
+        coords[k] = [float(parts[1]), float(parts[2]), float(parts[3])]
+    i += nnodes
+
+    expect_section("$Elements")
+    nelems = int(lines[i])
+    i += 1
+    elements: list[tuple[int, int, list[int]]] = []  # (dim, physical_tag, nodes)
+    for k in range(nelems):
+        parts = [int(p) for p in lines[i + k].split()]
+        etype = parts[1]
+        if etype not in _ELEMENT_TYPES:
+            raise MeshError(f"unsupported gmsh element type {etype}")
+        nnod, edim = _ELEMENT_TYPES[etype]
+        ntags = parts[2]
+        phys = parts[3] if ntags >= 1 else 0
+        enodes = [node_ids[n] for n in parts[3 + ntags :]]
+        if len(enodes) != nnod:
+            raise MeshError(f"element {parts[0]}: expected {nnod} nodes, got {len(enodes)}")
+        elements.append((edim, phys, enodes))
+
+    if not elements:
+        raise MeshError("gmsh file contains no elements")
+    mesh_dim = max(e[0] for e in elements)
+    if mesh_dim == 0:
+        raise MeshError("gmsh file contains only point elements")
+
+    cells = [e[2] for e in elements if e[0] == mesh_dim]
+    boundary_face_regions = {
+        tuple(sorted(e[2])): (e[1] if e[1] > 0 else 1)
+        for e in elements
+        if e[0] == mesh_dim - 1
+    }
+
+    # drop unused trailing coordinates (gmsh always stores xyz)
+    used = coords[:, :mesh_dim] if mesh_dim < 3 else coords
+    return build_mesh(
+        used,
+        cells,
+        dim=mesh_dim,
+        boundary_face_regions=boundary_face_regions or None,
+        boundary_marker=(lambda c, n: 1) if not boundary_face_regions else None,
+        name=label,
+    )
+
+
+def write_gmsh(mesh: Mesh, path: str | Path | io.TextIOBase) -> None:
+    """Write ``mesh`` as Gmsh 2.2 ASCII, including boundary-region elements."""
+    out = io.StringIO()
+    out.write("$MeshFormat\n2.2 0 8\n$EndMeshFormat\n")
+    out.write("$Nodes\n")
+    out.write(f"{mesh.nnodes}\n")
+    for k in range(mesh.nnodes):
+        xyz = np.zeros(3)
+        xyz[: mesh.dim] = mesh.nodes[k]
+        out.write(f"{k + 1} {xyz[0]:.16g} {xyz[1]:.16g} {xyz[2]:.16g}\n")
+    out.write("$EndNodes\n$Elements\n")
+
+    # boundary elements first, then cells
+    boundary = [int(f) for f in mesh.boundary_faces()]
+    cell_type = {1: 1, 2: None, 3: 5}[mesh.dim]
+    bdry_type = {1: 15, 2: 1, 3: 3}[mesh.dim]
+    records: list[str] = []
+    eid = 1
+    for f in boundary:
+        nodes = " ".join(str(n + 1) for n in mesh.face_nodes(f))
+        records.append(f"{eid} {bdry_type} 2 {int(mesh.face_region[f])} 0 {nodes}")
+        eid += 1
+    for c in range(mesh.ncells):
+        cnodes = mesh.cell_nodes(c)
+        if mesh.dim == 2:
+            etype = 2 if len(cnodes) == 3 else 3
+        else:
+            etype = cell_type
+            if etype is None or len(cnodes) not in (2, 8):
+                raise MeshError(f"cannot write cell {c} with {len(cnodes)} nodes")
+        nodes = " ".join(str(n + 1) for n in cnodes)
+        records.append(f"{eid} {etype} 2 0 0 {nodes}")
+        eid += 1
+    out.write(f"{len(records)}\n")
+    out.write("\n".join(records))
+    out.write("\n$EndElements\n")
+
+    if isinstance(path, (str, Path)):
+        Path(path).write_text(out.getvalue())
+    else:
+        path.write(out.getvalue())
+
+
+__all__ = ["read_gmsh", "write_gmsh"]

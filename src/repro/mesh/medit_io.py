@@ -1,0 +1,151 @@
+"""MEDIT (.mesh) ASCII reader/writer.
+
+The paper's other import format ("imported from a Gmsh or MEDIT formatted
+mesh file").  Supports the INRIA MEDIT ASCII dialect with ``Vertices``,
+``Edges``, ``Triangles`` and ``Quadrilaterals`` sections; element reference
+numbers on boundary entities map onto FV boundary regions, exactly like
+Gmsh physical tags.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh, build_mesh
+from repro.util.errors import MeshError
+
+_SECTIONS = ("vertices", "edges", "triangles", "quadrilaterals", "end")
+
+
+def read_medit(path: str | Path | io.TextIOBase, name: str | None = None) -> Mesh:
+    """Read a MEDIT ASCII ``.mesh`` file into a :class:`Mesh`."""
+    if isinstance(path, (str, Path)):
+        text = Path(path).read_text()
+        label = name or Path(path).stem
+    else:
+        text = path.read()
+        label = name or "medit"
+    tokens = text.split()
+    i = 0
+
+    def next_token() -> str:
+        nonlocal i
+        if i >= len(tokens):
+            raise MeshError("unexpected end of MEDIT file")
+        tok = tokens[i]
+        i += 1
+        return tok
+
+    dimension = None
+    vertices: np.ndarray | None = None
+    edges: list[tuple[list[int], int]] = []
+    cells2d: list[tuple[list[int], int]] = []
+
+    while i < len(tokens):
+        tok = next_token()
+        key = tok.lower()
+        if key == "meshversionformatted":
+            next_token()  # version number
+        elif key == "dimension":
+            dimension = int(next_token())
+        elif key == "vertices":
+            if dimension is None:
+                raise MeshError("MEDIT file: Vertices before Dimension")
+            n = int(next_token())
+            data = np.array(
+                [float(next_token()) for _ in range(n * (dimension + 1))]
+            ).reshape(n, dimension + 1)
+            vertices = data[:, :dimension]
+        elif key == "edges":
+            n = int(next_token())
+            for _ in range(n):
+                a, b, ref = (int(next_token()) for _ in range(3))
+                edges.append(([a - 1, b - 1], ref))
+        elif key == "triangles":
+            n = int(next_token())
+            for _ in range(n):
+                vals = [int(next_token()) for _ in range(4)]
+                cells2d.append(([v - 1 for v in vals[:3]], vals[3]))
+        elif key == "quadrilaterals":
+            n = int(next_token())
+            for _ in range(n):
+                vals = [int(next_token()) for _ in range(5)]
+                cells2d.append(([v - 1 for v in vals[:4]], vals[4]))
+        elif key == "end":
+            break
+        else:
+            raise MeshError(f"unsupported MEDIT section {tok!r}")
+
+    if vertices is None:
+        raise MeshError("MEDIT file has no Vertices section")
+    if dimension == 2:
+        if not cells2d:
+            raise MeshError("MEDIT file has no 2-D elements")
+        cells = [c for c, _ in cells2d]
+        regions = {
+            tuple(sorted(nodes)): (ref if ref > 0 else 1) for nodes, ref in edges
+        }
+        return build_mesh(
+            vertices,
+            cells,
+            dim=2,
+            boundary_face_regions=regions or None,
+            boundary_marker=(lambda c, n: 1) if not regions else None,
+            name=label,
+        )
+    if dimension == 1:
+        if not edges:
+            raise MeshError("1-D MEDIT file has no Edges (cells)")
+        cells = [c for c, _ in edges]
+        return build_mesh(vertices, cells, dim=1, name=label)
+    raise MeshError(f"unsupported MEDIT dimension {dimension}")
+
+
+def write_medit(mesh: Mesh, path: str | Path | io.TextIOBase) -> None:
+    """Write a 1-D/2-D mesh as MEDIT ASCII (boundary refs from regions)."""
+    if mesh.dim not in (1, 2):
+        raise MeshError("MEDIT writer supports 1-D and 2-D meshes")
+    out = io.StringIO()
+    out.write("MeshVersionFormatted 2\n")
+    out.write(f"Dimension {mesh.dim}\n")
+    out.write(f"Vertices\n{mesh.nnodes}\n")
+    for k in range(mesh.nnodes):
+        coords = " ".join(f"{v:.16g}" for v in mesh.nodes[k])
+        out.write(f"{coords} 0\n")
+
+    if mesh.dim == 2:
+        tris = []
+        quads = []
+        for c in range(mesh.ncells):
+            nodes = [int(n) + 1 for n in mesh.cell_nodes(c)]
+            (tris if len(nodes) == 3 else quads).append(nodes)
+        if tris:
+            out.write(f"Triangles\n{len(tris)}\n")
+            for nodes in tris:
+                out.write(" ".join(map(str, nodes)) + " 0\n")
+        if quads:
+            out.write(f"Quadrilaterals\n{len(quads)}\n")
+            for nodes in quads:
+                out.write(" ".join(map(str, nodes)) + " 0\n")
+        bfaces = mesh.boundary_faces()
+        out.write(f"Edges\n{len(bfaces)}\n")
+        for f in bfaces:
+            nodes = [int(n) + 1 for n in mesh.face_nodes(f)]
+            out.write(f"{nodes[0]} {nodes[1]} {int(mesh.face_region[f])}\n")
+    else:
+        out.write(f"Edges\n{mesh.ncells}\n")
+        for c in range(mesh.ncells):
+            nodes = [int(n) + 1 for n in mesh.cell_nodes(c)]
+            out.write(f"{nodes[0]} {nodes[1]} 0\n")
+
+    out.write("End\n")
+    if isinstance(path, (str, Path)):
+        Path(path).write_text(out.getvalue())
+    else:
+        path.write(out.getvalue())
+
+
+__all__ = ["read_medit", "write_medit"]

@@ -1,0 +1,437 @@
+"""Face-based finite-volume mesh.
+
+The :class:`Mesh` stores the connectivity and geometry needed by an FVM
+assembler in flat numpy arrays (struct-of-arrays layout, following the
+HPC-python guidance of keeping hot data contiguous):
+
+* ``face_cells[f] = (owner, neighbour)`` with ``neighbour == -1`` on the
+  boundary; ``face_normals[f]`` is the *unit* normal pointing out of the
+  owner;
+* ragged cell->face and cell->node maps as ``offsets``/``indices`` pairs;
+* ``face_region[f]`` is ``0`` for interior faces and a positive boundary
+  region id otherwise (the ids used by ``boundary(I, 1, FLUX, ...)``).
+
+Meshes are built with :func:`build_mesh` from a node array plus per-cell node
+lists; the structured generator (:mod:`repro.mesh.grid`) and the Gmsh reader
+(:mod:`repro.mesh.gmsh_io`) both go through it, so every mesh is validated
+the same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.geometry import (
+    cell_closure_residual,
+    edge_outward_normal,
+    polygon_area,
+    polygon_centroid,
+)
+from repro.util.errors import MeshError
+
+
+@dataclass
+class Mesh:
+    """Immutable-after-build finite-volume mesh (see module docstring)."""
+
+    dim: int
+    nodes: np.ndarray  # (nnodes, dim)
+    # ragged cell -> node connectivity
+    cell_node_offsets: np.ndarray  # (ncells + 1,)
+    cell_node_indices: np.ndarray
+    # faces
+    face_node_offsets: np.ndarray  # (nfaces + 1,)
+    face_node_indices: np.ndarray
+    face_cells: np.ndarray  # (nfaces, 2), neighbour -1 on boundary
+    face_normals: np.ndarray  # (nfaces, dim) unit, outward from owner
+    face_areas: np.ndarray  # (nfaces,)
+    face_centers: np.ndarray  # (nfaces, dim)
+    face_region: np.ndarray  # (nfaces,) 0 interior, >0 boundary region id
+    # cells
+    cell_volumes: np.ndarray  # (ncells,)
+    cell_centroids: np.ndarray  # (ncells, dim)
+    # ragged cell -> face connectivity; sign +1 when the cell owns the face
+    cell_face_offsets: np.ndarray  # (ncells + 1,)
+    cell_face_indices: np.ndarray
+    cell_face_signs: np.ndarray  # (+1 owner / -1 neighbour)
+    name: str = "mesh"
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def ncells(self) -> int:
+        return len(self.cell_volumes)
+
+    @property
+    def nfaces(self) -> int:
+        return len(self.face_areas)
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------ connectivity
+    def cell_nodes(self, cell: int) -> np.ndarray:
+        """Node indices of one cell."""
+        return self.cell_node_indices[
+            self.cell_node_offsets[cell] : self.cell_node_offsets[cell + 1]
+        ]
+
+    def cell_faces(self, cell: int) -> np.ndarray:
+        """Face indices of one cell."""
+        return self.cell_face_indices[
+            self.cell_face_offsets[cell] : self.cell_face_offsets[cell + 1]
+        ]
+
+    def face_nodes(self, face: int) -> np.ndarray:
+        return self.face_node_indices[
+            self.face_node_offsets[face] : self.face_node_offsets[face + 1]
+        ]
+
+    def interior_faces(self) -> np.ndarray:
+        """Indices of faces with a cell on both sides."""
+        return np.flatnonzero(self.face_cells[:, 1] >= 0)
+
+    def boundary_faces(self, region: int | None = None) -> np.ndarray:
+        """Boundary face indices, optionally restricted to one region id."""
+        if region is None:
+            return np.flatnonzero(self.face_cells[:, 1] < 0)
+        return np.flatnonzero(self.face_region == region)
+
+    def boundary_regions(self) -> list[int]:
+        """Sorted list of boundary region ids present in the mesh."""
+        regions = np.unique(self.face_region)
+        return [int(r) for r in regions if r > 0]
+
+    def cell_neighbors(self) -> list[list[int]]:
+        """Adjacency list of cells sharing a face (used by partitioners)."""
+        adj: list[list[int]] = [[] for _ in range(self.ncells)]
+        for owner, neigh in self.face_cells:
+            if neigh >= 0:
+                adj[owner].append(int(neigh))
+                adj[neigh].append(int(owner))
+        return adj
+
+    def to_networkx(self):
+        """Cell-adjacency graph with edge weight = shared face area."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.ncells))
+        for f in self.interior_faces():
+            owner, neigh = self.face_cells[f]
+            g.add_edge(int(owner), int(neigh), weight=float(self.face_areas[f]), face=int(f))
+        return g
+
+    # ---------------------------------------------------------------- checks
+    def validate(self, tol: float = 1e-9) -> None:
+        """Raise :class:`MeshError` on geometric inconsistencies.
+
+        Checks: positive volumes and areas, unit normals, per-cell closure
+        (``sum_f A_f n_f == 0``, the discrete divergence theorem), owner
+        normals pointing away from the owner centroid, and boundary faces
+        carrying a positive region id.
+        """
+        if np.any(self.cell_volumes <= 0):
+            bad = int(np.argmin(self.cell_volumes))
+            raise MeshError(f"non-positive volume in cell {bad}: {self.cell_volumes[bad]}")
+        if np.any(self.face_areas <= 0):
+            bad = int(np.argmin(self.face_areas))
+            raise MeshError(f"non-positive area on face {bad}: {self.face_areas[bad]}")
+        norms = np.linalg.norm(self.face_normals, axis=1)
+        if np.any(np.abs(norms - 1.0) > tol):
+            bad = int(np.argmax(np.abs(norms - 1.0)))
+            raise MeshError(f"non-unit normal on face {bad}: |n| = {norms[bad]}")
+        # characteristic length to make the closure tolerance scale free
+        h = float(np.mean(self.face_areas))
+        for c in range(self.ncells):
+            faces = self.cell_faces(c)
+            signs = self.cell_face_signs[
+                self.cell_face_offsets[c] : self.cell_face_offsets[c + 1]
+            ]
+            normals = self.face_normals[faces] * signs[:, None]
+            residual = cell_closure_residual(normals, self.face_areas[faces])
+            if residual > tol * max(h, 1.0) * len(faces):
+                raise MeshError(f"cell {c} is not closed: closure residual {residual}")
+        # outwardness of owner normals
+        owners = self.face_cells[:, 0]
+        outward = np.einsum(
+            "fd,fd->f", self.face_normals, self.face_centers - self.cell_centroids[owners]
+        )
+        if np.any(outward <= 0):
+            bad = int(np.argmin(outward))
+            raise MeshError(f"face {bad} normal does not point out of its owner")
+        boundary = self.face_cells[:, 1] < 0
+        if np.any(self.face_region[boundary] <= 0):
+            bad = int(np.flatnonzero(boundary & (self.face_region <= 0))[0])
+            raise MeshError(f"boundary face {bad} has no region id")
+        if np.any(self.face_region[~boundary] != 0):
+            bad = int(np.flatnonzero(~boundary & (self.face_region != 0))[0])
+            raise MeshError(f"interior face {bad} carries a boundary region id")
+
+    def __repr__(self) -> str:
+        return (
+            f"Mesh(name={self.name!r}, dim={self.dim}, ncells={self.ncells}, "
+            f"nfaces={self.nfaces}, regions={self.boundary_regions()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+
+#: Node orderings of the six faces of a hexahedron in Gmsh corner order
+#: (0-3 bottom CCW viewed from below ... actually CCW from outside).
+_HEX_FACES = (
+    (0, 3, 2, 1),  # z-min (outward -z)
+    (4, 5, 6, 7),  # z-max (outward +z)
+    (0, 1, 5, 4),  # y-min
+    (2, 3, 7, 6),  # y-max
+    (0, 4, 7, 3),  # x-min
+    (1, 2, 6, 5),  # x-max
+)
+
+
+def _ragged(arrays: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+    for i, a in enumerate(arrays):
+        offsets[i + 1] = offsets[i] + len(a)
+    indices = np.fromiter(
+        (int(v) for a in arrays for v in a), dtype=np.int64, count=int(offsets[-1])
+    )
+    return offsets, indices
+
+
+def _newell_normal_area(coords: np.ndarray) -> tuple[np.ndarray, float, np.ndarray]:
+    """Normal, area and center of a planar 3-D polygon (Newell's method)."""
+    n = np.zeros(3)
+    for i in range(len(coords)):
+        p, q = coords[i], coords[(i + 1) % len(coords)]
+        n += np.cross(p, q)
+    n *= 0.5
+    area = float(np.linalg.norm(n))
+    if area <= 0.0:
+        raise MeshError("degenerate 3-D face (zero area)")
+    return n / area, area, coords.mean(axis=0)
+
+
+def build_mesh(
+    nodes: np.ndarray,
+    cells: Sequence[Sequence[int]],
+    dim: int | None = None,
+    boundary_marker: Callable[[np.ndarray, np.ndarray], int] | None = None,
+    boundary_face_regions: dict[tuple[int, ...], int] | None = None,
+    name: str = "mesh",
+    validate: bool = True,
+) -> Mesh:
+    """Build a :class:`Mesh` from nodes and per-cell node lists.
+
+    Parameters
+    ----------
+    nodes:
+        ``(nnodes, dim)`` coordinates.
+    cells:
+        Per-cell node index lists.  1-D: 2 nodes; 2-D: CCW polygon (order is
+        fixed automatically if given CW); 3-D: 8-node hexahedron in Gmsh
+        corner order (axis-aligned bricks are what the generator produces).
+    boundary_marker:
+        ``f(face_center, outward_normal) -> region_id`` used to tag boundary
+        faces (default: everything is region 1).
+    boundary_face_regions:
+        Explicit tags from a mesh file: maps the *sorted node tuple* of a
+        boundary face to its region id; wins over ``boundary_marker``.
+    """
+    nodes = np.asarray(nodes, dtype=np.float64)
+    if nodes.ndim == 1:
+        nodes = nodes[:, None]
+    if dim is None:
+        dim = nodes.shape[1]
+    if nodes.shape[1] != dim:
+        raise MeshError(f"nodes have {nodes.shape[1]} coords but dim={dim}")
+    if dim not in (1, 2, 3):
+        raise MeshError(f"unsupported dimension {dim}")
+    ncells = len(cells)
+    if ncells == 0:
+        raise MeshError("mesh needs at least one cell")
+
+    cells = [list(map(int, c)) for c in cells]
+
+    # enforce CCW polygons in 2-D so edge traversal gives outward normals
+    if dim == 2:
+        for i, c in enumerate(cells):
+            if polygon_area(nodes[c]) < 0:
+                cells[i] = c[::-1]
+
+    # ---- enumerate unique faces ------------------------------------------------
+    face_key_to_id: dict[tuple[int, ...], int] = {}
+    face_nodes_list: list[tuple[int, ...]] = []
+    face_owner: list[int] = []
+    face_neigh: list[int] = []
+    cell_faces_list: list[list[int]] = [[] for _ in range(ncells)]
+    cell_face_signs_list: list[list[int]] = [[] for _ in range(ncells)]
+    # geometry accumulated from the owner's traversal
+    normals: list[np.ndarray] = []
+    areas: list[float] = []
+    centers: list[np.ndarray] = []
+
+    def cell_local_faces(c: list[int]) -> list[tuple[int, ...]]:
+        if dim == 1:
+            if len(c) != 2:
+                raise MeshError("1-D cells must have exactly 2 nodes")
+            return [(c[0],), (c[1],)]
+        if dim == 2:
+            return [(c[i], c[(i + 1) % len(c)]) for i in range(len(c))]
+        if len(c) != 8:
+            raise MeshError("3-D cells must be 8-node hexahedra")
+        return [tuple(c[i] for i in f) for f in _HEX_FACES]
+
+    def face_geometry(fnodes: tuple[int, ...], cell_id: int) -> tuple[np.ndarray, float, np.ndarray]:
+        coords = nodes[list(fnodes)]
+        if dim == 1:
+            center = coords[0]
+            direction = center - cell_centroid_1d(cell_id)
+            normal = np.array([1.0 if direction[0] >= 0 else -1.0])
+            return normal, 1.0, center
+        if dim == 2:
+            normal, length = edge_outward_normal(coords[0], coords[1])
+            return normal, length, coords.mean(axis=0)
+        return _newell_normal_area(coords)
+
+    def cell_centroid_1d(cell_id: int) -> np.ndarray:
+        return nodes[cells[cell_id]].mean(axis=0)
+
+    for cid, c in enumerate(cells):
+        for fnodes in cell_local_faces(c):
+            key = tuple(sorted(fnodes))
+            fid = face_key_to_id.get(key)
+            if fid is None:
+                fid = len(face_nodes_list)
+                face_key_to_id[key] = fid
+                face_nodes_list.append(fnodes)
+                face_owner.append(cid)
+                face_neigh.append(-1)
+                n, a, ctr = face_geometry(fnodes, cid)
+                normals.append(n)
+                areas.append(a)
+                centers.append(ctr)
+                cell_face_signs_list[cid].append(1)
+            else:
+                if face_neigh[fid] != -1:
+                    raise MeshError(
+                        f"face {key} shared by more than two cells "
+                        f"({face_owner[fid]}, {face_neigh[fid]}, {cid})"
+                    )
+                face_neigh[fid] = cid
+                cell_face_signs_list[cid].append(-1)
+            cell_faces_list[cid].append(fid)
+
+    nfaces = len(face_nodes_list)
+    face_cells = np.stack(
+        [np.array(face_owner, dtype=np.int64), np.array(face_neigh, dtype=np.int64)], axis=1
+    )
+    face_normals = np.asarray(normals, dtype=np.float64).reshape(nfaces, dim)
+    face_areas = np.asarray(areas, dtype=np.float64)
+    face_centers = np.asarray(centers, dtype=np.float64).reshape(nfaces, dim)
+
+    # ---- cell geometry ----------------------------------------------------------
+    cell_centroids = np.zeros((ncells, dim))
+    cell_volumes = np.zeros(ncells)
+    if dim == 1:
+        for cid, c in enumerate(cells):
+            coords = nodes[c]
+            cell_centroids[cid] = coords.mean(axis=0)
+            cell_volumes[cid] = float(abs(coords[1, 0] - coords[0, 0]))
+    elif dim == 2:
+        for cid, c in enumerate(cells):
+            coords = nodes[c]
+            cell_volumes[cid] = polygon_area(coords)  # positive (CCW enforced)
+            cell_centroids[cid] = polygon_centroid(coords)
+    else:
+        # divergence theorem: V = (1/3) sum_f A_f (n_f . c_f), outward normals
+        for cid, c in enumerate(cells):
+            cell_centroids[cid] = nodes[c].mean(axis=0)
+        for cid in range(ncells):
+            vol = 0.0
+            for local, fid in enumerate(cell_faces_list[cid]):
+                sign = cell_face_signs_list[cid][local]
+                vol += sign * face_areas[fid] * float(
+                    np.dot(face_normals[fid], face_centers[fid])
+                )
+            cell_volumes[cid] = vol / 3.0
+
+    # 3-D normals were oriented by the local face ordering; verify they point
+    # out of the owner and flip where construction order disagreed.
+    if dim == 3:
+        owners = face_cells[:, 0]
+        outward = np.einsum(
+            "fd,fd->f", face_normals, face_centers - cell_centroids[owners]
+        )
+        flip = outward < 0
+        face_normals[flip] *= -1.0
+        if np.any(flip):
+            # a flipped owner normal means the owner sees the face with sign -1
+            for cid in range(ncells):
+                for local, fid in enumerate(cell_faces_list[cid]):
+                    if flip[fid]:
+                        cell_face_signs_list[cid][local] *= -1
+        # recompute volumes with corrected orientation
+        for cid in range(ncells):
+            vol = 0.0
+            for local, fid in enumerate(cell_faces_list[cid]):
+                sign = cell_face_signs_list[cid][local]
+                vol += sign * face_areas[fid] * float(
+                    np.dot(face_normals[fid], face_centers[fid])
+                )
+            cell_volumes[cid] = vol / 3.0
+
+    # ---- boundary regions --------------------------------------------------------
+    face_region = np.zeros(nfaces, dtype=np.int64)
+    boundary = face_cells[:, 1] < 0
+    for fid in np.flatnonzero(boundary):
+        key = tuple(sorted(face_nodes_list[fid]))
+        if boundary_face_regions and key in boundary_face_regions:
+            face_region[fid] = boundary_face_regions[key]
+        elif boundary_marker is not None:
+            face_region[fid] = int(boundary_marker(face_centers[fid], face_normals[fid]))
+        else:
+            face_region[fid] = 1
+        if face_region[fid] <= 0:
+            raise MeshError(f"boundary marker returned non-positive region for face {fid}")
+
+    cn_off, cn_idx = _ragged(cells)
+    fn_off, fn_idx = _ragged(face_nodes_list)
+    cf_off, cf_idx = _ragged(cell_faces_list)
+    signs = np.fromiter(
+        (s for row in cell_face_signs_list for s in row),
+        dtype=np.int64,
+        count=int(cf_off[-1]),
+    )
+
+    mesh = Mesh(
+        dim=dim,
+        nodes=nodes,
+        cell_node_offsets=cn_off,
+        cell_node_indices=cn_idx,
+        face_node_offsets=fn_off,
+        face_node_indices=fn_idx,
+        face_cells=face_cells,
+        face_normals=face_normals,
+        face_areas=face_areas,
+        face_centers=face_centers,
+        face_region=face_region,
+        cell_volumes=cell_volumes,
+        cell_centroids=cell_centroids,
+        cell_face_offsets=cf_off,
+        cell_face_indices=cf_idx,
+        cell_face_signs=signs,
+        name=name,
+    )
+    if validate:
+        mesh.validate()
+    return mesh
+
+
+__all__ = ["Mesh", "build_mesh"]

@@ -1,0 +1,91 @@
+"""VTK legacy ASCII writer for cell-centred results.
+
+The paper's temperature plots (Figs. 2, 10) come from a visualisation tool;
+this writer exports any mesh + per-cell fields (temperature, intensity
+moments, partition ids) as an unstructured-grid ``.vtk`` file that ParaView
+and VisIt open directly.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+from repro.util.errors import MeshError
+
+#: VTK cell-type ids
+_VTK_LINE = 3
+_VTK_TRIANGLE = 5
+_VTK_QUAD = 9
+_VTK_POLYGON = 7
+_VTK_HEXAHEDRON = 12
+
+
+def _cell_type(mesh: Mesh, nnodes: int) -> int:
+    if mesh.dim == 1:
+        return _VTK_LINE
+    if mesh.dim == 2:
+        return {3: _VTK_TRIANGLE, 4: _VTK_QUAD}.get(nnodes, _VTK_POLYGON)
+    if nnodes == 8:
+        return _VTK_HEXAHEDRON
+    raise MeshError(f"cannot map a {mesh.dim}-D cell with {nnodes} nodes to VTK")
+
+
+def write_vtk(
+    mesh: Mesh,
+    path: str | Path | io.TextIOBase,
+    cell_data: dict[str, np.ndarray] | None = None,
+    title: str = "repro output",
+) -> None:
+    """Write ``mesh`` and optional per-cell scalar fields as legacy VTK.
+
+    ``cell_data`` maps field names to ``(ncells,)`` arrays.
+    """
+    cell_data = cell_data or {}
+    for name, arr in cell_data.items():
+        arr = np.asarray(arr)
+        if arr.shape != (mesh.ncells,):
+            raise MeshError(
+                f"cell field {name!r} has shape {arr.shape}, "
+                f"expected ({mesh.ncells},)"
+            )
+
+    out = io.StringIO()
+    out.write("# vtk DataFile Version 3.0\n")
+    out.write(f"{title[:255]}\n")
+    out.write("ASCII\nDATASET UNSTRUCTURED_GRID\n")
+
+    out.write(f"POINTS {mesh.nnodes} double\n")
+    for k in range(mesh.nnodes):
+        xyz = np.zeros(3)
+        xyz[: mesh.dim] = mesh.nodes[k]
+        out.write(f"{xyz[0]:.16g} {xyz[1]:.16g} {xyz[2]:.16g}\n")
+
+    sizes = [len(mesh.cell_nodes(c)) for c in range(mesh.ncells)]
+    out.write(f"CELLS {mesh.ncells} {mesh.ncells + sum(sizes)}\n")
+    for c in range(mesh.ncells):
+        nodes = mesh.cell_nodes(c)
+        out.write(str(len(nodes)) + " " + " ".join(str(int(n)) for n in nodes) + "\n")
+
+    out.write(f"CELL_TYPES {mesh.ncells}\n")
+    for c in range(mesh.ncells):
+        out.write(f"{_cell_type(mesh, sizes[c])}\n")
+
+    if cell_data:
+        out.write(f"CELL_DATA {mesh.ncells}\n")
+        for name, arr in cell_data.items():
+            safe = name.replace(" ", "_")
+            out.write(f"SCALARS {safe} double 1\nLOOKUP_TABLE default\n")
+            for v in np.asarray(arr, dtype=np.float64):
+                out.write(f"{v:.16g}\n")
+
+    if isinstance(path, (str, Path)):
+        Path(path).write_text(out.getvalue())
+    else:
+        path.write(out.getvalue())
+
+
+__all__ = ["write_vtk"]

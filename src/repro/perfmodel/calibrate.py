@@ -1,0 +1,57 @@
+"""Live calibration of the cost model against this machine.
+
+The default :class:`~repro.perfmodel.machines.MachineRates` encode the
+paper's testbed.  For experiments that want virtual times anchored to *this*
+machine's NumPy kernels instead, :func:`calibrate_cpu_rate` measures the
+real per-DOF cost of the generated intensity sweep on a small configuration
+and returns a rescaled rate set.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.perfmodel.machines import MachineRates
+
+
+def calibrate_cpu_rate(
+    machine: MachineRates,
+    solver=None,
+    repeats: int = 3,
+) -> tuple[MachineRates, float]:
+    """Measure this machine's per-DOF intensity cost and rescale ``machine``.
+
+    ``solver`` is a generated CPU solver (e.g. from a small BTE problem);
+    when ``None``, a synthetic upwind sweep of comparable arithmetic is
+    timed instead.  Returns ``(scaled_rates, measured_per_dof_seconds)``.
+    """
+    if solver is not None:
+        state = solver.state
+        ndof = state.ncomp * state.ncells
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solver.step()
+            best = min(best, time.perf_counter() - t0)
+        per_dof = best / ndof
+    else:
+        ncomp, ncells = 64, 4096
+        nfaces = 2 * ncells
+        rng = np.random.default_rng(0)
+        u1 = rng.random((ncomp, nfaces))
+        u2 = rng.random((ncomp, nfaces))
+        vn = rng.standard_normal((ncomp, nfaces))
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            flux = np.where(vn > 0, vn * u1, vn * u2)
+            _ = u1 + 1e-3 * flux
+            best = min(best, time.perf_counter() - t0)
+        per_dof = best / (ncomp * ncells)
+    factor = per_dof / machine.intensity_per_dof
+    return machine.scaled(factor), per_dof
+
+
+__all__ = ["calibrate_cpu_rate"]

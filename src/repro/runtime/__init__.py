@@ -1,0 +1,39 @@
+"""Simulated distributed runtime (the MPI stand-in).
+
+Rank programs run as real threads exchanging real data through typed
+point-to-point channels and collectives, while each rank advances a
+*virtual* clock charged by an (alpha + bytes/beta) network model.  This
+keeps the semantics of the generated distributed code honest — halo
+exchanges move actual ghost values, reductions combine actual partial
+energies — while the strong-scaling numbers come from the cost model
+(there are not 320 cores here).
+
+* :class:`~repro.runtime.netmodel.NetworkModel` — latency/bandwidth pairs
+  with presets for an InfiniBand-class cluster interconnect and intra-node
+  shared memory;
+* :class:`~repro.runtime.comm.World` / :class:`~repro.runtime.comm.Communicator`
+  — ``send``/``recv``/``allreduce``/``allgather``/``barrier`` plus
+  ``compute(seconds)`` for charging local work;
+* :func:`~repro.runtime.executor.run_spmd` — runs one program per rank and
+  returns each rank's results and virtual timings;
+* :class:`~repro.runtime.halo.HaloExchanger` — neighbour exchange built from
+  a :class:`~repro.mesh.partition.PartitionLayout`.
+"""
+
+from repro.runtime.netmodel import NetworkModel, IB_CLUSTER, SHARED_MEMORY, ZERO_COST
+from repro.runtime.comm import World, Communicator, ReduceOp
+from repro.runtime.executor import run_spmd, SPMDResult
+from repro.runtime.halo import HaloExchanger
+
+__all__ = [
+    "NetworkModel",
+    "IB_CLUSTER",
+    "SHARED_MEMORY",
+    "ZERO_COST",
+    "World",
+    "Communicator",
+    "ReduceOp",
+    "run_spmd",
+    "SPMDResult",
+    "HaloExchanger",
+]

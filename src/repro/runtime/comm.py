@@ -1,0 +1,225 @@
+"""Rank communicator with virtual-time accounting.
+
+Rank programs run in threads (one per rank); messages travel through
+per-(source, dest, tag) FIFO queues carrying both the payload and the
+sender's virtual timestamp.  A receive completes at
+
+    max(local_clock, send_time + alpha + bytes/beta)
+
+so waiting on a late sender shows up as communication time on the receiving
+rank, exactly as a real trace would attribute it.  Collectives are
+implemented with real rendezvous (a barrier + shared slots) and charged with
+the tree/ring costs from the :class:`~repro.runtime.netmodel.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.runtime.netmodel import NetworkModel, ZERO_COST
+from repro.util.errors import ReproError
+from repro.util.timing import VirtualClock
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operators supported by :meth:`Communicator.allreduce`."""
+
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+
+
+_REDUCERS = {
+    ReduceOp.SUM: lambda parts: np.sum(parts, axis=0),
+    ReduceOp.MAX: lambda parts: np.max(parts, axis=0),
+    ReduceOp.MIN: lambda parts: np.min(parts, axis=0),
+}
+
+
+@dataclass
+class _Message:
+    payload: Any
+    nbytes: int
+    send_time: float
+
+
+def _payload_bytes(data: Any) -> int:
+    if isinstance(data, np.ndarray):
+        return data.nbytes
+    if isinstance(data, (int, float)):
+        return 8
+    if isinstance(data, (list, tuple)):
+        return sum(_payload_bytes(d) for d in data)
+    if isinstance(data, dict):
+        return sum(_payload_bytes(v) for v in data.values())
+    return 64  # opaque objects: charge a small envelope
+
+
+class World:
+    """Shared state of one SPMD run: channels + collective rendezvous."""
+
+    def __init__(self, nranks: int, network: NetworkModel = ZERO_COST):
+        if nranks < 1:
+            raise ReproError(f"world size must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.network = network
+        self._channels: dict[tuple[int, int, int], queue.Queue] = {}
+        self._channel_lock = threading.Lock()
+        self._barrier = threading.Barrier(nranks)
+        self._coll_lock = threading.Lock()
+        self._coll_slots: list[Any] = [None] * nranks
+        self._coll_result: Any = None
+        self.timeout_s = 60.0  # deadlock guard for tests
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._channel_lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = queue.Queue()
+                self._channels[key] = ch
+            return ch
+
+    def communicator(self, rank: int) -> "Communicator":
+        return Communicator(self, rank)
+
+
+@dataclass
+class CommStats:
+    """Per-rank accounting of where virtual time went."""
+
+    compute_s: float = 0.0
+    comm_s: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    phase_s: dict[str, float] = field(default_factory=dict)
+
+    def charge_phase(self, phase: str, dt: float) -> None:
+        self.phase_s[phase] = self.phase_s.get(phase, 0.0) + dt
+
+
+class Communicator:
+    """One rank's endpoint (mpi4py-flavoured API, virtual time attached)."""
+
+    def __init__(self, world: World, rank: int):
+        if not (0 <= rank < world.nranks):
+            raise ReproError(f"rank {rank} out of range [0, {world.nranks})")
+        self.world = world
+        self.rank = rank
+        self.clock = VirtualClock()
+        self.stats = CommStats()
+
+    @property
+    def size(self) -> int:
+        return self.world.nranks
+
+    # ------------------------------------------------------------- local work
+    def compute(self, seconds: float, phase: str = "compute") -> None:
+        """Charge ``seconds`` of local computation to this rank's clock."""
+        if seconds < 0:
+            raise ReproError(f"negative compute charge {seconds}")
+        self.clock.advance(seconds)
+        self.stats.compute_s += seconds
+        self.stats.charge_phase(phase, seconds)
+
+    # ---------------------------------------------------------- point to point
+    def send(self, dest: int, data: Any, tag: int = 0) -> None:
+        """Non-blocking buffered send (MPI_Isend-like; copies the payload)."""
+        if dest == self.rank:
+            raise ReproError("send to self is not allowed")
+        if isinstance(data, np.ndarray):
+            payload: Any = data.copy()
+        else:
+            payload = data
+        nbytes = _payload_bytes(payload)
+        msg = _Message(payload, nbytes, self.clock.now())
+        self.world.channel(self.rank, dest, tag).put(msg)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+
+    def recv(self, source: int, tag: int = 0, phase: str = "communication") -> Any:
+        """Blocking receive; virtual clock jumps to the arrival time."""
+        ch = self.world.channel(source, self.rank, tag)
+        try:
+            msg: _Message = ch.get(timeout=self.world.timeout_s)
+        except queue.Empty:
+            raise ReproError(
+                f"rank {self.rank}: recv from {source} tag {tag} timed out "
+                "(deadlock in rank program?)"
+            ) from None
+        arrival = msg.send_time + self.world.network.transfer_time(msg.nbytes)
+        before = self.clock.now()
+        self.clock.advance_to(arrival)
+        waited = self.clock.now() - before
+        self.stats.comm_s += waited
+        self.stats.charge_phase(phase, waited)
+        return msg.payload
+
+    def exchange(self, sends: dict[int, Any], tag: int = 0,
+                 phase: str = "communication") -> dict[int, Any]:
+        """Symmetric neighbour exchange: send to every key, receive from each.
+
+        This is the halo-update pattern: post all sends first, then drain
+        the receives (safe because sends are buffered).
+        """
+        for dest, data in sends.items():
+            self.send(dest, data, tag)
+        return {src: self.recv(src, tag, phase) for src in sends}
+
+    # -------------------------------------------------------------- collectives
+    def _rendezvous(self, value: Any, combine) -> Any:
+        """All ranks deposit a value; one combines; all pick up the result."""
+        w = self.world
+        w._coll_slots[self.rank] = value
+        idx = w._barrier.wait()
+        if idx == 0:
+            w._coll_result = combine(list(w._coll_slots))
+        w._barrier.wait()
+        result = w._coll_result
+        w._barrier.wait()  # everyone read before slots are reused
+        if idx == 0:
+            w._coll_slots = [None] * w.nranks
+            w._coll_result = None
+        w._barrier.wait()
+        return result
+
+    def allreduce(self, data: np.ndarray | float, op: ReduceOp = ReduceOp.SUM,
+                  phase: str = "communication") -> Any:
+        """Tree allreduce with real data combination + modelled cost."""
+        arr = np.asarray(data, dtype=np.float64)
+        # synchronise: collective completes only after the latest rank enters
+        entry = self._rendezvous(self.clock.now(), max)
+        parts = self._rendezvous(arr, lambda slots: _REDUCERS[op](np.stack(slots)))
+        cost = self.world.network.allreduce_time(arr.nbytes, self.size)
+        before = self.clock.now()
+        self.clock.advance_to(entry + cost)
+        self.stats.comm_s += self.clock.now() - before
+        self.stats.charge_phase(phase, self.clock.now() - before)
+        if np.ndim(data) == 0:
+            return float(parts)
+        return parts
+
+    def allgather(self, data: Any, phase: str = "communication") -> list[Any]:
+        """Ring allgather with modelled cost."""
+        entry = self._rendezvous(self.clock.now(), max)
+        slots = self._rendezvous(data, list)
+        nbytes = _payload_bytes(data)
+        cost = self.world.network.allgather_time(nbytes, self.size)
+        before = self.clock.now()
+        self.clock.advance_to(entry + cost)
+        self.stats.comm_s += self.clock.now() - before
+        self.stats.charge_phase(phase, self.clock.now() - before)
+        return slots
+
+    def barrier(self) -> None:
+        entry = self._rendezvous(self.clock.now(), max)
+        self.clock.advance_to(entry)
+
+
+__all__ = ["World", "Communicator", "ReduceOp", "CommStats"]

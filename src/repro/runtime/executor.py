@@ -1,0 +1,106 @@
+"""SPMD executor: run one program per rank on real threads.
+
+``run_spmd(nranks, program)`` calls ``program(comm)`` on every rank and
+collects return values, per-rank virtual clocks and communication stats.
+Exceptions in any rank cancel the run and re-raise with the rank attached,
+so test failures point at the failing rank program rather than hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.comm import CommStats, Communicator, World
+from repro.runtime.netmodel import NetworkModel, ZERO_COST
+from repro.util.errors import ReproError
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one SPMD run."""
+
+    results: list[Any]
+    times: list[float]  # per-rank final virtual time
+    stats: list[CommStats]
+
+    @property
+    def makespan(self) -> float:
+        """The run's virtual wall time (slowest rank)."""
+        return max(self.times) if self.times else 0.0
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Summed per-phase virtual seconds across ranks."""
+        out: dict[str, float] = {}
+        for s in self.stats:
+            for phase, t in s.phase_s.items():
+                out[phase] = out.get(phase, 0.0) + t
+        return out
+
+    def phase_fractions(self) -> dict[str, float]:
+        """Each phase's share of total charged time (the breakdown figures)."""
+        breakdown = self.phase_breakdown()
+        total = sum(breakdown.values())
+        if total <= 0:
+            return {k: 0.0 for k in breakdown}
+        return {k: v / total for k, v in breakdown.items()}
+
+
+def run_spmd(
+    nranks: int,
+    program: Callable[[Communicator], Any],
+    network: NetworkModel = ZERO_COST,
+    timeout_s: float = 120.0,
+) -> SPMDResult:
+    """Execute ``program`` on ``nranks`` ranks and gather the results.
+
+    ``program`` receives a :class:`Communicator`; its return value lands in
+    ``SPMDResult.results[rank]``.
+    """
+    world = World(nranks, network)
+    world.timeout_s = timeout_s
+    comms = [world.communicator(r) for r in range(nranks)]
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = program(comms[rank])
+        except BaseException as exc:  # noqa: BLE001 - must not kill the thread pool silently
+            with lock:
+                errors.append((rank, exc))
+            # release peers stuck in collectives so the run can unwind
+            world._barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"rank{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout_s)
+        if t.is_alive():
+            world._barrier.abort()
+            raise ReproError(f"SPMD run timed out waiting for {t.name}")
+
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        # BrokenBarrier on other ranks is collateral of the abort; surface
+        # the root cause only
+        root = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
+        if root:
+            rank, exc = min(root, key=lambda e: e[0])
+        raise ReproError(f"rank {rank} failed: {type(exc).__name__}: {exc}") from exc
+
+    return SPMDResult(
+        results=results,
+        times=[c.clock.now() for c in comms],
+        stats=[c.stats for c in comms],
+    )
+
+
+__all__ = ["run_spmd", "SPMDResult"]

@@ -1,0 +1,65 @@
+"""Halo (ghost-cell) exchange on top of a partition layout.
+
+Figure 3 of the paper contrasts cell partitioning (halo exchange of every
+``I[d,b]`` along partition interfaces) with equation/band partitioning (no
+halo at all, only the temperature reduction).  :class:`HaloExchanger` is the
+cell-partition side of that: given a
+:class:`~repro.mesh.partition.PartitionLayout` it packs owned interface
+values, exchanges them with neighbour ranks, and unpacks into the ghost
+slots of the local array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.partition import PartitionLayout
+from repro.runtime.comm import Communicator
+from repro.util.errors import ReproError
+
+
+class HaloExchanger:
+    """Pack/exchange/unpack ghost values for one rank.
+
+    Local arrays use the layout's local numbering: owned cells ``[0, n_own)``
+    then ghosts ``[n_own, n_own + n_ghost)``.
+    """
+
+    def __init__(self, layout: PartitionLayout, rank: int):
+        self.layout = layout
+        self.rank = rank
+        self.n_owned = len(layout.owned[rank])
+        self.n_ghost = len(layout.ghosts[rank])
+        # local indices of the cells we send to each neighbour
+        self.send_local = {
+            q: layout.localize(rank, cells)
+            for q, cells in layout.send_cells[rank].items()
+        }
+        # local ghost slots receiving from each neighbour (in the sender's order)
+        self.recv_local = {
+            q: layout.localize(rank, cells)
+            for q, cells in layout.recv_cells[rank].items()
+        }
+
+    @property
+    def neighbors(self) -> list[int]:
+        return sorted(self.send_local)
+
+    def bytes_per_exchange(self, ncomp: int = 1) -> int:
+        """Bytes this rank sends in one halo update."""
+        return sum(len(ix) * ncomp * 8 for ix in self.send_local.values())
+
+    def update(self, comm: Communicator, local: np.ndarray, tag: int = 7) -> None:
+        """Fill the ghost entries of ``local`` (shape ``(..., n_local)``)."""
+        if local.shape[-1] != self.n_owned + self.n_ghost:
+            raise ReproError(
+                f"local array has {local.shape[-1]} cells, layout expects "
+                f"{self.n_owned + self.n_ghost}"
+            )
+        sends = {q: np.ascontiguousarray(local[..., ix]) for q, ix in self.send_local.items()}
+        received = comm.exchange(sends, tag=tag, phase="communication")
+        for q, data in received.items():
+            local[..., self.recv_local[q]] = data
+
+
+__all__ = ["HaloExchanger"]

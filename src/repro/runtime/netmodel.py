@@ -1,0 +1,50 @@
+"""Network cost models for the simulated communicator.
+
+The classic postal model: a message of ``n`` bytes costs
+``alpha + n / beta`` seconds end to end.  Collectives use tree algorithms on
+top (``ceil(log2 P))`` rounds for reductions/broadcasts), which is what
+mainstream MPI implementations do at these message sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Postal (alpha-beta) network model."""
+
+    name: str
+    latency_s: float  # alpha
+    bandwidth_gbs: float  # beta, GB/s per link
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Point-to-point message time."""
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def allreduce_time(self, nbytes: float, nranks: int) -> float:
+        """Tree allreduce: log2(P) rounds of (latency + message)."""
+        if nranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return rounds * self.transfer_time(nbytes)
+
+    def allgather_time(self, nbytes_per_rank: float, nranks: int) -> float:
+        """Ring allgather: (P-1) steps each moving one rank's block."""
+        if nranks <= 1:
+            return 0.0
+        return (nranks - 1) * self.transfer_time(nbytes_per_rank)
+
+
+#: Cluster interconnect in the class of the paper's testbed (HDR InfiniBand).
+IB_CLUSTER = NetworkModel("ib-cluster", latency_s=1.5e-6, bandwidth_gbs=12.0)
+
+#: Intra-node shared-memory transport.
+SHARED_MEMORY = NetworkModel("shared-memory", latency_s=3e-7, bandwidth_gbs=40.0)
+
+#: Free communication (for isolating compute behaviour in tests).
+ZERO_COST = NetworkModel("zero-cost", latency_s=0.0, bandwidth_gbs=1e12)
+
+__all__ = ["NetworkModel", "IB_CLUSTER", "SHARED_MEMORY", "ZERO_COST"]

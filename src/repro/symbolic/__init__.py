@@ -1,0 +1,90 @@
+"""Symbolic expression engine (the SymEngine.jl stand-in).
+
+The DSL front end parses conservation-form input strings into the expression
+trees defined here; the lowering pipeline (:mod:`repro.ir`) then applies the
+time-integration transform and classifies terms, exactly mirroring the stages
+shown in Section II of the paper.
+
+Public surface:
+
+* node types: :class:`Num`, :class:`Sym`, :class:`Indexed`, :class:`Add`,
+  :class:`Mul`, :class:`Pow`, :class:`Call`, :class:`Cmp`,
+  :class:`Conditional`, :class:`Vector`, plus the lowering markers
+  :class:`Surface`, :class:`TimeDerivative`, :class:`SideValue`,
+  :class:`FaceNormal`;
+* :func:`parse` — string → tree;
+* :func:`simplify` — canonicalisation + algebraic cleanup;
+* :func:`evaluate` — numeric evaluation against an environment;
+* the operator registry in :mod:`repro.symbolic.operators` (``upwind`` etc.,
+  including user-defined custom operators).
+"""
+
+from repro.symbolic.expr import (
+    Expr,
+    Num,
+    Sym,
+    Indexed,
+    Add,
+    Mul,
+    Pow,
+    Call,
+    Cmp,
+    Conditional,
+    Vector,
+    Surface,
+    TimeDerivative,
+    SideValue,
+    FaceNormal,
+    FaceDistance,
+    Reconstruction,
+    as_expr,
+    free_symbols,
+    free_indices,
+    substitute,
+    preorder,
+)
+from repro.symbolic.simplify import simplify, expand_products, collect_terms
+from repro.symbolic.parser import parse, tokenize, Token
+from repro.symbolic.evaluate import evaluate
+from repro.symbolic.latex import to_latex
+from repro.symbolic.operators import (
+    OperatorRegistry,
+    SymbolicOperator,
+    default_registry,
+)
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Sym",
+    "Indexed",
+    "Add",
+    "Mul",
+    "Pow",
+    "Call",
+    "Cmp",
+    "Conditional",
+    "Vector",
+    "Surface",
+    "TimeDerivative",
+    "SideValue",
+    "FaceNormal",
+    "FaceDistance",
+    "Reconstruction",
+    "as_expr",
+    "free_symbols",
+    "free_indices",
+    "substitute",
+    "preorder",
+    "simplify",
+    "expand_products",
+    "collect_terms",
+    "parse",
+    "tokenize",
+    "Token",
+    "evaluate",
+    "to_latex",
+    "OperatorRegistry",
+    "SymbolicOperator",
+    "default_registry",
+]

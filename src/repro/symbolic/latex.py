@@ -1,0 +1,145 @@
+r"""LaTeX rendering of expression trees.
+
+The DSL's goal is input "in an intuitive form that closely resembles the
+mathematics" (paper Sec. III-B); this renderer closes the loop by printing
+any expression — raw input, the expanded form, classified terms — back as
+mathematics.  Useful in notebooks and for documentation:
+
+>>> to_latex(parse("(Io[b] - I[d,b]) / beta[b]"))
+'\\frac{Io_{b} - I_{d,b}}{\\beta_{b}}'
+"""
+
+from __future__ import annotations
+
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Conditional,
+    Expr,
+    FaceDistance,
+    FaceNormal,
+    Indexed,
+    Mul,
+    Num,
+    Pow,
+    Reconstruction,
+    SideValue,
+    Surface,
+    Sym,
+    TimeDerivative,
+    Vector,
+)
+from repro.util.errors import DSLError
+
+#: symbol names rendered as Greek letters
+_GREEK = {
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    "kappa", "lambda", "mu", "nu", "xi", "rho", "sigma", "tau", "phi",
+    "chi", "psi", "omega",
+}
+
+_CMP_TEX = {">": ">", "<": "<", ">=": r"\geq", "<=": r"\leq",
+            "==": "=", "!=": r"\neq"}
+
+
+def _name_tex(name: str) -> str:
+    base = name
+    if base.startswith("_") and base.endswith("_1"):
+        base = base[1:-2]
+    if base.lower() in _GREEK:
+        return "\\" + base.lower()
+    if len(base) > 1:
+        return rf"\mathrm{{{base}}}"
+    return base
+
+
+def _wrap_sum(expr: Expr, tex: str) -> str:
+    return rf"\left({tex}\right)" if isinstance(expr, Add) else tex
+
+
+def to_latex(expr: Expr) -> str:
+    """Render an expression tree as LaTeX source."""
+    if isinstance(expr, Num):
+        v = expr.value
+        return str(v) if v >= 0 else rf"-{abs(v)}"
+    if isinstance(expr, Sym):
+        return _name_tex(expr.name)
+    if isinstance(expr, Indexed):
+        idx = ",".join(str(i) for i in expr.indices)
+        return rf"{_name_tex(expr.base)}_{{{idx}}}"
+    if isinstance(expr, FaceNormal):
+        return rf"n_{{{('x', 'y', 'z')[expr.component - 1]}}}"
+    if isinstance(expr, FaceDistance):
+        return r"\delta_{f}"
+    if isinstance(expr, SideValue):
+        side = "+" if expr.side == 1 else "-"
+        inner = to_latex(expr.expr)
+        return rf"{inner}^{{{side}}}"
+    if isinstance(expr, Add):
+        out = to_latex(expr.args[0])
+        for a in expr.args[1:]:
+            t = to_latex(a)
+            out += t if t.startswith("-") else f" + {t}"
+        return out.replace("+ -", "- ")
+    if isinstance(expr, Mul):
+        # split off a leading -1 and denominator powers
+        args = list(expr.args)
+        sign = ""
+        if args and isinstance(args[0], Num) and args[0].value == -1 and len(args) > 1:
+            sign = "-"
+            args = args[1:]
+        num_parts: list[str] = []
+        den_parts: list[str] = []
+        for a in args:
+            if isinstance(a, Pow) and isinstance(a.exponent, Num) and a.exponent.value < 0:
+                flipped = Pow(a.base, Num(-a.exponent.value))
+                den_parts.append(to_latex(flipped if a.exponent.value != -1 else a.base))
+            else:
+                num_parts.append(_wrap_sum(a, to_latex(a)))
+        num = r" \, ".join(num_parts) if num_parts else "1"
+        if den_parts:
+            den = r" \, ".join(den_parts)
+            return rf"{sign}\frac{{{num}}}{{{den}}}"
+        return sign + num
+    if isinstance(expr, Pow):
+        base = _wrap_sum(expr.base, to_latex(expr.base))
+        if isinstance(expr.base, (Mul, Pow)):
+            base = rf"\left({base}\right)"
+        return rf"{base}^{{{to_latex(expr.exponent)}}}"
+    if isinstance(expr, Cmp):
+        return rf"{to_latex(expr.lhs)} {_CMP_TEX[expr.op]} {to_latex(expr.rhs)}"
+    if isinstance(expr, Conditional):
+        return (
+            r"\begin{cases}"
+            + rf"{to_latex(expr.then)} & {to_latex(expr.cond)}\\"
+            + rf"{to_latex(expr.otherwise)} & \text{{otherwise}}"
+            + r"\end{cases}"
+        )
+    if isinstance(expr, Vector):
+        inner = r" \\ ".join(to_latex(c) for c in expr.components)
+        return rf"\begin{{pmatrix}}{inner}\end{{pmatrix}}"
+    if isinstance(expr, Surface):
+        return rf"\frac{{1}}{{V}}\oint_{{\partial V}} {to_latex(expr.expr)} \, dA"
+    if isinstance(expr, TimeDerivative):
+        return rf"\frac{{\partial}}{{\partial t}}\left({to_latex(expr.expr)}\right)"
+    if isinstance(expr, Reconstruction):
+        return (
+            rf"\mathcal{{R}}_{{\mathrm{{{expr.scheme}}}}}"
+            rf"\left({to_latex(expr.velocity_normal)}, {to_latex(expr.quantity)}\right)"
+        )
+    if isinstance(expr, Call):
+        if expr.func == "grad":
+            return rf"\nabla {to_latex(expr.args[0])}"
+        if expr.func == "dot" and len(expr.args) == 2:
+            return rf"{to_latex(expr.args[0])} \cdot {to_latex(expr.args[1])}"
+        if expr.func == "abs" and len(expr.args) == 1:
+            return rf"\left|{to_latex(expr.args[0])}\right|"
+        if expr.func == "sqrt" and len(expr.args) == 1:
+            return rf"\sqrt{{{to_latex(expr.args[0])}}}"
+        args = ", ".join(to_latex(a) for a in expr.args)
+        return rf"\mathrm{{{expr.func}}}\left({args}\right)"
+    raise DSLError(f"cannot render node type {type(expr).__name__} as LaTeX")
+
+
+__all__ = ["to_latex"]

@@ -1,0 +1,251 @@
+"""Tokenizer and recursive-descent parser for conservation-form input.
+
+Accepts the expression language shown in the paper, e.g.::
+
+    -k*u - surface(upwind(b, u))
+    (Io[b] - I[d,b]) / beta[b] + surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))
+    isothermal(I, vg, Sx, Sy, b, d, normal, 300)
+
+Grammar (precedence climbing)::
+
+    comparison :=  sum (('>'|'<'|'>='|'<='|'=='|'!=') sum)?
+    sum        :=  product (('+'|'-') product)*
+    product    :=  unary  (('*'|'/') unary)*
+    unary      :=  '-' unary | power
+    power      :=  postfix ('^' unary)?
+    postfix    :=  atom ('[' indices ']')?
+    atom       :=  NUMBER | IDENT call? | '(' comparison ')' | vector
+    call       :=  '(' (comparison (',' comparison)*)? ')'
+    vector     :=  '[' comparison (';' comparison)+ ']'
+    indices    :=  (IDENT|INT) (',' (IDENT|INT))*
+
+Identifiers become :class:`~repro.symbolic.expr.Sym` (or
+:class:`~repro.symbolic.expr.Indexed` when subscripted); calls become
+:class:`~repro.symbolic.expr.Call` nodes to be resolved by the operator
+registry during lowering.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Expr,
+    Indexed,
+    Mul,
+    Num,
+    Pow,
+    Sym,
+    Vector,
+)
+from repro.util.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|[-+*/^()\[\],;<>])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` in {'number','ident','op','end'}."""
+
+    kind: str
+    text: str
+    pos: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens; raises :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", source, pos)
+        if m.lastgroup != "ws":
+            kind = m.lastgroup
+            assert kind is not None
+            # normalise the verbose-group names
+            if kind not in ("number", "ident", "op"):
+                kind = "op"
+            tokens.append(Token(kind, m.group(), pos))
+        pos = m.end()
+    tokens.append(Token("end", "", len(source)))
+    return tokens
+
+
+_CMP_OPS = (">", "<", ">=", "<=", "==", "!=")
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.i = 0
+
+    # -- token stream helpers -------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.i]
+        if tok.kind != "end":
+            self.i += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.cur.kind == "op" and self.cur.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> None:
+        if not self.accept(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.cur.text or 'end of input'!r}",
+                self.source,
+                self.cur.pos,
+            )
+
+    def fail(self, message: str) -> ParseError:
+        return ParseError(message, self.source, self.cur.pos)
+
+    # -- grammar ---------------------------------------------------------------
+    def parse(self) -> Expr:
+        expr = self.comparison()
+        if self.cur.kind != "end":
+            raise self.fail(f"unexpected trailing input {self.cur.text!r}")
+        return expr
+
+    def comparison(self) -> Expr:
+        lhs = self.sum()
+        if self.cur.kind == "op" and self.cur.text in _CMP_OPS:
+            op = self.advance().text
+            rhs = self.sum()
+            return Cmp(op, lhs, rhs)
+        return lhs
+
+    def sum(self) -> Expr:
+        expr = self.product()
+        while self.cur.kind == "op" and self.cur.text in ("+", "-"):
+            op = self.advance().text
+            rhs = self.product()
+            if op == "+":
+                expr = Add(expr, rhs)
+            else:
+                expr = Add(expr, Mul(Num(-1), rhs))
+        return expr
+
+    def product(self) -> Expr:
+        expr = self.unary()
+        while self.cur.kind == "op" and self.cur.text in ("*", "/"):
+            op = self.advance().text
+            rhs = self.unary()
+            if op == "*":
+                expr = Mul(expr, rhs)
+            else:
+                expr = Mul(expr, Pow(rhs, Num(-1)))
+        return expr
+
+    def unary(self) -> Expr:
+        if self.accept("-"):
+            return Mul(Num(-1), self.unary())
+        if self.accept("+"):
+            return self.unary()
+        return self.power()
+
+    def power(self) -> Expr:
+        base = self.postfix()
+        if self.accept("^"):
+            # right associative, and unary minus binds looser: x^-2 parses
+            exponent = self.unary()
+            return Pow(base, exponent)
+        return base
+
+    def postfix(self) -> Expr:
+        expr = self.atom()
+        if self.cur.kind == "op" and self.cur.text == "[":
+            if not isinstance(expr, Sym):
+                raise self.fail("only identifiers can be subscripted")
+            self.advance()
+            indices = [self.index_label()]
+            while self.accept(","):
+                indices.append(self.index_label())
+            self.expect("]")
+            return Indexed(expr.name, tuple(indices))
+        return expr
+
+    def index_label(self) -> str | int:
+        tok = self.cur
+        if tok.kind == "ident":
+            self.advance()
+            return tok.text
+        if tok.kind == "number":
+            self.advance()
+            if "." in tok.text or "e" in tok.text or "E" in tok.text:
+                raise ParseError("index literal must be an integer", self.source, tok.pos)
+            return int(tok.text)
+        raise self.fail(f"expected an index name or integer, found {tok.text!r}")
+
+    def atom(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "number":
+            self.advance()
+            text = tok.text
+            if "." in text or "e" in text or "E" in text:
+                return Num(float(text))
+            return Num(int(text))
+        if tok.kind == "ident":
+            self.advance()
+            if self.cur.kind == "op" and self.cur.text == "(":
+                return self.call(tok.text)
+            return Sym(tok.text)
+        if self.accept("("):
+            expr = self.comparison()
+            self.expect(")")
+            return expr
+        if self.cur.kind == "op" and self.cur.text == "[":
+            return self.vector()
+        raise self.fail(f"unexpected token {tok.text or 'end of input'!r}")
+
+    def call(self, name: str) -> Expr:
+        self.expect("(")
+        args: list[Expr] = []
+        if not (self.cur.kind == "op" and self.cur.text == ")"):
+            args.append(self.comparison())
+            while self.accept(","):
+                args.append(self.comparison())
+        self.expect(")")
+        return Call(name, *args)
+
+    def vector(self) -> Expr:
+        self.expect("[")
+        comps = [self.comparison()]
+        while self.accept(";"):
+            comps.append(self.comparison())
+        self.expect("]")
+        if len(comps) == 1:
+            # a one-element "[x]" literal is just x (no 1-vectors in input)
+            return comps[0]
+        return Vector(*comps)
+
+
+def parse(source: str) -> Expr:
+    """Parse a conservation-form expression string into an expression tree."""
+    if not source or not source.strip():
+        raise ParseError("empty expression", source, 0)
+    return _Parser(source).parse()
+
+
+__all__ = ["parse", "tokenize", "Token"]

@@ -1,0 +1,254 @@
+"""Algebraic simplification and canonicalisation.
+
+:func:`simplify` performs the cleanup the paper's pipeline relies on after
+expansion ("expanded, sorted, and simplified"):
+
+* flatten and canonically order n-ary sums/products,
+* fold numeric constants,
+* drop additive zeros / multiplicative ones, kill products containing zero,
+* collect like terms in sums (``2*x + 3*x -> 5*x``),
+* collect repeated factors into powers (``x*x -> x^2``),
+* elementary power rules (``x^0 -> 1``, ``x^1 -> x``, numeric folding),
+* collapse conditionals with identical branches.
+
+Simplification is value-preserving; the property tests in
+``tests/symbolic/test_simplify_properties.py`` check
+``evaluate(simplify(e)) == evaluate(e)`` on random trees and environments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Conditional,
+    Expr,
+    Mul,
+    Num,
+    Pow,
+    Surface,
+    TimeDerivative,
+    as_expr,
+)
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return a canonical, simplified version of ``expr``."""
+    return _simplify(as_expr(expr))
+
+
+def _simplify(expr: Expr) -> Expr:
+    # simplify children first, then dispatch on the node type
+    kids = expr.children
+    if kids:
+        new_kids = tuple(_simplify(k) for k in kids)
+        if new_kids != kids:
+            expr = expr.rebuild(*new_kids)
+
+    if isinstance(expr, Add):
+        return _simplify_add(expr)
+    if isinstance(expr, Mul):
+        return _simplify_mul(expr)
+    if isinstance(expr, Pow):
+        return _simplify_pow(expr)
+    if isinstance(expr, Conditional):
+        if expr.then == expr.otherwise:
+            return expr.then
+        return expr
+    if isinstance(expr, (Surface, TimeDerivative)):
+        # a surface/time-derivative integral of zero is zero
+        if isinstance(expr.expr, Num) and expr.expr.value == 0:
+            return Num(0)
+        return expr
+    return expr
+
+
+def _split_coefficient(term: Expr) -> tuple[float | int, Expr]:
+    """Split a term into (numeric coefficient, residual symbolic part)."""
+    if isinstance(term, Num):
+        return term.value, Num(1)
+    if isinstance(term, Mul):
+        coeff: float | int = 1
+        rest: list[Expr] = []
+        for a in term.args:
+            if isinstance(a, Num):
+                coeff *= a.value
+            else:
+                rest.append(a)
+        if not rest:
+            return coeff, Num(1)
+        residual = rest[0] if len(rest) == 1 else Mul(*rest)
+        return coeff, residual
+    return 1, term
+
+
+def _simplify_add(expr: Add) -> Expr:
+    # collect like terms: map residual -> accumulated numeric coefficient
+    buckets: "OrderedDict[Expr, float | int]" = OrderedDict()
+    const: float | int = 0
+    for term in expr.args:  # already flattened by construction
+        coeff, residual = _split_coefficient(term)
+        if residual == Num(1):
+            const += coeff
+        else:
+            buckets[residual] = buckets.get(residual, 0) + coeff
+
+    terms: list[Expr] = []
+    for residual, coeff in buckets.items():
+        if coeff == 0:
+            continue
+        if coeff == 1:
+            terms.append(residual)
+        else:
+            terms.append(_simplify_mul(Mul(Num(coeff), residual)))
+    if const != 0 or not terms:
+        terms.append(Num(const))
+
+    terms.sort(key=_add_term_key)
+    if len(terms) == 1:
+        return terms[0]
+    return Add(*terms)
+
+
+def _add_term_key(term: Expr) -> tuple:
+    """Sum-term ordering: time-derivative terms first, surface terms last
+    (the order the paper's listings use), plain terms in canonical order."""
+    from repro.symbolic.expr import preorder  # local import avoids a cycle
+
+    rank = 1
+    for node in preorder(term):
+        if isinstance(node, TimeDerivative):
+            rank = 0
+            break
+        if isinstance(node, Surface):
+            rank = 2
+    return (rank, term.sort_key())
+
+
+def _simplify_mul(expr: Mul) -> Expr:
+    coeff: float | int = 1
+    # collect repeated bases into powers: map base -> accumulated exponent expr
+    powers: "OrderedDict[Expr, Expr]" = OrderedDict()
+    for factor in expr.args:
+        if isinstance(factor, Num):
+            coeff *= factor.value
+            continue
+        if isinstance(factor, Pow):
+            base, exp = factor.base, factor.exponent
+        else:
+            base, exp = factor, Num(1)
+        if base in powers:
+            powers[base] = _simplify_add(Add(powers[base], exp))
+        else:
+            powers[base] = exp
+
+    if coeff == 0:
+        return Num(0)
+
+    factors: list[Expr] = []
+    for base, exp in powers.items():
+        f = _simplify_pow(Pow(base, exp))
+        if isinstance(f, Num):
+            coeff *= f.value
+        else:
+            factors.append(f)
+
+    if not factors:
+        return Num(coeff)
+    factors.sort(key=lambda t: t.sort_key())
+    if coeff != 1:
+        factors.insert(0, Num(coeff))
+    if len(factors) == 1:
+        return factors[0]
+    return Mul(*factors)
+
+
+def _simplify_pow(expr: Pow) -> Expr:
+    base, exp = expr.base, expr.exponent
+    if isinstance(exp, Num):
+        if exp.value == 0:
+            return Num(1)
+        if exp.value == 1:
+            return base
+        if isinstance(base, Num):
+            try:
+                val = base.value ** exp.value
+            except (OverflowError, ZeroDivisionError):
+                return expr  # leave 0^-1 etc. symbolic rather than raising
+            if isinstance(val, complex) or (isinstance(val, float) and not math.isfinite(val)):
+                return expr
+            return Num(val)
+        if isinstance(base, Pow) and isinstance(base.exponent, Num):
+            # (x^a)^b -> x^(a*b) only when safe: integer outer exponent
+            if isinstance(exp.value, int) or float(exp.value).is_integer():
+                return _simplify_pow(
+                    Pow(base.base, Num(base.exponent.value * exp.value))
+                )
+    if isinstance(base, Num) and base.value == 1:
+        return Num(1)
+    return Pow(base, exp)
+
+
+def expand_products(expr: Expr) -> Expr:
+    """Distribute products over sums: ``a*(b+c) -> a*b + a*c`` (recursively).
+
+    The classifier needs a *sum of products* form so each additive term can be
+    assigned to exactly one LHS/RHS × volume/surface bucket.  Conditionals and
+    calls are treated as opaque factors (their insides are not distributed):
+    classification only needs top-level additive structure, and keeping
+    conditionals intact preserves the paper's printed form.
+    """
+    expr = as_expr(expr)
+    if isinstance(expr, (Conditional, Call, Cmp)):
+        return expr
+    kids = expr.children
+    if kids:
+        new_kids = tuple(expand_products(k) for k in kids)
+        if new_kids != kids:
+            expr = expr.rebuild(*new_kids)
+
+    if isinstance(expr, Mul):
+        # find the first Add factor and distribute over it
+        for i, factor in enumerate(expr.args):
+            if isinstance(factor, Add):
+                others = expr.args[:i] + expr.args[i + 1 :]
+                terms = [
+                    expand_products(Mul(*(others + (t,)))) if others else t
+                    for t in factor.args
+                ]
+                return Add(*terms)
+    return expr
+
+
+def collect_terms(expr: Expr) -> list[Expr]:
+    """Flatten ``expr`` (after expansion) into its list of additive terms."""
+    expr = expand_products(simplify(expand_products(expr)))
+    if isinstance(expr, Add):
+        return list(expr.args)
+    if isinstance(expr, Num) and expr.value == 0:
+        return []
+    return [expr]
+
+
+def negate(expr: Expr) -> Expr:
+    """Convenience: simplified ``-expr``."""
+    return simplify(Mul(Num(-1), expr))
+
+
+def is_zero(expr: Expr) -> bool:
+    """True if ``expr`` simplifies to the literal 0."""
+    s = simplify(expr)
+    return isinstance(s, Num) and s.value == 0
+
+
+__all__ = [
+    "simplify",
+    "expand_products",
+    "collect_terms",
+    "negate",
+    "is_zero",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+A single root (:class:`ReproError`) lets callers catch everything coming out
+of the library while the subclasses keep error sites precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all exceptions raised by :mod:`repro`."""
+
+
+class DSLError(ReproError):
+    """User-facing problem in DSL input (bad expression, unknown entity...)."""
+
+
+class ParseError(DSLError):
+    """The conservation-form input string could not be parsed."""
+
+    def __init__(self, message: str, source: str = "", position: int = -1):
+        self.source = source
+        self.position = position
+        if source and position >= 0:
+            caret = " " * position + "^"
+            message = f"{message}\n  {source}\n  {caret}"
+        super().__init__(message)
+
+
+class CodegenError(ReproError):
+    """A code-generation target could not produce or compile code."""
+
+
+class MeshError(ReproError):
+    """Invalid mesh input or failed mesh operation."""
+
+
+class SolverError(ReproError):
+    """Numerical failure during time stepping (NaN, divergence...)."""
+
+
+class ConfigError(ReproError):
+    """Inconsistent or incomplete problem configuration."""

@@ -1,0 +1,102 @@
+"""Coarse 3-D BTE (paper Sec. III-A: "Some very coarse-grained
+3-dimensional runs were also performed successfully")."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bte.angular import product_directions_3d, reflection_map
+from repro.bte.problem import build_bte_problem_3d, coarse_3d_scenario
+from repro.util.errors import ConfigError
+
+
+class TestProductOrdinates:
+    def test_counts_and_weights(self):
+        ds = product_directions_3d(8, 4)
+        assert ds.ndirs == 32
+        assert ds.dim == 3
+        assert ds.weights.sum() == pytest.approx(4 * math.pi)
+        assert np.allclose(np.linalg.norm(ds.vectors, axis=1), 1.0)
+
+    def test_paper_quoted_size(self):
+        """'around 20 x 20 = 400' for general 3-D problems."""
+        ds = product_directions_3d(20, 20)
+        assert ds.ndirs == 400
+
+    def test_balanced(self):
+        ds = product_directions_3d(8, 4)
+        moment = (ds.vectors * ds.weights[:, None]).sum(axis=0)
+        assert np.allclose(moment, 0.0, atol=1e-12)
+
+    def test_second_moment_near_isotropic(self):
+        """Equal-solid-angle ordinates integrate s_i s_j to ~(4pi/3) I:
+        off-diagonals vanish exactly, the trace is exactly 4pi (unit
+        vectors), diagonals carry only the O(1/n^2) midpoint error."""
+        ds = product_directions_3d(12, 6)
+        M = np.einsum("d,di,dj->ij", ds.weights, ds.vectors, ds.vectors)
+        off = M - np.diag(np.diag(M))
+        assert np.allclose(off, 0.0, atol=1e-12)
+        assert np.trace(M) == pytest.approx(4 * math.pi, rel=1e-12)
+        assert np.allclose(np.diag(M), 4 * math.pi / 3, rtol=0.05)
+        # refinement shrinks the error
+        fine = product_directions_3d(12, 12)
+        Mf = np.einsum("d,di,dj->ij", fine.weights, fine.vectors, fine.vectors)
+        err_coarse = abs(M[2, 2] - 4 * math.pi / 3)
+        err_fine = abs(Mf[2, 2] - 4 * math.pi / 3)
+        assert err_fine < err_coarse
+
+    @pytest.mark.parametrize("normal", [
+        [1.0, 0.0, 0.0], [0.0, -1.0, 0.0], [0.0, 0.0, 1.0],
+    ])
+    def test_axis_plane_reflections_exact(self, normal):
+        ds = product_directions_3d(8, 4)
+        r = reflection_map(ds, np.array(normal))
+        assert sorted(r.tolist()) == list(range(32))
+
+    @pytest.mark.parametrize("n_az,n_pol", [(3, 4), (8, 3), (2, 2), (8, 0)])
+    def test_invalid_counts(self, n_az, n_pol):
+        with pytest.raises(ConfigError):
+            product_directions_3d(n_az, n_pol)
+
+
+class TestCoarse3DRun:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        scenario = coarse_3d_scenario(
+            nx=6, ny=6, nz=6, n_azimuthal=8, n_polar=4,
+            n_freq_bands=4, dt=1e-12, nsteps=10,
+        )
+        problem, model = build_bte_problem_3d(scenario)
+        solver = problem.solve()
+        return scenario, model, solver
+
+    def test_runs_and_heats_from_the_top_face(self, solved):
+        scenario, model, solver = solved
+        T = solver.state.extra["T"].reshape(scenario.nz, scenario.ny, scenario.nx)
+        assert T.max() > scenario.T0
+        # the hot face is z-max
+        assert T[-1].max() == T.max()
+        assert T[0].max() == pytest.approx(scenario.T0, abs=1e-6)
+
+    def test_lateral_symmetry(self, solved):
+        """Specular side walls + centred source: the field is symmetric in
+        both lateral directions."""
+        scenario, model, solver = solved
+        T = solver.state.extra["T"].reshape(scenario.nz, scenario.ny, scenario.nx)
+        assert np.allclose(T, T[:, :, ::-1], rtol=1e-9)
+        assert np.allclose(T, T[:, ::-1, :], rtol=1e-9)
+
+    def test_equation_uses_three_normal_components(self, solved):
+        _, _, solver = solved
+        assert "NORMAL_3" in str(solver.expanded_expr)
+        assert "normal_z" in solver.source
+
+    def test_3d_equilibrium_steady(self):
+        scenario = coarse_3d_scenario(
+            nx=4, ny=4, nz=4, n_azimuthal=8, n_polar=4,
+            n_freq_bands=3, dt=1e-12, nsteps=8, T_hot=300.0,
+        )
+        problem, _ = build_bte_problem_3d(scenario)
+        solver = problem.solve()
+        assert np.allclose(solver.state.extra["T"], 300.0, atol=1e-9)

@@ -1,0 +1,85 @@
+"""Discrete ordinates and specular reflection maps."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bte.angular import (
+    component_reflection_map,
+    reflection_map,
+    uniform_directions_2d,
+)
+from repro.util.errors import ConfigError
+
+
+class TestUniformDirections:
+    @pytest.mark.parametrize("n", [4, 8, 16, 20])
+    def test_counts_and_weights(self, n):
+        ds = uniform_directions_2d(n)
+        assert ds.ndirs == n
+        assert ds.weights.sum() == pytest.approx(4 * math.pi)
+        assert np.allclose(np.linalg.norm(ds.vectors, axis=1), 1.0)
+
+    def test_first_moment_vanishes(self):
+        ds = uniform_directions_2d(12)
+        assert np.allclose((ds.vectors * ds.weights[:, None]).sum(axis=0), 0.0, atol=1e-12)
+
+    def test_half_offset_avoids_axis_alignment(self):
+        ds = uniform_directions_2d(8)
+        # no ordinate exactly parallel to a wall normal
+        assert np.abs(ds.sx).min() > 1e-6
+        assert np.abs(ds.sy).min() > 1e-6
+
+    @pytest.mark.parametrize("n", [3, 5, 2, 0])
+    def test_invalid_counts(self, n):
+        with pytest.raises(ConfigError):
+            uniform_directions_2d(n)
+
+
+class TestReflectionMaps:
+    @pytest.mark.parametrize("normal", [[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+    def test_axis_walls_have_exact_maps(self, normal):
+        ds = uniform_directions_2d(16)
+        r = reflection_map(ds, np.array(normal))
+        # involution and permutation
+        assert sorted(r.tolist()) == list(range(16))
+        assert np.array_equal(r[r], np.arange(16))
+
+    def test_reflection_reverses_normal_component(self):
+        ds = uniform_directions_2d(12)
+        n = np.array([1.0, 0.0])
+        r = reflection_map(ds, n)
+        for d in range(12):
+            assert ds.vectors[r[d]] @ n == pytest.approx(-(ds.vectors[d] @ n))
+            # tangential component preserved
+            assert ds.vectors[r[d]][1] == pytest.approx(ds.vectors[d][1])
+
+    def test_no_direction_maps_to_itself_for_offset_sets(self):
+        ds = uniform_directions_2d(8)
+        r = reflection_map(ds, np.array([1.0, 0.0]))
+        assert np.all(r != np.arange(8))
+
+    def test_oblique_wall_rejected_when_set_incompatible(self):
+        ds = uniform_directions_2d(8)
+        with pytest.raises(ConfigError, match="does not land"):
+            reflection_map(ds, np.array([1.0, 0.3]))
+
+    def test_diagonal_wall_works_for_compatible_set(self):
+        # 8 half-offset ordinates are symmetric about the 45-degree axis
+        ds = uniform_directions_2d(8)
+        r = reflection_map(ds, np.array([1.0, 1.0]) / math.sqrt(2))
+        assert sorted(r.tolist()) == list(range(8))
+
+
+class TestComponentLift:
+    def test_band_index_preserved(self):
+        dmap = np.array([1, 0, 3, 2])
+        comp = component_reflection_map(dmap, nbands=3)
+        # component (d, b) -> (dmap[d], b), row-major
+        assert comp.tolist() == [3, 4, 5, 0, 1, 2, 9, 10, 11, 6, 7, 8]
+
+    def test_is_permutation(self):
+        dmap = np.array([2, 3, 0, 1])
+        comp = component_reflection_map(dmap, nbands=5)
+        assert sorted(comp.tolist()) == list(range(20))

@@ -1,0 +1,82 @@
+"""Thermal-conductivity extraction (size effect, the ref-[15] application)."""
+
+import numpy as np
+import pytest
+
+from repro.bte.angular import uniform_directions_2d
+from repro.bte.conductivity import (
+    bulk_conductivity,
+    effective_conductivity,
+    majumdar_eprt,
+    mean_free_path,
+    size_effect_curve,
+)
+from repro.bte.dispersion import silicon_bands
+from repro.bte.model import BTEModel
+from repro.util.errors import SolverError
+
+
+@pytest.fixture(scope="module")
+def gray_model():
+    return BTEModel(bands=silicon_bands(1), directions=uniform_directions_2d(16))
+
+
+class TestBulkProperties:
+    def test_bulk_conductivity_magnitude(self, gray_model):
+        """A single gray band underestimates real silicon, but the value
+        must land in a physically sensible window."""
+        k = bulk_conductivity(gray_model, 100.0)
+        assert 50.0 < k < 2000.0
+
+    def test_bulk_conductivity_multiband_larger(self, gray_model):
+        """More bands capture low-frequency long-mfp carriers and raise k."""
+        multi = BTEModel(bands=silicon_bands(10),
+                         directions=uniform_directions_2d(16))
+        assert bulk_conductivity(multi, 100.0) > bulk_conductivity(gray_model, 100.0)
+
+    def test_mean_free_path_scale(self, gray_model):
+        assert 1e-7 < mean_free_path(gray_model, 100.0) < 1e-5
+
+    def test_eprt_limits(self):
+        assert majumdar_eprt(0.0) == 1.0
+        assert majumdar_eprt(100.0) < 0.01
+
+
+@pytest.fixture(scope="module")
+def curve(gray_model):
+    return size_effect_curve(gray_model, [10.0, 3.0, 1.0])
+
+
+class TestSizeEffect:
+    def test_suppression_monotone_in_knudsen(self, curve):
+        s = [r.suppression for r in curve]
+        assert s[0] < s[1] < s[2]
+
+    def test_always_below_bulk(self, curve):
+        for r in curve:
+            assert 0.0 < r.suppression < 1.0
+
+    def test_tracks_eprt_interpolation(self, curve):
+        """Within ~35 % of Majumdar's formula across the sweep (the formula
+        itself is approximate in the transition regime; first-order angular
+        and spatial discretisation account for the rest)."""
+        for r in curve:
+            assert r.suppression == pytest.approx(
+                float(majumdar_eprt(r.knudsen)), rel=0.35
+            )
+
+    def test_ballistic_asymptote(self, gray_model):
+        """Kn >> 1: k_eff/k_bulk -> 3 / (4 Kn) (the Casimir conductance)."""
+        r = effective_conductivity(
+            gray_model, mean_free_path(gray_model, 100.0) / 20.0, 105.0, 95.0
+        )
+        assert r.suppression == pytest.approx(3.0 / (4.0 * 20.0), rel=0.35)
+
+    def test_flux_positive_and_steady(self, curve):
+        for r in curve:
+            assert r.flux > 0
+            assert r.steps_run > 0
+
+    def test_inverted_walls_rejected(self, gray_model):
+        with pytest.raises(SolverError):
+            effective_conductivity(gray_model, 1e-7, 95.0, 105.0)

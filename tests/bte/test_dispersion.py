@@ -1,0 +1,98 @@
+"""Silicon dispersion and band discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.bte import constants as C
+from repro.bte.dispersion import LA_BRANCH, TA_BRANCH, silicon_bands
+from repro.util.errors import ConfigError
+
+
+class TestBranches:
+    def test_la_omega_max_reference_value(self):
+        # the quadratic fit puts the LA zone edge near 7.75e13 rad/s
+        assert LA_BRANCH.omega_max == pytest.approx(7.75e13, rel=0.01)
+
+    def test_ta_omega_max_reference_value(self):
+        assert TA_BRANCH.omega_max == pytest.approx(3.0e13, rel=0.05)
+
+    def test_dispersion_monotone_up_to_zone_edge(self):
+        for br in (LA_BRANCH, TA_BRANCH):
+            k = np.linspace(0, br.k_max, 200)
+            w = br.omega(k)
+            assert np.all(np.diff(w) >= -1e-6)
+
+    def test_k_of_omega_roundtrip(self):
+        for br in (LA_BRANCH, TA_BRANCH):
+            k = np.linspace(br.k_max * 0.01, br.k_max * 0.99, 50)
+            w = br.omega(k)
+            assert np.allclose(br.k_of_omega(w), k, rtol=1e-10)
+
+    def test_k_of_omega_range_check(self):
+        with pytest.raises(ConfigError):
+            LA_BRANCH.k_of_omega(LA_BRANCH.omega_max * 1.5)
+        with pytest.raises(ConfigError):
+            LA_BRANCH.k_of_omega(-1.0)
+
+    def test_group_velocity_decreases_with_k(self):
+        k = np.linspace(0, LA_BRANCH.k_max, 50)
+        vg = LA_BRANCH.group_velocity(k)
+        assert vg[0] == pytest.approx(C.LA_VS)
+        assert np.all(np.diff(vg) < 0)
+
+    def test_ta_velocity_vanishes_at_zone_edge(self):
+        assert TA_BRANCH.group_velocity(TA_BRANCH.k_max) == pytest.approx(0.0, abs=1.0)
+
+    def test_dos_positive(self):
+        k = np.linspace(1e8, LA_BRANCH.k_max, 20)
+        vg = LA_BRANCH.group_velocity(k)
+        assert np.all(LA_BRANCH.dos(k, vg) > 0)
+
+    def test_ta_degeneracy_doubles_dos(self):
+        k = 1e9
+        vg_la = LA_BRANCH.group_velocity(k)
+        vg_ta = TA_BRANCH.group_velocity(k)
+        # per unit (k^2 / 2 pi^2 vg), TA carries twice the states
+        assert TA_BRANCH.dos(k, vg_ta) / (k**2 / (2 * np.pi**2 * vg_ta)) == 2
+
+
+class TestBandSet:
+    def test_paper_band_counts(self):
+        """40 frequency bands -> 40 LA + 15 TA = 55 polarised bands
+        (paper Sec. I and III-A)."""
+        bands = silicon_bands(40)
+        assert bands.nbands == 55
+        assert bands.n_la == 40
+        assert bands.n_ta == 15
+
+    @pytest.mark.parametrize("n", [1, 5, 10, 80])
+    def test_other_band_counts_consistent(self, n):
+        bands = silicon_bands(n)
+        assert bands.n_la == n
+        assert 0 <= bands.n_ta <= n
+        assert bands.nbands == bands.n_la + bands.n_ta
+
+    def test_band_widths_cover_la_spectrum(self):
+        bands = silicon_bands(40)
+        la = [i for i, b in enumerate(bands.branch) if b == "LA"]
+        assert np.isclose(bands.domega[la].sum(), LA_BRANCH.omega_max, rtol=1e-12)
+
+    def test_group_velocities_physical(self):
+        bands = silicon_bands(40)
+        assert np.all(bands.vg > 0)
+        assert bands.vg.max() <= C.LA_VS * 1.001
+
+    def test_ta_bands_are_low_frequency(self):
+        bands = silicon_bands(40)
+        ta = [i for i, b in enumerate(bands.branch) if b == "TA"]
+        assert bands.omega[ta].max() <= TA_BRANCH.omega_max
+
+    def test_freq_band_back_reference(self):
+        bands = silicon_bands(10)
+        # the LA entries enumerate frequency bands 0..9 in order
+        la = [i for i, b in enumerate(bands.branch) if b == "LA"]
+        assert bands.freq_band[la].tolist() == list(range(10))
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            silicon_bands(0)

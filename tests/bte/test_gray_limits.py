@@ -1,0 +1,117 @@
+"""Gray (single-band) BTE and the ballistic transport limit.
+
+With one spectral band (``silicon_bands(1)``) the model reduces to the
+classic gray BTE.  In a slab much thinner than the phonon mean free path
+(Kn >> 1) transport is ballistic: phonons fly wall to wall without
+scattering, and the steady interior settles at the Casimir equilibrium —
+the energy density is the average of the two wall equilibria, *not* the
+linear Fourier profile (the physical regime that motivates the paper's
+Sec. I).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bte import constants as C
+from repro.bte.angular import uniform_directions_2d
+from repro.bte.dispersion import silicon_bands
+from repro.bte.equilibrium import total_energy_density
+from repro.bte.model import BTEModel
+from repro.bte.problem import BTEScenario, build_bte_problem
+from repro.bte.scattering import relaxation_times
+
+
+@pytest.fixture(scope="module")
+def gray_model():
+    return BTEModel(bands=silicon_bands(1), directions=uniform_directions_2d(16))
+
+
+class TestGrayReduction:
+    def test_single_polarised_band(self, gray_model):
+        assert gray_model.bands.nbands == 1
+        assert gray_model.bands.branch == ["LA"]
+
+    def test_mean_free_path_scale(self, gray_model):
+        """The gray silicon mean free path at 300 K is O(100 nm) — the
+        paper's Sec. I quotes ~300 nm for the dominant carriers."""
+        vg = float(gray_model.bands.vg[0])
+        tau = float(relaxation_times(gray_model.bands, 300.0)[0])
+        mfp = vg * tau
+        assert 1e-8 < mfp < 1e-6
+
+    def test_gray_problem_runs_through_dsl(self, gray_model):
+        scenario = BTEScenario(
+            name="gray", nx=8, ny=8, ndirs=16, n_freq_bands=1,
+            dt=1e-12, nsteps=5,
+        )
+        problem, _ = build_bte_problem(scenario, model=gray_model)
+        solver = problem.solve()
+        assert solver.state.extra["T"].shape == (64,)
+
+
+class TestBallisticLimit:
+    def test_casimir_interior_equilibrium(self, gray_model):
+        """Slab of 50 nm << mfp (~1.4 um at 100 K) between 95 K and 105 K
+        walls: the steady interior settles at the Casimir equilibrium with
+        large temperature slips at both walls — NOT the Fourier linear
+        profile."""
+        T1, T2 = 105.0, 95.0
+        L = 50e-9
+        scenario = BTEScenario(
+            name="ballistic-slab", nx=16, ny=2, lx=L, ly=L / 8,
+            ndirs=16, n_freq_bands=1,
+            dt=2e-13, nsteps=600,  # CFL-safe; several wall-to-wall flights
+            T0=T2, T_hot=T1, sigma=1e3,  # huge sigma => uniform hot wall
+            cold_regions=(2,), hot_regions=(1,), symmetry_regions=(3, 4),
+        )
+        problem, model = build_bte_problem(scenario, model=gray_model)
+        solver = problem.solve()
+        T = solver.state.extra["T"]
+
+        bands = gray_model.bands
+        e_casimir = 0.5 * (
+            total_energy_density(bands, T1) + total_energy_density(bands, T2)
+        )
+        e_mid = total_energy_density(bands, float(np.median(T)))
+        # interior sits at the Casimir plateau within a few percent
+        assert e_mid == pytest.approx(e_casimir, rel=0.05)
+        # the plateau is nearly flat: the drop across the interior is a
+        # small fraction of what Fourier's linear ramp would give
+        x = solver.state.mesh.cell_centroids[:, 0]
+        plateau_drop = T[x < L / 3].mean() - T[x > 2 * L / 3].mean()
+        fourier_drop = (T1 - T2) / 3  # linear ramp over a third of the slab
+        assert abs(plateau_drop) < 0.15 * fourier_drop
+        # and there are large temperature slips at both walls — the
+        # signature of ballistic transport
+        assert T1 - T.max() > 0.3 * (T1 - T2)
+        assert T.min() - T2 > 0.3 * (T1 - T2)
+
+    def test_ballistic_flux_below_fourier(self, gray_model):
+        """In the ballistic regime the heat flux saturates below the value
+        Fourier's law would predict from the local gradient — the breakdown
+        the paper's introduction describes."""
+        T1, T2 = 105.0, 95.0
+        L = 50e-9
+        scenario = BTEScenario(
+            name="ballistic-flux", nx=16, ny=2, lx=L, ly=L / 8,
+            ndirs=16, n_freq_bands=1,
+            dt=2e-13, nsteps=600,
+            T0=T2, T_hot=T1, sigma=1e3,
+            cold_regions=(2,), hot_regions=(1,), symmetry_regions=(3, 4),
+        )
+        problem, model = build_bte_problem(scenario, model=gray_model)
+        solver = problem.solve()
+        q = model.heat_flux(solver.solution())
+        q_x = float(np.mean(q[0]))
+        assert q_x > 0  # heat flows hot -> cold (+x)
+
+        # Fourier with the gray kinetic conductivity k = C vg mfp / 3
+        from repro.bte.equilibrium import _band_heat_capacity
+
+        Tm = 100.0
+        Cv = float(_band_heat_capacity(gray_model.bands, np.array([Tm])).sum())
+        vg = float(gray_model.bands.vg[0])
+        mfp = vg * float(relaxation_times(gray_model.bands, Tm)[0])
+        k_fourier = Cv * vg * mfp / 3.0
+        q_fourier = k_fourier * (T1 - T2) / L
+        assert q_x < 0.5 * q_fourier

@@ -1,0 +1,77 @@
+"""Relaxation-time model."""
+
+import numpy as np
+import pytest
+
+from repro.bte import constants as C
+from repro.bte.dispersion import silicon_bands
+from repro.bte.scattering import (
+    impurity_rate,
+    la_phonon_rate,
+    relaxation_times,
+    ta_phonon_rate,
+)
+
+
+class TestRates:
+    def test_impurity_omega4(self):
+        w = np.array([1e13, 2e13])
+        r = impurity_rate(w)
+        assert r[1] / r[0] == pytest.approx(16.0)
+
+    def test_la_rate_t_cubed(self):
+        w = np.array([1e13])
+        assert la_phonon_rate(w, 600.0) / la_phonon_rate(w, 300.0) == pytest.approx(8.0)
+
+    def test_ta_rate_piecewise_continuity_domains(self):
+        # below the crossover: linear in omega; above: Umklapp expression
+        low = ta_phonon_rate(np.array([C.OMEGA_12 * 0.5]), 300.0)
+        high = ta_phonon_rate(np.array([C.OMEGA_12 * 1.5]), 300.0)
+        assert low > 0 and high > 0
+
+    def test_rates_positive_over_spectrum(self):
+        bands = silicon_bands(40)
+        for T in (200.0, 300.0, 400.0):
+            tau = relaxation_times(bands, T)
+            assert np.all(tau > 0)
+            assert np.all(np.isfinite(tau))
+
+
+class TestRelaxationTimes:
+    def test_scalar_temperature_shape(self):
+        bands = silicon_bands(10)
+        tau = relaxation_times(bands, 300.0)
+        assert tau.shape == (bands.nbands,)
+
+    def test_array_temperature_shape(self):
+        bands = silicon_bands(10)
+        T = np.linspace(280, 350, 7)
+        tau = relaxation_times(bands, T)
+        assert tau.shape == (bands.nbands, 7)
+
+    def test_hotter_scatters_faster(self):
+        """tau decreases with T for every band (Umklapp/normal grow with T)."""
+        bands = silicon_bands(20)
+        tau_cold = relaxation_times(bands, 250.0)
+        tau_hot = relaxation_times(bands, 400.0)
+        assert np.all(tau_hot < tau_cold)
+
+    def test_high_frequency_scatters_faster_within_branch(self):
+        bands = silicon_bands(20)
+        tau = relaxation_times(bands, 300.0)
+        la = [i for i, b in enumerate(bands.branch) if b == "LA"]
+        assert tau[la[-1]] < tau[la[0]]
+
+    def test_magnitude_reasonable_at_room_temperature(self):
+        """Relaxation times for silicon at 300 K span ~1e-12..1e-8 s."""
+        bands = silicon_bands(40)
+        tau = relaxation_times(bands, 300.0)
+        assert 1e-13 < tau.min() < 1e-9
+        assert 1e-12 < tau.max() < 1e-6
+
+    def test_consistency_scalar_vs_array(self):
+        bands = silicon_bands(8)
+        tau_s = relaxation_times(bands, 300.0)
+        tau_a = relaxation_times(bands, np.array([300.0, 300.0]))
+        assert np.allclose(tau_a[:, 0], tau_s)
+        assert np.allclose(tau_a[:, 1], tau_s)

@@ -1,0 +1,71 @@
+"""Checkpoint/restart of solver state."""
+
+import numpy as np
+import pytest
+
+from repro.bte.problem import build_bte_problem
+from repro.util.errors import ConfigError
+
+
+class TestCheckpointRestart:
+    def test_resume_is_bit_exact(self, tiny_scenario, tmp_path):
+        ckpt = tmp_path / "mid.npz"
+
+        # reference: straight run of 2 * nsteps
+        p_ref, _ = build_bte_problem(tiny_scenario)
+        s_ref = p_ref.generate()
+        s_ref.run(tiny_scenario.nsteps)
+        s_ref.run(tiny_scenario.nsteps)
+
+        # checkpointed: run, save, rebuild, restore, run
+        p1, _ = build_bte_problem(tiny_scenario)
+        s1 = p1.generate()
+        s1.run(tiny_scenario.nsteps)
+        s1.state.save_checkpoint(ckpt)
+
+        p2, _ = build_bte_problem(tiny_scenario)
+        s2 = p2.generate()
+        s2.state.restore_checkpoint(ckpt)
+        assert s2.state.step_index == tiny_scenario.nsteps
+        s2.run(tiny_scenario.nsteps)
+
+        assert np.array_equal(s2.solution(), s_ref.solution())
+        assert np.array_equal(s2.state.extra["T"], s_ref.state.extra["T"])
+        assert s2.state.time == pytest.approx(s_ref.state.time)
+
+    def test_all_fields_roundtrip(self, tiny_scenario, tmp_path):
+        ckpt = tmp_path / "all.npz"
+        p, _ = build_bte_problem(tiny_scenario)
+        solver = p.generate()
+        solver.run(3)
+        before = {n: f.data.copy() for n, f in solver.state.fields.items()}
+        solver.state.save_checkpoint(ckpt)
+        solver.run(2)  # mutate
+
+        p2, _ = build_bte_problem(tiny_scenario)
+        s2 = p2.generate()
+        s2.state.restore_checkpoint(ckpt)
+        for name, data in before.items():
+            assert np.array_equal(s2.state.fields[name].data, data), name
+
+    def test_shape_mismatch_rejected(self, tiny_scenario, tmp_path):
+        from repro.bte.problem import hotspot_scenario
+
+        ckpt = tmp_path / "bad.npz"
+        p, _ = build_bte_problem(tiny_scenario)
+        p.generate().state.save_checkpoint(ckpt)
+
+        other = hotspot_scenario(nx=6, ny=6, ndirs=8, n_freq_bands=5,
+                                 dt=1e-12, nsteps=2)
+        p2, _ = build_bte_problem(other)
+        s2 = p2.generate()
+        with pytest.raises(ConfigError, match="different problem"):
+            s2.state.restore_checkpoint(ckpt)
+
+    def test_missing_field_rejected(self, tiny_scenario, tmp_path):
+        ckpt = tmp_path / "partial.npz"
+        np.savez(ckpt, __time=np.array(0.0), __step_index=np.array(0))
+        p, _ = build_bte_problem(tiny_scenario)
+        solver = p.generate()
+        with pytest.raises(ConfigError, match="lacks field"):
+            solver.state.restore_checkpoint(ckpt)

@@ -1,0 +1,116 @@
+"""Distributed target: equivalence with serial, strategy behaviour, timing."""
+
+import numpy as np
+import pytest
+
+from repro.bte.problem import build_bte_problem
+from repro.util.errors import CodegenError
+
+
+@pytest.fixture
+def serial_result(tiny_scenario):
+    p, _ = build_bte_problem(tiny_scenario)
+    solver = p.solve()
+    return solver.solution(), solver.state.extra["T"]
+
+
+class TestBandStrategy:
+    @pytest.mark.parametrize("nparts", [2, 3, 6])
+    def test_matches_serial_bitwise(self, tiny_scenario, serial_result, nparts):
+        u_ref, T_ref = serial_result
+        p, _ = build_bte_problem(tiny_scenario)
+        p.set_partitioning("bands", nparts, index="b")
+        solver = p.solve()
+        assert np.array_equal(solver.solution(), u_ref)
+        assert np.array_equal(solver.state.extra["T"], T_ref)
+
+    def test_only_communication_is_reduction(self, tiny_scenario):
+        """Paper Sec. III-C: band partitioning avoids boundary communication;
+        bands couple only through the temperature-update reduction."""
+        p, _ = build_bte_problem(tiny_scenario)
+        p.set_partitioning("bands", 3, index="b")
+        solver = p.solve()
+        stats = solver.state.spmd_result.stats
+        # every rank sent zero point-to-point messages (reductions use the
+        # collective path, not send/recv)
+        assert all(s.messages_sent == 0 for s in stats)
+        # but communication time was charged by the allreduce
+        assert solver.state.spmd_result.phase_breakdown()["communication"] > 0
+
+    def test_too_many_ranks_rejected(self, tiny_scenario):
+        p, _ = build_bte_problem(tiny_scenario)
+        nbands = p.entities.indices["b"].size
+        p.set_partitioning("bands", nbands + 1, index="b")
+        with pytest.raises(CodegenError, match="cannot split"):
+            p.generate()
+
+    def test_virtual_phase_breakdown_present(self, tiny_scenario):
+        p, _ = build_bte_problem(tiny_scenario)
+        p.set_partitioning("bands", 2, index="b")
+        solver = p.solve()
+        phases = solver.state.spmd_result.phase_breakdown()
+        assert phases["solve for intensity"] > 0
+        assert phases["temperature update"] > 0
+
+
+class TestCellStrategy:
+    @pytest.mark.parametrize("nparts", [2, 4])
+    def test_matches_serial_bitwise(self, tiny_scenario, serial_result, nparts):
+        u_ref, T_ref = serial_result
+        p, _ = build_bte_problem(tiny_scenario)
+        p.set_partitioning("cells", nparts)
+        solver = p.solve()
+        assert np.array_equal(solver.solution(), u_ref)
+        assert np.array_equal(solver.state.extra["T"], T_ref)
+
+    def test_halo_messages_flow(self, tiny_scenario):
+        p, _ = build_bte_problem(tiny_scenario)
+        p.set_partitioning("cells", 4)
+        solver = p.solve()
+        stats = solver.state.spmd_result.stats
+        assert any(s.messages_sent > 0 for s in stats)
+        assert all(s.bytes_sent >= 0 for s in stats)
+
+    def test_layout_attached(self, tiny_scenario):
+        p, _ = build_bte_problem(tiny_scenario)
+        p.set_partitioning("cells", 3)
+        solver = p.generate()
+        assert solver.layout is not None
+        assert solver.layout.nparts == 3
+
+    def test_makespan_positive_and_deterministic(self, tiny_scenario):
+        times = []
+        for _ in range(2):
+            p, _ = build_bte_problem(tiny_scenario)
+            p.set_partitioning("cells", 2)
+            solver = p.solve()
+            times.append(solver.state.spmd_result.makespan)
+        assert times[0] == times[1] > 0
+
+
+class TestStrategyComparison:
+    def test_band_and_cell_agree(self, tiny_scenario):
+        p1, _ = build_bte_problem(tiny_scenario)
+        p1.set_partitioning("bands", 3, index="b")
+        p2, _ = build_bte_problem(tiny_scenario)
+        p2.set_partitioning("cells", 3)
+        u1 = p1.solve().solution()
+        u2 = p2.solve().solution()
+        assert np.array_equal(u1, u2)
+
+    def test_band_has_less_comm_volume_than_cells(self, tiny_scenario):
+        """Figure 3's claim, measured on the actual runs."""
+        p1, _ = build_bte_problem(tiny_scenario)
+        p1.set_partitioning("bands", 4, index="b")
+        s1 = p1.solve()
+        p2, _ = build_bte_problem(tiny_scenario)
+        p2.set_partitioning("cells", 4)
+        s2 = p2.solve()
+        bytes_band = sum(s.bytes_sent for s in s1.state.spmd_result.stats)
+        bytes_cell = sum(s.bytes_sent for s in s2.state.spmd_result.stats)
+        assert bytes_band < bytes_cell
+
+    def test_requires_partitioning_config(self, tiny_scenario):
+        p, _ = build_bte_problem(tiny_scenario)
+        with pytest.raises(CodegenError, match="partitioning"):
+            p.generate(target="distributed")

@@ -1,0 +1,165 @@
+"""Min-cut placement optimiser unit tests."""
+
+import math
+
+import pytest
+
+from repro.codegen.placement import (
+    DataEdge,
+    Task,
+    TaskGraph,
+    optimize_placement,
+    plan_transfers,
+)
+from repro.codegen.placement.transfers import ArrayUse
+from repro.gpu.spec import A6000
+from repro.util.errors import CodegenError
+
+
+def graph_with(*tasks, edges=()):
+    g = TaskGraph()
+    for t in tasks:
+        g.add_task(t)
+    for src, dst, nbytes in edges:
+        g.add_edge(src, dst, nbytes)
+    return g
+
+
+class TestBasicDecisions:
+    def test_single_gpu_friendly_task_goes_gpu(self):
+        g = graph_with(Task("work", cost_cpu=1.0, cost_gpu=0.01))
+        plan = optimize_placement(g, A6000)
+        assert plan.device["work"] == "gpu"
+        assert plan.objective_seconds == pytest.approx(0.01)
+
+    def test_single_cpu_friendly_task_stays_cpu(self):
+        g = graph_with(Task("work", cost_cpu=0.01, cost_gpu=1.0))
+        assert optimize_placement(g, A6000).device["work"] == "cpu"
+
+    def test_pinned_cpu_respected_even_if_gpu_cheaper(self):
+        g = graph_with(Task("callback", cost_cpu=1.0, cost_gpu=1e-6, pinned="cpu"))
+        assert optimize_placement(g, A6000).device["callback"] == "cpu"
+
+    def test_pinned_gpu_respected(self):
+        g = graph_with(Task("kernel", cost_cpu=1e-6, cost_gpu=1.0, pinned="gpu"))
+        assert optimize_placement(g, A6000).device["kernel"] == "gpu"
+
+    def test_task_without_gpu_cost_stays_cpu(self):
+        g = graph_with(Task("hostonly", cost_cpu=5.0))
+        assert optimize_placement(g, A6000).device["hostonly"] == "cpu"
+
+
+class TestDataMovementTradeoffs:
+    def test_small_gain_not_worth_huge_transfer(self):
+        """Offloading saves 1 ms but would move 1 GB/step: stay on CPU."""
+        g = graph_with(
+            Task("kernel", cost_cpu=0.002, cost_gpu=0.001),
+            Task("post", cost_cpu=0.01, pinned="cpu"),
+            edges=[("kernel", "post", 1e9)],
+        )
+        plan = optimize_placement(g, A6000)
+        assert plan.device["kernel"] == "cpu"
+        assert plan.bytes_moved_per_step == 0
+
+    def test_large_gain_worth_the_transfer(self):
+        """Offloading saves ~1 s and only moves 1 MB: go to the GPU."""
+        g = graph_with(
+            Task("kernel", cost_cpu=1.0, cost_gpu=0.001),
+            Task("post", cost_cpu=0.01, pinned="cpu"),
+            edges=[("kernel", "post", 1e6)],
+        )
+        plan = optimize_placement(g, A6000)
+        assert plan.device["kernel"] == "gpu"
+        assert plan.bytes_moved_per_step == 1e6
+        assert len(plan.cut_edges) == 1
+
+    def test_coupled_tasks_move_together(self):
+        """Two tasks exchanging a lot of data co-locate on the GPU even if
+        one of them is individually indifferent."""
+        g = graph_with(
+            Task("a", cost_cpu=1.0, cost_gpu=0.01),
+            Task("b", cost_cpu=0.011, cost_gpu=0.01),  # nearly indifferent
+            edges=[("a", "b", 5e8)],
+        )
+        plan = optimize_placement(g, A6000)
+        assert plan.device["a"] == "gpu"
+        assert plan.device["b"] == "gpu"
+
+    def test_objective_counts_execution_and_cut(self):
+        g = graph_with(
+            Task("kernel", cost_cpu=1.0, cost_gpu=0.1),
+            Task("post", cost_cpu=0.2, pinned="cpu"),
+            edges=[("kernel", "post", 24e6)],  # 1 ms on the PCIe model
+        )
+        plan = optimize_placement(g, A6000)
+        transfer = A6000.pcie_latency_s + 24e6 / A6000.pcie_bw_bytes()
+        assert plan.objective_seconds == pytest.approx(0.1 + 0.2 + transfer, rel=1e-6)
+
+
+class TestGraphValidation:
+    def test_duplicate_task(self):
+        g = graph_with(Task("a", 1.0))
+        with pytest.raises(CodegenError):
+            g.add_task(Task("a", 1.0))
+
+    def test_edge_unknown_task(self):
+        g = graph_with(Task("a", 1.0))
+        with pytest.raises(CodegenError):
+            g.add_edge("a", "b", 100)
+
+    def test_negative_cost(self):
+        with pytest.raises(CodegenError):
+            Task("bad", cost_cpu=-1.0)
+
+    def test_negative_bytes(self):
+        g = graph_with(Task("a", 1.0), Task("b", 1.0))
+        with pytest.raises(CodegenError):
+            g.add_edge("a", "b", -5)
+
+    def test_bad_pin(self):
+        with pytest.raises(CodegenError):
+            Task("bad", 1.0, pinned="fpga")
+
+    def test_gpu_pin_needs_gpu_cost(self):
+        g = graph_with(Task("bad", cost_cpu=1.0, cost_gpu=math.inf, pinned="gpu"))
+        with pytest.raises(CodegenError):
+            optimize_placement(g, A6000)
+
+
+class TestTransferPlanning:
+    def _plan(self):
+        g = graph_with(
+            Task("kernel", cost_cpu=1.0, cost_gpu=0.001),
+            Task("post", cost_cpu=0.01, pinned="cpu"),
+            edges=[("kernel", "post", 1e6)],
+        )
+        return optimize_placement(g, A6000)
+
+    def test_static_vs_per_step(self):
+        plan = self._plan()
+        arrays = [
+            ArrayUse("geometry", 1e6, readers=("kernel",), writers=(),
+                     mutated_each_step=False),
+            ArrayUse("Io", 1e5, readers=("kernel",), writers=("post",)),
+            ArrayUse("u", 1e6, readers=("kernel", "post"), writers=("kernel", "post")),
+            ArrayUse("log", 100, readers=("post",), writers=("post",)),
+        ]
+        tp = plan_transfers(plan, arrays)
+        assert tp.static_h2d == ["geometry"]
+        assert "Io" in tp.h2d_each_step
+        assert "u" in tp.d2h_each_step and "u" in tp.h2d_each_step
+        assert tp.host_only == ["log"]
+        assert tp.bytes_d2h_per_step == 1e6
+        assert tp.bytes_h2d_per_step == 1e5 + 1e6
+
+    def test_device_only_intermediate(self):
+        plan = self._plan()
+        arrays = [ArrayUse("scratch", 1e5, readers=("kernel",), writers=("kernel",))]
+        tp = plan_transfers(plan, arrays)
+        assert tp.device_only == ["scratch"]
+
+    def test_report_strings(self):
+        plan = self._plan()
+        assert "placement plan" in plan.report()
+        tp = plan_transfers(plan, [ArrayUse("u", 8.0, readers=("kernel",), writers=("post",))])
+        assert "every step H2D" in tp.report()

@@ -1,0 +1,119 @@
+"""In-situ diagnostics: recorders, line probes, wall fluxes."""
+
+import numpy as np
+import pytest
+
+from repro.bte.angular import uniform_directions_2d
+from repro.bte.dispersion import silicon_bands
+from repro.bte.model import BTEModel
+from repro.bte.problem import BTEScenario, build_bte_problem
+from repro.codegen.probes import LineProbe, TransientRecorder, wall_heat_flux
+from repro.util.errors import ConfigError
+
+
+class TestTransientRecorder:
+    def test_records_on_interval(self, tiny_scenario):
+        problem, _ = build_bte_problem(tiny_scenario)
+        rec = TransientRecorder(lambda s: float(s.extra["T"].max()), every=2)
+        problem.add_post_step(rec, name="record_Tmax")
+        problem.solve()
+        # post-step runs after step_index increments: steps 1..5, every 2
+        assert len(rec.times) == tiny_scenario.nsteps // 2
+        times, values = rec.as_arrays()
+        assert np.all(np.diff(times) > 0)
+        assert np.all(values >= tiny_scenario.T0 - 1e-9)
+
+    def test_works_on_distributed_target(self, tiny_scenario):
+        problem, _ = build_bte_problem(tiny_scenario)
+        rec = TransientRecorder(lambda s: float(s.u.sum()), every=1)
+        problem.add_post_step(rec, name="rec")
+        problem.set_partitioning("bands", 2, index="b")
+        problem.solve()
+        # two ranks each record every step
+        assert len(rec.times) == 2 * tiny_scenario.nsteps
+
+    def test_interval_validated(self):
+        with pytest.raises(ConfigError):
+            TransientRecorder(lambda s: 0.0, every=0)
+
+    def test_reset(self):
+        rec = TransientRecorder(lambda s: 1.0)
+        rec.times.append(0.0)
+        rec.reset()
+        assert rec.times == []
+
+
+class TestLineProbe:
+    def test_samples_temperature_profile(self, tiny_scenario):
+        problem, _ = build_bte_problem(tiny_scenario)
+        solver = problem.solve()
+        lp = LineProbe(
+            (tiny_scenario.lx / 2, 0.0),
+            (tiny_scenario.lx / 2, tiny_scenario.ly),
+            npoints=8,
+        )
+        profile = lp(solver.state)
+        assert profile.shape == (8,)
+        assert np.all(np.isfinite(profile))
+
+    def test_custom_field(self, tiny_scenario):
+        problem, _ = build_bte_problem(tiny_scenario)
+        solver = problem.solve()
+        lp = LineProbe((0.0, 0.0), (tiny_scenario.lx, tiny_scenario.ly),
+                       npoints=5, field=lambda s: s.u[0])
+        assert lp(solver.state).shape == (5,)
+
+    def test_dimension_mismatch(self, tiny_scenario):
+        problem, _ = build_bte_problem(tiny_scenario)
+        solver = problem.generate()
+        lp = LineProbe((0.0, 0.0, 0.0), (1.0, 1.0, 1.0), npoints=4)
+        with pytest.raises(ConfigError):
+            lp(solver.state)
+
+    def test_npoints_validated(self):
+        with pytest.raises(ConfigError):
+            LineProbe((0, 0), (1, 1), npoints=1)
+
+
+class TestWallHeatFlux:
+    @pytest.fixture(scope="class")
+    def steady_slab(self):
+        model = BTEModel(bands=silicon_bands(1),
+                         directions=uniform_directions_2d(16))
+        L = 50e-9
+        scenario = BTEScenario(
+            name="flux-balance", nx=12, ny=2, lx=L, ly=L / 6,
+            ndirs=16, n_freq_bands=1,
+            dt=2e-13, nsteps=700,
+            T0=95.0, T_hot=105.0, sigma=1e3,
+            cold_regions=(2,), hot_regions=(1,), symmetry_regions=(3, 4),
+        )
+        problem, _ = build_bte_problem(scenario, model=model)
+        solver = problem.solve()
+        return scenario, model, solver
+
+    def test_hot_wall_injects_cold_wall_drains(self, steady_slab):
+        scenario, model, solver = steady_slab
+        q_hot = wall_heat_flux(solver.state, model, region=1)
+        q_cold = wall_heat_flux(solver.state, model, region=2)
+        assert q_hot < 0  # energy enters through the hot wall
+        assert q_cold > 0  # and leaves through the cold wall
+
+    def test_steady_balance(self, steady_slab):
+        scenario, model, solver = steady_slab
+        q_hot = wall_heat_flux(solver.state, model, region=1)
+        q_cold = wall_heat_flux(solver.state, model, region=2)
+        assert abs(q_hot + q_cold) < 0.02 * abs(q_cold)
+
+    def test_symmetry_walls_carry_nothing(self, steady_slab):
+        scenario, model, solver = steady_slab
+        for region in (3, 4):
+            q = wall_heat_flux(solver.state, model, region)
+            assert abs(q) < 1e-9 * abs(
+                wall_heat_flux(solver.state, model, region=2)
+            ) + 1e-12
+
+    def test_unknown_region(self, steady_slab):
+        _, model, solver = steady_slab
+        with pytest.raises(ConfigError):
+            wall_heat_flux(solver.state, model, region=9)

@@ -1,0 +1,97 @@
+"""Script-style DSL surface (the paper's input-deck flavour)."""
+
+import numpy as np
+import pytest
+
+import repro.dsl as finch
+from repro.mesh.grid import structured_grid
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def fresh_context():
+    finch.finalize()
+    yield
+    finch.finalize()
+
+
+class TestLifecycle:
+    def test_commands_require_init(self):
+        with pytest.raises(ConfigError, match="no problem initialised"):
+            finch.domain(2)
+
+    def test_init_returns_problem(self):
+        p = finch.init_problem("demo")
+        assert finch.current_problem() is p
+
+    def test_finalize_clears(self):
+        finch.init_problem("demo")
+        finch.finalize()
+        with pytest.raises(ConfigError):
+            finch.current_problem()
+
+
+class TestFullDeck:
+    def test_quickstart_deck_runs(self):
+        finch.init_problem("deck")
+        finch.domain(2)
+        finch.solver_type(finch.FV)
+        finch.time_stepper(finch.EULER_EXPLICIT)
+        finch.set_steps(1e-3, 20)
+        finch.mesh(structured_grid((5, 5)))
+        u = finch.variable("u")
+        finch.coefficient("k", 2.0)
+        for r in (1, 2, 3, 4):
+            finch.boundary(u, r, finch.NEUMANN0)
+        finch.initial(u, 1.0)
+        finch.conservation_form(u, "-k*u")
+        solver = finch.solve(u)
+        expected = np.exp(-2.0 * 1e-3 * 20)
+        assert solver.solution()[0, 0] == pytest.approx(expected, rel=1e-3)
+
+    def test_generate_without_running(self):
+        finch.init_problem("deck")
+        finch.domain(1)
+        finch.set_steps(1e-3, 5)
+        finch.mesh(structured_grid((6,)))
+        u = finch.variable("u")
+        for r in (1, 2):
+            finch.boundary(u, r, finch.NEUMANN0)
+        finch.conservation_form(u, "-u")
+        solver = finch.generate()
+        assert "def step_once" in solver.source
+        assert solver.state.step_index == 0
+
+    def test_callback_function_decorator(self):
+        finch.init_problem("deck")
+
+        @finch.callback_function
+        def myhook(ctx):
+            return None
+
+        assert finch.current_problem().entities.kind_of("myhook") == "callback"
+
+    def test_custom_operator_via_api(self):
+        finch.init_problem("deck")
+        from repro.symbolic.expr import Mul, Num
+
+        finch.custom_operator("half", lambda x: Mul(Num(0.5), x), arity=1)
+        assert "half" in finch.current_problem().operators
+
+    def test_use_cuda_alias(self):
+        finch.init_problem("deck")
+        finch.use_cuda()
+        assert finch.current_problem().config.use_gpu
+
+    def test_mesh_accepts_object(self):
+        finch.init_problem("deck")
+        finch.domain(2)
+        m = finch.mesh(structured_grid((3, 3)))
+        assert finch.current_problem().mesh is m
+
+    def test_partitioning_command(self):
+        finch.init_problem("deck")
+        finch.partitioning("cells", 4)
+        cfg = finch.current_problem().config
+        assert cfg.partition_strategy == "cells"
+        assert cfg.nparts == 4

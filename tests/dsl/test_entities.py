@@ -1,0 +1,115 @@
+"""Entity declarations and the collision-checked entity table."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.entities import (
+    CELL,
+    NODE,
+    VAR_ARRAY,
+    VAR_SCALAR,
+    CallbackFunction,
+    Coefficient,
+    EntityTable,
+    Index,
+    Variable,
+)
+from repro.util.errors import DSLError
+
+
+class TestIndex:
+    def test_basic(self):
+        d = Index("d", 1, 20)
+        assert d.size == 20
+        assert str(d) == "d"
+
+    def test_empty_range(self):
+        with pytest.raises(DSLError):
+            Index("d", 2, 1)
+
+    def test_bad_name(self):
+        with pytest.raises(DSLError):
+            Index("2d", 1, 3)
+
+
+class TestVariable:
+    def test_scalar(self):
+        v = Variable("u")
+        assert v.ncomp == 1
+        assert v.space.ncomp == 1
+
+    def test_array(self):
+        d, b = Index("d", 1, 4), Index("b", 1, 3)
+        v = Variable("I", VAR_ARRAY, CELL, (d, b))
+        assert v.ncomp == 12
+        assert v.index_names() == ("d", "b")
+
+    def test_scalar_with_indices_rejected(self):
+        d = Index("d", 1, 4)
+        with pytest.raises(DSLError):
+            Variable("u", VAR_SCALAR, CELL, (d,))
+
+    def test_array_without_indices_rejected(self):
+        with pytest.raises(DSLError):
+            Variable("u", VAR_ARRAY, CELL, ())
+
+    def test_bad_location(self):
+        with pytest.raises(DSLError):
+            Variable("u", VAR_SCALAR, "EDGE")
+
+
+class TestCoefficient:
+    def test_scalar_value(self):
+        c = Coefficient("k", 2.5)
+        assert not c.is_function
+        assert float(c.value) == 2.5
+
+    def test_array_value_needs_indices(self):
+        with pytest.raises(DSLError):
+            Coefficient("v", np.ones(3))
+
+    def test_array_value_with_indices(self):
+        b = Index("b", 1, 3)
+        c = Coefficient("vg", np.array([1.0, 2.0, 3.0]), VAR_ARRAY, (b,))
+        assert c.space.ncomp == 3
+
+    def test_shape_mismatch(self):
+        b = Index("b", 1, 3)
+        with pytest.raises(DSLError):
+            Coefficient("vg", np.ones(4), VAR_ARRAY, (b,))
+
+    def test_function_value(self):
+        c = Coefficient("q", lambda x: x[:, 0])
+        assert c.is_function
+
+
+class TestEntityTable:
+    def test_kind_of(self):
+        ents = EntityTable()
+        d = ents.add_index(Index("d", 1, 2))
+        ents.add_variable(Variable("I", VAR_ARRAY, CELL, (d,)))
+        ents.add_coefficient(Coefficient("k", 1.0))
+        ents.add_callback(CallbackFunction("hook", lambda: None))
+        assert ents.kind_of("d") == "index"
+        assert ents.kind_of("I") == "variable"
+        assert ents.kind_of("k") == "coefficient"
+        assert ents.kind_of("hook") == "callback"
+        assert ents.kind_of("nope") is None
+
+    def test_name_collisions_rejected(self):
+        ents = EntityTable()
+        ents.add_index(Index("d", 1, 2))
+        with pytest.raises(DSLError):
+            ents.add_variable(Variable("d"))
+        with pytest.raises(DSLError):
+            ents.add_coefficient(Coefficient("d", 1.0))
+
+    def test_variable_with_undeclared_index(self):
+        ents = EntityTable()
+        d = Index("d", 1, 2)  # not added to the table
+        with pytest.raises(DSLError):
+            ents.add_variable(Variable("I", VAR_ARRAY, CELL, (d,)))
+
+    def test_callback_must_be_callable(self):
+        with pytest.raises(DSLError):
+            CallbackFunction("bad", 42)

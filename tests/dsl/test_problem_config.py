@@ -1,0 +1,160 @@
+"""Problem configuration and validation."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.entities import VAR_ARRAY, CELL
+from repro.dsl.problem import Problem
+from repro.fvm.boundary import BCKind
+from repro.mesh.grid import structured_grid
+from repro.util.errors import ConfigError, DSLError
+
+
+def minimal_problem() -> Problem:
+    p = Problem("test")
+    p.set_domain(2)
+    p.set_steps(1e-3, 10)
+    p.set_mesh(structured_grid((4, 4)))
+    p.add_variable("u")
+    p.add_coefficient("k", 1.0)
+    for r in (1, 2, 3, 4):
+        p.add_boundary("u", r, BCKind.NEUMANN0)
+    p.set_initial("u", 1.0)
+    p.set_conservation_form("u", "-k*u")
+    return p
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        minimal_problem().validate()
+
+    def test_missing_mesh(self):
+        p = Problem("x")
+        p.set_steps(1e-3, 10)
+        p.add_variable("u")
+        p.set_conservation_form("u", "-u")
+        with pytest.raises(ConfigError, match="mesh"):
+            p.validate()
+
+    def test_missing_steps(self):
+        p = minimal_problem()
+        p.config.dt = 0.0
+        with pytest.raises(ConfigError, match="set_steps"):
+            p.validate()
+
+    def test_missing_equation(self):
+        p = Problem("x")
+        p.set_domain(2)
+        p.set_steps(1e-3, 10)
+        p.set_mesh(structured_grid((4, 4)))
+        with pytest.raises(ConfigError, match="conservation_form"):
+            p.validate()
+
+    def test_uncovered_boundary_region(self):
+        p = Problem("x")
+        p.set_domain(2)
+        p.set_steps(1e-3, 10)
+        p.set_mesh(structured_grid((4, 4)))
+        p.add_variable("u")
+        p.add_boundary("u", 1, BCKind.NEUMANN0)
+        p.set_conservation_form("u", "-u")
+        with pytest.raises(ConfigError, match="without conditions"):
+            p.validate()
+
+    def test_unknown_region_in_bc(self):
+        p = minimal_problem()
+        p.add_boundary("u", 9, BCKind.NEUMANN0)
+        with pytest.raises(ConfigError, match="unknown regions"):
+            p.validate()
+
+    def test_mesh_dimension_mismatch(self):
+        p = Problem("x")
+        p.set_domain(2)
+        with pytest.raises(ConfigError, match="dimension"):
+            p.set_mesh(structured_grid((5,)))
+
+    def test_solver_type_checked(self):
+        p = minimal_problem()
+        p.set_solver_type("DG")
+        with pytest.raises(ConfigError, match="FV or FEM"):
+            p.validate()
+
+    def test_fem_requires_weak_form_input(self):
+        p = minimal_problem()
+        p.set_solver_type("FEM")
+        with pytest.raises(ConfigError, match="weak_form"):
+            p.validate()
+
+    def test_band_partition_needs_index_of_unknown(self):
+        p = minimal_problem()
+        p.set_partitioning("bands", 2, index="b")
+        with pytest.raises(ConfigError):
+            p.validate()
+
+
+class TestDeclarations:
+    def test_duplicate_equation_rejected(self):
+        p = minimal_problem()
+        with pytest.raises(DSLError):
+            p.set_conservation_form("u", "-u")
+
+    def test_duplicate_boundary_rejected(self):
+        p = minimal_problem()
+        with pytest.raises(DSLError, match="already has a condition"):
+            p.add_boundary("u", 1, BCKind.NEUMANN0)
+
+    def test_unknown_variable_in_boundary(self):
+        p = minimal_problem()
+        with pytest.raises(DSLError):
+            p.add_boundary("w", 1, BCKind.NEUMANN0)
+
+    def test_boundary_kind_from_string(self):
+        p = Problem("x")
+        p.set_domain(2)
+        p.set_mesh(structured_grid((3, 3)))
+        p.add_variable("u")
+        p.add_boundary("u", 1, "dirichlet", 2.0)
+        assert p.boundaries[0].kind == BCKind.DIRICHLET
+
+    def test_flux_boundary_requires_callback_entity(self):
+        p = minimal_problem()
+        with pytest.raises(DSLError, match="not an imported callback"):
+            p.add_boundary("u", 1, BCKind.FLUX, "nothere(u, 3)")
+
+    def test_symmetry_needs_map(self):
+        p = minimal_problem()
+        with pytest.raises(DSLError, match="reflection map"):
+            p.add_boundary("u", 1, BCKind.SYMMETRY)
+
+    def test_assembly_loops_must_include_cells(self):
+        p = minimal_problem()
+        with pytest.raises(DSLError, match="cell loop"):
+            p.set_assembly_loops([])
+
+    def test_assembly_loops_elements_alias(self):
+        p = minimal_problem()
+        p.set_assembly_loops(["elements"])
+        assert p.config.assembly_order == ["cells"]
+
+    def test_assembly_loops_unknown_index(self):
+        p = minimal_problem()
+        with pytest.raises(DSLError, match="unknown loop"):
+            p.set_assembly_loops(["cells", "q"])
+
+    def test_set_steps_guards(self):
+        p = Problem("x")
+        with pytest.raises(ConfigError):
+            p.set_steps(-1.0, 5)
+        with pytest.raises(ConfigError):
+            p.set_steps(1e-3, 0)
+
+    def test_solve_wrong_variable(self):
+        p = minimal_problem()
+        p.add_variable("w")
+        with pytest.raises(DSLError, match="does not match the declared unknown"):
+            p.solve("w")
+
+    def test_enable_gpu_sets_flag(self):
+        p = minimal_problem()
+        p.enable_gpu()
+        assert p.config.use_gpu

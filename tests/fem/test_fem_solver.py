@@ -1,0 +1,247 @@
+"""End-to-end FEM solves through the DSL (the multi-discretisation claim)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.entities import NODE
+from repro.dsl.problem import Problem
+from repro.fvm.boundary import BCKind
+from repro.mesh.grid import structured_grid, triangulated_grid
+from repro.util.errors import CodegenError, ConfigError
+
+
+def heat_problem_1d(n=32, D=0.7, t_end=0.02, source=None, dirichlet=(0.0, 0.0)):
+    dt = 0.2 * (1.0 / n) ** 2 / D
+    p = Problem("fem-heat-1d")
+    p.set_domain(1)
+    p.set_solver_type("FEM")
+    p.set_steps(dt, int(round(t_end / dt)))
+    p.set_mesh(structured_grid((n,)))
+    p.add_variable("u", location=NODE)
+    p.add_coefficient("k", D)
+    p.add_boundary("u", 1, BCKind.DIRICHLET, dirichlet[0])
+    p.add_boundary("u", 2, BCKind.DIRICHLET, dirichlet[1])
+    p.set_initial("u", lambda x: np.sin(np.pi * x[:, 0]))
+    expr = "-k*dot(grad(u), grad(v))"
+    if source is not None:
+        p.add_coefficient("f", source)
+        expr += " + f*v"
+    p.set_weak_form("u", expr)
+    return p
+
+
+class TestHeat1D:
+    def test_sine_decay(self):
+        D, t_end = 0.7, 0.02
+        p = heat_problem_1d(D=D, t_end=t_end)
+        solver = p.solve()
+        assert solver.target_name == "fem"
+        x = solver.state.mesh.nodes[:, 0]
+        exact = np.exp(-D * np.pi**2 * t_end) * np.sin(np.pi * x)
+        assert np.abs(solver.solution()[0] - exact).max() < 2e-3
+
+    def test_spatial_convergence_second_order(self):
+        D, t_end = 0.7, 0.01
+        dt = 0.2 * (1.0 / 96) ** 2 / D
+        errs = []
+        for n in (8, 16, 32):
+            p = heat_problem_1d(n=n, D=D, t_end=t_end)
+            p.config.dt = dt
+            p.config.nsteps = int(round(t_end / dt))
+            solver = p.solve()
+            x = solver.state.mesh.nodes[:, 0]
+            exact = np.exp(-D * np.pi**2 * t_end) * np.sin(np.pi * x)
+            errs.append(np.abs(solver.solution()[0] - exact).max())
+        assert np.log2(errs[0] / errs[2]) / 2 > 1.8
+
+    def test_manufactured_steady_state(self):
+        """-(k u')' = f with f = k pi^2 sin(pi x): steady u = sin(pi x)."""
+        D = 1.0
+        p = heat_problem_1d(
+            n=24, D=D, t_end=0.6,
+            source=lambda x: D * np.pi**2 * np.sin(np.pi * x[:, 0]),
+        )
+        solver = p.solve()
+        x = solver.state.mesh.nodes[:, 0]
+        assert np.abs(solver.solution()[0] - np.sin(np.pi * x)).max() < 5e-3
+
+
+class TestHeat2D:
+    def test_steady_linear_ramp_on_triangles(self):
+        p = Problem("fem-ramp")
+        p.set_domain(2)
+        p.set_solver_type("FEM")
+        p.set_steps(2e-4, 8000)
+        p.set_mesh(triangulated_grid((10, 6)))
+        p.add_variable("u", location=NODE)
+        p.add_coefficient("k", 1.0)
+        p.add_boundary("u", 1, BCKind.DIRICHLET, 0.0)
+        p.add_boundary("u", 2, BCKind.DIRICHLET, 1.0)
+        # top/bottom omitted: natural (zero-flux) boundaries
+        p.set_initial("u", 0.5)
+        p.set_weak_form("u", "-k*dot(grad(u), grad(v))")
+        solver = p.solve()
+        x = solver.state.mesh.nodes[:, 0]
+        assert np.abs(solver.solution()[0] - x).max() < 1e-5
+
+    def test_product_mode_decay(self):
+        D, t_end = 1.0, 0.01
+        n = 16
+        dt = 0.15 * (1.0 / n) ** 2 / D
+        p = Problem("fem-mode")
+        p.set_domain(2)
+        p.set_solver_type("FEM")
+        p.set_steps(dt, int(round(t_end / dt)))
+        p.set_mesh(triangulated_grid((n, n)))
+        p.add_variable("u", location=NODE)
+        p.add_coefficient("k", D)
+        for r in (1, 2, 3, 4):
+            p.add_boundary("u", r, BCKind.DIRICHLET, 0.0)
+        p.set_initial(
+            "u", lambda c: np.sin(np.pi * c[:, 0]) * np.sin(np.pi * c[:, 1])
+        )
+        p.set_weak_form("u", "-k*dot(grad(u), grad(v))")
+        solver = p.solve()
+        c = solver.state.mesh.nodes
+        exact = (np.exp(-2 * D * np.pi**2 * t_end)
+                 * np.sin(np.pi * c[:, 0]) * np.sin(np.pi * c[:, 1]))
+        assert np.abs(solver.solution()[0] - exact).max() < 0.02
+
+
+class TestNeumannBoundary:
+    def test_prescribed_flux_exact_steady_state(self):
+        """-(k u')' = 0, u(0) = 0, k u'(1) = g  ->  u = (g/k) x, which P1
+        reproduces exactly (the discrete steady state is nodal-exact)."""
+        k, g, n = 2.0, 3.0, 16
+        p = Problem("fem-neumann")
+        p.set_domain(1)
+        p.set_solver_type("FEM")
+        p.set_steps(2e-4, 30000)
+        p.set_mesh(structured_grid((n,)))
+        p.add_variable("u", location=NODE)
+        p.add_coefficient("k", k)
+        p.add_boundary("u", 1, BCKind.DIRICHLET, 0.0)
+        p.add_boundary("u", 2, BCKind.NEUMANN, g)
+        p.set_initial("u", 0.0)
+        p.set_weak_form("u", "-k*dot(grad(u), grad(v))")
+        solver = p.solve()
+        x = solver.state.mesh.nodes[:, 0]
+        assert np.abs(solver.solution()[0] - (g / k) * x).max() < 1e-10
+        assert "boundary load(region=2" in solver.source
+
+    def test_2d_neumann_heating_raises_mean(self):
+        p = Problem("fem-neumann-2d")
+        p.set_domain(2)
+        p.set_solver_type("FEM")
+        p.set_steps(1e-4, 200)
+        p.set_mesh(triangulated_grid((8, 8)))
+        p.add_variable("u", location=NODE)
+        p.add_coefficient("k", 1.0)
+        p.add_boundary("u", 4, BCKind.NEUMANN, 5.0)  # influx at the top
+        p.set_initial("u", 0.0)
+        p.set_weak_form("u", "-k*dot(grad(u), grad(v))")
+        solver = p.solve()
+        u = solver.solution()[0]
+        # pure influx with natural sides: the mean grows by g * wall length
+        # * t / area = 5 * 1 * t
+        t_end = p.config.dt * p.config.nsteps
+        ml = solver.operators["lumped_mass"]
+        mean = float((u * ml).sum() / ml.sum())
+        assert mean == pytest.approx(5.0 * t_end, rel=1e-10)
+
+    def test_fv_rejects_valued_neumann(self):
+        from repro.dsl.problem import Problem as P
+
+        p = P("fv-neumann")
+        p.set_domain(1)
+        p.set_steps(1e-3, 2)
+        p.set_mesh(structured_grid((4,)))
+        p.add_variable("u")
+        p.add_coefficient("k", 1.0)
+        p.add_boundary("u", 1, BCKind.DIRICHLET, 0.0)
+        p.add_boundary("u", 2, BCKind.NEUMANN, 1.0)
+        p.set_initial("u", 0.0)
+        p.set_conservation_form("u", "surface(diffuse(k, u))")
+        with pytest.raises(ConfigError, match="FEM"):
+            p.generate()
+
+
+class TestCrossDiscretisation:
+    def test_fem_and_fvm_agree_on_heat(self):
+        """The multi-discretisation claim: the same physics through the
+        FEM and FV paths gives matching fields (compared at cell centroids
+        via nodal interpolation)."""
+        D, t_end, n = 0.7, 0.02, 32
+        dt = 0.2 * (1.0 / n) ** 2 / D
+        # FEM (nodal)
+        fem = heat_problem_1d(n=n, D=D, t_end=t_end).solve()
+        u_nodes = fem.solution()[0]
+        u_mid_fem = 0.5 * (u_nodes[:-1] + u_nodes[1:])
+        # FVM (cell-centred)
+        p = Problem("fv-heat")
+        p.set_domain(1)
+        p.set_steps(dt, int(round(t_end / dt)))
+        p.set_mesh(structured_grid((n,)))
+        p.add_variable("u")
+        p.add_coefficient("k", D)
+        p.add_boundary("u", 1, BCKind.DIRICHLET, 0.0)
+        p.add_boundary("u", 2, BCKind.DIRICHLET, 0.0)
+        p.set_initial("u", lambda x: np.sin(np.pi * x[:, 0]))
+        p.set_conservation_form("u", "surface(diffuse(k, u))")
+        fvm = p.solve()
+        # node ordering of structured_grid(1-D) is ascending in x
+        assert np.abs(u_mid_fem - fvm.solution()[0]).max() < 3e-3
+
+
+class TestGuards:
+    def test_fem_requires_weak_form(self):
+        p = heat_problem_1d()
+        p.equation = None
+        p.set_conservation_form("u", "-k*u")
+        with pytest.raises(ConfigError, match="weak_form"):
+            p.generate()
+
+    def test_fv_rejects_weak_form(self):
+        p = heat_problem_1d()
+        p.set_solver_type("FV")
+        with pytest.raises(ConfigError, match="conservation_form"):
+            p.generate()
+
+    def test_rk_rejected(self):
+        p = heat_problem_1d()
+        p.set_stepper("rk2")
+        with pytest.raises(CodegenError, match="forward Euler"):
+            p.generate()
+
+    def test_indexed_unknown_rejected(self):
+        p = Problem("fem-array")
+        p.set_domain(1)
+        p.set_solver_type("FEM")
+        p.set_steps(1e-3, 1)
+        p.set_mesh(structured_grid((4,)))
+        d = p.add_index("d", (1, 2))
+        from repro.dsl.entities import VAR_ARRAY
+
+        p.add_variable("u", VAR_ARRAY, NODE, index=[d])
+        p.set_weak_form("u", "u*v")
+        with pytest.raises(ConfigError, match="scalar"):
+            p.generate()
+
+    def test_reserved_test_function_name(self):
+        p = Problem("fem-v")
+        p.set_domain(1)
+        p.set_mesh(structured_grid((4,)))
+        p.add_variable("u", location=NODE)
+        p.add_variable("v")
+        from repro.util.errors import DSLError
+
+        with pytest.raises(DSLError, match="reserved"):
+            p.set_weak_form("u", "u*v")
+
+    def test_flux_bc_rejected(self):
+        p = heat_problem_1d()
+        p.boundaries = [b for b in p.boundaries if b.region != 2]
+        p.add_boundary("u", 2, BCKind.SYMMETRY,
+                       reflection_map=np.array([0]))
+        with pytest.raises(CodegenError, match="DIRICHLET/NEUMANN0"):
+            p.generate()

@@ -1,0 +1,142 @@
+"""P1 element data and operator assembly."""
+
+import numpy as np
+import pytest
+
+from repro.fem.assemble import (
+    assemble_advection,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+    dirichlet_nodes,
+    lumped_mass,
+)
+from repro.fem.p1 import build_p1
+from repro.mesh.grid import structured_grid, triangulated_grid
+from repro.util.errors import MeshError
+
+
+@pytest.fixture
+def p1_1d():
+    return build_p1(structured_grid((8,)))
+
+
+@pytest.fixture
+def p1_2d():
+    return build_p1(triangulated_grid((5, 4)))
+
+
+class TestP1Geometry:
+    def test_1d_gradients(self, p1_1d):
+        h = 1.0 / 8
+        assert np.allclose(p1_1d.volume, h)
+        assert np.allclose(p1_1d.grads[:, 0, 0], -1.0 / h)
+        assert np.allclose(p1_1d.grads[:, 1, 0], 1.0 / h)
+
+    def test_2d_partition_of_unity_gradients(self, p1_2d):
+        """Shape-function gradients of each element sum to zero."""
+        s = p1_2d.grads.sum(axis=1)
+        assert np.allclose(s, 0.0, atol=1e-12)
+
+    def test_2d_areas(self, p1_2d):
+        assert np.isclose(p1_2d.volume.sum(), 1.0)
+
+    def test_linear_exactness_of_gradients(self, p1_2d):
+        """grad(sum_i f(x_i) phi_i) equals grad f for linear f."""
+        coords = p1_2d.mesh.nodes
+        f = 3.0 * coords[:, 0] - 2.0 * coords[:, 1]
+        g = np.einsum("eid,ei->ed", p1_2d.grads, f[p1_2d.elements])
+        assert np.allclose(g[:, 0], 3.0, atol=1e-12)
+        assert np.allclose(g[:, 1], -2.0, atol=1e-12)
+
+    def test_quads_rejected(self):
+        with pytest.raises(MeshError, match="simplex"):
+            build_p1(structured_grid((3, 3)))
+
+    def test_3d_rejected(self):
+        with pytest.raises(MeshError):
+            build_p1(structured_grid((2, 2, 2)))
+
+
+class TestStiffness:
+    def test_symmetric(self, p1_2d):
+        K = assemble_stiffness(p1_2d)
+        assert abs(K - K.T).max() < 1e-14
+
+    def test_constants_in_nullspace(self, p1_2d):
+        K = assemble_stiffness(p1_2d)
+        ones = np.ones(p1_2d.nnodes)
+        assert np.abs(K @ ones).max() < 1e-12
+
+    def test_positive_semidefinite(self, p1_2d):
+        K = assemble_stiffness(p1_2d).toarray()
+        eig = np.linalg.eigvalsh(K)
+        assert eig.min() > -1e-12
+
+    def test_energy_of_linear_field(self, p1_2d):
+        """u = x: ∫|grad u|^2 = domain area."""
+        K = assemble_stiffness(p1_2d)
+        u = p1_2d.mesh.nodes[:, 0]
+        assert u @ (K @ u) == pytest.approx(1.0, rel=1e-12)
+
+    def test_coefficient_scales(self, p1_2d):
+        K1 = assemble_stiffness(p1_2d)
+        K3 = assemble_stiffness(p1_2d, 3.0)
+        assert abs(K3 - 3 * K1).max() < 1e-12
+
+    def test_1d_matches_finite_differences(self, p1_1d):
+        """Interior rows of the 1-D P1 stiffness are the classic
+        [-1, 2, -1]/h stencil."""
+        K = assemble_stiffness(p1_1d).toarray()
+        h = 1.0 / 8
+        assert K[4, 3] == pytest.approx(-1 / h)
+        assert K[4, 4] == pytest.approx(2 / h)
+        assert K[4, 5] == pytest.approx(-1 / h)
+
+
+class TestMass:
+    def test_total_mass_is_domain_measure(self, p1_2d):
+        M = assemble_mass(p1_2d)
+        ones = np.ones(p1_2d.nnodes)
+        assert ones @ (M @ ones) == pytest.approx(1.0, rel=1e-12)
+
+    def test_lumped_equals_row_sums(self, p1_2d):
+        M = assemble_mass(p1_2d)
+        ml = lumped_mass(p1_2d)
+        assert np.allclose(np.asarray(M.sum(axis=1)).ravel(), ml, rtol=1e-12)
+
+    def test_lumped_positive(self, p1_2d):
+        assert np.all(lumped_mass(p1_2d) > 0)
+
+
+class TestAdvectionAndLoad:
+    def test_advection_of_linear_field(self, p1_2d):
+        """b.grad(x) = b_x: C @ x integrates b_x phi_i (lumped)."""
+        C = assemble_advection(p1_2d, np.array([2.0, 0.0]))
+        x = p1_2d.mesh.nodes[:, 0]
+        ones = np.ones(p1_2d.nnodes)
+        # total ∫ b.grad(x) dV = 2 * area
+        assert ones @ (C @ x) == pytest.approx(2.0, rel=1e-12)
+
+    def test_load_total(self, p1_2d):
+        F = assemble_load(p1_2d, 5.0)
+        assert F.sum() == pytest.approx(5.0, rel=1e-12)
+
+    def test_load_function(self, p1_2d):
+        F = assemble_load(p1_2d, lambda x: x[:, 0])
+        # ∫ x dV over the unit square = 1/2, nodal quadrature is close
+        assert F.sum() == pytest.approx(0.5, abs=0.02)
+
+
+class TestDirichletNodes:
+    def test_region_nodes(self, p1_2d):
+        left = dirichlet_nodes(p1_2d, [1])
+        assert np.allclose(p1_2d.mesh.nodes[left, 0], 0.0)
+
+    def test_union(self, p1_2d):
+        both = dirichlet_nodes(p1_2d, [1, 2])
+        assert len(both) == 2 * (4 + 1)
+
+    def test_unknown_region(self, p1_2d):
+        with pytest.raises(MeshError):
+            dirichlet_nodes(p1_2d, [9])

@@ -1,0 +1,79 @@
+"""Weak-form classification (the paper's bilinear/linear groups)."""
+
+import pytest
+
+from repro.dsl.entities import NODE
+from repro.dsl.problem import Problem
+from repro.fem.weakform import lower_weak_form
+from repro.mesh.grid import structured_grid
+from repro.util.errors import DSLError
+
+
+@pytest.fixture
+def problem():
+    p = Problem("wf")
+    p.set_domain(1)
+    p.set_mesh(structured_grid((4,)))
+    p.add_variable("u", location=NODE)
+    p.add_coefficient("k", 2.0)
+    p.add_coefficient("c", 0.5)
+    p.add_coefficient("f", lambda x: x[:, 0])
+    return p
+
+
+class TestClassification:
+    def test_diffusion(self, problem):
+        form = lower_weak_form(problem, "u", "-k*dot(grad(u), grad(v))")
+        assert len(form.bilinear) == 1
+        t = form.bilinear[0]
+        assert t.kind == "stiffness"
+        assert str(t.coefficient) == "-_k_1" or "k" in str(t.coefficient)
+
+    def test_grad_order_irrelevant(self, problem):
+        a = lower_weak_form(problem, "u", "-k*dot(grad(v), grad(u))")
+        assert a.bilinear[0].kind == "stiffness"
+
+    def test_reaction(self, problem):
+        form = lower_weak_form(problem, "u", "-c*u*v")
+        assert form.bilinear[0].kind == "mass"
+
+    def test_load(self, problem):
+        form = lower_weak_form(problem, "u", "f*v")
+        assert len(form.linear) == 1
+        assert form.linear[0].kind == "load"
+
+    def test_advection(self, problem):
+        problem.add_coefficient("bx", 1.0)
+        form = lower_weak_form(problem, "u", "-dot([bx;bx], grad(u))*v")
+        t = form.bilinear[0]
+        assert t.kind == "advection"
+        assert len(t.velocity) == 2
+
+    def test_full_equation(self, problem):
+        form = lower_weak_form(
+            problem, "u", "-k*dot(grad(u), grad(v)) - c*u*v + f*v"
+        )
+        kinds = sorted(t.kind for t in form.bilinear)
+        assert kinds == ["mass", "stiffness"]
+        assert [t.kind for t in form.linear] == ["load"]
+
+    def test_listing(self, problem):
+        form = lower_weak_form(problem, "u", "-k*dot(grad(u), grad(v)) + f*v")
+        text = form.listing()
+        assert "Bilinear volume:" in text
+        assert "Linear volume:" in text
+        assert "stiffness" in text and "load" in text
+
+
+class TestRejections:
+    def test_missing_test_function(self, problem):
+        with pytest.raises(DSLError, match="test function"):
+            lower_weak_form(problem, "u", "-k*u")
+
+    def test_unknown_symbol(self, problem):
+        with pytest.raises(DSLError, match="unknown symbol"):
+            lower_weak_form(problem, "u", "-qq*u*v")
+
+    def test_unsupported_shape(self, problem):
+        with pytest.raises(DSLError, match="unsupported term shape"):
+            lower_weak_form(problem, "u", "u*u*v")

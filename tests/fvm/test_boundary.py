@@ -1,0 +1,189 @@
+"""Boundary-condition bookkeeping: ghosts, callbacks, symmetry, errors."""
+
+import numpy as np
+import pytest
+
+from repro.fvm.boundary import (
+    BCKind,
+    BoundaryCondition,
+    BoundarySet,
+    BoundaryContext,
+)
+from repro.fvm.geometry import FVGeometry
+from repro.mesh.grid import structured_grid
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def geom():
+    return FVGeometry(structured_grid((4, 4)))
+
+
+def full_set(geom, ncomp=1, overrides=None):
+    overrides = overrides or {}
+    bset = BoundarySet(geom, ncomp)
+    for region in (1, 2, 3, 4):
+        if region in overrides:
+            bset.add(overrides[region])
+        else:
+            bset.add(BoundaryCondition(region=region, kind=BCKind.NEUMANN0))
+    return bset
+
+
+class TestConstruction:
+    def test_dirichlet_requires_value(self):
+        with pytest.raises(ConfigError):
+            BoundaryCondition(region=1, kind=BCKind.DIRICHLET)
+
+    def test_flux_requires_callback(self):
+        with pytest.raises(ConfigError):
+            BoundaryCondition(region=1, kind=BCKind.FLUX)
+
+    def test_symmetry_requires_map(self):
+        with pytest.raises(ConfigError):
+            BoundaryCondition(region=1, kind=BCKind.SYMMETRY)
+
+    def test_unknown_region_rejected(self, geom):
+        bset = BoundarySet(geom, 1)
+        with pytest.raises(ConfigError):
+            bset.add(BoundaryCondition(region=9, kind=BCKind.NEUMANN0))
+
+    def test_duplicate_region_rejected(self, geom):
+        bset = BoundarySet(geom, 1)
+        bset.add(BoundaryCondition(region=1, kind=BCKind.NEUMANN0))
+        with pytest.raises(ConfigError):
+            bset.add(BoundaryCondition(region=1, kind=BCKind.NEUMANN0))
+
+    def test_check_complete(self, geom):
+        bset = BoundarySet(geom, 1)
+        bset.add(BoundaryCondition(region=1, kind=BCKind.NEUMANN0))
+        with pytest.raises(ConfigError):
+            bset.check_complete()
+
+    def test_reflection_map_length_checked(self, geom):
+        bset = BoundarySet(geom, 4)
+        with pytest.raises(ConfigError):
+            bset.add(
+                BoundaryCondition(
+                    region=1, kind=BCKind.SYMMETRY, reflection_map=np.array([0, 1])
+                )
+            )
+
+
+class TestGhostValues:
+    def test_dirichlet_scalar(self, geom):
+        bset = full_set(
+            geom,
+            1,
+            {1: BoundaryCondition(region=1, kind=BCKind.DIRICHLET, value=5.0)},
+        )
+        u = np.zeros((1, geom.ncells))
+        ghost = bset.ghost_values(u)
+        slots = geom.region_slots[1]
+        assert np.allclose(ghost[:, slots], 5.0)
+
+    def test_dirichlet_per_component(self, geom):
+        vals = np.array([1.0, 2.0, 3.0])
+        bset = full_set(
+            geom,
+            3,
+            {2: BoundaryCondition(region=2, kind=BCKind.DIRICHLET, value=vals)},
+        )
+        u = np.zeros((3, geom.ncells))
+        ghost = bset.ghost_values(u)
+        slots = geom.region_slots[2]
+        assert np.allclose(ghost[:, slots], vals[:, None])
+
+    def test_neumann0_copies_owner(self, geom):
+        bset = full_set(geom, 1)
+        u = np.arange(geom.ncells, dtype=float)[None, :]
+        ghost = bset.ghost_values(u)
+        assert np.allclose(ghost[0], u[0, geom.owner[geom.bfaces]])
+
+    def test_symmetry_permutes_components(self, geom):
+        refl = np.array([1, 0], dtype=np.int64)
+        bset = full_set(
+            geom,
+            2,
+            {3: BoundaryCondition(region=3, kind=BCKind.SYMMETRY, reflection_map=refl)},
+        )
+        u = np.stack([np.full(geom.ncells, 10.0), np.full(geom.ncells, 20.0)])
+        ghost = bset.ghost_values(u)
+        slots = geom.region_slots[3]
+        assert np.allclose(ghost[0, slots], 20.0)
+        assert np.allclose(ghost[1, slots], 10.0)
+
+    def test_ghost_callback(self, geom):
+        def cb(ctx):
+            return np.full((1, ctx.nfaces), 42.0)
+
+        bset = full_set(
+            geom,
+            1,
+            {4: BoundaryCondition(region=4, kind=BCKind.GHOST_CALLBACK, callback=cb)},
+        )
+        ghost = bset.ghost_values(np.zeros((1, geom.ncells)))
+        assert np.allclose(ghost[:, geom.region_slots[4]], 42.0)
+
+    def test_ghost_callback_shape_checked(self, geom):
+        def bad(ctx):
+            return np.zeros((2, ctx.nfaces))
+
+        bset = full_set(
+            geom,
+            1,
+            {4: BoundaryCondition(region=4, kind=BCKind.GHOST_CALLBACK, callback=bad)},
+        )
+        with pytest.raises(ConfigError):
+            bset.ghost_values(np.zeros((1, geom.ncells)))
+
+
+class TestFluxOverrides:
+    def test_flux_callback_receives_context(self, geom):
+        seen = {}
+
+        def cb(ctx):
+            seen["ctx"] = ctx
+            return np.zeros((1, ctx.nfaces))
+
+        bset = full_set(
+            geom,
+            1,
+            {1: BoundaryCondition(region=1, kind=BCKind.FLUX, callback=cb)},
+        )
+        u = np.arange(geom.ncells, dtype=float)[None, :]
+        out = bset.flux_overrides(u, time=1.5, dt=0.1, extra={"tag": 7})
+        ctx = seen["ctx"]
+        assert isinstance(ctx, BoundaryContext)
+        assert ctx.time == 1.5
+        assert ctx.dt == 0.1
+        assert ctx.extra["tag"] == 7
+        assert np.allclose(ctx.owner_values, u[:, ctx.owner_cells])
+        assert len(out) == 1
+        faces, vals = out[0]
+        assert np.array_equal(faces, geom.region_faces[1])
+
+    def test_no_flux_regions_empty(self, geom):
+        bset = full_set(geom, 1)
+        assert bset.flux_overrides(np.zeros((1, geom.ncells))) == []
+
+    def test_flux_shape_checked(self, geom):
+        def bad(ctx):
+            return np.zeros((1, ctx.nfaces + 1))
+
+        bset = full_set(
+            geom,
+            1,
+            {1: BoundaryCondition(region=1, kind=BCKind.FLUX, callback=bad)},
+        )
+        with pytest.raises(ConfigError):
+            bset.flux_overrides(np.zeros((1, geom.ncells)))
+
+    def test_has_callbacks(self, geom):
+        assert not full_set(geom, 1).has_callbacks()
+        bset = full_set(
+            geom,
+            1,
+            {1: BoundaryCondition(region=1, kind=BCKind.FLUX, callback=lambda c: np.zeros((1, c.nfaces)))},
+        )
+        assert bset.has_callbacks()

@@ -1,0 +1,70 @@
+"""The ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLIInProcess:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "55 (40 LA + 15 TA" in out
+        assert "15,840,000" in out
+
+    def test_figures(self, tmp_path, capsys):
+        assert main(["figures", "--out", str(tmp_path)]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "fig9_all_strategies.txt",
+            "fig5_band_breakdown.txt",
+            "fig8_gpu_breakdown.txt",
+            "fig7_gpu_speedup.txt",
+            "tab1_gpu_profile.txt",
+        }
+        tab1 = (tmp_path / "tab1_gpu_profile.txt").read_text()
+        assert "SM utilization" in tab1
+
+    def test_bte_reduced_run(self, capsys):
+        assert main(["bte", "--nx", "8", "--ndirs", "8", "--bands", "4",
+                     "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "T in [" in out
+
+    def test_pipeline_scalar_example(self, capsys):
+        assert main(["pipeline", "-k*u - surface(upwind(b, u))"]) == 0
+        out = capsys.readouterr().out
+        assert "-TIMEDERIVATIVE*_u_1" in out
+        assert "LHS volume:" in out
+        assert "RHS surface:" in out
+
+    def test_pipeline_bte_equation(self, capsys):
+        eq = ("(Io[b] - I[d,b]) / beta[b] - "
+              "surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))")
+        assert main(["pipeline", eq, "--unknown", "I"]) == 0
+        out = capsys.readouterr().out
+        assert "-TIMEDERIVATIVE*I[d,b]" in out
+        assert "CELL1_I[d,b]" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+
+
+@pytest.mark.slow
+def test_cli_as_subprocess():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "info"], capture_output=True, text=True
+    )
+    assert proc.returncode == 0
+    assert "repro 1.0.0" in proc.stdout
+
+
+class TestLatexCommand:
+    def test_latex_renders_bte_volume_term(self, capsys):
+        assert main(["latex", "(Io[b] - I[d,b]) / beta[b]"]) == 0
+        out = capsys.readouterr().out
+        assert r"\frac" in out
+        assert r"\beta_{b}" in out

@@ -1,0 +1,41 @@
+"""The README's code snippets must actually run (doc-rot guard)."""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def python_blocks() -> list[str]:
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_python_examples():
+    assert len(python_blocks()) >= 1
+
+
+@pytest.mark.parametrize("idx", range(len(python_blocks())))
+def test_readme_python_block_executes(idx):
+    block = python_blocks()[idx]
+    import repro.dsl as finch
+
+    finch.finalize()
+    namespace: dict = {}
+    try:
+        exec(compile(block, f"<README block {idx}>", "exec"), namespace)  # noqa: S102
+    finally:
+        finch.finalize()
+    solver = namespace.get("solver")
+    assert solver is not None, "README snippet should produce a solver"
+    assert np.all(np.isfinite(solver.solution()))
+
+
+def test_readme_mentions_all_examples():
+    text = README.read_text()
+    examples_dir = Path(__file__).resolve().parents[2] / "examples"
+    for script in sorted(examples_dir.glob("*.py")):
+        assert script.name in text, f"README does not mention {script.name}"

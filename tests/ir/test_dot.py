@@ -1,0 +1,48 @@
+"""DOT export of the IR graph."""
+
+import pytest
+
+from repro.bte.problem import build_bte_problem
+from repro.ir.build import build_ir
+from repro.ir.dot import to_dot
+from repro.ir.lowering import lower_conservation_form
+
+
+@pytest.fixture
+def bte_ir(tiny_scenario):
+    problem, _ = build_bte_problem(tiny_scenario)
+    _, form = lower_conservation_form(
+        problem.equation.source, problem.unknown, problem.entities, problem.operators
+    )
+    return build_ir(problem, form, flavor="gpu")
+
+
+def test_dot_is_valid_digraph(bte_ir):
+    dot = to_dot(bte_ir)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    # balanced braces and one edge per child relationship
+    assert dot.count("{") == dot.count("}")
+    assert "->" in dot
+
+
+def test_dot_marks_node_kinds(bte_ir):
+    dot = to_dot(bte_ir)
+    assert "box3d" in dot  # kernel launch
+    assert "parallelogram" in dot  # transfers
+    assert "component" in dot  # CPU callback
+
+def test_dot_escapes_quotes():
+    from repro.ir.nodes import Comment
+
+    dot = to_dot(Comment(text='say "hello"'))
+    assert '\\"hello\\"' in dot
+
+
+def test_dot_node_count_matches_tree(bte_ir):
+    def count(node):
+        return 1 + sum(count(c) for c in node.children())
+
+    dot = to_dot(bte_ir)
+    n_nodes = sum(1 for ln in dot.splitlines() if "[label=" in ln)
+    assert n_nodes == count(bte_ir)

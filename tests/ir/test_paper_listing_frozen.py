@@ -1,0 +1,53 @@
+"""Frozen-format tests: the printed pipeline stages are pinned verbatim.
+
+The substring checks elsewhere allow drift; these freeze the *exact*
+canonical strings for the paper's Section II example so any formatting or
+ordering change to the printer/simplifier is a conscious decision.
+"""
+
+from repro.ir.lowering import euler_form, expand, lower_conservation_form
+from repro.symbolic.parser import parse
+from repro.symbolic.simplify import simplify
+
+SOURCE = "-k*u - surface(upwind(b, u))"
+
+EXPANDED = (
+    "-TIMEDERIVATIVE*_u_1"
+    "-_k_1*_u_1"
+    "-SURFACE*conditional(_b_1*NORMAL_1 > 0, "
+    "_b_1*NORMAL_1*CELL1_u_1, _b_1*NORMAL_1*CELL2_u_1)"
+)
+
+LHS_VOLUME = "-_u_1"
+RHS_VOLUME = ["_u_1", "-_k_1*_u_1*dt"]
+RHS_SURFACE = (
+    "-dt*conditional(_b_1*NORMAL_1 > 0, "
+    "_b_1*NORMAL_1*CELL1_u_1, _b_1*NORMAL_1*CELL2_u_1)"
+)
+VOLUME_TERM = "-_k_1*_u_1"
+SURFACE_TERM = (
+    "-conditional(_b_1*NORMAL_1 > 0, "
+    "_b_1*NORMAL_1*CELL1_u_1, _b_1*NORMAL_1*CELL2_u_1)"
+)
+
+
+def test_expanded_representation_exact(scalar_entities):
+    ents, u = scalar_entities
+    assert str(simplify(expand(parse(SOURCE), u, ents))) == EXPANDED
+
+
+def test_classified_groups_exact(scalar_entities):
+    ents, u = scalar_entities
+    _, form = lower_conservation_form(SOURCE, u, ents)
+    assert [str(t) for t in form.lhs_volume] == [LHS_VOLUME]
+    assert sorted(str(t) for t in form.rhs_volume) == sorted(RHS_VOLUME)
+    assert [str(t) for t in form.rhs_surface] == [RHS_SURFACE]
+    assert [str(t) for t in form.volume_terms] == [VOLUME_TERM]
+    assert [str(t) for t in form.surface_terms] == [SURFACE_TERM]
+
+
+def test_stage_strings_are_reproducible(scalar_entities):
+    ents, u = scalar_entities
+    a = str(simplify(euler_form(expand(parse(SOURCE), u, ents), u)))
+    b = str(simplify(euler_form(expand(parse(SOURCE), u, ents), u)))
+    assert a == b

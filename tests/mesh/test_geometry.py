@@ -1,0 +1,78 @@
+"""Polygon/brick geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.geometry import (
+    brick_volume,
+    cell_closure_residual,
+    edge_outward_normal,
+    polygon_area,
+    polygon_centroid,
+)
+from repro.util.errors import MeshError
+
+SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+class TestPolygon:
+    def test_square_area(self):
+        assert polygon_area(SQUARE) == pytest.approx(1.0)
+
+    def test_cw_is_negative(self):
+        assert polygon_area(SQUARE[::-1]) == pytest.approx(-1.0)
+
+    def test_triangle_area(self):
+        tri = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]])
+        assert polygon_area(tri) == pytest.approx(2.0)
+
+    def test_centroid_of_square(self):
+        assert np.allclose(polygon_centroid(SQUARE), [0.5, 0.5])
+
+    def test_centroid_of_skewed_quad(self):
+        quad = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 1.0], [0.0, 2.0]])
+        c = polygon_centroid(quad)
+        # must lie inside the polygon
+        assert 0 < c[0] < 2 and 0 < c[1] < 2
+
+    def test_degenerate_polygon_raises(self):
+        line = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        with pytest.raises(MeshError):
+            polygon_centroid(line)
+
+
+class TestEdges:
+    def test_outward_normal_ccw(self):
+        # bottom edge of a CCW square: outward is -y
+        n, length = edge_outward_normal(np.array([0.0, 0.0]), np.array([1.0, 0.0]))
+        assert np.allclose(n, [0.0, -1.0])
+        assert length == pytest.approx(1.0)
+
+    def test_right_edge(self):
+        n, _ = edge_outward_normal(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
+        assert np.allclose(n, [1.0, 0.0])
+
+    def test_zero_length_raises(self):
+        with pytest.raises(MeshError):
+            edge_outward_normal(np.zeros(2), np.zeros(2))
+
+
+class TestBrick:
+    def test_volume(self):
+        assert brick_volume(np.zeros(3), np.array([2.0, 3.0, 4.0])) == pytest.approx(24.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(MeshError):
+            brick_volume(np.zeros(3), np.array([1.0, 0.0, 1.0]))
+
+
+class TestClosure:
+    def test_closed_square_cell(self):
+        normals = np.array([[0, -1], [1, 0], [0, 1], [-1, 0]], dtype=float)
+        areas = np.ones(4)
+        assert cell_closure_residual(normals, areas) == pytest.approx(0.0)
+
+    def test_open_cell_nonzero(self):
+        normals = np.array([[0, -1], [1, 0], [0, 1]], dtype=float)
+        areas = np.ones(3)
+        assert cell_closure_residual(normals, areas) > 0.5

@@ -1,0 +1,99 @@
+"""Gmsh 2.2 ASCII I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.mesh.gmsh_io import read_gmsh, write_gmsh
+from repro.mesh.grid import structured_grid
+from repro.util.errors import MeshError
+
+MINIMAL_MSH = """$MeshFormat
+2.2 0 8
+$EndMeshFormat
+$Nodes
+4
+1 0 0 0
+2 1 0 0
+3 1 1 0
+4 0 1 0
+$EndNodes
+$Elements
+6
+1 1 2 10 0 1 2
+2 1 2 11 0 2 3
+3 1 2 12 0 3 4
+4 1 2 13 0 4 1
+5 2 2 0 0 1 2 3
+6 2 2 0 0 1 3 4
+$EndElements
+"""
+
+
+class TestRead:
+    def test_minimal_triangle_mesh(self):
+        mesh = read_gmsh(io.StringIO(MINIMAL_MSH))
+        assert mesh.dim == 2
+        assert mesh.ncells == 2
+        assert mesh.boundary_regions() == [10, 11, 12, 13]
+        mesh.validate()
+
+    def test_physical_tags_map_to_regions(self):
+        mesh = read_gmsh(io.StringIO(MINIMAL_MSH))
+        bottom = mesh.boundary_faces(10)
+        assert len(bottom) == 1
+        assert np.allclose(mesh.face_centers[bottom[0]], [0.5, 0.0])
+
+    def test_rejects_wrong_version(self):
+        bad = MINIMAL_MSH.replace("2.2 0 8", "4.1 0 8")
+        with pytest.raises(MeshError):
+            read_gmsh(io.StringIO(bad))
+
+    def test_rejects_unknown_element_type(self):
+        bad = MINIMAL_MSH.replace("5 2 2 0 0 1 2 3", "5 99 2 0 0 1 2 3")
+        with pytest.raises(MeshError):
+            read_gmsh(io.StringIO(bad))
+
+    def test_missing_section(self):
+        with pytest.raises(MeshError):
+            read_gmsh(io.StringIO("$MeshFormat\n2.2 0 8\n$EndMeshFormat\n"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "shape,bounds",
+        [
+            ((5, 4), [(0.0, 2.0), (0.0, 1.0)]),
+            ((6,), [(0.0, 1.0)]),
+            ((2, 2, 2), [(0.0, 1.0)] * 3),
+        ],
+    )
+    def test_grid_roundtrip(self, shape, bounds):
+        mesh = structured_grid(shape, bounds)
+        buf = io.StringIO()
+        write_gmsh(mesh, buf)
+        buf.seek(0)
+        back = read_gmsh(buf)
+        assert back.ncells == mesh.ncells
+        assert back.dim == mesh.dim
+        assert back.cell_volumes.sum() == pytest.approx(mesh.cell_volumes.sum())
+        assert sorted(back.boundary_regions()) == sorted(mesh.boundary_regions())
+        back.validate()
+
+    def test_region_face_counts_survive(self):
+        mesh = structured_grid((4, 3))
+        buf = io.StringIO()
+        write_gmsh(mesh, buf)
+        buf.seek(0)
+        back = read_gmsh(buf)
+        for r in mesh.boundary_regions():
+            assert len(back.boundary_faces(r)) == len(mesh.boundary_faces(r))
+
+    def test_file_paths(self, tmp_path):
+        mesh = structured_grid((3, 3))
+        path = tmp_path / "grid.msh"
+        write_gmsh(mesh, path)
+        back = read_gmsh(path)
+        assert back.ncells == 9
+        assert back.name == "grid"

@@ -1,0 +1,95 @@
+"""Structured grid generator."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import interval_mesh, structured_grid
+from repro.util.errors import MeshError
+
+
+class TestShapes:
+    def test_2d_counts(self):
+        mesh = structured_grid((8, 6))
+        assert mesh.ncells == 48
+        assert mesh.nnodes == 9 * 7
+        # nfaces = vertical + horizontal edges
+        assert mesh.nfaces == 9 * 6 + 8 * 7
+
+    def test_1d(self):
+        mesh = structured_grid((10,), [(0.0, 2.0)])
+        assert mesh.ncells == 10
+        assert np.allclose(mesh.cell_volumes, 0.2)
+
+    def test_3d(self):
+        mesh = structured_grid((3, 4, 5))
+        assert mesh.ncells == 60
+        assert mesh.cell_volumes.sum() == pytest.approx(1.0)
+
+    def test_interval_mesh_wrapper(self):
+        mesh = interval_mesh(4, 1.0, 3.0)
+        assert mesh.ncells == 4
+        assert mesh.cell_volumes.sum() == pytest.approx(2.0)
+
+
+class TestGeometry:
+    def test_total_volume_matches_box(self):
+        mesh = structured_grid((12, 5), [(0.0, 3.0), (-1.0, 1.0)])
+        assert mesh.cell_volumes.sum() == pytest.approx(6.0)
+
+    def test_all_validate(self):
+        for shape, bounds in [
+            ((5,), [(0, 1)]),
+            ((4, 4), [(0, 1), (0, 2)]),
+            ((2, 3, 4), [(0, 1), (0, 1), (0, 1)]),
+        ]:
+            structured_grid(shape, bounds).validate()
+
+    def test_paper_mesh_dimensions(self):
+        # the paper's 120x120 grid over 525um x 525um
+        mesh = structured_grid((120, 120), [(0.0, 525e-6), (0.0, 525e-6)])
+        assert mesh.ncells == 14400
+        h = 525e-6 / 120
+        assert np.allclose(mesh.cell_volumes, h * h)
+
+    def test_metadata(self):
+        mesh = structured_grid((4, 5))
+        assert mesh.metadata["structured_shape"] == (4, 5)
+
+
+class TestRegions:
+    def test_default_2d_regions(self):
+        mesh = structured_grid((6, 4), [(0.0, 3.0), (0.0, 2.0)])
+        assert mesh.boundary_regions() == [1, 2, 3, 4]
+        # region 1 = x-min wall: 4 faces (ny)
+        assert len(mesh.boundary_faces(1)) == 4
+        assert len(mesh.boundary_faces(3)) == 6  # y-min wall: nx faces
+        assert np.allclose(mesh.face_centers[mesh.boundary_faces(1), 0], 0.0)
+        assert np.allclose(mesh.face_centers[mesh.boundary_faces(4), 1], 2.0)
+
+    def test_default_3d_regions(self):
+        mesh = structured_grid((2, 2, 2))
+        assert mesh.boundary_regions() == [1, 2, 3, 4, 5, 6]
+        for r in range(1, 7):
+            assert len(mesh.boundary_faces(r)) == 4
+
+    def test_custom_marker(self):
+        mesh = structured_grid(
+            (4, 4), boundary_marker=lambda c, n: 7
+        )
+        assert mesh.boundary_regions() == [7]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "shape,bounds",
+        [
+            ((0,), None),
+            ((4, -1), None),
+            ((2, 2), [(0.0, 1.0)]),
+            ((2, 2), [(0.0, 1.0), (1.0, 0.0)]),
+            ((1, 1, 1, 1), None),
+        ],
+    )
+    def test_rejects(self, shape, bounds):
+        with pytest.raises(MeshError):
+            structured_grid(shape, bounds)

@@ -1,0 +1,108 @@
+"""MEDIT (.mesh) I/O — the paper's second import format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import structured_grid, triangulated_grid
+from repro.mesh.medit_io import read_medit, write_medit
+from repro.util.errors import MeshError
+
+MINIMAL = """MeshVersionFormatted 2
+Dimension 2
+Vertices
+4
+0 0 0
+1 0 0
+1 1 0
+0 1 0
+Edges
+4
+1 2 10
+2 3 11
+3 4 12
+4 1 13
+Triangles
+2
+1 2 3 0
+1 3 4 0
+End
+"""
+
+
+class TestRead:
+    def test_minimal(self):
+        mesh = read_medit(io.StringIO(MINIMAL))
+        assert mesh.dim == 2
+        assert mesh.ncells == 2
+        assert mesh.boundary_regions() == [10, 11, 12, 13]
+        mesh.validate()
+
+    def test_refs_map_to_regions(self):
+        mesh = read_medit(io.StringIO(MINIMAL))
+        bottom = mesh.boundary_faces(10)
+        assert np.allclose(mesh.face_centers[bottom[0]], [0.5, 0.0])
+
+    def test_missing_vertices_rejected(self):
+        with pytest.raises(MeshError):
+            read_medit(io.StringIO("MeshVersionFormatted 2\nDimension 2\nEnd\n"))
+
+    def test_unknown_section_rejected(self):
+        bad = MINIMAL.replace("Triangles", "Tetrahedra")
+        with pytest.raises(MeshError):
+            read_medit(io.StringIO(bad))
+
+    def test_truncated_file(self):
+        with pytest.raises(MeshError):
+            read_medit(io.StringIO("MeshVersionFormatted 2\nDimension"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "mesh",
+        [
+            structured_grid((5, 4), [(0.0, 2.0), (0.0, 1.0)]),
+            triangulated_grid((4, 3)),
+            structured_grid((6,)),
+        ],
+        ids=["quads", "triangles", "1d"],
+    )
+    def test_roundtrip(self, mesh):
+        buf = io.StringIO()
+        write_medit(mesh, buf)
+        buf.seek(0)
+        back = read_medit(buf)
+        assert back.ncells == mesh.ncells
+        assert back.dim == mesh.dim
+        assert back.cell_volumes.sum() == pytest.approx(mesh.cell_volumes.sum())
+        back.validate()
+
+    def test_2d_regions_survive(self):
+        mesh = structured_grid((4, 3))
+        buf = io.StringIO()
+        write_medit(mesh, buf)
+        buf.seek(0)
+        back = read_medit(buf)
+        assert back.boundary_regions() == mesh.boundary_regions()
+        for r in mesh.boundary_regions():
+            assert len(back.boundary_faces(r)) == len(mesh.boundary_faces(r))
+
+    def test_3d_rejected_by_writer(self):
+        with pytest.raises(MeshError):
+            write_medit(structured_grid((2, 2, 2)), io.StringIO())
+
+
+class TestDSLDispatch:
+    def test_mesh_command_dispatches_by_suffix(self, tmp_path):
+        import repro.dsl as finch
+
+        mesh = structured_grid((3, 3))
+        path = tmp_path / "square.mesh"
+        write_medit(mesh, path)
+        finch.finalize()
+        finch.init_problem("medit-import")
+        finch.domain(2)
+        loaded = finch.mesh(str(path))
+        assert loaded.ncells == 9
+        finch.finalize()

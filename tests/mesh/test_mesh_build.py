@@ -1,0 +1,154 @@
+"""Mesh construction: connectivity, geometry, validation, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import build_mesh
+from repro.util.errors import MeshError
+
+
+def two_quads():
+    """Two unit quads sharing an edge."""
+    nodes = np.array(
+        [[0, 0], [1, 0], [2, 0], [0, 1], [1, 1], [2, 1]], dtype=float
+    )
+    cells = [[0, 1, 4, 3], [1, 2, 5, 4]]
+    return nodes, cells
+
+
+class TestBuild2D:
+    def test_counts(self):
+        mesh = build_mesh(*two_quads())
+        assert mesh.ncells == 2
+        assert mesh.nfaces == 7  # 8 edges, one shared
+
+    def test_shared_face_connectivity(self):
+        mesh = build_mesh(*two_quads())
+        interior = mesh.interior_faces()
+        assert len(interior) == 1
+        owner, neigh = mesh.face_cells[interior[0]]
+        assert {int(owner), int(neigh)} == {0, 1}
+
+    def test_volumes_and_centroids(self):
+        mesh = build_mesh(*two_quads())
+        assert np.allclose(mesh.cell_volumes, 1.0)
+        assert np.allclose(mesh.cell_centroids[0], [0.5, 0.5])
+        assert np.allclose(mesh.cell_centroids[1], [1.5, 0.5])
+
+    def test_cw_cells_are_fixed(self):
+        nodes, cells = two_quads()
+        cells[0] = cells[0][::-1]  # clockwise input
+        mesh = build_mesh(nodes, cells)
+        assert np.all(mesh.cell_volumes > 0)
+        mesh.validate()
+
+    def test_normals_unit_and_outward(self):
+        mesh = build_mesh(*two_quads())
+        norms = np.linalg.norm(mesh.face_normals, axis=1)
+        assert np.allclose(norms, 1.0)
+        owners = mesh.face_cells[:, 0]
+        outward = np.einsum(
+            "fd,fd->f",
+            mesh.face_normals,
+            mesh.face_centers - mesh.cell_centroids[owners],
+        )
+        assert np.all(outward > 0)
+
+    def test_boundary_marker_applied(self):
+        def marker(center, normal):
+            return 1 if normal[0] < -0.5 else 2
+
+        mesh = build_mesh(*two_quads(), boundary_marker=marker)
+        left = mesh.boundary_faces(1)
+        assert len(left) == 1
+        assert mesh.face_centers[left[0], 0] == pytest.approx(0.0)
+
+    def test_triangles(self):
+        nodes = np.array([[0, 0], [1, 0], [0, 1], [1, 1]], dtype=float)
+        cells = [[0, 1, 2], [1, 3, 2]]
+        mesh = build_mesh(nodes, cells)
+        assert mesh.ncells == 2
+        assert np.allclose(mesh.cell_volumes, 0.5)
+        mesh.validate()
+
+
+class TestBuild1D3D:
+    def test_1d_chain(self):
+        nodes = np.array([0.0, 0.5, 1.5, 3.0])[:, None]
+        cells = [[0, 1], [1, 2], [2, 3]]
+        mesh = build_mesh(nodes, cells)
+        assert mesh.ncells == 3
+        assert np.allclose(mesh.cell_volumes, [0.5, 1.0, 1.5])
+        assert len(mesh.interior_faces()) == 2
+        mesh.validate()
+
+    def test_3d_brick_pair(self):
+        nodes = []
+        for z in (0.0, 1.0):
+            for y in (0.0, 1.0):
+                for x in (0.0, 1.0, 2.0):
+                    nodes.append([x, y, z])
+        nodes = np.array(nodes)
+
+        def nid(i, j, k):
+            return k * 6 + j * 3 + i
+
+        cells = [
+            [nid(0, 0, 0), nid(1, 0, 0), nid(1, 1, 0), nid(0, 1, 0),
+             nid(0, 0, 1), nid(1, 0, 1), nid(1, 1, 1), nid(0, 1, 1)],
+            [nid(1, 0, 0), nid(2, 0, 0), nid(2, 1, 0), nid(1, 1, 0),
+             nid(1, 0, 1), nid(2, 0, 1), nid(2, 1, 1), nid(1, 1, 1)],
+        ]
+        mesh = build_mesh(nodes, cells)
+        assert mesh.ncells == 2
+        assert np.allclose(mesh.cell_volumes, 1.0)
+        assert len(mesh.interior_faces()) == 1
+        mesh.validate()
+
+
+class TestConnectivityQueries:
+    def test_cell_neighbors(self):
+        mesh = build_mesh(*two_quads())
+        adj = mesh.cell_neighbors()
+        assert adj[0] == [1]
+        assert adj[1] == [0]
+
+    def test_cell_faces_and_signs(self):
+        mesh = build_mesh(*two_quads())
+        for c in range(mesh.ncells):
+            assert len(mesh.cell_faces(c)) == 4
+
+    def test_to_networkx(self):
+        g = build_mesh(*two_quads()).to_networkx()
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 1
+
+    def test_boundary_regions_listing(self):
+        mesh = build_mesh(*two_quads())
+        assert mesh.boundary_regions() == [1]  # default marker
+
+
+class TestErrors:
+    def test_empty_mesh(self):
+        with pytest.raises(MeshError):
+            build_mesh(np.zeros((2, 2)), [])
+
+    def test_face_shared_three_times(self):
+        nodes = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [2, 0], [0, 2]], dtype=float)
+        cells = [[0, 1, 2, 3], [0, 1, 4, 2][:3], [0, 1, 5][:3]]
+        # craft three cells sharing edge (0,1)
+        cells = [[0, 1, 2, 3], [0, 1, 4], [1, 0, 5]]
+        with pytest.raises(MeshError):
+            build_mesh(nodes, cells)
+
+    def test_bad_dimension(self):
+        with pytest.raises(MeshError):
+            build_mesh(np.zeros((3, 4)), [[0, 1, 2]], dim=4)
+
+    def test_1d_cell_wrong_node_count(self):
+        with pytest.raises(MeshError):
+            build_mesh(np.array([[0.0], [1.0], [2.0]]), [[0, 1, 2]])
+
+    def test_marker_returning_nonpositive_region(self):
+        with pytest.raises(MeshError):
+            build_mesh(*two_quads(), boundary_marker=lambda c, n: 0)

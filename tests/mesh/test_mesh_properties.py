@@ -1,0 +1,71 @@
+"""Property-based mesh invariants over random structured grids."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.grid import structured_grid
+from repro.mesh.partition import build_partition_layout, partition_cells
+
+shapes_2d = st.tuples(
+    st.integers(min_value=1, max_value=9), st.integers(min_value=1, max_value=9)
+)
+bounds_2d = st.tuples(
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+
+
+@given(shape=shapes_2d, extents=bounds_2d)
+@settings(max_examples=40, deadline=None)
+def test_grid_volume_sums_to_box(shape, extents):
+    mesh = structured_grid(shape, [(0.0, extents[0]), (0.0, extents[1])])
+    assert np.isclose(mesh.cell_volumes.sum(), extents[0] * extents[1], rtol=1e-12)
+
+
+@given(shape=shapes_2d)
+@settings(max_examples=40, deadline=None)
+def test_grid_closure_and_validation(shape):
+    mesh = structured_grid(shape)
+    mesh.validate()  # includes per-cell closure (divergence theorem)
+
+
+@given(shape=shapes_2d)
+@settings(max_examples=40, deadline=None)
+def test_boundary_face_area_equals_perimeter(shape):
+    mesh = structured_grid(shape, [(0.0, 2.0), (0.0, 3.0)])
+    per = mesh.face_areas[mesh.boundary_faces()].sum()
+    assert np.isclose(per, 2 * (2.0 + 3.0))
+
+
+@given(shape=shapes_2d)
+@settings(max_examples=40, deadline=None)
+def test_euler_formula_for_quad_grids(shape):
+    nx, ny = shape
+    mesh = structured_grid(shape)
+    # planar quad grid: F(cells) - E(faces) + V(nodes) == 1
+    assert mesh.ncells - mesh.nfaces + mesh.nnodes == 1
+
+
+@given(
+    shape=st.tuples(
+        st.integers(min_value=3, max_value=9), st.integers(min_value=3, max_value=9)
+    ),
+    nparts=st.integers(min_value=1, max_value=5),
+    method=st.sampled_from(["rcb", "graph"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_partition_layout_invariants(shape, nparts, method):
+    mesh = structured_grid(shape)
+    if nparts > mesh.ncells:
+        return
+    parts = partition_cells(mesh, nparts, method=method)
+    layout = build_partition_layout(mesh, parts)
+    # owned sets tile the mesh
+    all_owned = np.concatenate(layout.owned)
+    assert sorted(all_owned.tolist()) == list(range(mesh.ncells))
+    # every sent cell is owned by the sender and a ghost of the receiver
+    for p in range(layout.nparts):
+        for q, cells in layout.send_cells[p].items():
+            assert set(cells.tolist()) <= set(layout.owned[p].tolist())
+            assert set(cells.tolist()) <= set(layout.ghosts[q].tolist())

@@ -1,0 +1,27 @@
+"""Live calibration of the cost model."""
+
+import pytest
+
+from repro.perfmodel.calibrate import calibrate_cpu_rate
+from repro.perfmodel.machines import CASCADE_LAKE_FINCH
+
+
+class TestSyntheticCalibration:
+    def test_returns_scaled_rates(self):
+        rates, per_dof = calibrate_cpu_rate(CASCADE_LAKE_FINCH)
+        assert per_dof > 0
+        assert rates.intensity_per_dof == pytest.approx(per_dof, rel=1e-9)
+        # all phases scale by the same factor
+        factor = per_dof / CASCADE_LAKE_FINCH.intensity_per_dof
+        assert rates.newton_per_cell == pytest.approx(
+            CASCADE_LAKE_FINCH.newton_per_cell * factor, rel=1e-9
+        )
+
+    def test_solver_based_calibration(self, tiny_scenario):
+        from repro.bte.problem import build_bte_problem
+
+        problem, _ = build_bte_problem(tiny_scenario)
+        solver = problem.generate()
+        rates, per_dof = calibrate_cpu_rate(CASCADE_LAKE_FINCH, solver=solver)
+        assert per_dof > 0
+        assert "x" in rates.name  # scaled marker

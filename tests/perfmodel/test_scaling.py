@@ -1,0 +1,168 @@
+"""The scaling evaluators must reproduce the paper's reported shapes.
+
+Every assertion here is traceable to a sentence or figure of the paper;
+EXPERIMENTS.md carries the full paper-vs-model table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.costs import BTEWorkload
+from repro.perfmodel.scaling import (
+    PHASE_COMMUNICATION,
+    PHASE_INTENSITY,
+    PHASE_TEMPERATURE,
+    band_parallel_times,
+    cell_parallel_times,
+    fortran_reference_times,
+    gpu_hybrid_times,
+    strong_scaling_table,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return BTEWorkload.paper_configuration()
+
+
+class TestBandParallel:
+    def test_intensity_share_97_percent_serial(self, workload):
+        """Fig. 5: 'for one to ten processes it accounts for about 97%'."""
+        st = band_parallel_times(workload, [1, 2, 5, 10])
+        for p in (1, 2, 5, 10):
+            assert st.breakdown_fractions(p)[PHASE_INTENSITY] == pytest.approx(
+                0.97, abs=0.05
+            )
+
+    def test_intensity_share_73_percent_at_55(self, workload):
+        """Fig. 5: 'even at 55 it takes about 73%'."""
+        st = band_parallel_times(workload, [55])
+        assert st.breakdown_fractions(55)[PHASE_INTENSITY] == pytest.approx(
+            0.73, abs=0.05
+        )
+
+    def test_temperature_share_grows(self, workload):
+        st = band_parallel_times(workload, [1, 10, 55])
+        shares = [st.breakdown_fractions(p)[PHASE_TEMPERATURE] for p in (1, 10, 55)]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_capped_at_band_count(self, workload):
+        with pytest.raises(ValueError, match="at most 55"):
+            band_parallel_times(workload, [56])
+
+    def test_speedup_monotone(self, workload):
+        st = band_parallel_times(workload, [1, 2, 5, 10, 20, 55])
+        assert all(np.diff(st.total) < 0)
+
+
+class TestCellParallel:
+    def test_scales_to_320(self, workload):
+        """Fig. 4: 'able to scale well up to 320 processes'."""
+        st = cell_parallel_times(workload, [1, 320])
+        eff = st.parallel_efficiency()[-1]
+        assert eff > 0.8
+
+    def test_beats_band_beyond_55(self, workload):
+        st_cell = cell_parallel_times(workload, [320])
+        st_band = band_parallel_times(workload, [55])
+        assert st_cell.total[0] < st_band.total[0]
+
+    def test_has_communication_cost_above_1(self, workload):
+        st = cell_parallel_times(workload, [1, 8])
+        assert st.phases[PHASE_COMMUNICATION][0] == 0.0
+        assert st.phases[PHASE_COMMUNICATION][1] > 0.0
+
+    def test_band_slightly_better_at_small_counts(self, workload):
+        """Fig. 4: at small p the band strategy's lower communication keeps
+        it at least competitive."""
+        procs = [5]
+        t_band = band_parallel_times(workload, procs).total[0]
+        t_cell = cell_parallel_times(workload, procs).total[0]
+        assert t_band < t_cell * 1.15
+
+
+class TestFortranReference:
+    def test_serial_twice_as_fast(self, workload):
+        """Sec. III-E."""
+        t_f = fortran_reference_times(workload, [1]).total[0]
+        t_b = band_parallel_times(workload, [1]).total[0]
+        assert t_b / t_f == pytest.approx(2.0, rel=0.05)
+
+    def test_poor_scaling_catches_up(self, workload):
+        """Fig. 9: the Fortran code's serial temperature update makes its
+        advantage vanish at high process counts."""
+        procs = [1, 55]
+        t_f = fortran_reference_times(workload, procs)
+        t_b = band_parallel_times(workload, procs)
+        assert t_f.total[0] < t_b.total[0]  # faster serially
+        # by 55 ranks the gap has closed (within 10 %)
+        assert t_f.total[1] == pytest.approx(t_b.total[1], rel=0.10)
+
+    def test_temperature_share_explodes(self, workload):
+        st = fortran_reference_times(workload, [1, 55])
+        assert st.breakdown_fractions(55)[PHASE_TEMPERATURE] > 0.4
+
+
+class TestGPUHybrid:
+    def test_18x_speedup_at_equal_partitions(self, workload):
+        """Fig. 7: 'the GPU version is about 18 times faster' (equal
+        partition counts, small device counts)."""
+        for p in (1, 2):
+            t_cpu = band_parallel_times(workload, [p]).total[0]
+            t_gpu = gpu_hybrid_times(workload, [p]).total[0]
+            assert 14 < t_cpu / t_gpu < 24
+
+    def test_scaling_flattens_after_ten_devices(self, workload):
+        """Fig. 7: 'good up to at least 10 devices, but larger numbers did
+        not show further speedup'."""
+        st = gpu_hybrid_times(workload, [1, 10, 55])
+        eff10 = st.total[0] / (st.total[1] * 10)
+        gain_past_10 = st.total[1] / st.total[2]
+        assert eff10 > 0.45  # scales usefully to 10
+        assert gain_past_10 < 2.0  # 5.5x more devices buy < 2x
+
+    def test_temperature_update_dominates_breakdown(self, workload):
+        """Fig. 8 vs Fig. 5: 'a substantially larger percentage of time
+        spent on the temperature update'."""
+        gpu = gpu_hybrid_times(workload, [1, 4])
+        cpu = band_parallel_times(workload, [1, 4])
+        for p in (1, 4):
+            assert (
+                gpu.breakdown_fractions(p)[PHASE_TEMPERATURE]
+                > cpu.breakdown_fractions(p)[PHASE_TEMPERATURE] * 5
+            )
+
+    def test_communication_insignificant(self, workload):
+        """Fig. 8: 'communication time between the GPU and host does not
+        make up a very significant portion of the time'."""
+        st = gpu_hybrid_times(workload, [1, 2, 4, 8])
+        for p in (1, 2, 4, 8):
+            assert st.breakdown_fractions(p)[PHASE_COMMUNICATION] < 0.05
+
+    def test_cpu20_vs_1gpu(self, workload):
+        """Sec. III-D: 'the best performance using 20 cores on a single CPU
+        was slightly slower than the same CPU using one core and one GPU'."""
+        t_cpu20 = band_parallel_times(workload, [20]).total[0]
+        t_gpu1 = gpu_hybrid_times(workload, [1]).total[0]
+        assert t_gpu1 < t_cpu20
+
+
+class TestFigure9Table:
+    def test_all_strategies_present(self):
+        tab = strong_scaling_table()
+        assert set(tab) == {"bands", "cells", "GPU", "Fortran"}
+
+    def test_ten_gpus_comparable_to_320_cpus(self):
+        """Sec. III-E: 'the best possible times were roughly equal between
+        the 10 GPU run and 320 CPU run' — we land within ~4x (see
+        EXPERIMENTS.md for the deviation discussion)."""
+        tab = strong_scaling_table()
+        t_gpu10 = tab["GPU"].total[tab["GPU"].procs.index(10)]
+        t_cpu320 = tab["cells"].total[tab["cells"].procs.index(320)]
+        assert 0.2 < t_cpu320 / t_gpu10 < 5.0
+
+    def test_serial_magnitude_matches_figure(self):
+        """Fig. 9's vertical axis: serial runs sit in the 1e3-s decade."""
+        tab = strong_scaling_table()
+        assert 1e3 < tab["bands"].total[0] < 4e3
+        assert 5e2 < tab["Fortran"].total[0] < 2e3

@@ -1,0 +1,172 @@
+"""Simulated communicator: point-to-point, collectives, virtual time."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import ReduceOp, World
+from repro.runtime.executor import run_spmd
+from repro.runtime.netmodel import IB_CLUSTER, NetworkModel, ZERO_COST
+from repro.util.errors import ReproError
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(5.0))
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog)
+        assert np.allclose(res.results[1], [0, 1, 2, 3, 4])
+
+    def test_send_copies_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.zeros(3)
+                comm.send(1, data)
+                data[:] = 9.0  # mutation after send must not leak
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog)
+        assert np.allclose(res.results[1], 0.0)
+
+    def test_tags_separate_channels(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=1)
+                comm.send(1, "b", tag=2)
+                return None
+            second = comm.recv(0, tag=2)
+            first = comm.recv(0, tag=1)
+            return (first, second)
+
+        res = run_spmd(2, prog)
+        assert res.results[1] == ("a", "b")
+
+    def test_send_to_self_rejected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(0, 1.0)
+            return True
+
+        with pytest.raises(ReproError):
+            run_spmd(2, prog)
+
+    def test_recv_charges_transfer_time(self):
+        net = NetworkModel("t", latency_s=1e-3, bandwidth_gbs=1.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(1000))
+                return 0.0
+            comm.recv(0)
+            return comm.clock.now()
+
+        res = run_spmd(2, prog, net)
+        expected = 1e-3 + 8000 / 1e9
+        assert res.results[1] == pytest.approx(expected)
+
+    def test_exchange_symmetric(self):
+        def prog(comm):
+            other = 1 - comm.rank
+            out = comm.exchange({other: np.full(3, float(comm.rank))})
+            return float(out[other][0])
+
+        res = run_spmd(2, prog)
+        assert res.results == [1.0, 0.0]
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        def prog(comm):
+            return comm.allreduce(np.array([float(comm.rank + 1)]))
+
+        res = run_spmd(4, prog)
+        for r in res.results:
+            assert np.allclose(r, [10.0])
+
+    def test_allreduce_scalar(self):
+        def prog(comm):
+            return comm.allreduce(float(comm.rank))
+
+        res = run_spmd(3, prog)
+        assert res.results == [3.0, 3.0, 3.0]
+
+    @pytest.mark.parametrize("op,expect", [(ReduceOp.MAX, 2.0), (ReduceOp.MIN, 0.0)])
+    def test_allreduce_minmax(self, op, expect):
+        def prog(comm):
+            return comm.allreduce(float(comm.rank), op)
+
+        assert run_spmd(3, prog).results == [expect] * 3
+
+    def test_allreduce_cost_log_rounds(self):
+        net = NetworkModel("t", latency_s=1e-3, bandwidth_gbs=1e6)
+
+        def prog(comm):
+            comm.allreduce(np.zeros(8))
+            return comm.clock.now()
+
+        res = run_spmd(8, prog, net)
+        # ceil(log2(8)) = 3 rounds of ~latency
+        assert res.results[0] == pytest.approx(3e-3, rel=0.1)
+
+    def test_allreduce_waits_for_latest_entrant(self):
+        def prog(comm):
+            comm.compute(0.5 * comm.rank)
+            comm.allreduce(np.zeros(1))
+            return comm.clock.now()
+
+        res = run_spmd(3, prog, ZERO_COST)
+        assert all(t == pytest.approx(1.0) for t in res.results)
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank * 10)
+
+        res = run_spmd(3, prog)
+        assert res.results[0] == [0, 10, 20]
+
+    def test_barrier_aligns_clocks(self):
+        def prog(comm):
+            comm.compute(comm.rank * 1.0)
+            comm.barrier()
+            return comm.clock.now()
+
+        res = run_spmd(3, prog)
+        assert all(t == pytest.approx(2.0) for t in res.results)
+
+
+class TestAccounting:
+    def test_compute_charges(self):
+        def prog(comm):
+            comm.compute(0.25, phase="solve")
+            comm.compute(0.75, phase="solve")
+            return comm.stats.phase_s["solve"]
+
+        assert run_spmd(1, prog).results == [1.0]
+
+    def test_negative_compute_rejected(self):
+        def prog(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(ReproError):
+            run_spmd(1, prog)
+
+    def test_stats_bytes(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(100))
+                return comm.stats.bytes_sent
+            comm.recv(0)
+            return 0
+
+        assert run_spmd(2, prog).results[0] == 800
+
+    def test_world_size_guard(self):
+        with pytest.raises(ReproError):
+            World(0)
+        world = World(2)
+        with pytest.raises(ReproError):
+            world.communicator(5)

@@ -1,0 +1,80 @@
+"""Property-based tests: collectives must equal the corresponding numpy
+reductions for arbitrary payloads and rank counts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.comm import ReduceOp
+from repro.runtime.executor import run_spmd
+from repro.runtime.netmodel import IB_CLUSTER
+
+payloads = st.lists(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=3, max_size=3,
+    ),
+    min_size=2,
+    max_size=5,
+)
+
+
+@given(data=payloads, op=st.sampled_from(list(ReduceOp)))
+@settings(max_examples=25, deadline=None)
+def test_allreduce_equals_numpy(data, op):
+    arrays = [np.array(row) for row in data]
+    nranks = len(arrays)
+
+    def prog(comm):
+        return comm.allreduce(arrays[comm.rank], op)
+
+    res = run_spmd(nranks, prog, IB_CLUSTER)
+    stacked = np.stack(arrays)
+    expected = {
+        ReduceOp.SUM: stacked.sum(axis=0),
+        ReduceOp.MAX: stacked.max(axis=0),
+        ReduceOp.MIN: stacked.min(axis=0),
+    }[op]
+    for out in res.results:
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+
+@given(data=payloads)
+@settings(max_examples=20, deadline=None)
+def test_allgather_preserves_rank_order(data):
+    arrays = [np.array(row) for row in data]
+    nranks = len(arrays)
+
+    def prog(comm):
+        return comm.allgather(arrays[comm.rank])
+
+    res = run_spmd(nranks, prog, IB_CLUSTER)
+    for out in res.results:
+        assert len(out) == nranks
+        for r in range(nranks):
+            np.testing.assert_array_equal(out[r], arrays[r])
+
+
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    values=st.lists(st.floats(min_value=0, max_value=10, allow_nan=False),
+                    min_size=5, max_size=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_ring_pass_accumulates(n, values):
+    """Each rank passes a running sum around the ring: the total must come
+    back equal to the plain sum regardless of network timing."""
+    vals = values[:n]
+
+    def prog(comm):
+        acc = vals[comm.rank]
+        nxt = (comm.rank + 1) % comm.size
+        prv = (comm.rank - 1) % comm.size
+        for _ in range(comm.size - 1):
+            comm.send(nxt, acc)
+            acc = comm.recv(prv) + vals[comm.rank]
+        return acc
+
+    res = run_spmd(n, prog, IB_CLUSTER)
+    # after n-1 hops every rank holds sum(vals) arranged from its view
+    assert all(abs(r - sum(vals)) < 1e-9 for r in res.results)

@@ -1,0 +1,80 @@
+"""SPMD executor: results, timings, failure propagation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import run_spmd
+from repro.runtime.netmodel import IB_CLUSTER, ZERO_COST
+from repro.util.errors import ReproError
+
+
+class TestResults:
+    def test_results_by_rank(self):
+        res = run_spmd(4, lambda comm: comm.rank**2)
+        assert res.results == [0, 1, 4, 9]
+
+    def test_makespan_is_slowest_rank(self):
+        def prog(comm):
+            comm.compute(0.1 * (comm.rank + 1))
+
+        res = run_spmd(3, prog)
+        assert res.makespan == pytest.approx(0.3)
+
+    def test_phase_breakdown_sums_ranks(self):
+        def prog(comm):
+            comm.compute(1.0, phase="solve")
+            comm.compute(0.5, phase="post")
+
+        res = run_spmd(2, prog)
+        assert res.phase_breakdown() == {"solve": 2.0, "post": 1.0}
+
+    def test_phase_fractions_normalised(self):
+        def prog(comm):
+            comm.compute(3.0, phase="a")
+            comm.compute(1.0, phase="b")
+
+        fr = run_spmd(2, prog).phase_fractions()
+        assert fr["a"] == pytest.approx(0.75)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+
+class TestFailures:
+    def test_rank_exception_reraised_with_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            return True
+
+        with pytest.raises(ReproError, match="rank 2 failed: ValueError: boom"):
+            run_spmd(4, prog)
+
+    def test_failure_during_collective_does_not_hang(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early exit")
+            comm.allreduce(np.zeros(4))
+
+        with pytest.raises(ReproError, match="rank 0 failed"):
+            run_spmd(3, prog, timeout_s=10.0)
+
+    def test_deadlock_times_out(self):
+        def prog(comm):
+            # both ranks receive first: classic deadlock
+            comm.world.timeout_s = 0.2
+            comm.recv(1 - comm.rank)
+
+        with pytest.raises(ReproError):
+            run_spmd(2, prog, timeout_s=5.0)
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        def prog(comm):
+            total = comm.allreduce(np.array([1.0 * comm.rank]))
+            comm.compute(0.01)
+            return float(total[0])
+
+        a = run_spmd(4, prog, IB_CLUSTER)
+        b = run_spmd(4, prog, IB_CLUSTER)
+        assert a.results == b.results
+        assert a.times == b.times

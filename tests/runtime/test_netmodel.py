@@ -1,0 +1,44 @@
+"""Network cost models."""
+
+import math
+
+import pytest
+
+from repro.runtime.netmodel import IB_CLUSTER, SHARED_MEMORY, ZERO_COST, NetworkModel
+
+
+class TestTransferTime:
+    def test_latency_dominates_small_messages(self):
+        assert IB_CLUSTER.transfer_time(8) == pytest.approx(
+            IB_CLUSTER.latency_s, rel=0.01
+        )
+
+    def test_bandwidth_dominates_large_messages(self):
+        t = IB_CLUSTER.transfer_time(1e9)
+        assert t == pytest.approx(1e9 / (IB_CLUSTER.bandwidth_gbs * 1e9), rel=0.01)
+
+    def test_monotone_in_size(self):
+        assert IB_CLUSTER.transfer_time(100) < IB_CLUSTER.transfer_time(10000)
+
+    def test_zero_cost_model(self):
+        assert ZERO_COST.transfer_time(1e12) < 1e-3
+
+
+class TestCollectiveCosts:
+    def test_allreduce_single_rank_free(self):
+        assert IB_CLUSTER.allreduce_time(1000, 1) == 0.0
+
+    def test_allreduce_log_rounds(self):
+        t8 = IB_CLUSTER.allreduce_time(1000, 8)
+        assert t8 == pytest.approx(3 * IB_CLUSTER.transfer_time(1000))
+
+    def test_allreduce_non_power_of_two(self):
+        t5 = IB_CLUSTER.allreduce_time(1000, 5)
+        assert t5 == pytest.approx(math.ceil(math.log2(5)) * IB_CLUSTER.transfer_time(1000))
+
+    def test_allgather_ring(self):
+        t = IB_CLUSTER.allgather_time(500, 4)
+        assert t == pytest.approx(3 * IB_CLUSTER.transfer_time(500))
+
+    def test_shared_memory_faster_than_network(self):
+        assert SHARED_MEMORY.transfer_time(1e6) < IB_CLUSTER.transfer_time(1e6)

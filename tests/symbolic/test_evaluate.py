@@ -1,0 +1,97 @@
+"""Numeric evaluation: scalars, arrays, conditionals, functions."""
+
+import numpy as np
+import pytest
+
+from repro.symbolic.evaluate import evaluate
+from repro.symbolic.expr import (
+    Call,
+    Cmp,
+    Conditional,
+    Indexed,
+    Mul,
+    Num,
+    Surface,
+    Sym,
+    TimeDerivative,
+    Vector,
+)
+from repro.symbolic.parser import parse
+from repro.util.errors import DSLError
+
+
+class TestScalars:
+    def test_arithmetic(self):
+        assert evaluate(parse("2*x + 1"), {"x": 3.0}) == 7.0
+
+    def test_division(self):
+        assert evaluate(parse("x / 4"), {"x": 2.0}) == 0.5
+
+    def test_power(self):
+        assert evaluate(parse("x^3"), {"x": 2.0}) == 8.0
+
+    def test_negative_power_uses_division(self):
+        assert evaluate(parse("x^-1"), {"x": 4.0}) == 0.25
+
+    def test_comparison(self):
+        assert evaluate(parse("x > 1"), {"x": 2.0})
+        assert not evaluate(parse("x > 1"), {"x": 0.0})
+
+    def test_conditional(self):
+        e = Conditional(Cmp(">", Sym("v"), Num(0)), Num(10), Num(20))
+        assert evaluate(e, {"v": 1.0}) == 10
+        assert evaluate(e, {"v": -1.0}) == 20
+
+
+class TestArrays:
+    def test_elementwise(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = evaluate(parse("2*x + 1"), {"x": x})
+        assert np.allclose(out, [3, 5, 7])
+
+    def test_conditional_vectorises_to_where(self):
+        v = np.array([-1.0, 0.5, 2.0])
+        e = Conditional(Cmp(">", Sym("v"), Num(0)), Sym("v"), Num(0))
+        assert np.allclose(evaluate(e, {"v": v}), [0, 0.5, 2.0])
+
+    def test_indexed_lookup_by_string_form(self):
+        arr = np.array([5.0, 6.0])
+        out = evaluate(Mul(Indexed("I", ("d", "b")), Num(2)), {"I[d,b]": arr})
+        assert np.allclose(out, [10, 12])
+
+    def test_vector_evaluates_to_array(self):
+        out = evaluate(Vector(Num(1), Num(2)), {})
+        assert np.allclose(out, [1, 2])
+
+
+class TestFunctionsAndMarkers:
+    def test_builtin_functions(self):
+        assert evaluate(parse("abs(x)"), {"x": -3.0}) == 3.0
+        assert evaluate(parse("max(x, 2)"), {"x": 1.0}) == 2.0
+        assert np.isclose(evaluate(parse("exp(x)"), {"x": 0.0}), 1.0)
+
+    def test_custom_function(self):
+        out = evaluate(
+            Call("double", Sym("x")), {"x": 4.0}, functions={"double": lambda v: 2 * v}
+        )
+        assert out == 8.0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(DSLError):
+            evaluate(Call("mystery", Num(1)), {})
+
+    def test_markers_transparent(self):
+        assert evaluate(Surface(Num(5)), {}) == 5
+        assert evaluate(TimeDerivative(Sym("x")), {"x": 2.0}) == 2.0
+
+
+class TestEnvironments:
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(DSLError):
+            evaluate(Sym("missing"), {})
+
+    def test_callable_environment(self):
+        def env(node):
+            return 7.0
+
+        assert evaluate(parse("x + y"), env) == 14.0

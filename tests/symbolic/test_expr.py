@@ -1,0 +1,239 @@
+"""Unit tests for the expression-tree nodes."""
+
+import pytest
+
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Conditional,
+    Expr,
+    FaceNormal,
+    Indexed,
+    Mul,
+    Num,
+    Pow,
+    SideValue,
+    Surface,
+    Sym,
+    TimeDerivative,
+    Vector,
+    as_expr,
+    free_indices,
+    free_symbols,
+    preorder,
+    substitute,
+)
+
+
+class TestLeaves:
+    def test_num_int_and_float(self):
+        assert Num(3).value == 3
+        assert Num(2.5).value == 2.5
+
+    def test_num_integral_float_normalises(self):
+        assert Num(4.0).value == 4
+        assert isinstance(Num(4.0).value, int)
+
+    def test_num_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            Num(True)
+        with pytest.raises(TypeError):
+            Num("3")
+
+    def test_sym_requires_name(self):
+        with pytest.raises(ValueError):
+            Sym("")
+
+    def test_indexed_str(self):
+        assert str(Indexed("I", ("d", "b"))) == "I[d,b]"
+        assert str(Indexed("v", (2,))) == "v[2]"
+
+    def test_indexed_requires_indices(self):
+        with pytest.raises(ValueError):
+            Indexed("I", ())
+
+    def test_indexed_rejects_bad_index_type(self):
+        with pytest.raises(TypeError):
+            Indexed("I", (1.5,))
+
+    def test_face_normal_range(self):
+        assert str(FaceNormal(1)) == "NORMAL_1"
+        with pytest.raises(ValueError):
+            FaceNormal(0)
+        with pytest.raises(ValueError):
+            FaceNormal(4)
+
+    def test_side_value_str_strips_leading_underscore(self):
+        # paper prints CELL1_u_1, not CELL1__u_1
+        assert str(SideValue(Sym("_u_1"), 1)) == "CELL1_u_1"
+        assert str(SideValue(Indexed("I", ("d",)), 2)) == "CELL2_I[d]"
+
+    def test_side_value_side_check(self):
+        with pytest.raises(ValueError):
+            SideValue(Sym("u"), 3)
+
+
+class TestStructuralEquality:
+    def test_equal_trees_equal_and_hash(self):
+        a = Add(Sym("x"), Num(1))
+        b = Add(Sym("x"), Num(1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_classes_unequal(self):
+        assert Sym("x") != Indexed("x", ("i",))
+        assert Num(0) != Sym("0")
+
+    def test_usable_as_dict_keys(self):
+        d = {Mul(Num(2), Sym("x")): "a"}
+        assert d[Mul(Num(2), Sym("x"))] == "a"
+
+
+class TestImmutability:
+    @pytest.mark.parametrize(
+        "node",
+        [
+            Num(1),
+            Sym("x"),
+            Indexed("I", ("d",)),
+            Add(Sym("x"), Num(1)),
+            Mul(Sym("x"), Num(2)),
+            Pow(Sym("x"), Num(2)),
+            Call("f", Sym("x")),
+            Cmp(">", Sym("x"), Num(0)),
+            Vector(Sym("a"), Sym("b")),
+            Surface(Sym("x")),
+            TimeDerivative(Sym("x")),
+            SideValue(Sym("x"), 1),
+            FaceNormal(2),
+        ],
+    )
+    def test_setattr_raises(self, node):
+        with pytest.raises(AttributeError):
+            node.value = 5
+
+
+class TestOperatorSugar:
+    def test_add_sub(self):
+        x, y = Sym("x"), Sym("y")
+        assert x + y == Add(x, y)
+        assert x - y == Add(x, Mul(Num(-1), y))
+        assert 1 + x == Add(Num(1), x)
+
+    def test_mul_div(self):
+        x, y = Sym("x"), Sym("y")
+        assert x * y == Mul(x, y)
+        assert x / y == Mul(x, Pow(y, Num(-1)))
+        assert 2 * x == Mul(Num(2), x)
+
+    def test_pow_neg(self):
+        x = Sym("x")
+        assert x**2 == Pow(x, Num(2))
+        assert -x == Mul(Num(-1), x)
+        assert +x is x
+
+    def test_comparisons_build_cmp(self):
+        x = Sym("x")
+        c = x > 0
+        assert isinstance(c, Cmp) and c.op == ">"
+        assert (x <= 1).op == "<="
+
+    def test_cmp_has_no_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(Sym("x") > 0)
+
+
+class TestNaryFlattening:
+    def test_add_flattens(self):
+        e = Add(Add(Sym("a"), Sym("b")), Sym("c"))
+        assert len(e.args) == 3
+
+    def test_mul_flattens(self):
+        e = Mul(Mul(Sym("a"), Sym("b")), Mul(Sym("c"), Sym("d")))
+        assert len(e.args) == 4
+
+    def test_add_does_not_flatten_mul(self):
+        e = Add(Mul(Sym("a"), Sym("b")), Sym("c"))
+        assert len(e.args) == 2
+
+
+class TestConditional:
+    def test_requires_cmp(self):
+        with pytest.raises(TypeError):
+            Conditional(Sym("x"), Num(1), Num(2))
+
+    def test_str(self):
+        c = Conditional(Cmp(">", Sym("v"), Num(0)), Sym("a"), Sym("b"))
+        assert str(c) == "conditional(v > 0, a, b)"
+
+    def test_rebuild_keeps_cmp_requirement(self):
+        c = Conditional(Cmp(">", Sym("v"), Num(0)), Sym("a"), Sym("b"))
+        with pytest.raises(TypeError):
+            c.rebuild(Sym("x"), Sym("a"), Sym("b"))
+
+
+class TestPrinting:
+    def test_mul_negative_one_prints_minus(self):
+        assert str(Mul(Num(-1), Sym("x"))) == "-x"
+
+    def test_add_with_negative_terms(self):
+        e = Add(Sym("x"), Mul(Num(-1), Sym("y")))
+        assert str(e) == "x-y"
+
+    def test_parens_around_sums_in_products(self):
+        e = Mul(Add(Sym("a"), Sym("b")), Sym("c"))
+        assert str(e) == "(a+b)*c"
+
+    def test_pow_parens(self):
+        assert str(Pow(Add(Sym("a"), Sym("b")), Num(2))) == "(a+b)^2"
+        assert str(Pow(Sym("x"), Num(-1))) == "x^(-1)"
+
+    def test_surface_and_timederivative_markers(self):
+        assert str(Surface(Sym("f"))) == "SURFACE*f"
+        assert str(TimeDerivative(Sym("u"))) == "TIMEDERIVATIVE*u"
+
+    def test_vector(self):
+        assert str(Vector(Sym("a"), Sym("b"))) == "[a;b]"
+
+
+class TestTraversal:
+    def test_preorder_visits_all(self):
+        e = Add(Mul(Sym("a"), Num(2)), Pow(Sym("b"), Num(2)))
+        names = [type(n).__name__ for n in preorder(e)]
+        assert names[0] == "Add"
+        assert names.count("Sym") == 2
+
+    def test_free_symbols(self):
+        e = Add(Sym("x"), Mul(Sym("y"), Indexed("I", ("d",))))
+        assert free_symbols(e) == {"x", "y"}
+
+    def test_free_indices(self):
+        e = Mul(Indexed("I", ("d", "b")), Indexed("vg", ("b",)), Indexed("x", (3,)))
+        assert free_indices(e) == {"d", "b"}
+
+    def test_substitute_dict(self):
+        e = Add(Sym("x"), Mul(Sym("x"), Sym("y")))
+        out = substitute(e, {Sym("x"): Num(2)})
+        assert out == Add(Num(2), Mul(Num(2), Sym("y")))
+
+    def test_substitute_callable_bottom_up(self):
+        # rule matches the rewritten child form
+        e = Mul(Sym("x"), Sym("x"))
+
+        def rule(node):
+            if node == Sym("x"):
+                return Sym("y")
+            if node == Mul(Sym("y"), Sym("y")):
+                return Sym("z")
+            return None
+
+        assert substitute(e, rule) == Sym("z")
+
+    def test_as_expr(self):
+        assert as_expr(3) == Num(3)
+        assert as_expr(Sym("x")) == Sym("x")
+        with pytest.raises(TypeError):
+            as_expr("x")
+        with pytest.raises(TypeError):
+            as_expr(True)

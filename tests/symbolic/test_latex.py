@@ -1,0 +1,102 @@
+"""LaTeX rendering of expressions."""
+
+import pytest
+
+from repro.symbolic.expr import (
+    Conditional,
+    Cmp,
+    FaceNormal,
+    Num,
+    SideValue,
+    Surface,
+    Sym,
+    TimeDerivative,
+)
+from repro.symbolic.latex import to_latex
+from repro.symbolic.parser import parse
+from repro.symbolic.simplify import simplify
+
+
+class TestLeaves:
+    def test_numbers(self):
+        assert to_latex(Num(3)) == "3"
+        assert to_latex(Num(-2.5)) == "-2.5"
+
+    def test_single_letter_symbol(self):
+        assert to_latex(Sym("k")) == "k"
+
+    def test_greek(self):
+        assert to_latex(Sym("beta")) == r"\beta"
+        assert to_latex(Sym("tau")) == r"\tau"
+
+    def test_multiletter_roman(self):
+        assert to_latex(Sym("vg")) == r"\mathrm{vg}"
+
+    def test_flattened_component_name(self):
+        assert to_latex(Sym("_u_1")) == "u"
+
+    def test_indexed(self):
+        assert to_latex(parse("I[d,b]")) == "I_{d,b}"
+        assert to_latex(parse("Io[b]")) == r"\mathrm{Io}_{b}"
+
+    def test_normals_and_sides(self):
+        assert to_latex(FaceNormal(2)) == "n_{y}"
+        assert to_latex(SideValue(Sym("u"), 1)) == "u^{+}"
+        assert to_latex(SideValue(Sym("u"), 2)) == "u^{-}"
+
+
+class TestComposite:
+    def test_fraction(self):
+        tex = to_latex(simplify(parse("(Io[b] - I[d,b]) / beta[b]")))
+        assert r"\frac{" in tex
+        assert r"\beta_{b}" in tex
+
+    def test_sum_signs(self):
+        tex = to_latex(simplify(parse("a - b")))
+        assert "+ -" not in tex
+
+    def test_power(self):
+        assert to_latex(parse("k^2")) == "k^{2}"
+
+    def test_conditional_cases(self):
+        c = Conditional(Cmp(">", Sym("v"), Num(0)), Sym("a"), Sym("b"))
+        tex = to_latex(c)
+        assert r"\begin{cases}" in tex and r"\text{otherwise}" in tex
+
+    def test_surface_integral(self):
+        tex = to_latex(Surface(Sym("f")))
+        assert r"\oint" in tex
+
+    def test_time_derivative(self):
+        tex = to_latex(TimeDerivative(Sym("u")))
+        assert r"\frac{\partial}{\partial t}" in tex
+
+    def test_grad_and_dot(self):
+        tex = to_latex(parse("dot(grad(u), grad(v))"))
+        assert tex == r"\nabla u \cdot \nabla v"
+
+    def test_vector(self):
+        tex = to_latex(parse("[Sx[d];Sy[d]]"))
+        assert r"\begin{pmatrix}" in tex
+
+    def test_full_bte_equation_renders(self):
+        src = ("(Io[b] - I[d,b]) / beta[b] - "
+               "surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))")
+        tex = to_latex(parse(src))
+        assert r"\frac" in tex
+        assert "upwind" in tex  # unexpanded operator rendered as a function
+
+    def test_expanded_form_renders(self, scalar_entities):
+        from repro.ir.lowering import expand
+
+        ents, u = scalar_entities
+        expanded = simplify(expand(parse("-k*u - surface(upwind(b, u))"), u, ents))
+        tex = to_latex(expanded)
+        assert r"\oint" in tex
+        assert r"\begin{cases}" in tex
+        assert "u^{+}" in tex and "u^{-}" in tex
+
+    def test_balanced_braces(self):
+        src = "(Io[b] - I[d,b]) / beta[b] - surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))"
+        tex = to_latex(parse(src))
+        assert tex.count("{") == tex.count("}")

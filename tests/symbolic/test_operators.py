@@ -1,0 +1,138 @@
+"""Operator registry: built-in expansions and custom operators."""
+
+import pytest
+
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Conditional,
+    FaceNormal,
+    Indexed,
+    Mul,
+    Num,
+    SideValue,
+    Surface,
+    Sym,
+    Vector,
+)
+from repro.symbolic.operators import (
+    OperatorRegistry,
+    SymbolicOperator,
+    default_registry,
+    dot_with_normal,
+    expand_average,
+    expand_jump,
+    expand_upwind,
+)
+from repro.util.errors import DSLError
+
+
+class TestDotWithNormal:
+    def test_scalar_velocity(self):
+        assert dot_with_normal(Sym("b")) == Mul(Sym("b"), FaceNormal(1))
+
+    def test_vector_velocity(self):
+        v = Vector(Sym("bx"), Sym("by"))
+        assert dot_with_normal(v) == Add(
+            Mul(Sym("bx"), FaceNormal(1)), Mul(Sym("by"), FaceNormal(2))
+        )
+
+
+class TestUpwind:
+    def test_structure_matches_paper(self):
+        e = expand_upwind(Sym("b"), Sym("u"))
+        assert isinstance(e, Conditional)
+        vn = Mul(Sym("b"), FaceNormal(1))
+        assert e.cond == Cmp(">", vn, Num(0))
+        assert e.then == Mul(vn, SideValue(Sym("u"), 1))
+        assert e.otherwise == Mul(vn, SideValue(Sym("u"), 2))
+
+    def test_2d_velocity(self):
+        e = expand_upwind(Vector(Sym("bx"), Sym("by")), Indexed("I", ("d", "b")))
+        s = str(e)
+        assert "NORMAL_1" in s and "NORMAL_2" in s
+        assert "CELL1_I[d,b]" in s and "CELL2_I[d,b]" in s
+
+
+class TestOtherReconstructions:
+    def test_average(self):
+        e = expand_average(Sym("u"))
+        assert e == Mul(
+            Num(0.5), Add(SideValue(Sym("u"), 1), SideValue(Sym("u"), 2))
+        )
+
+    def test_jump(self):
+        e = expand_jump(Sym("u"))
+        assert e == Add(
+            SideValue(Sym("u"), 2), Mul(Num(-1), SideValue(Sym("u"), 1))
+        )
+
+
+class TestRegistry:
+    def test_default_names(self):
+        reg = default_registry()
+        for name in ("surface", "upwind", "average", "jump", "conditional", "dot"):
+            assert name in reg
+
+    def test_expand_call(self):
+        reg = default_registry()
+        out = reg.expand_call(Call("surface", Sym("f")))
+        assert out == Surface(Sym("f"))
+
+    def test_arity_check(self):
+        reg = default_registry()
+        with pytest.raises(DSLError):
+            reg.expand_call(Call("upwind", Sym("b")))
+
+    def test_unknown_operator(self):
+        reg = default_registry()
+        with pytest.raises(DSLError):
+            reg.expand_call(Call("nope", Sym("x")))
+
+    def test_duplicate_registration_rejected(self):
+        reg = default_registry()
+        with pytest.raises(DSLError):
+            reg.register(SymbolicOperator("surface", 1, Surface))
+
+    def test_replace_allowed_explicitly(self):
+        reg = default_registry()
+        reg.register(SymbolicOperator("surface", 1, Surface), replace=True)
+
+    def test_custom_operator(self):
+        # the paper: "a more sophisticated flux reconstruction could be
+        # created and used in the input expression similar to upwind"
+        reg = default_registry()
+
+        def lax_friedrichs(v, u):
+            central = Mul(
+                dot_with_normal(v),
+                Mul(Num(0.5), Add(SideValue(u, 1), SideValue(u, 2))),
+            )
+            dissipation = Mul(
+                Num(-0.5), Add(SideValue(u, 2), Mul(Num(-1), SideValue(u, 1)))
+            )
+            return Add(central, dissipation)
+
+        reg.define("lax_friedrichs", lax_friedrichs, arity=2)
+        out = reg.expand_call(Call("lax_friedrichs", Sym("b"), Sym("u")))
+        assert "CELL1_u" in str(out) and "CELL2_u" in str(out)
+
+    def test_dot_dimension_mismatch(self):
+        reg = default_registry()
+        with pytest.raises(DSLError):
+            reg.expand_call(
+                Call("dot", Vector(Sym("a"), Sym("b")), Vector(Sym("c"), Sym("d"), Sym("e")))
+            )
+
+    def test_conditional_requires_cmp(self):
+        reg = default_registry()
+        with pytest.raises(DSLError):
+            reg.expand_call(Call("conditional", Sym("x"), Num(1), Num(2)))
+
+    def test_copy_is_independent(self):
+        reg = default_registry()
+        clone = reg.copy()
+        clone.define("extra", lambda x: x, arity=1)
+        assert "extra" in clone
+        assert "extra" not in reg

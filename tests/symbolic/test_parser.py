@@ -1,0 +1,149 @@
+"""Parser grammar coverage and error reporting."""
+
+import pytest
+
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Indexed,
+    Mul,
+    Num,
+    Pow,
+    Sym,
+    Vector,
+)
+from repro.symbolic.parser import parse, tokenize
+from repro.util.errors import ParseError
+
+
+class TestTokenizer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.text) for t in tokenize("1 2.5 .5 1e3 2.5E-2")]
+        assert kinds[:-1] == [
+            ("number", "1"),
+            ("number", "2.5"),
+            ("number", ".5"),
+            ("number", "1e3"),
+            ("number", "2.5E-2"),
+        ]
+
+    def test_ops_and_idents(self):
+        toks = tokenize("a >= b")
+        assert [t.kind for t in toks] == ["ident", "op", "ident", "end"]
+
+    def test_bad_char(self):
+        with pytest.raises(ParseError):
+            tokenize("a ? b")
+
+
+class TestBasicExpressions:
+    def test_number(self):
+        assert parse("42") == Num(42)
+        assert parse("2.5") == Num(2.5)
+        assert parse("1e2") == Num(100.0)
+
+    def test_symbol(self):
+        assert parse("x") == Sym("x")
+
+    def test_sum_and_difference(self):
+        assert parse("a + b") == Add(Sym("a"), Sym("b"))
+        assert parse("a - b") == Add(Sym("a"), Mul(Num(-1), Sym("b")))
+
+    def test_product_and_quotient(self):
+        assert parse("a * b") == Mul(Sym("a"), Sym("b"))
+        assert parse("a / b") == Mul(Sym("a"), Pow(Sym("b"), Num(-1)))
+
+    def test_precedence_mul_over_add(self):
+        assert parse("a + b*c") == Add(Sym("a"), Mul(Sym("b"), Sym("c")))
+
+    def test_parens(self):
+        assert parse("(a + b)*c") == Mul(Add(Sym("a"), Sym("b")), Sym("c"))
+
+    def test_unary_minus(self):
+        assert parse("-a") == Mul(Num(-1), Sym("a"))
+        assert parse("-a*b") == Mul(Mul(Num(-1), Sym("a")), Sym("b"))
+
+    def test_unary_plus(self):
+        assert parse("+a") == Sym("a")
+
+    def test_power_right_assoc(self):
+        assert parse("a^2") == Pow(Sym("a"), Num(2))
+        assert parse("a^b^c") == Pow(Sym("a"), Pow(Sym("b"), Sym("c")))
+
+    def test_power_with_negative_exponent(self):
+        assert parse("a^-2") == Pow(Sym("a"), Mul(Num(-1), Num(2)))
+
+
+class TestIndexingCallsVectors:
+    def test_indexed(self):
+        assert parse("I[d,b]") == Indexed("I", ("d", "b"))
+        assert parse("v[3]") == Indexed("v", (3,))
+
+    def test_indexed_inside_expression(self):
+        e = parse("vg[b] * I[d,b]")
+        assert e == Mul(Indexed("vg", ("b",)), Indexed("I", ("d", "b")))
+
+    def test_call(self):
+        assert parse("f(x, 2)") == Call("f", Sym("x"), Num(2))
+        assert parse("g()") == Call("g")
+
+    def test_nested_calls(self):
+        e = parse("surface(upwind(b, u))")
+        assert e == Call("surface", Call("upwind", Sym("b"), Sym("u")))
+
+    def test_vector(self):
+        assert parse("[a;b]") == Vector(Sym("a"), Sym("b"))
+        assert parse("[Sx[d];Sy[d]]") == Vector(
+            Indexed("Sx", ("d",)), Indexed("Sy", ("d",))
+        )
+
+    def test_single_element_bracket_is_scalar(self):
+        assert parse("[a]") == Sym("a")
+
+    def test_comparison(self):
+        assert parse("a > 0") == Cmp(">", Sym("a"), Num(0))
+        assert parse("a+b <= c") == Cmp("<=", Add(Sym("a"), Sym("b")), Sym("c"))
+
+    def test_paper_bte_input(self):
+        src = (
+            "(Io[b] - I[d,b]) / beta[b] - "
+            "surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))"
+        )
+        e = parse(src)
+        # top level is a sum of two terms
+        assert isinstance(e, Add)
+
+    def test_callback_invocation(self):
+        e = parse("isothermal(I, vg, Sx, Sy, b, d, normal, 300)")
+        assert isinstance(e, Call)
+        assert e.func == "isothermal"
+        assert len(e.args) == 8
+        assert e.args[-1] == Num(300)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "",
+            "   ",
+            "a +",
+            "(a",
+            "a)",
+            "f(a,",
+            "[a;b",
+            "1.5[d]",  # only identifiers subscriptable
+            "I[1.5]",  # index must be integer
+            "a b",  # trailing junk
+            "a > b > c",  # no chained comparisons
+        ],
+    )
+    def test_rejects(self, src):
+        with pytest.raises(ParseError):
+            parse(src)
+
+    def test_error_carries_position_caret(self):
+        with pytest.raises(ParseError) as err:
+            parse("a + * b")
+        assert "^" in str(err.value)

@@ -1,0 +1,62 @@
+"""Property: printed expressions re-parse to equal values.
+
+The printer's output for arithmetic trees must be valid parser input
+producing the same function (the paper edits/reads generated forms, so
+print->parse fidelity matters).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic.evaluate import evaluate
+from repro.symbolic.expr import Add, Expr, Indexed, Mul, Num, Pow, Sym
+from repro.symbolic.parser import parse
+from repro.symbolic.simplify import simplify
+
+SYMBOLS = ["x", "y", "z"]
+
+
+def leaf():
+    return st.one_of(
+        st.sampled_from([Sym(s) for s in SYMBOLS]),
+        st.integers(min_value=-5, max_value=5).map(Num),
+        st.sampled_from([Indexed("I", ("d",)), Indexed("vg", ("b",))]),
+    )
+
+
+def trees():
+    return st.recursive(
+        leaf(),
+        lambda ch: st.one_of(
+            st.tuples(ch, ch).map(lambda ab: Add(*ab)),
+            st.tuples(ch, ch).map(lambda ab: Mul(*ab)),
+            st.tuples(ch, st.integers(min_value=0, max_value=3)).map(
+                lambda be: Pow(be[0], Num(be[1]))
+            ),
+        ),
+        max_leaves=10,
+    )
+
+
+ENV = {"x": 1.7, "y": -0.4, "z": 2.3, "I[d]": 0.9, "vg[b]": 1.1}
+
+
+def _value(e: Expr) -> float:
+    return float(evaluate(e, ENV))
+
+
+@given(expr=trees())
+@settings(max_examples=120, deadline=None)
+def test_print_parse_preserves_value(expr):
+    reparsed = parse(str(expr))
+    a, b = _value(expr), _value(reparsed)
+    scale = max(abs(a), abs(b), 1.0)
+    assert abs(a - b) <= 1e-9 * scale
+
+
+@given(expr=trees())
+@settings(max_examples=80, deadline=None)
+def test_simplified_form_reparses_to_same_canonical_tree(expr):
+    s = simplify(expr)
+    assert simplify(parse(str(s))) == s

@@ -1,0 +1,144 @@
+"""Unit tests for algebraic simplification rules."""
+
+import pytest
+
+from repro.symbolic.expr import (
+    Add,
+    Cmp,
+    Conditional,
+    Mul,
+    Num,
+    Pow,
+    Surface,
+    Sym,
+    TimeDerivative,
+)
+from repro.symbolic.parser import parse
+from repro.symbolic.simplify import (
+    collect_terms,
+    expand_products,
+    is_zero,
+    negate,
+    simplify,
+)
+
+x, y, z = Sym("x"), Sym("y"), Sym("z")
+
+
+class TestConstantFolding:
+    def test_numeric_sum(self):
+        assert simplify(parse("1 + 2 + 3")) == Num(6)
+
+    def test_numeric_product(self):
+        assert simplify(parse("2 * 3 * 4")) == Num(24)
+
+    def test_numeric_power(self):
+        assert simplify(parse("2^10")) == Num(1024)
+        assert simplify(parse("4^0.5")) == Num(2)
+
+    def test_division_fold(self):
+        assert simplify(parse("6 / 3")) == Num(2)
+
+    def test_zero_to_negative_power_stays_symbolic(self):
+        e = Pow(Num(0), Num(-1))
+        assert simplify(e) == e
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        assert simplify(Add(x, Num(0))) == x
+
+    def test_mul_one(self):
+        assert simplify(Mul(x, Num(1))) == x
+
+    def test_mul_zero_kills(self):
+        assert simplify(Mul(x, Num(0), y)) == Num(0)
+
+    def test_pow_zero_one(self):
+        assert simplify(Pow(x, Num(0))) == Num(1)
+        assert simplify(Pow(x, Num(1))) == x
+
+    def test_one_to_any_power(self):
+        assert simplify(Pow(Num(1), y)) == Num(1)
+
+
+class TestCollection:
+    def test_like_terms(self):
+        assert simplify(parse("2*x + 3*x")) == Mul(Num(5), x)
+
+    def test_cancellation(self):
+        assert simplify(parse("x - x")) == Num(0)
+
+    def test_mixed(self):
+        assert simplify(parse("2*x + 3*x - x*5 + 1")) == Num(1)
+
+    def test_repeated_factors_to_power(self):
+        assert simplify(Mul(x, x)) == Pow(x, Num(2))
+        assert simplify(Mul(x, x, x)) == Pow(x, Num(3))
+
+    def test_power_merge(self):
+        assert simplify(Mul(Pow(x, Num(2)), x)) == Pow(x, Num(3))
+
+    def test_x_over_x(self):
+        assert simplify(parse("x / x")) == Num(1)
+
+    def test_canonical_ordering_deterministic(self):
+        a = simplify(parse("c + a + b"))
+        b = simplify(parse("b + c + a"))
+        assert a == b
+
+
+class TestMarkersAndConditionals:
+    def test_conditional_same_branches_collapses(self):
+        c = Conditional(Cmp(">", x, Num(0)), y, y)
+        assert simplify(c) == y
+
+    def test_conditional_distinct_branches_kept(self):
+        c = Conditional(Cmp(">", x, Num(0)), y, z)
+        assert simplify(c) == c
+
+    def test_surface_of_zero_is_zero(self):
+        assert simplify(Surface(Mul(Num(0), x))) == Num(0)
+
+    def test_timederivative_ordering_first(self):
+        e = simplify(Add(Surface(x), Mul(Num(-1), TimeDerivative(y)), z))
+        assert str(e).startswith("-TIMEDERIVATIVE")
+        assert str(e).endswith("SURFACE*x")
+
+
+class TestExpandProducts:
+    def test_distributes(self):
+        e = expand_products(Mul(x, Add(y, z)))
+        assert e == Add(Mul(x, y), Mul(x, z))
+
+    def test_nested_distribution(self):
+        e = expand_products(Mul(Add(x, y), Add(y, z)))
+        assert isinstance(e, Add)
+        assert len(e.args) == 4
+
+    def test_does_not_enter_conditionals(self):
+        inner = Mul(Add(x, y), z)
+        c = Conditional(Cmp(">", x, Num(0)), inner, z)
+        assert expand_products(Mul(Num(2), c)) == Mul(Num(2), c)
+
+
+class TestCollectTerms:
+    def test_splits_sum(self):
+        terms = collect_terms(parse("a*b + c - d"))
+        assert len(terms) == 3
+
+    def test_zero_gives_empty(self):
+        assert collect_terms(parse("x - x")) == []
+
+    def test_single_term(self):
+        assert collect_terms(parse("a*b")) == [Mul(Sym("a"), Sym("b"))]
+
+
+class TestHelpers:
+    def test_negate(self):
+        assert negate(x) == Mul(Num(-1), x)
+        assert negate(Num(3)) == Num(-3)
+
+    def test_is_zero(self):
+        assert is_zero(parse("x - x"))
+        assert not is_zero(x)
