@@ -9,11 +9,14 @@ them inline; they are also written to ``benchmarks/output/``) and uses the
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+BENCH_SCHEMA = "repro.bench/1"
 
 
 @pytest.fixture(scope="session")
@@ -22,16 +25,41 @@ def output_dir() -> Path:
     return OUTPUT_DIR
 
 
+def _slug(name: str) -> str:
+    return name.split(":")[0].strip().replace(" ", "_").lower()
+
+
 @pytest.fixture
 def record_figure(output_dir):
-    """Print a figure's regenerated data and persist it under output/."""
+    """Print a figure's regenerated data and persist it under output/.
 
-    def _record(name: str, text: str) -> None:
+    Always writes the human-readable ``<slug>.txt`` banner; when ``rows``
+    (with an optional ``header``) or ``timings`` are supplied, a
+    machine-readable ``<slug>.json`` is written next to it so the
+    regenerated series can be diffed or plotted without re-parsing text.
+    """
+
+    def _record(
+        name: str,
+        text: str,
+        rows: list[list] | None = None,
+        header: list[str] | None = None,
+        timings: dict[str, float] | None = None,
+    ) -> None:
         banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
         print(banner)
-        (output_dir / f"{name.split(':')[0].strip().replace(' ', '_').lower()}.txt").write_text(
-            banner
-        )
+        slug = _slug(name)
+        (output_dir / f"{slug}.txt").write_text(banner)
+        if rows is not None or timings is not None:
+            payload: dict = {"schema": BENCH_SCHEMA, "name": name}
+            if rows is not None:
+                payload["header"] = header
+                payload["rows"] = rows
+            if timings is not None:
+                payload["timings"] = timings
+            (output_dir / f"{slug}.json").write_text(
+                json.dumps(payload, indent=2, default=float) + "\n"
+            )
 
     return _record
 

@@ -44,11 +44,11 @@ def test_fig4_series(series, record_figure):
         row.append(cell.total[cell.procs.index(p)])
         row.append(ideal / p)
         rows.append(row)
-    table = format_series_table(
-        ["procs", "bands [s]", "cells [s]", "ideal [s]"], rows
-    )
+    header = ["procs", "bands [s]", "cells [s]", "ideal [s]"]
+    table = format_series_table(header, rows)
     record_figure("FIG4: band-parallel vs cell-parallel strong scaling "
-                  "(120x120, 20 dirs, 55 bands, 100 steps)", table)
+                  "(120x120, 20 dirs, 55 bands, 100 steps)", table,
+                  rows=rows, header=header)
 
     # --- paper-shape assertions ---------------------------------------------
     # near-ideal efficiency for cells out to 320

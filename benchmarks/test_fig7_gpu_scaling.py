@@ -37,10 +37,10 @@ def test_fig7_series(series, record_figure):
     rows = []
     for i, p in enumerate(PROCS):
         rows.append([p, cpu.total[i], gpu.total[i], cpu.total[i] / gpu.total[i]])
-    table = format_series_table(
-        ["procs/GPUs", "CPU only [s]", "CPU+GPU [s]", "speedup"], rows
-    )
-    record_figure("FIG7: CPU-only vs GPU-accelerated execution time", table)
+    header = ["procs/GPUs", "CPU only [s]", "CPU+GPU [s]", "speedup"]
+    table = format_series_table(header, rows)
+    record_figure("FIG7: CPU-only vs GPU-accelerated execution time", table,
+                  rows=rows, header=header)
 
     # ~18x at equal small partition counts
     speedups = [cpu.total[i] / gpu.total[i] for i in range(2)]

@@ -9,9 +9,13 @@ Commands
     (Figs. 4, 5, 7, 8, 9 and the profiling table) from the cost models and
     write one text file per artefact.  The field figures (2, 10) need real
     transient runs; regenerate those with ``pytest benchmarks/ -s``.
-``bte [--nx N] [--steps N]``
+``bte [--nx N] [--steps N] [--gpu] [--ranks N] [--trace F] [--report F]``
     Run a reduced hot-spot BTE transient and print the temperature summary
-    (a fast version of ``examples/bte_hotspot.py``).
+    (a fast version of ``examples/bte_hotspot.py``).  ``--trace`` writes a
+    Chrome-trace/Perfetto timeline of the run, ``--report`` the aggregated
+    :class:`~repro.obs.RunReport` JSON.
+
+``-v/--verbose`` (repeatable) raises the package log level (INFO, DEBUG).
 """
 
 from __future__ import annotations
@@ -127,6 +131,17 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
     """Show the Sec. II symbolic pipeline for an equation string."""
+    from repro.obs import phase_span, trace_run
+
+    if args.trace:
+        with trace_run(args.trace):
+            rc = _run_pipeline(args, phase_span)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+        return rc
+    return _run_pipeline(args, phase_span)
+
+
+def _run_pipeline(args: argparse.Namespace, phase_span) -> int:
     from repro.dsl.entities import CELL, VAR_ARRAY, Coefficient, EntityTable, Index, Variable
     from repro.ir.lowering import lower_conservation_form, render_stage_listing
     from repro.symbolic.expr import free_indices, free_symbols, Indexed, Sym, preorder
@@ -135,7 +150,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
 
     source = args.equation
     unknown_name = args.unknown
-    parsed = parse(source)
+    with phase_span("parse", cat="pipeline"):
+        parsed = parse(source)
 
     # infer a plausible entity table from the expression: the unknown as
     # declared, every other bare symbol a scalar coefficient, every indexed
@@ -168,7 +184,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         if name not in skip:
             ents.add_coefficient(Coefficient(name, 1.0))
 
-    expanded, form = lower_conservation_form(source, unknown, ents, reg)
+    with phase_span("lower", cat="pipeline"):
+        expanded, form = lower_conservation_form(source, unknown, ents, reg)
     print(f"input:    conservationForm({unknown_name}, \"{source}\")")
     print()
     print(render_stage_listing(expanded, form, unknown))
@@ -186,6 +203,7 @@ def cmd_latex(args: argparse.Namespace) -> int:
 
 def cmd_bte(args: argparse.Namespace) -> int:
     from repro.bte import build_bte_problem, hotspot_scenario
+    from repro.obs import trace_run
 
     scenario = hotspot_scenario(
         nx=args.nx, ny=args.nx, ndirs=args.ndirs,
@@ -193,43 +211,99 @@ def cmd_bte(args: argparse.Namespace) -> int:
     )
     scenario.sigma = max(scenario.sigma, 2.5 * scenario.lx / args.nx)
     problem, model = build_bte_problem(scenario)
+    if args.gpu:
+        problem.enable_gpu()
+        # small CLI problems fall below the offload break-even point of the
+        # placement optimiser; force them onto the device so the timeline
+        # actually shows kernel/transfer tracks
+        problem.extra["gpu_force_offload"] = True
+    if args.ranks > 1:
+        problem.set_partitioning("bands", args.ranks, index="b")
+    mode = "gpu" if args.gpu else "cpu"
     print(f"running {scenario.name}: {args.nx}x{args.nx} cells, "
-          f"{model.ncomp} components/cell, {args.steps} steps ...")
-    solver = problem.solve()
+          f"{model.ncomp} components/cell, {args.steps} steps "
+          f"[{mode}, {args.ranks} rank(s)] ...")
+
+    if args.trace or args.report:
+        with trace_run(args.trace) as tracer:
+            solver = problem.solve()
+    else:
+        tracer = None
+        solver = problem.solve()
+
     T = solver.state.extra["T"]
     print(f"T in [{T.min():.4f}, {T.max():.4f}] K after "
           f"{args.steps * args.dt * 1e9:.3f} ns")
     for phase, frac in sorted(solver.breakdown().items()):
         print(f"  {phase:<12} {frac * 100:5.1f}%")
+    if args.trace:
+        print(f"wrote trace to {args.trace} (open in https://ui.perfetto.dev)")
+    if args.report:
+        solver.run_report(tracer).write(args.report)
+        print(f"wrote run report to {args.report}")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    # -v works both before and after the subcommand; the subparser copy
+    # SUPPRESSes its default so it cannot clobber a value the top-level
+    # parser already counted
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help="raise the package log level (-v INFO, -vv DEBUG)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise the package log level (-v INFO, -vv DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command")
 
-    sub.add_parser("info", help="package and configuration summary")
+    sub.add_parser("info", help="package and configuration summary",
+                   parents=[common])
 
-    p_fig = sub.add_parser("figures", help="regenerate the scaling artefacts")
+    p_fig = sub.add_parser("figures", help="regenerate the scaling artefacts",
+                           parents=[common])
     p_fig.add_argument("--out", default="figures_out", help="output directory")
 
     p_pipe = sub.add_parser(
-        "pipeline", help="show the Sec. II symbolic pipeline for an equation"
+        "pipeline", help="show the Sec. II symbolic pipeline for an equation",
+        parents=[common],
     )
     p_pipe.add_argument("equation", help='e.g. "-k*u - surface(upwind(b, u))"')
     p_pipe.add_argument("--unknown", default="u", help="unknown variable name")
+    p_pipe.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome-trace JSON of the pipeline stages")
 
-    p_tex = sub.add_parser("latex", help="render an equation string as LaTeX")
+    p_tex = sub.add_parser("latex", help="render an equation string as LaTeX",
+                           parents=[common])
     p_tex.add_argument("equation")
 
-    p_bte = sub.add_parser("bte", help="run a reduced hot-spot BTE transient")
+    p_bte = sub.add_parser("bte", help="run a reduced hot-spot BTE transient",
+                           parents=[common])
     p_bte.add_argument("--nx", type=int, default=24)
     p_bte.add_argument("--ndirs", type=int, default=8)
     p_bte.add_argument("--bands", type=int, default=8)
     p_bte.add_argument("--dt", type=float, default=1e-12)
     p_bte.add_argument("--steps", type=int, default=50)
+    p_bte.add_argument("--gpu", action="store_true",
+                       help="run the hybrid CPU+GPU target")
+    p_bte.add_argument("--ranks", type=int, default=1, metavar="N",
+                       help="band-partition over N ranks (with --gpu: one "
+                            "simulated device per rank, paper Fig. 7)")
+    p_bte.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome-trace/Perfetto JSON timeline")
+    p_bte.add_argument("--report", default=None, metavar="FILE",
+                       help="write the aggregated RunReport JSON")
 
     args = parser.parse_args(argv)
+    if args.verbose:
+        from repro.util.logging import set_verbosity
+
+        set_verbosity("INFO" if args.verbose == 1 else "DEBUG")
     if args.command == "info":
         return cmd_info(args)
     if args.command == "figures":

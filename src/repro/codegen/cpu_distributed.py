@@ -39,6 +39,7 @@ from repro.ir.build import build_ir
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
 from repro.mesh.partition import build_partition_layout, partition_cells
+from repro.obs import phase_span
 from repro.perfmodel.costs import CostModel
 from repro.perfmodel.machines import CASCADE_LAKE_FINCH
 from repro.runtime.executor import run_spmd
@@ -60,18 +61,19 @@ def rank_program(comm):
         for cb in PRE_STEP_CALLBACKS:
             cb.fn(state)
         # refresh ghost columns: send owned interface cells, receive theirs
-        sends = {q: np.ascontiguousarray(state.u[:, cells])
-                 for q, cells in SEND_CELLS[comm.rank].items()}
-        received = comm.exchange(sends, tag=7)
-        for q, data in received.items():
-            state.u[:, RECV_CELLS[comm.rank][q]] = data
-        with state.timers.time('solve'):
+        with trace_phase('halo_exchange', cat='comm'):
+            sends = {q: np.ascontiguousarray(state.u[:, cells])
+                     for q, cells in SEND_CELLS[comm.rank].items()}
+            received = comm.exchange(sends, tag=7)
+            for q, data in received.items():
+                state.u[:, RECV_CELLS[comm.rank][q]] = data
+        with state.timers.time('solve'), trace_phase('solve'):
             rhs = compute_rhs(state, state.u, state.time)
             state.u[:, owned] = kernels.euler_update(
                 state.u[:, owned], state.dt, rhs[:, owned], 0.0)
         comm.compute(COST_SOLVE, phase='solve for intensity')
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'):
+            with state.timers.time('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         comm.compute(COST_TEMP, phase='temperature update')
         state.time += state.dt
@@ -98,13 +100,13 @@ def rank_program(comm):
     for _ in range(RUN_NSTEPS[0]):
         for cb in PRE_STEP_CALLBACKS:
             cb.fn(state)
-        with state.timers.time('solve'):
+        with state.timers.time('solve'), trace_phase('solve'):
             rhs = compute_rhs(state, state.u, state.time)
             state.u[owned] = kernels.euler_update(
                 state.u[owned], state.dt, rhs[owned], 0.0)
         comm.compute(COST_SOLVE, phase='solve for intensity')
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'):
+            with state.timers.time('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         comm.compute(COST_TEMP, phase='temperature update')
         state.time += state.dt
@@ -183,6 +185,7 @@ class CPUDistributedTarget(CodegenTarget):
         env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
         env["run_spmd"] = run_spmd
         env["eval_fcoef"] = eval_fcoef
+        env["trace_phase"] = phase_span
         for name, coef in emitter.function_coefficients().items():
             env[f"coef_fn_{name}"] = coef.value
 

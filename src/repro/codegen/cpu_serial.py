@@ -18,6 +18,7 @@ from repro.ir.build import build_ir
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
 from repro.fvm.timesteppers import make_stepper
+from repro.obs import phase_span
 from repro.util.errors import CodegenError
 
 if TYPE_CHECKING:
@@ -117,13 +118,13 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
     step_body = ['"""Advance one explicit step (Eq. 3 of the paper)."""']
     if scheme == "euler":
         step_body += [
-            "with state.timers.time('solve'):",
+            "with state.timers.time('solve'), trace_phase('solve'):",
             "    rhs = compute_rhs(state, state.u, state.time)",
             "    state.u = kernels.euler_update(state.u, state.dt, rhs, 0.0)",
         ]
     else:
         step_body += [
-            "with state.timers.time('solve'):",
+            "with state.timers.time('solve'), trace_phase('solve'):",
             "    u_new = stepper.advance(state.u, state.time, state.dt,",
             "                            lambda uu, tt: compute_rhs(state, uu, tt))",
             "    state.u = u_new",
@@ -140,11 +141,11 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
         'done sequentially").  Hooks run on the CPU around each step."""',
         "for _ in range(nsteps):",
         "    for cb in PRE_STEP_CALLBACKS:",
-        "        with state.timers.time('pre_step'):",
+        "        with state.timers.time('pre_step'), trace_phase('pre_step'):",
         "            cb.fn(state)",
         "    step_once(state)",
         "    for cb in POST_STEP_CALLBACKS:",
-        "        with state.timers.time('post_step'):",
+        "        with state.timers.time('post_step'), trace_phase('post_step'):",
         "            cb.fn(state)",
         "state.check_health()",
         "return state",
@@ -191,6 +192,7 @@ class CPUSerialTarget(CodegenTarget):
         env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
         env["stepper"] = make_stepper(problem.config.stepper)
         env["eval_fcoef"] = eval_fcoef
+        env["trace_phase"] = phase_span
         for name, coef in emitter.function_coefficients().items():
             env[f"coef_fn_{name}"] = coef.value
 

@@ -44,6 +44,7 @@ from repro.gpu.kernel import Kernel, model_launch
 from repro.ir.build import build_ir
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
+from repro.obs import get_tracer, phase_span
 from repro.perfmodel.costs import CostModel
 from repro.perfmodel.machines import CASCADE_LAKE_FINCH, default_gpu_spec
 from repro.util.errors import CodegenError
@@ -185,6 +186,7 @@ def step_once(state):
     """One hybrid step (the paper's host-code sketch, Sec. II-B)."""
     dev = state.device
     host = state.host_clock
+    trace = get_tracer()
     t = state.time
 
     # --- send per-step host-mutated arrays to the device -------------------
@@ -194,6 +196,7 @@ def step_once(state):
         for name in H2D_EACH_STEP:
             end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, t0))
     host.advance_to(end)
+    trace.complete(HOST_TRACK, 'h2d', t0, host.now(), cat='transfer')
     state.gpu_phases['communication'] += host.now() - t0
 
     # --- asynchronous interior kernel (one thread per DOF) -----------------
@@ -204,18 +207,25 @@ def step_once(state):
         dev.launch(KERNEL, NDOF, *kernel_args, host_time=launch_time)
 
     # --- CPU boundary contribution, overlapped with the kernel (Fig. 6) ----
-    with state.timers.time('boundary'):
+    with state.timers.time('boundary'), trace_phase('boundary'):
         du_bdry = compute_boundary_contribution(state, state.u, t)
     host.advance(COST_BOUNDARY)
+    # the host-timeline boundary span sits under the device kernel span —
+    # the paper's Fig. 6 overlap, directly visible in the exported trace
+    trace.complete(HOST_TRACK, 'boundary_callbacks', launch_time, host.now(),
+                   cat='phase')
 
     # --- synchronize, fetch, combine ---------------------------------------
     sync_time = dev.synchronize(host.now())
+    if sync_time > host.now():
+        trace.complete(HOST_TRACK, 'sync_wait', host.now(), sync_time, cat='sync')
     state.gpu_phases['solve for intensity'] += sync_time - launch_time
     host.advance_to(sync_time)
     d2h_start = host.now()
     with state.timers.time('d2h'):
         u_new, end = dev.d2h('u_new', host_time=d2h_start)
     host.advance_to(end)
+    trace.complete(HOST_TRACK, 'd2h', d2h_start, host.now(), cat='transfer')
     state.gpu_phases['communication'] += host.now() - d2h_start
     # u = u_new + u_bdry (the boundary part of the explicit update)
     state.u = u_new + state.dt * du_bdry
@@ -226,16 +236,20 @@ def step_once(state):
 
 def run_steps(state, nsteps):
     """Sequential time loop around the hybrid step + CPU hooks."""
+    trace = get_tracer()
     for _ in range(nsteps):
         for cb in PRE_STEP_CALLBACKS:
-            with state.timers.time('pre_step'):
+            with state.timers.time('pre_step'), trace_phase('pre_step'):
                 cb.fn(state)
         step_once(state)
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'):
+            with state.timers.time('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         if POST_STEP_CALLBACKS:
+            t0 = state.host_clock.now()
             state.host_clock.advance(COST_TEMP)
+            trace.complete(HOST_TRACK, 'temperature_update', t0,
+                           state.host_clock.now(), cat='phase')
             state.gpu_phases['temperature update'] += COST_TEMP
     state.check_health()
     return state
@@ -351,6 +365,10 @@ class GPUHybridTarget(CodegenTarget):
 
             solver = CPUSerialTarget().generate(problem)
             solver.placement = placement
+            solver.task_timer_map = {
+                "interior_update": "solve",
+                "post_step_callbacks": "post_step",
+            }
             solver.transfer_plan = None
             solver.source = (
                 "# NOTE: the placement optimiser kept every task on the CPU\n"
@@ -411,8 +429,17 @@ class GPUHybridTarget(CodegenTarget):
         env["H2D_EACH_STEP"] = [
             n for n in env["KERNEL_VAR_NAMES"] if n in transfer_plan.h2d_each_step
         ]
+        env["get_tracer"] = get_tracer
+        env["trace_phase"] = phase_span
+        env["HOST_TRACK"] = "hybrid/host"
 
         solver = GeneratedSolver(self.name, source, env, state)
+        # observability: which wall-clock timer measures each placement task
+        solver.task_timer_map = {
+            "interior_update": "solve",
+            "boundary_callbacks": "boundary",
+            "post_step_callbacks": "post_step",
+        }
 
         # the kernel object wraps the *generated* body with the work estimates
         kernel = Kernel(

@@ -38,6 +38,7 @@ from repro.gpu.kernel import Kernel
 from repro.ir.build import build_ir
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
+from repro.obs import get_tracer, phase_span
 from repro.perfmodel.costs import CostModel
 from repro.perfmodel.machines import CASCADE_LAKE_FINCH, default_gpu_spec
 from repro.runtime.executor import run_spmd
@@ -58,6 +59,8 @@ def rank_program(comm):
     own = state.owned_comps
     dev = make_device(comm.rank)
     host = VirtualClock()
+    trace = get_tracer()
+    htrack = 'hybrid/rank%d' % comm.rank
 
     # device-resident buffers (geometry/coefficient tables ride in the
     # module namespace; they were sent once, like the static H2D plan)
@@ -78,6 +81,7 @@ def rank_program(comm):
         for name in KERNEL_VAR_NAMES:
             end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, mark))
         host.advance_to(end)
+        trace.complete(htrack, 'h2d', mark, host.now(), cat='transfer')
         comm.compute(host.now() - mark, phase='communication')
 
         # asynchronous interior kernel over the owned components,
@@ -89,23 +93,28 @@ def rank_program(comm):
         with state.timers.time('solve'):
             dev.launch(KERNEL, len(own) * NCELLS, *kernel_args, own,
                        host_time=mark)
-        with state.timers.time('boundary'):
+        with state.timers.time('boundary'), trace_phase('boundary'):
             du_bdry = compute_boundary_contribution(state, state.u, t)
         host.advance(COST_BOUNDARY)
-        host.advance_to(dev.synchronize(host.now()))
+        trace.complete(htrack, 'boundary_callbacks', mark, host.now(), cat='phase')
+        sync_time = dev.synchronize(host.now())
+        if sync_time > host.now():
+            trace.complete(htrack, 'sync_wait', host.now(), sync_time, cat='sync')
+        host.advance_to(sync_time)
         comm.compute(host.now() - mark, phase='solve for intensity')
 
         # fetch and combine (owned rows only)
         mark = host.now()
         u_new, end = dev.d2h('u_new', host_time=mark)
         host.advance_to(end)
+        trace.complete(htrack, 'd2h', mark, host.now(), cat='transfer')
         comm.compute(host.now() - mark, phase='communication')
         state.u[own] = u_new[own] + state.dt * du_bdry[own]
 
         # CPU temperature update; its band-energy allreduce advances the
         # communicator clock itself — mirror that back onto the host
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'):
+            with state.timers.time('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         comm.compute(COST_TEMP, phase='temperature update')
         host.advance_to(comm.clock.now())
@@ -228,6 +237,8 @@ class GPUMultiTarget(CodegenTarget):
         )
         env["run_spmd"] = run_spmd
         env["VirtualClock"] = VirtualClock
+        env["get_tracer"] = get_tracer
+        env["trace_phase"] = phase_span
 
         def make_rank_state(rank: int) -> SolverState:
             st = SolverState(problem)
@@ -258,6 +269,11 @@ class GPUMultiTarget(CodegenTarget):
         )
         solver.namespace["KERNEL"] = kernel
         solver.kernel = kernel
+        solver.task_timer_map = {
+            "interior_update": "solve",
+            "boundary_callbacks": "boundary",
+            "post_step_callbacks": "post_step",
+        }
         solver.ir = ir
         solver.classified_form = form
         solver.expanded_expr = expanded

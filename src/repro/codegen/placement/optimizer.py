@@ -25,6 +25,9 @@ import networkx as nx
 from repro.codegen.placement.graph import TaskGraph
 from repro.gpu.spec import DeviceSpec
 from repro.util.errors import CodegenError
+from repro.util.logging import get_logger
+
+logger = get_logger("codegen.placement")
 
 _SOURCE = "__GPU__"
 _SINK = "__CPU__"
@@ -46,6 +49,23 @@ class PlacementPlan:
 
     def cpu_tasks(self) -> list[str]:
         return sorted(t for t, d in self.device.items() if d == "cpu")
+
+    def predicted_cost(self, task: str) -> float | None:
+        """Modelled per-step seconds of ``task`` on its assigned device.
+
+        This is the quantity the min-cut optimised; the observability layer
+        compares it against measured per-task times (the run report's
+        placement-accuracy section).  ``None`` when the plan carries no
+        graph (detached plans).
+        """
+        if self.graph is None or task not in self.graph.tasks:
+            return None
+        t = self.graph.tasks[task]
+        return t.cost_gpu if self.device.get(task) == "gpu" else t.cost_cpu
+
+    def predicted_costs(self) -> dict[str, float | None]:
+        """Per-task predicted seconds on the assigned devices."""
+        return {name: self.predicted_cost(name) for name in sorted(self.device)}
 
     def report(self) -> str:
         """Human-readable placement summary (shown by the GPU examples)."""
@@ -106,6 +126,17 @@ def optimize_placement(graph: TaskGraph, link: DeviceSpec) -> PlacementPlan:
         for e in graph.edges
         if device[e.src] != device[e.dst]
     ]
+    n_gpu = sum(1 for d in device.values() if d == "gpu")
+    logger.info(
+        "placement: %d task(s) -> GPU, %d -> CPU; objective %.3e s/step, "
+        "%.3f MB moved over %d crossing edge(s)",
+        n_gpu, len(device) - n_gpu, cut_value,
+        sum(b for _, _, b in cut_edges) / 1e6, len(cut_edges),
+    )
+    for name in sorted(device):
+        task = graph.tasks[name]
+        logger.debug("  %-24s -> %s (cpu %.3e s, gpu %.3e s)",
+                     name, device[name], task.cost_cpu, task.cost_gpu)
     return PlacementPlan(
         device=device,
         objective_seconds=float(cut_value),

@@ -25,8 +25,12 @@ import numpy as np
 from repro.gpu.kernel import Kernel, KernelLaunchRecord, model_launch
 from repro.gpu.profiler import Profiler
 from repro.gpu.spec import DeviceSpec, A6000
+from repro.obs import get_tracer
 from repro.util.errors import CodegenError
+from repro.util.logging import get_logger
 from repro.util.timing import VirtualClock
+
+logger = get_logger("gpu.device")
 
 
 @dataclass
@@ -72,6 +76,15 @@ class Stream:
         record.end = self.clock.now()
         self.records.append(record)
         self.device.profiler.record_launch(record)
+        tracer = self.device.tracer
+        if tracer.enabled:
+            tracer.complete(
+                f"{self.device.name}/{self.name}", kernel.name,
+                record.start, record.end, cat="kernel",
+                n_threads=n_threads, block=block, bound=record.bound,
+                occupancy=round(record.occupancy, 4),
+                flops=record.total_flops, bytes=record.total_bytes,
+            )
         return record
 
     def busy_until(self) -> float:
@@ -89,6 +102,7 @@ class Device:
         self.transfer_clock = VirtualClock()
         self.profiler = Profiler(spec)
         self.allocated_bytes = 0
+        self.tracer = get_tracer()
 
     # ------------------------------------------------------------- memory
     def alloc(self, name: str, host_array: np.ndarray, host_time: float = 0.0) -> DeviceBuffer:
@@ -105,7 +119,9 @@ class Device:
                 f"device {self.name}: out of memory "
                 f"({self.allocated_bytes / 1e9:.2f} GB > {self.spec.memory_gb} GB)"
             )
-        self._charge_transfer(buf.nbytes, host_time)
+        logger.debug("%s: alloc %r (%.3f MB, %.3f MB total)",
+                     self.name, name, buf.nbytes / 1e6, self.allocated_bytes / 1e6)
+        self._charge_transfer(buf.nbytes, host_time, "h2d", name)
         return buf
 
     def alloc_empty(self, name: str, shape: tuple[int, ...]) -> DeviceBuffer:
@@ -131,13 +147,13 @@ class Device:
             )
         buf.array[...] = host_array
         buf.on_device = True
-        return self._charge_transfer(buf.nbytes, host_time)
+        return self._charge_transfer(buf.nbytes, host_time, "h2d", name)
 
     def d2h(self, name: str, out: np.ndarray | None = None, host_time: float = 0.0
             ) -> tuple[np.ndarray, float]:
         """Copy a buffer back to the host; returns ``(array, end_time)``."""
         buf = self._get(name)
-        end = self._charge_transfer(buf.nbytes, host_time)
+        end = self._charge_transfer(buf.nbytes, host_time, "d2h", name)
         if out is not None:
             out[...] = buf.array
             return out, end
@@ -149,12 +165,19 @@ class Device:
             raise CodegenError(f"no device buffer named {name!r}")
         return buf
 
-    def _charge_transfer(self, nbytes: int, host_time: float) -> float:
+    def _charge_transfer(self, nbytes: int, host_time: float,
+                         kind: str = "h2d", label: str = "") -> float:
         """Advance the transfer timeline by latency + size/bandwidth."""
         self.transfer_clock.advance_to(host_time)
+        start = self.transfer_clock.now()
         dt = self.spec.pcie_latency_s + nbytes / self.spec.pcie_bw_bytes()
         self.transfer_clock.advance(dt)
-        self.profiler.record_transfer(nbytes, dt)
+        self.profiler.record_transfer(nbytes, dt, kind)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                f"{self.name}/transfer", f"{kind}:{label}" if label else kind,
+                start, self.transfer_clock.now(), cat="transfer", bytes=nbytes,
+            )
         return self.transfer_clock.now()
 
     # ------------------------------------------------------------ execution

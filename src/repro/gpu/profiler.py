@@ -46,6 +46,30 @@ class ProfileReport:
         width = max(len(r[0]) for r in rows)
         return "\n".join(f"{name:<{width}} | {value}" for name, value in rows)
 
+    def as_dict(self) -> dict:
+        """JSON-safe view for the run report's ``gpu`` section."""
+        return {
+            "device": self.device,
+            "n_launches": self.n_launches,
+            "busy_time_s": self.busy_time,
+            "total_flops": self.total_flops,
+            "total_bytes": self.total_bytes,
+            "sm_utilization": self.sm_utilization,
+            "memory_throughput_fraction": self.memory_throughput_fraction,
+            "flop_fraction_of_peak": self.flop_fraction_of_peak,
+            "transfer_bytes": self.transfer_bytes,
+            "transfer_time_s": self.transfer_time,
+        }
+
+
+@dataclass
+class TransferEvent:
+    """One H2D/D2H copy (direction-tagged for the run report/trace)."""
+
+    kind: str  # 'h2d' | 'd2h'
+    nbytes: int
+    duration: float
+
 
 @dataclass
 class Profiler:
@@ -53,15 +77,33 @@ class Profiler:
 
     spec: DeviceSpec
     launches: list = field(default_factory=list)
+    transfers: list = field(default_factory=list)
     transfer_bytes: float = 0.0
     transfer_time: float = 0.0
 
     def record_launch(self, record) -> None:
         self.launches.append(record)
 
-    def record_transfer(self, nbytes: int, duration: float) -> None:
+    def record_transfer(self, nbytes: int, duration: float, kind: str = "h2d") -> None:
+        self.transfers.append(TransferEvent(kind, nbytes, duration))
         self.transfer_bytes += nbytes
         self.transfer_time += duration
+
+    def transfer_summary(self) -> dict:
+        """Per-direction totals (the report's H2D/D2H accounting)."""
+        out = {
+            "total_bytes": self.transfer_bytes,
+            "total_time_s": self.transfer_time,
+            "count": len(self.transfers),
+        }
+        for kind in ("h2d", "d2h"):
+            events = [t for t in self.transfers if t.kind == kind]
+            out[kind] = {
+                "count": len(events),
+                "bytes": sum(t.nbytes for t in events),
+                "time_s": sum(t.duration for t in events),
+            }
+        return out
 
     def report(self, kernel: str | None = None) -> ProfileReport:
         """Metrics over all launches, or only those of one kernel name."""
@@ -97,8 +139,9 @@ class Profiler:
 
     def reset(self) -> None:
         self.launches.clear()
+        self.transfers.clear()
         self.transfer_bytes = 0.0
         self.transfer_time = 0.0
 
 
-__all__ = ["Profiler", "ProfileReport"]
+__all__ = ["Profiler", "ProfileReport", "TransferEvent"]

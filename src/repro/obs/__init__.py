@@ -1,0 +1,109 @@
+"""Observability: span tracing, counters, and the aggregated run report.
+
+The execution substrates (:mod:`repro.runtime`, :mod:`repro.gpu`) and the
+generated solver code all emit into the *current* tracer, a module-level
+singleton that defaults to the zero-overhead :data:`NULL_TRACER`.  Enable
+it around a run with::
+
+    from repro import obs
+
+    with obs.trace_run("trace.json") as tracer:
+        solver = problem.solve()
+    obs.build_run_report(solver, tracer).write("report.json")
+
+``trace.json`` is Chrome trace-event JSON — open it in ``ui.perfetto.dev``
+(or ``chrome://tracing``) to see one track per host thread (wall clock),
+per SPMD rank (virtual clock) and per GPU stream (device timeline), with
+the hybrid target's interior kernel overlapping the CPU boundary-callback
+span exactly as in the paper's Fig. 6.
+
+The same flags are exposed on the CLI: ``python -m repro bte --gpu
+--trace trace.json --report report.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.report import RunReport, SCHEMA, build_run_report, placement_accuracy
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CounterEvent,
+    InstantEvent,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+)
+
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The tracer instrumented code should emit into (never ``None``)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` as current (``None`` resets); returns the previous."""
+    global _current
+    previous = _current
+    _current = NULL_TRACER if tracer is None else tracer
+    return previous
+
+
+def phase_span(name: str, cat: str = "phase", track: str | None = None, **args):
+    """Wall-clock span on the calling thread's host track.
+
+    This is the hook the code generators emit into *generated* source —
+    ``with phase_span('solve'):`` — so traces name the IR phases.  The
+    track defaults to ``host/<thread name>``; the SPMD executor names rank
+    threads ``rank{r}``, giving one track per rank program automatically.
+    Resolves the current tracer at call time, so a solver generated before
+    :func:`trace_run` still traces (and one generated inside stops cleanly
+    after).
+    """
+    tracer = _current
+    if not tracer.enabled:
+        return tracer.span("", name)  # the reusable null span
+    if track is None:
+        track = f"host/{threading.current_thread().name}"
+    return tracer.span(track, name, cat=cat, **args)
+
+
+@contextmanager
+def trace_run(trace_path: str | Path | None = None, *,
+              tracer: Tracer | None = None):
+    """Install a live tracer for the block; optionally write the trace JSON.
+
+    Yields the :class:`Tracer`; on exit the previous tracer is restored and,
+    when ``trace_path`` is given, the Chrome-trace JSON is written even if
+    the block raised (partial traces are the ones you need most).
+    """
+    tracer = tracer or Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        if trace_path is not None:
+            tracer.write(trace_path)
+
+
+__all__ = [
+    "CounterEvent",
+    "InstantEvent",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunReport",
+    "SCHEMA",
+    "SpanEvent",
+    "Tracer",
+    "build_run_report",
+    "get_tracer",
+    "phase_span",
+    "placement_accuracy",
+    "set_tracer",
+    "trace_run",
+]

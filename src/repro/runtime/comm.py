@@ -22,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import get_tracer
 from repro.runtime.netmodel import NetworkModel, ZERO_COST
 from repro.util.errors import ReproError
 from repro.util.timing import VirtualClock
@@ -103,6 +104,16 @@ class CommStats:
     def charge_phase(self, phase: str, dt: float) -> None:
         self.phase_s[phase] = self.phase_s.get(phase, 0.0) + dt
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe view for the run report's ``comm`` section."""
+        return {
+            "compute_s": self.compute_s,
+            "comm_s": self.comm_s,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "phase_s": dict(self.phase_s),
+        }
+
 
 class Communicator:
     """One rank's endpoint (mpi4py-flavoured API, virtual time attached)."""
@@ -114,6 +125,9 @@ class Communicator:
         self.rank = rank
         self.clock = VirtualClock()
         self.stats = CommStats()
+        # virtual-timeline track: one per rank in the exported trace
+        self.tracer = get_tracer()
+        self.track = f"virtual/rank{rank}"
 
     @property
     def size(self) -> int:
@@ -124,9 +138,13 @@ class Communicator:
         """Charge ``seconds`` of local computation to this rank's clock."""
         if seconds < 0:
             raise ReproError(f"negative compute charge {seconds}")
+        before = self.clock.now()
         self.clock.advance(seconds)
         self.stats.compute_s += seconds
         self.stats.charge_phase(phase, seconds)
+        if self.tracer.enabled:
+            self.tracer.complete(self.track, phase, before, self.clock.now(),
+                                 cat="compute")
 
     # ---------------------------------------------------------- point to point
     def send(self, dest: int, data: Any, tag: int = 0) -> None:
@@ -142,6 +160,11 @@ class Communicator:
         self.world.channel(self.rank, dest, tag).put(msg)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
+        if self.tracer.enabled:
+            self.tracer.instant(self.track, f"send->{dest}", self.clock.now(),
+                                cat="comm", bytes=nbytes, tag=tag)
+            self.tracer.counter(self.track, "bytes_sent", self.clock.now(),
+                                self.stats.bytes_sent)
 
     def recv(self, source: int, tag: int = 0, phase: str = "communication") -> Any:
         """Blocking receive; virtual clock jumps to the arrival time."""
@@ -159,6 +182,10 @@ class Communicator:
         waited = self.clock.now() - before
         self.stats.comm_s += waited
         self.stats.charge_phase(phase, waited)
+        if self.tracer.enabled:
+            self.tracer.complete(self.track, f"recv<-{source}", before,
+                                 self.clock.now(), cat="comm",
+                                 bytes=msg.nbytes, tag=tag, waited_s=waited)
         return msg.payload
 
     def exchange(self, sends: dict[int, Any], tag: int = 0,
@@ -201,6 +228,9 @@ class Communicator:
         self.clock.advance_to(entry + cost)
         self.stats.comm_s += self.clock.now() - before
         self.stats.charge_phase(phase, self.clock.now() - before)
+        if self.tracer.enabled:
+            self.tracer.complete(self.track, "allreduce", before, self.clock.now(),
+                                 cat="comm", bytes=arr.nbytes, op=op.value)
         if np.ndim(data) == 0:
             return float(parts)
         return parts
@@ -215,6 +245,9 @@ class Communicator:
         self.clock.advance_to(entry + cost)
         self.stats.comm_s += self.clock.now() - before
         self.stats.charge_phase(phase, self.clock.now() - before)
+        if self.tracer.enabled:
+            self.tracer.complete(self.track, "allgather", before, self.clock.now(),
+                                 cat="comm", bytes=nbytes)
         return slots
 
     def barrier(self) -> None:

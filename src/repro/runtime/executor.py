@@ -13,9 +13,13 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs import phase_span
 from repro.runtime.comm import CommStats, Communicator, World
 from repro.runtime.netmodel import NetworkModel, ZERO_COST
 from repro.util.errors import ReproError
+from repro.util.logging import get_logger
+
+logger = get_logger("runtime.executor")
 
 
 @dataclass
@@ -59,6 +63,7 @@ def run_spmd(
     ``program`` receives a :class:`Communicator`; its return value lands in
     ``SPMDResult.results[rank]``.
     """
+    logger.debug("run_spmd: launching %d rank(s)", nranks)
     world = World(nranks, network)
     world.timeout_s = timeout_s
     comms = [world.communicator(r) for r in range(nranks)]
@@ -68,8 +73,12 @@ def run_spmd(
 
     def runner(rank: int) -> None:
         try:
-            results[rank] = program(comms[rank])
+            # the thread is named rank{r}, so this lands on a per-rank
+            # wall-clock track next to the rank's virtual timeline
+            with phase_span("rank_program", cat="run", rank=rank):
+                results[rank] = program(comms[rank])
         except BaseException as exc:  # noqa: BLE001 - must not kill the thread pool silently
+            logger.warning("rank %d failed: %s: %s", rank, type(exc).__name__, exc)
             with lock:
                 errors.append((rank, exc))
             # release peers stuck in collectives so the run can unwind
@@ -96,11 +105,14 @@ def run_spmd(
             rank, exc = min(root, key=lambda e: e[0])
         raise ReproError(f"rank {rank} failed: {type(exc).__name__}: {exc}") from exc
 
-    return SPMDResult(
+    result = SPMDResult(
         results=results,
         times=[c.clock.now() for c in comms],
         stats=[c.stats for c in comms],
     )
+    logger.debug("run_spmd: %d rank(s) done, makespan %.6es",
+                 nranks, result.makespan)
+    return result
 
 
 __all__ = ["run_spmd", "SPMDResult"]

@@ -70,6 +70,17 @@ class TimerStats:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-safe view: a never-recorded timer's ``min`` is ``inf`` —
+        normalise it to ``0.0`` so report exports stay valid JSON."""
+        return {
+            "total": self.total,
+            "count": self.count,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
 
 class Timer:
     """Context-manager timer that records into a :class:`TimerRegistry`."""
@@ -121,6 +132,10 @@ class TimerRegistry:
 
     def reset(self) -> None:
         self.stats.clear()
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        """All timers as JSON-safe dicts (the run report's ``timers`` section)."""
+        return {name: s.as_dict() for name, s in sorted(self.stats.items())}
 
     def report(self) -> str:
         lines = [f"{'timer':<28}{'total [s]':>12}{'count':>8}{'mean [s]':>12}"]

@@ -1,0 +1,85 @@
+"""Profiler aggregation: per-kernel filtering, table, transfer accounting."""
+
+import pytest
+
+from repro.gpu.kernel import Kernel, model_launch
+from repro.gpu.profiler import Profiler
+from repro.gpu.spec import A6000
+
+
+def _launch(prof, name, n_threads=1_000_000):
+    kernel = Kernel(name, lambda: None, flops_per_thread=100.0,
+                    bytes_per_thread=48.0)
+    rec = model_launch(A6000, kernel, n_threads)
+    prof.record_launch(rec)
+    return rec
+
+
+class TestReportFiltering:
+    def test_kernel_filter_selects_matching_launches(self):
+        prof = Profiler(A6000)
+        _launch(prof, "interior")
+        _launch(prof, "interior")
+        _launch(prof, "reduce", n_threads=10_000)
+        assert prof.report().n_launches == 3
+        assert prof.report(kernel="interior").n_launches == 2
+        assert prof.report(kernel="reduce").n_launches == 1
+
+    def test_unknown_kernel_yields_zero_metrics(self):
+        prof = Profiler(A6000)
+        _launch(prof, "interior")
+        rep = prof.report(kernel="nope")
+        assert rep.n_launches == 0
+        assert rep.busy_time == 0.0
+        assert rep.sm_utilization == 0.0
+        assert rep.flop_fraction_of_peak == 0.0
+
+    def test_filtered_totals_sum_launches(self):
+        prof = Profiler(A6000)
+        a = _launch(prof, "interior")
+        b = _launch(prof, "interior")
+        rep = prof.report(kernel="interior")
+        assert rep.total_flops == pytest.approx(a.total_flops + b.total_flops)
+        assert rep.busy_time == pytest.approx(a.exec_time + b.exec_time)
+
+
+class TestReportTable:
+    def test_table_lines_and_alignment(self):
+        prof = Profiler(A6000)
+        _launch(prof, "interior")
+        lines = prof.report().table().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("SM utilization")
+        assert "% of peak" in lines[2]
+        # all separators aligned at the same column
+        assert len({ln.index("|") for ln in lines}) == 1
+
+    def test_fractions_capped_at_100_percent(self):
+        prof = Profiler(A6000)
+        _launch(prof, "interior")
+        rep = prof.report()
+        assert rep.sm_utilization <= 1.0
+        assert rep.memory_throughput_fraction <= 1.0
+        assert rep.flop_fraction_of_peak <= 1.0
+
+
+class TestTransfers:
+    def test_transfer_summary_per_direction(self):
+        prof = Profiler(A6000)
+        prof.record_transfer(1000, 1e-5, kind="h2d")
+        prof.record_transfer(2000, 2e-5, kind="h2d")
+        prof.record_transfer(500, 5e-6, kind="d2h")
+        s = prof.transfer_summary()
+        assert s["count"] == 3
+        assert s["total_bytes"] == 3500
+        assert s["h2d"]["count"] == 2 and s["h2d"]["bytes"] == 3000
+        assert s["d2h"]["count"] == 1 and s["d2h"]["time_s"] == pytest.approx(5e-6)
+
+    def test_reset_clears_everything(self):
+        prof = Profiler(A6000)
+        _launch(prof, "interior")
+        prof.record_transfer(1000, 1e-5)
+        prof.reset()
+        assert prof.report().n_launches == 0
+        assert prof.transfer_summary()["count"] == 0
+        assert prof.transfer_bytes == 0.0

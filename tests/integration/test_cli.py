@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+import logging
 import subprocess
 import sys
 
@@ -51,6 +53,52 @@ class TestCLIInProcess:
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
+
+
+class TestObservabilityFlags:
+    def test_pipeline_trace_writes_complete_spans(self, tmp_path, capsys):
+        path = tmp_path / "pipe.json"
+        assert main(["pipeline", "-k*u - surface(upwind(b, u))",
+                     "--trace", str(path)]) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"parse", "lower"} <= names
+
+    def test_bte_trace_and_report(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.json"
+        assert main(["bte", "--nx", "8", "--ndirs", "4", "--bands", "4",
+                     "--steps", "2", "--trace", str(trace),
+                     "--report", str(report)]) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert sum(1 for e in events if e["ph"] == "X") >= 2
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.run_report/1"
+        assert doc["meta"]["target"] == "cpu"
+        assert "solve" in doc["timers"]
+
+    def test_bte_gpu_trace_has_device_and_placement(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.json"
+        assert main(["bte", "--nx", "8", "--ndirs", "4", "--bands", "4",
+                     "--steps", "2", "--gpu", "--trace", str(trace),
+                     "--report", str(report)]) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        cats = {e.get("cat") for e in events if e["ph"] == "X"}
+        assert "kernel" in cats and "transfer" in cats
+        doc = json.loads(report.read_text())
+        assert doc["placement"]["tasks"]
+
+    def test_verbose_flag_sets_level(self, capsys):
+        root = logging.getLogger("repro")
+        previous = root.level
+        try:
+            assert main(["-v", "info"]) == 0
+            assert root.level == logging.INFO
+            assert main(["info", "-vv"]) == 0
+            assert root.level == logging.DEBUG
+        finally:
+            root.setLevel(previous)
 
 
 @pytest.mark.slow

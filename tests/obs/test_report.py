@@ -1,0 +1,113 @@
+"""The aggregated RunReport document."""
+
+import json
+import math
+
+import pytest
+
+from repro.codegen.placement.graph import Task, TaskGraph
+from repro.codegen.placement.optimizer import optimize_placement
+from repro.gpu.spec import A6000
+from repro.obs import SCHEMA, RunReport, Tracer, placement_accuracy
+from repro.obs.report import _json_safe
+from repro.util.timing import TimerRegistry
+
+
+class TestJsonSafe:
+    def test_replaces_non_finite(self):
+        doc = _json_safe({"a": float("inf"), "b": [float("nan"), 1.0], "c": 2})
+        assert doc == {"a": None, "b": [None, 1.0], "c": 2}
+        json.dumps(doc)
+
+
+class TestRunReport:
+    def test_minimal_document(self):
+        rep = RunReport(meta={"problem": "p"}, timers={}, phases={})
+        doc = rep.to_dict()
+        assert doc["schema"] == SCHEMA
+        assert "comm" not in doc and "gpu" not in doc  # absent sections omitted
+
+    def test_write_round_trips(self, tmp_path):
+        rep = RunReport(meta={"x": 1}, timers={"solve": {"min": 0.0}})
+        path = rep.write(tmp_path / "report.json")
+        doc = json.loads(path.read_text())
+        assert doc["meta"] == {"x": 1}
+
+    def test_document_is_json_safe(self):
+        rep = RunReport(meta={"bad": float("inf")})
+        assert json.loads(rep.to_json())["meta"]["bad"] is None
+
+
+class TestPlacementAccuracy:
+    def _plan(self):
+        g = TaskGraph()
+        g.add_task(Task("interior", cost_cpu=1.0, cost_gpu=0.01))
+        g.add_task(Task("callbacks", cost_cpu=0.02, pinned="cpu"))
+        g.add_edge("interior", "callbacks", 1e6)
+        return optimize_placement(g, A6000)
+
+    def test_predicted_vs_measured(self):
+        plan = self._plan()
+        assert plan.device["interior"] == "gpu"
+        timers = TimerRegistry()
+        timers.record("solve", 0.04)
+        section = placement_accuracy(
+            plan, timers, nsteps=4, task_timer_map={"interior": "solve"}
+        )
+        entry = next(t for t in section["tasks"] if t["task"] == "interior")
+        assert entry["device"] == "gpu"
+        assert entry["predicted_s_per_step"] == pytest.approx(0.01)
+        assert entry["measured_s_per_step"] == pytest.approx(0.01)
+        assert entry["measured_over_predicted"] == pytest.approx(1.0)
+
+    def test_unmeasured_task_has_none(self):
+        plan = self._plan()
+        section = placement_accuracy(plan, TimerRegistry(), nsteps=4)
+        for entry in section["tasks"]:
+            assert entry["measured_s_per_step"] is None
+
+    def test_pinned_cpu_task_never_reports_inf(self):
+        plan = self._plan()
+        section = placement_accuracy(plan, TimerRegistry(), nsteps=1)
+        entry = next(t for t in section["tasks"] if t["task"] == "callbacks")
+        # cost_gpu defaults to inf but the CPU assignment reads cost_cpu
+        assert entry["predicted_s_per_step"] == pytest.approx(0.02)
+        json.dumps(_json_safe(section))
+
+
+class TestBuildRunReport:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        from repro.bte import build_bte_problem, hotspot_scenario
+
+        scenario = hotspot_scenario(
+            nx=8, ny=8, ndirs=4, n_freq_bands=4, dt=1e-12, nsteps=3
+        )
+        problem, _ = build_bte_problem(scenario)
+        return problem.solve()
+
+    def test_cpu_solver_report(self, solver):
+        rep = solver.run_report()
+        doc = rep.to_dict()
+        assert doc["schema"] == SCHEMA
+        assert doc["meta"]["target"] == "cpu"
+        assert doc["meta"]["nsteps_run"] == solver.state.step_index
+        assert "solve" in doc["timers"]
+        # never-recorded timers stay JSON-safe
+        json.dumps(doc)
+        assert "gpu" not in doc and "comm" not in doc
+
+    def test_tracer_summary_included(self, solver):
+        tr = Tracer()
+        tr.complete("t", "a", 0.0, 1.0)
+        doc = solver.run_report(tr).to_dict()
+        assert doc["trace"]["n_spans"] == 1
+
+    def test_timer_min_normalised(self):
+        from repro.util.timing import TimerStats
+
+        s = TimerStats("never_recorded")
+        assert s.min == math.inf  # raw dataclass default
+        d = s.as_dict()
+        assert d["min"] == 0.0  # normalised for export
+        json.dumps(d)

@@ -37,6 +37,16 @@ class TestResults:
         assert fr["a"] == pytest.approx(0.75)
         assert sum(fr.values()) == pytest.approx(1.0)
 
+    def test_phase_fractions_zero_total(self):
+        def prog(comm):
+            comm.compute(0.0, phase="a")
+
+        fr = run_spmd(2, prog).phase_fractions()
+        assert fr == {"a": 0.0}  # no division by zero, phases preserved
+
+    def test_phase_fractions_no_phases(self):
+        assert run_spmd(2, lambda comm: None).phase_fractions() == {}
+
 
 class TestFailures:
     def test_rank_exception_reraised_with_rank(self):

@@ -85,3 +85,23 @@ class TestTimerRegistry:
         a = c.now()
         b = c.now()
         assert b >= a
+
+    def test_stats_as_dict_is_json_safe(self):
+        import json
+
+        from repro.util.timing import TimerStats
+
+        s = TimerStats("empty")
+        d = s.as_dict()
+        assert d["min"] == 0.0  # not inf: the timer never fired
+        assert d["count"] == 0
+        json.dumps(d)
+
+    def test_registry_as_dict_sorted(self):
+        reg = TimerRegistry()
+        reg.record("b", 1.0)
+        reg.record("a", 2.0)
+        d = reg.as_dict()
+        assert list(d) == ["a", "b"]
+        assert d["a"]["total"] == pytest.approx(2.0)
+        assert d["a"]["min"] == pytest.approx(2.0)
