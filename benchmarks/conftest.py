@@ -16,7 +16,10 @@ import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
-BENCH_SCHEMA = "repro.bench/1"
+try:
+    from repro.obs.regress import SCHEMA as BENCH_SCHEMA
+except ImportError:  # collection without PYTHONPATH=src / an install
+    BENCH_SCHEMA = "repro.bench/1"
 
 
 @pytest.fixture(scope="session")

@@ -14,6 +14,18 @@ Commands
     (a fast version of ``examples/bte_hotspot.py``).  ``--trace`` writes a
     Chrome-trace/Perfetto timeline of the run, ``--report`` the aggregated
     :class:`~repro.obs.RunReport` JSON.
+``analyze FILE [FILE] [--json F] [--dot F]``
+    Analyze a trace and/or run-report JSON from ``bte --trace/--report``:
+    critical-path phase breakdown, kernel/boundary and compute/comm
+    overlap-efficiency scores, and the placement-explainability table.
+    Files are told apart by their schema, so order does not matter.
+``bench [--out F] [--compare BASELINE] [--threshold X]``
+    Run the small deterministic benchmark suite, write a ``repro.bench/1``
+    envelope, and optionally gate against a baseline envelope (exit 1 on
+    any relative slowdown above the threshold).
+
+The installed ``bte`` entry point is an alias: ``bte analyze ...`` is
+``repro analyze ...`` and ``bte --gpu ...`` is ``repro bte --gpu ...``.
 
 ``-v/--verbose`` (repeatable) raises the package log level (INFO, DEBUG).
 """
@@ -203,7 +215,7 @@ def cmd_latex(args: argparse.Namespace) -> int:
 
 def cmd_bte(args: argparse.Namespace) -> int:
     from repro.bte import build_bte_problem, hotspot_scenario
-    from repro.obs import trace_run
+    from repro.obs import metrics_run, trace_run
 
     scenario = hotspot_scenario(
         nx=args.nx, ny=args.nx, ndirs=args.ndirs,
@@ -224,11 +236,15 @@ def cmd_bte(args: argparse.Namespace) -> int:
           f"{model.ncomp} components/cell, {args.steps} steps "
           f"[{mode}, {args.ranks} rank(s)] ...")
 
-    if args.trace or args.report:
-        with trace_run(args.trace) as tracer:
+    report = None
+    if args.trace or args.report or args.metrics:
+        with metrics_run(args.metrics), trace_run(args.trace) as tracer:
             solver = problem.solve()
+            # built inside the block so the report captures the live
+            # metrics registry
+            if args.report:
+                report = solver.run_report(tracer)
     else:
-        tracer = None
         solver = problem.solve()
 
     T = solver.state.extra["T"]
@@ -238,9 +254,86 @@ def cmd_bte(args: argparse.Namespace) -> int:
         print(f"  {phase:<12} {frac * 100:5.1f}%")
     if args.trace:
         print(f"wrote trace to {args.trace} (open in https://ui.perfetto.dev)")
-    if args.report:
-        solver.run_report(tracer).write(args.report)
+    if report is not None:
+        report.write(args.report)
         print(f"wrote run report to {args.report}")
+    if args.metrics:
+        print(f"wrote metrics exposition to {args.metrics}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.analyze import analyze
+
+    trace_path = report_path = None
+    for path in args.files:
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        schema = doc.get("schema", "") if isinstance(doc, dict) else ""
+        if isinstance(schema, str) and schema.startswith("repro.run_report/"):
+            report_path = path
+        else:
+            trace_path = path
+    if trace_path is None and report_path is None:
+        print("error: no usable trace or report file", file=sys.stderr)
+        return 2
+
+    analysis = analyze(trace_path, report_path)
+    print(analysis.render_text(), end="")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(analysis.to_dict(), indent=1) + "\n"
+        )
+        print(f"wrote analysis JSON to {args.json}")
+    if args.dot:
+        if not analysis.placement:
+            print("error: --dot needs a report with a placement section "
+                  "(run with --gpu --report)", file=sys.stderr)
+            return 2
+        from repro.ir.dot import placement_to_dot
+
+        name = analysis.meta.get("problem", "placement")
+        Path(args.dot).write_text(placement_to_dot(analysis.placement, name) + "\n")
+        print(f"wrote placement task-graph DOT to {args.dot} "
+              "(render with: dot -Tsvg)")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.regress import compare, load_bench, run_benchmarks, write_bench
+
+    print(f"running benchmark suite ({args.nx}x{args.nx} cells, "
+          f"{args.steps} steps per target) ...")
+    timings = run_benchmarks(nx=args.nx, nsteps=args.steps)
+    for name in sorted(timings):
+        print(f"  {name:<28} {timings[name]:.6f} s")
+
+    date = time.strftime("%Y-%m-%d")
+    out = args.out or f"BENCH_{date}.json"
+    write_bench(out, name=f"bte-suite@{date}", timings=timings,
+                date=date, nx=args.nx, steps=args.steps)
+    print(f"wrote benchmark envelope to {out}")
+
+    if args.compare:
+        try:
+            baseline = load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = compare(
+            baseline, {"name": f"bte-suite@{date}", "timings": timings},
+            threshold=args.threshold, wall_threshold=args.wall_threshold,
+        )
+        print()
+        print(report.render_text(), end="")
+        return 1 if report.has_regressions else 0
     return 0
 
 
@@ -298,6 +391,38 @@ def main(argv: list[str] | None = None) -> int:
                        help="write a Chrome-trace/Perfetto JSON timeline")
     p_bte.add_argument("--report", default=None, metavar="FILE",
                        help="write the aggregated RunReport JSON")
+    p_bte.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write the metrics registry (.txt/.prom for "
+                            "Prometheus text format, else JSON)")
+
+    p_an = sub.add_parser(
+        "analyze", help="analyze a trace and/or run-report JSON",
+        parents=[common],
+    )
+    p_an.add_argument("files", nargs="+", metavar="FILE",
+                      help="trace JSON and/or run-report JSON (any order)")
+    p_an.add_argument("--json", default=None, metavar="FILE",
+                      help="also write the analysis as JSON")
+    p_an.add_argument("--dot", default=None, metavar="FILE",
+                      help="write the placement task graph as Graphviz DOT")
+
+    p_bench = sub.add_parser(
+        "bench", help="run the benchmark suite; optionally gate on a baseline",
+        parents=[common],
+    )
+    p_bench.add_argument("--nx", type=int, default=16)
+    p_bench.add_argument("--steps", type=int, default=5)
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="envelope path (default BENCH_<date>.json)")
+    p_bench.add_argument("--compare", default=None, metavar="BASELINE",
+                         help="baseline envelope to gate against "
+                              "(exit 1 on regression)")
+    p_bench.add_argument("--threshold", type=float, default=None,
+                         help="relative slowdown tolerated for virtual "
+                              "timings (default 0.25)")
+    p_bench.add_argument("--wall-threshold", type=float, default=None,
+                         help="relative slowdown tolerated for wall-clock "
+                              "timings (default 1.0)")
 
     args = parser.parse_args(argv)
     if args.verbose:
@@ -314,8 +439,35 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_latex(args)
     if args.command == "bte":
         return cmd_bte(args)
+    if args.command == "analyze":
+        return cmd_analyze(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     parser.print_help()
     return 2
+
+
+#: Subcommands the ``bte`` alias passes straight through to ``main``.
+_COMMANDS = {"info", "figures", "pipeline", "latex", "bte", "analyze", "bench"}
+
+
+def bte_main(argv: list[str] | None = None) -> int:
+    """Entry point of the installed ``bte`` script.
+
+    ``bte analyze t.json r.json`` is ``repro analyze ...``; anything that
+    is not a known subcommand (``bte --gpu --trace t.json``) runs the BTE
+    transient itself, so the short form of the paper's workflow works:
+
+    .. code-block:: shell
+
+        bte --gpu --trace t.json --report r.json
+        bte analyze t.json r.json
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    head = next((a for a in argv if not a.startswith("-")), None)
+    if head in _COMMANDS or (argv and argv[0] in ("-h", "--help")):
+        return main(argv)
+    return main(["bte", *argv])
 
 
 if __name__ == "__main__":

@@ -78,6 +78,7 @@ def rank_program(comm):
         comm.compute(COST_TEMP, phase='temperature update')
         state.time += state.dt
         state.step_index += 1
+        state.observe_step()
     T = state.extra.get('T')
     return {
         'u_owned': state.u[:, owned].copy(),
@@ -111,6 +112,7 @@ def rank_program(comm):
         comm.compute(COST_TEMP, phase='temperature update')
         state.time += state.dt
         state.step_index += 1
+        state.observe_step()
     T = state.extra.get('T')
     return {
         'u_owned': state.u[owned].copy(),

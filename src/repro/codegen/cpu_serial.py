@@ -147,6 +147,7 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
         "    for cb in POST_STEP_CALLBACKS:",
         "        with state.timers.time('post_step'), trace_phase('post_step'):",
         "            cb.fn(state)",
+        "    state.observe_step()",
         "state.check_health()",
         "return state",
     ]

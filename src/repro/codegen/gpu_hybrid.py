@@ -251,6 +251,7 @@ def run_steps(state, nsteps):
             trace.complete(HOST_TRACK, 'temperature_update', t0,
                            state.host_clock.now(), cat='phase')
             state.gpu_phases['temperature update'] += COST_TEMP
+        state.observe_step()
     state.check_health()
     return state
 '''

@@ -121,6 +121,7 @@ def rank_program(comm):
 
         state.time += state.dt
         state.step_index += 1
+        state.observe_step()
 
     T = state.extra.get('T')
     return {

@@ -55,6 +55,7 @@ def run_steps(state, nsteps):
         step_once(state)
         for cb in POST_STEP_CALLBACKS:
             cb.fn(state)
+        state.observe_step()
     state.check_health()
     return state
 '''

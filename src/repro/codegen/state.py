@@ -22,6 +22,7 @@ from repro.fvm.boundary import (
 )
 from repro.fvm.fields import CellField
 from repro.fvm.geometry import FVGeometry
+from repro.obs import get_metrics
 from repro.symbolic.expr import Call, Indexed, Num, Sym
 from repro.util.errors import CodegenError, ConfigError
 from repro.util.misc import check_finite
@@ -66,6 +67,11 @@ class SolverState:
         self.comp_blocks = self._build_component_blocks()
         self._scratch: dict[str, np.ndarray] = {}
 
+        # per-step solver metrics (residual, energy drift) — lazily
+        # initialised by observe_step() when a live registry is installed
+        self._prev_u: np.ndarray | None = None
+        self._energy0: float | None = None
+
     # ------------------------------------------------------------- properties
     @property
     def u(self) -> np.ndarray:
@@ -92,6 +98,44 @@ class SolverState:
     def check_health(self) -> None:
         """NaN/Inf guard, called by generated run loops between steps."""
         check_finite(self.unknown.name, self.u)
+
+    def observe_step(self) -> None:
+        """Per-step solver metrics, called by every generated run loop.
+
+        Records the step residual (max |du|/dt — how far the transient is
+        from steady state), the volume-weighted energy drift relative to
+        the first observed step, and a step counter.  Zero-cost when no
+        live metrics registry is installed: the expensive observations are
+        computed only behind the ``enabled`` guard.
+        """
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        labels = {"problem": self.problem.name}
+        if self.comm is not None:
+            labels["rank"] = self.comm.rank
+        metrics.counter(
+            "solver_steps_total", "time steps completed").inc(1, **labels)
+        u = self.u
+        if self._prev_u is not None and self.dt > 0:
+            residual = float(np.max(np.abs(u - self._prev_u))) / self.dt
+            metrics.histogram(
+                "solver_step_residual",
+                "max |du|/dt per step (steady-state distance)",
+                buckets=(1e-6, 1e-3, 1.0, 1e3, 1e6, 1e9, 1e12, 1e15),
+            ).observe(residual, **labels)
+        self._prev_u = u.copy()
+        # conservation check: volume-weighted total of the unknown, drift
+        # relative to the first observed value (exact for closed boxes)
+        energy = float(self.geom.volume @ u.sum(axis=0))
+        if self._energy0 is None:
+            self._energy0 = energy
+        scale = abs(self._energy0)
+        drift = (energy - self._energy0) / scale if scale > 0 else 0.0
+        metrics.gauge(
+            "solver_energy_drift_rel",
+            "relative drift of the volume-weighted unknown total",
+        ).set(drift, **labels)
 
     def buffer(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
         """A reusable scratch array (allocated once, reused every step).

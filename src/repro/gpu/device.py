@@ -25,7 +25,7 @@ import numpy as np
 from repro.gpu.kernel import Kernel, KernelLaunchRecord, model_launch
 from repro.gpu.profiler import Profiler
 from repro.gpu.spec import DeviceSpec, A6000
-from repro.obs import get_tracer
+from repro.obs import get_metrics, get_tracer
 from repro.util.errors import CodegenError
 from repro.util.logging import get_logger
 from repro.util.timing import VirtualClock
@@ -69,6 +69,9 @@ class Stream:
         ``host_time`` (a kernel cannot start before the host issued it).
         """
         record = model_launch(self.device.spec, kernel, n_threads, block)
+        # launch-queue backlog: device work still pending when the host
+        # issues this launch (the overlap headroom the paper exploits)
+        backlog = max(0.0, self.clock.now() - host_time)
         self.clock.advance_to(host_time)
         record.start = self.clock.now()
         kernel.body(*args)
@@ -76,6 +79,14 @@ class Stream:
         record.end = self.clock.now()
         self.records.append(record)
         self.device.profiler.record_launch(record)
+        metrics = self.device.metrics
+        if metrics.enabled:
+            dev, kname = self.device.name, kernel.name
+            self.device._m_launches.inc(1, device=dev, kernel=kname)
+            self.device._m_occupancy.observe(record.occupancy, device=dev,
+                                             kernel=kname)
+            self.device._m_queue_depth.set(backlog, device=dev,
+                                           stream=self.name)
         tracer = self.device.tracer
         if tracer.enabled:
             tracer.complete(
@@ -103,6 +114,21 @@ class Device:
         self.profiler = Profiler(spec)
         self.allocated_bytes = 0
         self.tracer = get_tracer()
+        # metric instruments (shared no-ops when metrics are disabled)
+        metrics = get_metrics()
+        self.metrics = metrics
+        self._m_launches = metrics.counter(
+            "gpu_kernel_launches_total", "kernel launches per device/kernel")
+        self._m_occupancy = metrics.histogram(
+            "gpu_kernel_occupancy", "modelled occupancy of each launch",
+            buckets=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0))
+        self._m_queue_depth = metrics.gauge(
+            "gpu_launch_queue_depth_seconds",
+            "device backlog still pending when the host issues a launch")
+        self._m_transfer_bytes = metrics.counter(
+            "gpu_transfer_bytes_total", "H2D/D2H bytes over the PCIe link")
+        self._m_allocated = metrics.gauge(
+            "gpu_allocated_bytes", "simulated device memory in use")
 
     # ------------------------------------------------------------- memory
     def alloc(self, name: str, host_array: np.ndarray, host_time: float = 0.0) -> DeviceBuffer:
@@ -121,6 +147,8 @@ class Device:
             )
         logger.debug("%s: alloc %r (%.3f MB, %.3f MB total)",
                      self.name, name, buf.nbytes / 1e6, self.allocated_bytes / 1e6)
+        if self.metrics.enabled:
+            self._m_allocated.set(self.allocated_bytes, device=self.name)
         self._charge_transfer(buf.nbytes, host_time, "h2d", name)
         return buf
 
@@ -131,12 +159,16 @@ class Device:
         buf = DeviceBuffer(name, np.zeros(shape, dtype=np.float64), on_device=True)
         self.buffers[name] = buf
         self.allocated_bytes += buf.nbytes
+        if self.metrics.enabled:
+            self._m_allocated.set(self.allocated_bytes, device=self.name)
         return buf
 
     def free(self, name: str) -> None:
         buf = self.buffers.pop(name, None)
         if buf is not None:
             self.allocated_bytes -= buf.nbytes
+            if self.metrics.enabled:
+                self._m_allocated.set(self.allocated_bytes, device=self.name)
 
     def h2d(self, name: str, host_array: np.ndarray, host_time: float = 0.0) -> float:
         """Copy host data into an existing buffer; returns transfer end time."""
@@ -173,6 +205,8 @@ class Device:
         dt = self.spec.pcie_latency_s + nbytes / self.spec.pcie_bw_bytes()
         self.transfer_clock.advance(dt)
         self.profiler.record_transfer(nbytes, dt, kind)
+        if self.metrics.enabled:
+            self._m_transfer_bytes.inc(nbytes, device=self.name, direction=kind)
         if self.tracer.enabled:
             self.tracer.complete(
                 f"{self.name}/transfer", f"{kind}:{label}" if label else kind,

@@ -49,6 +49,62 @@ def _escape(text: str) -> str:
     return text.replace("\\", "\\\\").replace('"', '\\"')
 
 
+_DEVICE_FILL = {"cpu": "lightblue", "gpu": "plum"}
+
+
+def _human_bytes(nbytes: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(nbytes) < 1024.0 or unit == "GiB":
+            return f"{nbytes:.0f} {unit}" if unit == "B" else f"{nbytes:.1f} {unit}"
+        nbytes /= 1024.0
+    return f"{nbytes:.1f} GiB"
+
+
+def placement_to_dot(placement: dict, name: str = "placement") -> str:
+    """Render a placement plan's task graph as DOT, colored by device.
+
+    Consumes the ``placement`` section of a run report (or any dict with
+    the same shape): ``tasks`` rows carrying ``task``/``device``/``pinned``
+    and per-step costs, ``edges`` rows carrying ``src``/``dst``/``bytes``
+    and a ``cut`` flag.  CPU tasks render lightblue, GPU tasks plum;
+    pinned tasks get a bold border; edges are annotated with the modelled
+    transfer bytes and cut edges (device boundary crossings the min-cut
+    paid for) draw dashed red.
+    """
+    lines = [
+        f'digraph "{_escape(name)}" {{',
+        "  rankdir=LR;",
+        '  node [fontname="monospace", fontsize=10, shape=box, style=filled];',
+        '  edge [fontname="monospace", fontsize=9];',
+    ]
+    ids: dict[str, str] = {}
+    for row in placement.get("tasks", []):
+        task = row["task"]
+        ids[task] = f"t{len(ids)}"
+        device = row.get("device", "cpu")
+        fill = _DEVICE_FILL.get(device, "white")
+        cost = row.get("predicted_s_per_step")
+        label = f"{_escape(task)}\\n[{device}]"
+        if cost is not None:
+            label += f" {cost:.2e} s/step"
+        style = "filled,bold" if row.get("pinned") else "filled"
+        lines.append(
+            f'  {ids[task]} [label="{label}", fillcolor={fill}, '
+            f'style="{style}"];'
+        )
+    for edge in placement.get("edges", []):
+        src, dst = edge.get("src"), edge.get("dst")
+        if src not in ids or dst not in ids:
+            continue
+        label = _human_bytes(float(edge.get("bytes", 0)))
+        attrs = f'label="{_escape(label)}"'
+        if edge.get("cut"):
+            attrs += ", color=red, style=dashed"
+        lines.append(f"  {ids[src]} -> {ids[dst]} [{attrs}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def to_dot(root: IRNode, name: str = "ir") -> str:
     """Render the IR (sub)tree as a DOT digraph string."""
     lines = [
@@ -79,4 +135,4 @@ def to_dot(root: IRNode, name: str = "ir") -> str:
     return "\n".join(lines)
 
 
-__all__ = ["to_dot"]
+__all__ = ["placement_to_dot", "to_dot"]

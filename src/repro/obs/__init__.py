@@ -27,6 +27,17 @@ import threading
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    metrics_run,
+    set_metrics,
+)
 from repro.obs.report import RunReport, SCHEMA, build_run_report, placement_accuracy
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -92,18 +103,27 @@ def trace_run(trace_path: str | Path | None = None, *,
 
 
 __all__ = [
+    "Counter",
     "CounterEvent",
+    "Gauge",
+    "Histogram",
     "InstantEvent",
+    "MetricsRegistry",
+    "NULL_METRICS",
     "NULL_TRACER",
+    "NullMetrics",
     "NullTracer",
     "RunReport",
     "SCHEMA",
     "SpanEvent",
     "Tracer",
     "build_run_report",
+    "get_metrics",
     "get_tracer",
+    "metrics_run",
     "phase_span",
     "placement_accuracy",
+    "set_metrics",
     "set_tracer",
     "trace_run",
 ]

@@ -1,0 +1,363 @@
+"""Post-hoc analysis of exported traces and run reports.
+
+The tracer (:mod:`repro.obs.tracer`) writes a Chrome-trace JSON and the
+report builder (:mod:`repro.obs.report`) a schema-versioned summary; this
+module turns the two back into the paper's headline quantities:
+
+* **critical path** — a sweep over the virtual timeline attributes every
+  slice of the makespan to the innermost span covering it (or ``idle``),
+  giving a per-phase breakdown of *elapsed* time rather than summed busy
+  time — the shape of the paper's Figs. 5/8 bars;
+* **overlap efficiency** — the Fig. 6 picture as one number: the fraction
+  of the shorter side (device kernels vs CPU boundary callbacks; rank
+  compute vs communication) that runs concurrently with the other,
+  ``overlapped / min(busy_a, busy_b)`` in ``(0, 1]`` when both exist;
+* **placement explainability** — the report's per-task table (chosen
+  device, modelled cost on both devices, measured cost, misprediction
+  flag) rendered so the min-cut optimiser's decisions can be audited.
+
+Wall-clock and virtual-clock spans share one trace but not one time axis;
+the analyzer works on the *virtual* processes (any process owning a
+kernel/transfer/comm/compute/sync span) when the run has them, falling
+back to the wall-clock spans for pure host runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "repro.analysis/1"
+
+#: Span categories recorded with virtual (simulated) timestamps.
+_VIRTUAL_CATS = {"kernel", "transfer", "comm", "compute", "sync"}
+
+#: Envelope categories excluded from critical-path attribution (they wrap
+#: the whole run and would mask genuine idle time).
+_ENVELOPE_CATS = {"run", "pipeline"}
+
+
+@dataclass
+class Span:
+    """One completed span reconstructed from the trace-event JSON."""
+
+    track: str
+    name: str
+    t0: float
+    t1: float
+    cat: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def process(self) -> str:
+        return self.track.partition("/")[0]
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Parse a Chrome trace-event JSON back into :class:`Span` records.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) the tracer
+    writes and the bare array form the format also allows.  Track names
+    are rebuilt from the ``process_name``/``thread_name`` metadata events.
+    """
+    doc = json.loads(Path(path).read_text())
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else doc
+    processes: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    for ev in events:
+        if ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "process_name":
+            processes[ev["pid"]] = ev["args"]["name"]
+        elif ev.get("name") == "thread_name":
+            threads[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+
+    def track_of(ev: dict[str, Any]) -> str:
+        pid, tid = ev.get("pid", 0), ev.get("tid", 0)
+        process = processes.get(pid, f"pid{pid}")
+        thread = threads.get((pid, tid), f"tid{tid}")
+        return process if thread == process else f"{process}/{thread}"
+
+    spans = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        t0 = ev["ts"] / 1e6
+        spans.append(Span(
+            track=track_of(ev), name=ev.get("name", "?"),
+            t0=t0, t1=t0 + ev.get("dur", 0.0) / 1e6,
+            cat=ev.get("cat", ""), args=ev.get("args", {}),
+        ))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# interval arithmetic
+# ---------------------------------------------------------------------------
+
+def merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of half-open intervals as a sorted, disjoint list."""
+    out: list[tuple[float, float]] = []
+    for a, b in sorted(i for i in intervals if i[1] > i[0]):
+        if out and a <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], b))
+        else:
+            out.append((a, b))
+    return out
+
+
+def total_length(merged: list[tuple[float, float]]) -> float:
+    return sum(b - a for a, b in merged)
+
+
+def intersection_length(a: list[tuple[float, float]],
+                        b: list[tuple[float, float]]) -> float:
+    """Measure of the intersection of two merged interval lists."""
+    i = j = 0
+    out = 0.0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            out += hi - lo
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the three analyses
+# ---------------------------------------------------------------------------
+
+def analysis_domain(spans: list[Span]) -> list[Span]:
+    """The spans sharing one time axis: virtual processes when present."""
+    virtual = {s.process for s in spans if s.cat in _VIRTUAL_CATS}
+    if virtual:
+        return [s for s in spans if s.process in virtual]
+    return spans
+
+
+def overlap_score(side_a: list[Span], side_b: list[Span],
+                  label_a: str, label_b: str) -> dict[str, Any] | None:
+    """Fig.-6-style overlap between two span populations, or ``None``.
+
+    ``efficiency`` is the overlapped time divided by the *shorter* side's
+    busy time: 1.0 means the cheaper side is fully hidden behind the other.
+    """
+    a = merge_intervals([(s.t0, s.t1) for s in side_a])
+    b = merge_intervals([(s.t0, s.t1) for s in side_b])
+    busy_a, busy_b = total_length(a), total_length(b)
+    if busy_a <= 0 or busy_b <= 0:
+        return None
+    overlapped = intersection_length(a, b)
+    return {
+        "sides": [label_a, label_b],
+        f"{label_a}_busy_s": busy_a,
+        f"{label_b}_busy_s": busy_b,
+        "overlapped_s": overlapped,
+        "efficiency": overlapped / min(busy_a, busy_b),
+    }
+
+
+def kernel_boundary_overlap(spans: list[Span]) -> dict[str, Any] | None:
+    """Device kernels vs CPU boundary callbacks (the paper's Fig. 6)."""
+    kernels = [s for s in spans if s.cat == "kernel"]
+    boundary = [s for s in spans if s.name == "boundary_callbacks"]
+    return overlap_score(kernels, boundary, "kernel", "boundary")
+
+
+def compute_comm_overlap(spans: list[Span]) -> dict[str, Any] | None:
+    """Rank compute vs communication: how much comm hides behind work."""
+    compute = [s for s in spans if s.cat == "compute"]
+    comm = [s for s in spans if s.cat == "comm"]
+    return overlap_score(compute, comm, "compute", "comm")
+
+
+def critical_path(spans: list[Span]) -> dict[str, Any]:
+    """Attribute every slice of the makespan to the innermost covering span.
+
+    The sweep walks the sorted union of span boundaries; each segment is
+    charged to the *shortest* span covering its midpoint (the most specific
+    work happening then), or to ``idle`` when nothing covers it.  The
+    returned phase seconds therefore sum to the makespan exactly — an
+    elapsed-time breakdown, unlike summed busy time which double-counts
+    overlapped work.
+    """
+    usable = [s for s in spans if s.cat not in _ENVELOPE_CATS and s.duration > 0]
+    if not usable:
+        return {"makespan_s": 0.0, "phases": {}, "path": []}
+    cuts = sorted({t for s in usable for t in (s.t0, s.t1)})
+    phases: dict[str, float] = {}
+    path: list[dict[str, Any]] = []
+    for lo, hi in zip(cuts[:-1], cuts[1:]):
+        mid = (lo + hi) / 2.0
+        covering = [s for s in usable if s.t0 <= mid < s.t1]
+        name = min(covering, key=lambda s: s.duration).name if covering else "idle"
+        phases[name] = phases.get(name, 0.0) + (hi - lo)
+        if path and path[-1]["name"] == name and path[-1]["t1"] == lo:
+            path[-1]["t1"] = hi
+        else:
+            path.append({"name": name, "t0": lo, "t1": hi})
+    makespan = cuts[-1] - cuts[0]
+    return {
+        "makespan_s": makespan,
+        "phases": dict(sorted(phases.items(), key=lambda kv: -kv[1])),
+        "path": path,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the combined analysis document
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Analysis:
+    """Everything the analyzer derived from one trace/report pair."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    critical: dict[str, Any] = field(default_factory=dict)
+    overlap: dict[str, Any] = field(default_factory=dict)
+    report_phases: dict[str, float] = field(default_factory=dict)
+    placement: dict[str, Any] | None = None
+    trace_stats: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "critical_path": self.critical,
+            "overlap": self.overlap,
+            "report_phases": self.report_phases,
+            "trace": self.trace_stats,
+        }
+        if self.placement is not None:
+            doc["placement"] = self.placement
+        return doc
+
+    # ------------------------------------------------------------- rendering
+    def render_text(self) -> str:
+        lines: list[str] = []
+        if self.meta:
+            head = " ".join(
+                f"{k}={self.meta[k]}" for k in
+                ("problem", "target", "nsteps_run") if k in self.meta
+            )
+            lines.append(f"run: {head}" if head else "run:")
+        crit = self.critical
+        if crit.get("phases"):
+            lines.append("")
+            lines.append(f"critical path (makespan {crit['makespan_s']:.6f} s):")
+            width = max(len(n) for n in crit["phases"])
+            for name, secs in crit["phases"].items():
+                frac = secs / crit["makespan_s"] if crit["makespan_s"] else 0.0
+                bar = "#" * int(round(frac * 30))
+                lines.append(
+                    f"  {name:<{width}}  {secs:.6f} s  {frac * 100:5.1f}%  {bar}"
+                )
+            lines.append(f"  segments on path: {len(crit.get('path', []))}")
+        for key, score in self.overlap.items():
+            if score is None:
+                continue
+            a, b = score["sides"]
+            lines.append("")
+            lines.append(
+                f"{key} overlap: efficiency {score['efficiency']:.3f} "
+                f"({a} busy {score[f'{a}_busy_s']:.6f} s, "
+                f"{b} busy {score[f'{b}_busy_s']:.6f} s, "
+                f"overlapped {score['overlapped_s']:.6f} s)"
+            )
+        if self.report_phases:
+            lines.append("")
+            lines.append("reported phase fractions (Figs. 5/8 shape):")
+            for name, frac in sorted(self.report_phases.items(),
+                                     key=lambda kv: -kv[1]):
+                lines.append(f"  {name:<22} {frac * 100:5.1f}%")
+        if self.placement and self.placement.get("tasks"):
+            lines.append("")
+            lines.append("placement explainability (modelled vs measured, s/step):")
+            lines.append(
+                f"  {'task':<24} {'dev':<4} {'pin':<4} {'predicted':>11} "
+                f"{'alternative':>11} {'delta':>11} {'measured':>11}  flag"
+            )
+            for row in self.placement["tasks"]:
+                lines.append(
+                    f"  {row['task']:<24} {row['device']:<4} "
+                    f"{(row.get('pinned') or '-'):<4} "
+                    f"{_fmt(row.get('predicted_s_per_step')):>11} "
+                    f"{_fmt(row.get('alternative_s_per_step')):>11} "
+                    f"{_fmt(row.get('predicted_delta_s')):>11} "
+                    f"{_fmt(row.get('measured_s_per_step')):>11}  "
+                    f"{'MISPREDICTED' if row.get('mispredicted') else 'ok'}"
+                )
+            moved = self.placement.get("bytes_moved_per_step")
+            if moved is not None:
+                lines.append(f"  bytes moved per step: {moved:.0f}")
+        if self.trace_stats:
+            lines.append("")
+            lines.append(
+                f"trace: {self.trace_stats.get('n_spans', 0)} spans on "
+                f"{self.trace_stats.get('n_tracks', 0)} tracks "
+                f"({self.trace_stats.get('n_virtual_spans', 0)} on the "
+                "virtual timeline)"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.3e}"
+
+
+def analyze(trace_path: str | Path | None = None,
+            report_path: str | Path | None = None) -> Analysis:
+    """Analyze a trace JSON and/or a run-report JSON into one document."""
+    if trace_path is None and report_path is None:
+        raise ValueError("need a trace file, a report file, or both")
+    analysis = Analysis()
+
+    if report_path is not None:
+        report = json.loads(Path(report_path).read_text())
+        analysis.meta = report.get("meta", {})
+        analysis.report_phases = report.get("phases", {})
+        analysis.placement = report.get("placement")
+
+    if trace_path is not None:
+        spans = load_trace(trace_path)
+        domain = analysis_domain(spans)
+        analysis.trace_stats = {
+            "n_spans": len(spans),
+            "n_tracks": len({s.track for s in spans}),
+            "n_virtual_spans": len(domain) if domain is not spans else 0,
+        }
+        analysis.critical = critical_path(domain)
+        analysis.overlap = {
+            "kernel_boundary": kernel_boundary_overlap(domain),
+            "compute_comm": compute_comm_overlap(domain),
+        }
+    return analysis
+
+
+__all__ = [
+    "Analysis",
+    "SCHEMA",
+    "Span",
+    "analysis_domain",
+    "analyze",
+    "compute_comm_overlap",
+    "critical_path",
+    "intersection_length",
+    "kernel_boundary_overlap",
+    "load_trace",
+    "merge_intervals",
+    "overlap_score",
+    "total_length",
+]

@@ -1,0 +1,260 @@
+"""Benchmark envelopes and regression gating.
+
+All benchmark JSON in the repo shares one schema-versioned envelope,
+``repro.bench/1``::
+
+    schema    "repro.bench/1"
+    name      suite or figure name
+    meta      free-form provenance (sizes, targets, date)
+    timings   {benchmark name: seconds}
+
+The figure-regeneration benchmarks (``benchmarks/conftest.py``) write it
+per figure; :func:`run_benchmarks` produces one for a small deterministic
+suite of end-to-end solves; :func:`compare` diffs two envelopes with a
+configurable relative-slowdown threshold so CI can gate on the committed
+baseline (``BENCH_seed.json``) — ``repro bench --compare`` exits nonzero
+when any benchmark regressed.
+
+The suite prefers **virtual** seconds (simulated clocks) over wall time
+wherever a run has them: virtual timings are deterministic for a given
+model, so the gate detects cost-model and scheduling changes rather than
+CI-machine noise.  Wall-clock entries are kept under ``*_wall_s`` names
+and judged with a larger default tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "repro.bench/1"
+
+#: Relative slowdown ((cur - base) / base) above which a benchmark fails.
+DEFAULT_THRESHOLD = 0.25
+
+#: Wall-clock benchmarks get a looser default (CI machines are noisy).
+DEFAULT_WALL_THRESHOLD = 1.0
+
+#: Baselines below this are too small to judge relatively.
+MIN_BASE_SECONDS = 1e-6
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Load and validate one benchmark envelope."""
+    doc = json.loads(Path(path).read_text())
+    schema = doc.get("schema", "")
+    if not schema.startswith("repro.bench/"):
+        raise ValueError(
+            f"{path}: not a benchmark envelope (schema={schema!r})"
+        )
+    if not isinstance(doc.get("timings"), dict):
+        raise ValueError(f"{path}: envelope has no 'timings' mapping")
+    return doc
+
+
+def write_bench(path: str | Path, name: str, timings: dict[str, float],
+                **meta: Any) -> Path:
+    """Write one ``repro.bench/1`` envelope."""
+    doc = {
+        "schema": SCHEMA,
+        "name": name,
+        "meta": meta,
+        "timings": {k: float(v) for k, v in timings.items()},
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BenchDelta:
+    """One benchmark's baseline-vs-current judgement."""
+
+    name: str
+    base_s: float | None
+    cur_s: float | None
+    threshold: float
+    status: str = "ok"  # ok | regression | improved | new | missing
+
+    @property
+    def slowdown(self) -> float | None:
+        if not self.base_s or self.cur_s is None:
+            return None
+        return (self.cur_s - self.base_s) / self.base_s
+
+
+@dataclass
+class RegressionReport:
+    """The full comparison of two benchmark envelopes."""
+
+    baseline_name: str
+    current_name: str
+    deltas: list[BenchDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.bench_compare/1",
+            "baseline": self.baseline_name,
+            "current": self.current_name,
+            "regressions": len(self.regressions),
+            "deltas": [
+                {
+                    "name": d.name, "base_s": d.base_s, "cur_s": d.cur_s,
+                    "slowdown": d.slowdown, "threshold": d.threshold,
+                    "status": d.status,
+                }
+                for d in self.deltas
+            ],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"benchmark comparison: {self.current_name} vs "
+            f"baseline {self.baseline_name}",
+            f"  {'benchmark':<32} {'baseline':>12} {'current':>12} "
+            f"{'slowdown':>9}  status",
+        ]
+        for d in self.deltas:
+            base = f"{d.base_s:.6f}" if d.base_s is not None else "-"
+            cur = f"{d.cur_s:.6f}" if d.cur_s is not None else "-"
+            slow = f"{d.slowdown * 100:+8.1f}%" if d.slowdown is not None else "        -"
+            mark = d.status.upper() if d.status == "regression" else d.status
+            lines.append(f"  {d.name:<32} {base:>12} {cur:>12} {slow}  {mark}")
+        n = len(self.regressions)
+        lines.append(
+            f"  -> {n} regression(s) "
+            f"(relative-slowdown thresholds: virtual "
+            f"{DEFAULT_THRESHOLD:.0%}, wall {DEFAULT_WALL_THRESHOLD:.0%} "
+            "by default)"
+            if n else "  -> no regressions"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def _threshold_for(name: str, threshold: float | None,
+                   wall_threshold: float | None) -> float:
+    if name.endswith("_wall_s"):
+        return wall_threshold if wall_threshold is not None else DEFAULT_WALL_THRESHOLD
+    return threshold if threshold is not None else DEFAULT_THRESHOLD
+
+
+def compare(baseline: dict[str, Any], current: dict[str, Any],
+            threshold: float | None = None,
+            wall_threshold: float | None = None) -> RegressionReport:
+    """Diff two envelopes; a benchmark regresses when its relative
+    slowdown exceeds its threshold (``*_wall_s`` names use the looser
+    wall threshold)."""
+    base_t = baseline.get("timings", {})
+    cur_t = current.get("timings", {})
+    report = RegressionReport(
+        baseline_name=baseline.get("name", "baseline"),
+        current_name=current.get("name", "current"),
+    )
+    for name in sorted(set(base_t) | set(cur_t)):
+        thr = _threshold_for(name, threshold, wall_threshold)
+        delta = BenchDelta(name, base_t.get(name), cur_t.get(name), thr)
+        if delta.base_s is None:
+            delta.status = "new"
+        elif delta.cur_s is None:
+            delta.status = "missing"
+        elif delta.base_s < MIN_BASE_SECONDS:
+            delta.status = "ok"  # too small to judge relatively
+        elif delta.slowdown > thr:
+            delta.status = "regression"
+        elif delta.slowdown < -thr:
+            delta.status = "improved"
+        report.deltas.append(delta)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the benchmark suite
+# ---------------------------------------------------------------------------
+
+def _bte_problem(nx: int, ndirs: int, bands: int, nsteps: int,
+                 gpu: bool = False, ranks: int = 1):
+    from repro.bte import build_bte_problem, hotspot_scenario
+
+    scenario = hotspot_scenario(
+        nx=nx, ny=nx, ndirs=ndirs, n_freq_bands=bands, nsteps=nsteps,
+    )
+    scenario.sigma = max(scenario.sigma, 2.5 * scenario.lx / nx)
+    problem, _ = build_bte_problem(scenario)
+    if gpu:
+        problem.enable_gpu()
+        problem.extra["gpu_force_offload"] = True
+    if ranks > 1:
+        problem.set_partitioning("bands", ranks, index="b")
+    return problem
+
+
+def run_benchmarks(nx: int = 16, ndirs: int = 4, bands: int = 4,
+                   nsteps: int = 5) -> dict[str, float]:
+    """Run the small deterministic suite; returns the timings mapping.
+
+    Virtual entries (deterministic, model-derived):
+
+    * ``serial_virtual_s``       — no virtual clock; omitted
+    * ``gpu_hybrid_virtual_s``   — host virtual clock of the hybrid run
+    * ``spmd_bands_virtual_s``   — SPMD makespan of a 2-rank band run
+    * ``gpu_multi_virtual_s``    — SPMD makespan of a 2-rank, 2-device run
+
+    Wall entries (noisy; looser gate): ``*_wall_s`` per target.
+    """
+    timings: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    _bte_problem(nx, ndirs, bands, nsteps).solve()
+    timings["serial_wall_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    solver = _bte_problem(nx, ndirs, bands, nsteps, gpu=True).solve()
+    timings["gpu_hybrid_wall_s"] = time.perf_counter() - t0
+    host_clock = getattr(solver.state, "host_clock", None)
+    if host_clock is not None:
+        timings["gpu_hybrid_virtual_s"] = host_clock.now()
+
+    t0 = time.perf_counter()
+    solver = _bte_problem(nx, ndirs, bands, nsteps, ranks=2).solve()
+    timings["spmd_bands_wall_s"] = time.perf_counter() - t0
+    spmd = getattr(solver.state, "spmd_result", None)
+    if spmd is not None:
+        timings["spmd_bands_virtual_s"] = spmd.makespan
+
+    t0 = time.perf_counter()
+    solver = _bte_problem(nx, ndirs, bands, nsteps, gpu=True, ranks=2).solve()
+    timings["gpu_multi_wall_s"] = time.perf_counter() - t0
+    spmd = getattr(solver.state, "spmd_result", None)
+    if spmd is not None:
+        timings["gpu_multi_virtual_s"] = spmd.makespan
+
+    return timings
+
+
+__all__ = [
+    "BenchDelta",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WALL_THRESHOLD",
+    "MIN_BASE_SECONDS",
+    "RegressionReport",
+    "SCHEMA",
+    "compare",
+    "load_bench",
+    "run_benchmarks",
+    "write_bench",
+]

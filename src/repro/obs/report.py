@@ -56,6 +56,7 @@ class RunReport:
     gpu: dict[str, Any] | None = None
     placement: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
+    metrics: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
@@ -64,7 +65,7 @@ class RunReport:
             "timers": self.timers,
             "phases": self.phases,
         }
-        for key in ("comm", "gpu", "placement", "trace"):
+        for key in ("comm", "gpu", "placement", "trace", "metrics"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -144,9 +145,13 @@ def placement_accuracy(plan, timers, nsteps: int,
     """Per-task predicted vs measured cost for one placement plan.
 
     ``predicted`` is the cost-model seconds per step on the assigned device
-    (the quantity the min-cut optimised); ``measured`` is the wall-clock
-    seconds per step of the matching phase timer, when the target recorded
-    one (``task_timer_map``: task name -> timer name).
+    (the quantity the min-cut optimised); ``alternative`` the modelled cost
+    had the task been placed on the *other* device; ``measured`` is the
+    wall-clock seconds per step of the matching phase timer, when the
+    target recorded one (``task_timer_map``: task name -> timer name).
+    A task is flagged ``mispredicted`` when its measured time exceeds the
+    modelled cost of the unpinned alternative — the optimiser would have
+    chosen differently with perfect information.
     """
     task_timer_map = task_timer_map or {}
     tasks = []
@@ -154,9 +159,11 @@ def placement_accuracy(plan, timers, nsteps: int,
         device = plan.device[name]
         task = plan.graph.tasks.get(name) if plan.graph is not None else None
         predicted = None
+        alternative = None
         pinned = None
         if task is not None:
             predicted = task.cost_gpu if device == "gpu" else task.cost_cpu
+            alternative = task.cost_cpu if device == "gpu" else task.cost_gpu
             pinned = task.pinned
         timer_name = task_timer_map.get(name)
         measured = None
@@ -167,17 +174,37 @@ def placement_accuracy(plan, timers, nsteps: int,
             "device": device,
             "pinned": pinned,
             "predicted_s_per_step": predicted,
+            "alternative_s_per_step": alternative,
             "measured_s_per_step": measured,
         }
+        if predicted is not None and alternative is not None \
+                and math.isfinite(alternative):
+            # modelled saving of the chosen device (>0: choice looks right)
+            entry["predicted_delta_s"] = alternative - predicted
         if predicted and measured:
             entry["measured_over_predicted"] = measured / predicted
+        entry["mispredicted"] = bool(
+            measured is not None
+            and alternative is not None
+            and math.isfinite(alternative)
+            and pinned is None
+            and measured > alternative
+        )
         tasks.append(entry)
+    edges = []
+    if plan.graph is not None:
+        edges = [
+            {"src": e.src, "dst": e.dst, "bytes": e.nbytes, "label": e.label,
+             "cut": (plan.device.get(e.src) != plan.device.get(e.dst))}
+            for e in plan.graph.edges
+        ]
     return {
         "objective_s_per_step": plan.objective_seconds,
         "bytes_moved_per_step": plan.bytes_moved_per_step,
         "cut_edges": [
             {"src": s, "dst": d, "bytes": b} for s, d, b in plan.cut_edges
         ],
+        "edges": edges,
         "tasks": tasks,
     }
 
@@ -224,6 +251,12 @@ def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
 
     if tracer is not None and tracer.enabled:
         report.trace = tracer.summary()
+
+    from repro.obs.metrics import get_metrics
+
+    metrics = get_metrics()
+    if metrics.enabled:
+        report.metrics = metrics.to_dict()
     return report
 
 

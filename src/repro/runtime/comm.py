@@ -22,7 +22,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.obs import get_tracer
+from repro.obs import get_metrics, get_tracer
 from repro.runtime.netmodel import NetworkModel, ZERO_COST
 from repro.util.errors import ReproError
 from repro.util.timing import VirtualClock
@@ -128,6 +128,19 @@ class Communicator:
         # virtual-timeline track: one per rank in the exported trace
         self.tracer = get_tracer()
         self.track = f"virtual/rank{rank}"
+        # metric instruments (shared no-ops when metrics are disabled)
+        metrics = get_metrics()
+        self.metrics = metrics
+        self._m_messages = metrics.counter(
+            "comm_messages_total", "point-to-point messages sent")
+        self._m_bytes = metrics.counter(
+            "comm_bytes_sent_total", "point-to-point payload bytes sent")
+        self._m_halo_bytes = metrics.counter(
+            "comm_halo_bytes_total", "bytes sent through neighbour exchanges")
+        self._m_recv_wait = metrics.histogram(
+            "comm_recv_wait_seconds", "virtual seconds blocked in recv")
+        self._m_collective = metrics.counter(
+            "comm_collectives_total", "collective operations entered")
 
     @property
     def size(self) -> int:
@@ -160,6 +173,9 @@ class Communicator:
         self.world.channel(self.rank, dest, tag).put(msg)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
+        if self.metrics.enabled:
+            self._m_messages.inc(1, rank=self.rank)
+            self._m_bytes.inc(nbytes, rank=self.rank)
         if self.tracer.enabled:
             self.tracer.instant(self.track, f"send->{dest}", self.clock.now(),
                                 cat="comm", bytes=nbytes, tag=tag)
@@ -182,6 +198,8 @@ class Communicator:
         waited = self.clock.now() - before
         self.stats.comm_s += waited
         self.stats.charge_phase(phase, waited)
+        if self.metrics.enabled:
+            self._m_recv_wait.observe(waited, rank=self.rank)
         if self.tracer.enabled:
             self.tracer.complete(self.track, f"recv<-{source}", before,
                                  self.clock.now(), cat="comm",
@@ -195,6 +213,10 @@ class Communicator:
         This is the halo-update pattern: post all sends first, then drain
         the receives (safe because sends are buffered).
         """
+        if self.metrics.enabled and sends:
+            self._m_halo_bytes.inc(
+                sum(_payload_bytes(d) for d in sends.values()), rank=self.rank
+            )
         for dest, data in sends.items():
             self.send(dest, data, tag)
         return {src: self.recv(src, tag, phase) for src in sends}
@@ -220,6 +242,8 @@ class Communicator:
                   phase: str = "communication") -> Any:
         """Tree allreduce with real data combination + modelled cost."""
         arr = np.asarray(data, dtype=np.float64)
+        if self.metrics.enabled:
+            self._m_collective.inc(1, rank=self.rank, op="allreduce")
         # synchronise: collective completes only after the latest rank enters
         entry = self._rendezvous(self.clock.now(), max)
         parts = self._rendezvous(arr, lambda slots: _REDUCERS[op](np.stack(slots)))
@@ -237,6 +261,8 @@ class Communicator:
 
     def allgather(self, data: Any, phase: str = "communication") -> list[Any]:
         """Ring allgather with modelled cost."""
+        if self.metrics.enabled:
+            self._m_collective.inc(1, rank=self.rank, op="allgather")
         entry = self._rendezvous(self.clock.now(), max)
         slots = self._rendezvous(data, list)
         nbytes = _payload_bytes(data)

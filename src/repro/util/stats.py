@@ -1,0 +1,63 @@
+"""Small streaming-statistics helpers shared by timers and metrics.
+
+Both :class:`~repro.util.timing.TimerStats` and the histogram metric in
+:mod:`repro.obs.metrics` need quantiles over an unbounded observation
+stream with bounded memory.  :class:`Reservoir` keeps a uniformly-spread
+subset via stride-doubling decimation; :func:`percentile` interpolates a
+quantile out of whatever was kept.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Samples kept per series for quantile estimation.
+RESERVOIR_SIZE = 1024
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (``q`` in [0, 100])."""
+    if not samples:
+        return 0.0
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return data[lo]
+    return data[lo] + (data[hi] - data[lo]) * (pos - lo)
+
+
+class Reservoir:
+    """Bounded sample store with stride-doubling decimation.
+
+    Keeps at most ``size`` samples uniformly spread over everything ever
+    offered: when full, every other kept sample is dropped and the keep
+    stride doubles, so late samples do not crowd out early ones.
+    """
+
+    __slots__ = ("samples", "_stride", "_skip", "_size")
+
+    def __init__(self, size: int = RESERVOIR_SIZE):
+        self.samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
+        self._size = size
+
+    def add(self, value: float) -> None:
+        self._skip += 1
+        if self._skip < self._stride:
+            return
+        self._skip = 0
+        self.samples.append(value)
+        if len(self.samples) >= self._size:
+            self.samples = self.samples[::2]
+            self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+
+__all__ = ["Reservoir", "RESERVOIR_SIZE", "percentile"]

@@ -12,6 +12,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.util.stats import Reservoir, percentile
+
 
 class WallClock:
     """Monotonic wall clock (thin wrapper so it can be swapped in tests)."""
@@ -52,23 +54,39 @@ class VirtualClock:
 
 @dataclass
 class TimerStats:
-    """Accumulated statistics for one named timer."""
+    """Accumulated statistics for one named timer.
+
+    Besides the running total/min/max, every recorded duration feeds a
+    bounded :class:`~repro.util.stats.Reservoir`, so the per-phase p50/p95
+    percentiles in the run report and the metrics exposition stay exact-ish
+    without unbounded memory.
+    """
 
     name: str
     total: float = 0.0
     count: int = 0
     min: float = float("inf")
     max: float = 0.0
+    samples: Reservoir = field(default_factory=Reservoir, repr=False, compare=False)
 
     def record(self, dt: float) -> None:
         self.total += dt
         self.count += 1
         self.min = min(self.min, dt)
         self.max = max(self.max, dt)
+        self.samples.add(dt)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.samples.samples, 50.0)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self.samples.samples, 95.0)
 
     def as_dict(self) -> dict[str, float | int]:
         """JSON-safe view: a never-recorded timer's ``min`` is ``inf`` —
@@ -79,6 +97,8 @@ class TimerStats:
             "min": self.min if self.count else 0.0,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
         }
 
 

@@ -1,0 +1,123 @@
+"""Benchmark envelopes and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    SCHEMA,
+    compare,
+    load_bench,
+    write_bench,
+)
+
+
+def _env(name, timings):
+    return {"schema": SCHEMA, "name": name, "timings": timings}
+
+
+class TestEnvelope:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_bench(tmp_path / "b.json", "suite", {"a": 1.0}, nx=16)
+        doc = load_bench(path)
+        assert doc["schema"] == SCHEMA
+        assert doc["timings"]["a"] == 1.0
+        assert doc["meta"]["nx"] == 16
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": "repro.run_report/1"}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_load_rejects_missing_timings(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": SCHEMA}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_figure_benchmarks_share_the_schema(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parents[2] / "benchmarks"))
+        try:
+            import conftest as bench_conftest
+        finally:
+            sys.path.pop(0)
+        assert bench_conftest.BENCH_SCHEMA == SCHEMA
+
+
+class TestCompare:
+    def test_identical_timings_pass(self):
+        base = _env("base", {"a_virtual_s": 1.0, "b_wall_s": 2.0})
+        report = compare(base, _env("cur", {"a_virtual_s": 1.0, "b_wall_s": 2.0}))
+        assert not report.has_regressions
+        assert all(d.status == "ok" for d in report.deltas)
+
+    def test_slowdown_above_threshold_regresses(self):
+        base = _env("base", {"a_s": 1.0})
+        cur = _env("cur", {"a_s": 1.0 * (1 + DEFAULT_THRESHOLD) * 1.01})
+        report = compare(base, cur)
+        assert report.has_regressions
+        assert report.deltas[0].status == "regression"
+
+    def test_slowdown_below_threshold_passes(self):
+        base = _env("base", {"a_s": 1.0})
+        cur = _env("cur", {"a_s": 1.0 * (1 + DEFAULT_THRESHOLD) * 0.99})
+        assert not compare(base, cur).has_regressions
+
+    def test_threshold_is_configurable(self):
+        base = _env("base", {"a_s": 1.0})
+        cur = _env("cur", {"a_s": 1.05})
+        assert not compare(base, cur).has_regressions
+        assert compare(base, cur, threshold=0.01).has_regressions
+
+    def test_wall_benchmarks_use_looser_threshold(self):
+        base = _env("base", {"a_wall_s": 1.0})
+        cur = _env("cur", {"a_wall_s": 1.5})  # +50%: over 0.25, under 1.0
+        assert not compare(base, cur).has_regressions
+        assert compare(base, cur, wall_threshold=0.25).has_regressions
+
+    def test_new_and_missing_are_not_regressions(self):
+        base = _env("base", {"gone_s": 1.0})
+        cur = _env("cur", {"fresh_s": 1.0})
+        report = compare(base, cur)
+        statuses = {d.name: d.status for d in report.deltas}
+        assert statuses == {"gone_s": "missing", "fresh_s": "new"}
+        assert not report.has_regressions
+
+    def test_improvement_is_flagged_but_passes(self):
+        base = _env("base", {"a_s": 1.0})
+        report = compare(base, _env("cur", {"a_s": 0.5}))
+        assert report.deltas[0].status == "improved"
+        assert not report.has_regressions
+
+    def test_tiny_baselines_are_skipped(self):
+        base = _env("base", {"a_s": 1e-9})
+        report = compare(base, _env("cur", {"a_s": 1e-3}))
+        assert report.deltas[0].status == "ok"
+
+    def test_render_text_marks_regressions(self):
+        base = _env("base", {"a_s": 1.0})
+        report = compare(base, _env("cur", {"a_s": 2.0}))
+        text = report.render_text()
+        assert "REGRESSION" in text
+        assert "+100.0%" in text
+
+    def test_to_dict_is_json_safe(self):
+        base = _env("base", {"a_s": 1.0})
+        doc = compare(base, _env("cur", {"a_s": 2.0})).to_dict()
+        json.dumps(doc)
+        assert doc["regressions"] == 1
+
+
+class TestSeedBaseline:
+    def test_committed_seed_is_a_valid_envelope(self):
+        from pathlib import Path
+
+        seed = Path(__file__).parents[2] / "benchmarks" / "BENCH_seed.json"
+        doc = load_bench(seed)
+        assert doc["timings"], "seed baseline must carry timings"
+        assert any(k.endswith("_virtual_s") for k in doc["timings"])

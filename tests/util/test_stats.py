@@ -1,0 +1,62 @@
+"""Reservoir sampling, percentiles, and TimerStats' p50/p95."""
+
+import pytest
+
+from repro.util.stats import RESERVOIR_SIZE, Reservoir, percentile
+from repro.util.timing import TimerRegistry
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([3.0], 50.0) == 3.0
+        assert percentile([3.0], 95.0) == 3.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        xs = [float(i) for i in range(11)]
+        assert percentile(xs, 0.0) == 0.0
+        assert percentile(xs, 100.0) == 10.0
+
+
+class TestReservoir:
+    def test_exact_below_capacity(self):
+        r = Reservoir()
+        for i in range(100):
+            r.add(float(i))
+        assert r.percentile(50.0) == pytest.approx(49.5)
+
+    def test_bounded_memory_above_capacity(self):
+        r = Reservoir()
+        for i in range(RESERVOIR_SIZE * 8):
+            r.add(float(i))
+        assert len(r.samples) <= RESERVOIR_SIZE
+        # decimated stream still spans the distribution
+        n = RESERVOIR_SIZE * 8
+        assert r.percentile(50.0) == pytest.approx(n / 2, rel=0.1)
+        assert r.percentile(95.0) == pytest.approx(0.95 * n, rel=0.1)
+
+
+class TestTimerPercentiles:
+    def test_p50_p95_in_as_dict(self):
+        timers = TimerRegistry()
+        for i in range(1, 21):
+            timers.record("solve", i * 1e-3)
+        stats = timers.stats["solve"]
+        assert stats.p50 == pytest.approx(10.5e-3, rel=1e-6)
+        assert stats.p95 <= stats.max
+        assert stats.p50 <= stats.p95
+        d = stats.as_dict()
+        assert d["p50"] == stats.p50
+        assert d["p95"] == stats.p95
+
+    def test_empty_timer_percentiles_are_zero(self):
+        from repro.util.timing import TimerStats
+
+        stats = TimerStats("never")
+        assert stats.p50 == 0.0
+        assert stats.p95 == 0.0
