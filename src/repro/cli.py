@@ -13,7 +13,10 @@ Commands
     Run a reduced hot-spot BTE transient and print the temperature summary
     (a fast version of ``examples/bte_hotspot.py``).  ``--trace`` writes a
     Chrome-trace/Perfetto timeline of the run, ``--report`` the aggregated
-    :class:`~repro.obs.RunReport` JSON.
+    :class:`~repro.obs.RunReport` JSON.  ``--faults SPEC`` injects seeded
+    faults (message drop/delay/dup, rank stalls, device OOM/kernel faults)
+    that the resilient runtime recovers from; ``--checkpoint-every N`` /
+    ``--restore FILE`` write and resume ``repro.checkpoint/1`` snapshots.
 ``analyze FILE [FILE] [--json F] [--dot F]``
     Analyze a trace and/or run-report JSON from ``bte --trace/--report``:
     critical-path phase breakdown, kernel/boundary and compute/comm
@@ -216,6 +219,9 @@ def cmd_latex(args: argparse.Namespace) -> int:
 def cmd_bte(args: argparse.Namespace) -> int:
     from repro.bte import build_bte_problem, hotspot_scenario
     from repro.obs import metrics_run, trace_run
+    from repro.runtime.faults import fault_run, parse_fault_spec
+    from repro.runtime.resilience import get_resilience_log
+    from repro.util.errors import FaultSpecError
 
     scenario = hotspot_scenario(
         nx=args.nx, ny=args.nx, ndirs=args.ndirs,
@@ -231,25 +237,42 @@ def cmd_bte(args: argparse.Namespace) -> int:
         problem.extra["gpu_force_offload"] = True
     if args.ranks > 1:
         problem.set_partitioning("bands", args.ranks, index="b")
+    if args.checkpoint_every:
+        problem.extra["checkpoint_every"] = args.checkpoint_every
+        problem.extra["checkpoint_dir"] = args.checkpoint_dir
+    if args.restore:
+        problem.extra["restore_from"] = args.restore
     mode = "gpu" if args.gpu else "cpu"
     print(f"running {scenario.name}: {args.nx}x{args.nx} cells, "
           f"{model.ncomp} components/cell, {args.steps} steps "
           f"[{mode}, {args.ranks} rank(s)] ...")
+    if args.faults:
+        try:  # parse eagerly: a typo'd spec should fail before the solve
+            parse_fault_spec(args.faults)
+        except FaultSpecError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        print(f"fault injection on: {args.faults!r} (seed {args.fault_seed})")
 
     report = None
-    if args.trace or args.report or args.metrics:
-        with metrics_run(args.metrics), trace_run(args.trace) as tracer:
+    with fault_run(args.faults, seed=args.fault_seed):
+        if args.trace or args.report or args.metrics:
+            with metrics_run(args.metrics), trace_run(args.trace) as tracer:
+                solver = problem.solve()
+                # built inside the block so the report captures the live
+                # metrics registry
+                if args.report:
+                    report = solver.run_report(tracer)
+        else:
             solver = problem.solve()
-            # built inside the block so the report captures the live
-            # metrics registry
-            if args.report:
-                report = solver.run_report(tracer)
-    else:
-        solver = problem.solve()
+    rlog = get_resilience_log()
+    if rlog.has_events():
+        print(f"resilience: {rlog.summary()}")
 
     T = solver.state.extra["T"]
+    # state.time, not steps*dt: a --restore run resumes mid-trajectory
     print(f"T in [{T.min():.4f}, {T.max():.4f}] K after "
-          f"{args.steps * args.dt * 1e9:.3f} ns")
+          f"{solver.state.time * 1e9:.3f} ns")
     for phase, frac in sorted(solver.breakdown().items()):
         print(f"  {phase:<12} {frac * 100:5.1f}%")
     if args.trace:
@@ -394,6 +417,19 @@ def main(argv: list[str] | None = None) -> int:
     p_bte.add_argument("--metrics", default=None, metavar="FILE",
                        help="write the metrics registry (.txt/.prom for "
                             "Prometheus text format, else JSON)")
+    p_bte.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject faults, e.g. 'stall:rank=2,at=7;"
+                            "oom:device=gpu0' (kinds: drop delay dup stall "
+                            "oom kernel; see docs/architecture.md)")
+    p_bte.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                       help="seed for probabilistic fault rules (default 0)")
+    p_bte.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="write a repro.checkpoint/1 snapshot every N steps")
+    p_bte.add_argument("--checkpoint-dir", default="checkpoints", metavar="DIR",
+                       help="directory for --checkpoint-every snapshots")
+    p_bte.add_argument("--restore", default=None, metavar="FILE",
+                       help="restore solver state from a checkpoint before "
+                            "stepping")
 
     p_an = sub.add_parser(
         "analyze", help="analyze a trace and/or run-report JSON",

@@ -79,6 +79,7 @@ def rank_program(comm):
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
+        state.maybe_checkpoint()
     T = state.extra.get('T')
     return {
         'u_owned': state.u[:, owned].copy(),
@@ -113,6 +114,7 @@ def rank_program(comm):
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
+        state.maybe_checkpoint()
     T = state.extra.get('T')
     return {
         'u_owned': state.u[owned].copy(),

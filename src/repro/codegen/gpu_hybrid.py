@@ -47,7 +47,7 @@ from repro.ir.nodes import print_ir
 from repro.obs import get_tracer, phase_span
 from repro.perfmodel.costs import CostModel
 from repro.perfmodel.machines import CASCADE_LAKE_FINCH, default_gpu_spec
-from repro.util.errors import CodegenError
+from repro.util.errors import CodegenError, DeviceOOMError, KernelFaultError
 from repro.util.timing import VirtualClock
 
 if TYPE_CHECKING:
@@ -69,6 +69,15 @@ DEFAULT_BYTE_FACTOR = 16.0
 def _indent(lines: list[str], level: int = 1) -> list[str]:
     pad = "    " * level
     return [pad + ln if ln else ln for ln in lines]
+
+
+def _record_degraded(task: str, from_device: str, to_device: str,
+                     reason: str, **labels) -> None:
+    """Generated-code hook: log a fault-driven CPU re-placement."""
+    from repro.runtime.resilience import get_resilience_log
+
+    get_resilience_log().record_degraded(task, from_device, to_device,
+                                         reason, **labels)
 
 
 def _reject_reconstructions(form) -> None:
@@ -183,28 +192,39 @@ def _emit_boundary_source(problem: "Problem", emitter: ExprEmitter) -> list[str]
 _STEP_AND_RUN = '''
 
 def step_once(state):
-    """One hybrid step (the paper's host-code sketch, Sec. II-B)."""
+    """One hybrid step (the paper's host-code sketch, Sec. II-B).
+
+    Device faults (OOM during the H2D batch, kernel launch faults) are
+    treated as transient: the step degrades gracefully by re-executing the
+    interior update on the host with the same generated kernel body — the
+    numerics are identical, only the timeline pays the CPU cost.
+    """
     dev = state.device
     host = state.host_clock
     trace = get_tracer()
     t = state.time
 
-    # --- send per-step host-mutated arrays to the device -------------------
+    faulted = None
     t0 = host.now()
-    with state.timers.time('h2d'):
-        end = dev.h2d('u', state.u, t0)
-        for name in H2D_EACH_STEP:
-            end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, t0))
-    host.advance_to(end)
-    trace.complete(HOST_TRACK, 'h2d', t0, host.now(), cat='transfer')
-    state.gpu_phases['communication'] += host.now() - t0
+    try:
+        # --- send per-step host-mutated arrays to the device ---------------
+        with state.timers.time('h2d'):
+            end = dev.h2d('u', state.u, t0)
+            for name in H2D_EACH_STEP:
+                end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, t0))
+        host.advance_to(end)
+        trace.complete(HOST_TRACK, 'h2d', t0, host.now(), cat='transfer')
+        state.gpu_phases['communication'] += host.now() - t0
 
-    # --- asynchronous interior kernel (one thread per DOF) -----------------
-    launch_time = host.now()
-    kernel_args = [dev.buffers[n].array for n in ['u'] + KERNEL_VAR_NAMES] \
-        + [dev.buffers['u_new'].array]
-    with state.timers.time('solve'):
-        dev.launch(KERNEL, NDOF, *kernel_args, host_time=launch_time)
+        # --- asynchronous interior kernel (one thread per DOF) -------------
+        launch_time = host.now()
+        kernel_args = [dev.buffers[n].array for n in ['u'] + KERNEL_VAR_NAMES] \
+            + [dev.buffers['u_new'].array]
+        with state.timers.time('solve'):
+            dev.launch(KERNEL, NDOF, *kernel_args, host_time=launch_time)
+    except GPU_FAULTS as exc:
+        faulted = exc
+        launch_time = host.now()
 
     # --- CPU boundary contribution, overlapped with the kernel (Fig. 6) ----
     with state.timers.time('boundary'), trace_phase('boundary'):
@@ -215,18 +235,37 @@ def step_once(state):
     trace.complete(HOST_TRACK, 'boundary_callbacks', launch_time, host.now(),
                    cat='phase')
 
-    # --- synchronize, fetch, combine ---------------------------------------
-    sync_time = dev.synchronize(host.now())
-    if sync_time > host.now():
-        trace.complete(HOST_TRACK, 'sync_wait', host.now(), sync_time, cat='sync')
-    state.gpu_phases['solve for intensity'] += sync_time - launch_time
-    host.advance_to(sync_time)
-    d2h_start = host.now()
-    with state.timers.time('d2h'):
-        u_new, end = dev.d2h('u_new', host_time=d2h_start)
-    host.advance_to(end)
-    trace.complete(HOST_TRACK, 'd2h', d2h_start, host.now(), cat='transfer')
-    state.gpu_phases['communication'] += host.now() - d2h_start
+    if faulted is None:
+        # --- synchronize, fetch, combine -----------------------------------
+        sync_time = dev.synchronize(host.now())
+        if sync_time > host.now():
+            trace.complete(HOST_TRACK, 'sync_wait', host.now(), sync_time, cat='sync')
+        state.gpu_phases['solve for intensity'] += sync_time - launch_time
+        host.advance_to(sync_time)
+        d2h_start = host.now()
+        with state.timers.time('d2h'):
+            u_new, end = dev.d2h('u_new', host_time=d2h_start)
+        host.advance_to(end)
+        trace.complete(HOST_TRACK, 'd2h', d2h_start, host.now(), cat='transfer')
+        state.gpu_phases['communication'] += host.now() - d2h_start
+    else:
+        # --- graceful degradation: interior update re-placed on the host ---
+        # same generated body over the host field arrays, so the result is
+        # bit-identical; the device buffers for u/u_new are stale but are
+        # fully rewritten by the next successful h2d + launch before any read
+        record_degraded('interior_update', dev.name, 'cpu',
+                        type(faulted).__name__, step=state.step_index)
+        u_new = state.buffer('u_new_degraded', state.u.shape)
+        with state.timers.time('solve'):
+            interior_kernel(state.u,
+                            *[state.fields[n.replace('var_', '')].data
+                              for n in KERNEL_VAR_NAMES],
+                            u_new)
+        host.advance(COST_INTERIOR_CPU)
+        trace.complete(HOST_TRACK, 'interior_update[degraded:cpu]',
+                       launch_time, host.now(), cat='fault',
+                       reason=type(faulted).__name__)
+        state.gpu_phases['solve for intensity'] += COST_INTERIOR_CPU
     # u = u_new + u_bdry (the boundary part of the explicit update)
     state.u = u_new + state.dt * du_bdry
 
@@ -252,6 +291,7 @@ def run_steps(state, nsteps):
                            state.host_clock.now(), cat='phase')
             state.gpu_phases['temperature update'] += COST_TEMP
         state.observe_step()
+        state.maybe_checkpoint()
     state.check_health()
     return state
 '''
@@ -423,6 +463,10 @@ class GPUHybridTarget(CodegenTarget):
         env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
         env["COST_BOUNDARY"] = cost.boundary_step(geom.boundary_face_count(), state.ncomp)
         env["COST_TEMP"] = cost.temperature_step(state.ncells, nbands)
+        # resilience: the degraded (CPU re-execution) path for device faults
+        env["GPU_FAULTS"] = (DeviceOOMError, KernelFaultError)
+        env["COST_INTERIOR_CPU"] = cost.intensity_step(state.ncells, state.ncomp)
+        env["record_degraded"] = _record_degraded
         # kernel argument order is fixed by the generated signature; the
         # per-step H2D list is the subset the transfer plan marked as
         # host-mutated (for the BTE: Io and beta after the temperature update)

@@ -30,6 +30,7 @@ from repro.codegen.gpu_hybrid import (
     DEFAULT_FLOP_FACTOR,
     _emit_boundary_source,
     _emit_kernel_source,
+    _record_degraded,
 )
 from repro.codegen.state import SolverState
 from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
@@ -43,7 +44,7 @@ from repro.perfmodel.costs import CostModel
 from repro.perfmodel.machines import CASCADE_LAKE_FINCH, default_gpu_spec
 from repro.runtime.executor import run_spmd
 from repro.runtime.netmodel import IB_CLUSTER
-from repro.util.errors import CodegenError
+from repro.util.errors import CodegenError, DeviceOOMError, KernelFaultError
 from repro.util.timing import VirtualClock
 
 if TYPE_CHECKING:
@@ -75,40 +76,64 @@ def rank_program(comm):
             with state.timers.time('pre_step'):
                 cb.fn(state)
 
-        # H2D: the unknown + the refreshed closure fields
+        # H2D: the unknown + the refreshed closure fields; device faults
+        # (OOM / kernel fault) degrade the step onto the host CPU below
+        faulted = None
         mark = host.now()
-        end = dev.h2d('u', state.u, mark)
-        for name in KERNEL_VAR_NAMES:
-            end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, mark))
-        host.advance_to(end)
-        trace.complete(htrack, 'h2d', mark, host.now(), cat='transfer')
-        comm.compute(host.now() - mark, phase='communication')
+        try:
+            end = dev.h2d('u', state.u, mark)
+            for name in KERNEL_VAR_NAMES:
+                end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, mark))
+            host.advance_to(end)
+            trace.complete(htrack, 'h2d', mark, host.now(), cat='transfer')
+            comm.compute(host.now() - mark, phase='communication')
 
-        # asynchronous interior kernel over the owned components,
-        # overlapped with the CPU boundary contribution (Fig. 6)
-        mark = host.now()
-        kernel_args = [dev.buffers['u'].array] \\
-            + [dev.buffers[n].array for n in KERNEL_VAR_NAMES] \\
-            + [dev.buffers['u_new'].array]
-        with state.timers.time('solve'):
-            dev.launch(KERNEL, len(own) * NCELLS, *kernel_args, own,
-                       host_time=mark)
+            # asynchronous interior kernel over the owned components,
+            # overlapped with the CPU boundary contribution (Fig. 6)
+            mark = host.now()
+            kernel_args = [dev.buffers['u'].array] \\
+                + [dev.buffers[n].array for n in KERNEL_VAR_NAMES] \\
+                + [dev.buffers['u_new'].array]
+            with state.timers.time('solve'):
+                dev.launch(KERNEL, len(own) * NCELLS, *kernel_args, own,
+                           host_time=mark)
+        except GPU_FAULTS as exc:
+            faulted = exc
+            mark = host.now()
         with state.timers.time('boundary'), trace_phase('boundary'):
             du_bdry = compute_boundary_contribution(state, state.u, t)
         host.advance(COST_BOUNDARY)
         trace.complete(htrack, 'boundary_callbacks', mark, host.now(), cat='phase')
-        sync_time = dev.synchronize(host.now())
-        if sync_time > host.now():
-            trace.complete(htrack, 'sync_wait', host.now(), sync_time, cat='sync')
-        host.advance_to(sync_time)
-        comm.compute(host.now() - mark, phase='solve for intensity')
+        if faulted is None:
+            sync_time = dev.synchronize(host.now())
+            if sync_time > host.now():
+                trace.complete(htrack, 'sync_wait', host.now(), sync_time, cat='sync')
+            host.advance_to(sync_time)
+            comm.compute(host.now() - mark, phase='solve for intensity')
 
-        # fetch and combine (owned rows only)
-        mark = host.now()
-        u_new, end = dev.d2h('u_new', host_time=mark)
-        host.advance_to(end)
-        trace.complete(htrack, 'd2h', mark, host.now(), cat='transfer')
-        comm.compute(host.now() - mark, phase='communication')
+            # fetch and combine (owned rows only)
+            mark = host.now()
+            u_new, end = dev.d2h('u_new', host_time=mark)
+            host.advance_to(end)
+            trace.complete(htrack, 'd2h', mark, host.now(), cat='transfer')
+            comm.compute(host.now() - mark, phase='communication')
+        else:
+            # graceful degradation: the same generated kernel body over the
+            # host arrays (bit-identical result), charged at the CPU rate
+            record_degraded('interior_update', dev.name, 'cpu',
+                            type(faulted).__name__, rank=comm.rank,
+                            step=state.step_index)
+            u_new = state.buffer('u_new_degraded', state.u.shape)
+            with state.timers.time('solve'):
+                interior_kernel(state.u,
+                                *[state.fields[n.replace('var_', '')].data
+                                  for n in KERNEL_VAR_NAMES],
+                                u_new, own)
+            host.advance(COST_INTERIOR_CPU)
+            trace.complete(htrack, 'interior_update[degraded:cpu]', mark,
+                           host.now(), cat='fault',
+                           reason=type(faulted).__name__)
+            comm.compute(host.now() - mark, phase='solve for intensity')
         state.u[own] = u_new[own] + state.dt * du_bdry[own]
 
         # CPU temperature update; its band-energy allreduce advances the
@@ -122,6 +147,7 @@ def rank_program(comm):
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
+        state.maybe_checkpoint()
 
     T = state.extra.get('T')
     return {
@@ -236,6 +262,9 @@ class GPUMultiTarget(CodegenTarget):
         env["COST_TEMP"] = cost.newton_step(master.ncells) + cost.iobeta_step(
             master.ncells, max(1, n_comp_max // ndirs)
         )
+        env["GPU_FAULTS"] = (DeviceOOMError, KernelFaultError)
+        env["COST_INTERIOR_CPU"] = cost.intensity_step(master.ncells, n_comp_max)
+        env["record_degraded"] = _record_degraded
         env["run_spmd"] = run_spmd
         env["VirtualClock"] = VirtualClock
         env["get_tracer"] = get_tracer

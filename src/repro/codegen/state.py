@@ -10,6 +10,8 @@ temperature array there).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -23,6 +25,12 @@ from repro.fvm.boundary import (
 from repro.fvm.fields import CellField
 from repro.fvm.geometry import FVGeometry
 from repro.obs import get_metrics
+from repro.runtime.faults import get_injector
+from repro.runtime.resilience import (
+    CHECKPOINT_SCHEMA,
+    checkpoint_path,
+    get_resilience_log,
+)
 from repro.symbolic.expr import Call, Indexed, Num, Sym
 from repro.util.errors import CodegenError, ConfigError
 from repro.util.misc import check_finite
@@ -71,6 +79,16 @@ class SolverState:
         # initialised by observe_step() when a live registry is installed
         self._prev_u: np.ndarray | None = None
         self._energy0: float | None = None
+
+        # resilience wiring: periodic checkpoints and restart-from-file,
+        # configured through problem.extra so distributed rank states
+        # (rebuilt per run) inherit them without target-specific plumbing
+        self.checkpoint_every = int(self.extra.get("checkpoint_every", 0) or 0)
+        self.checkpoint_dir = self.extra.get("checkpoint_dir")
+        restore_from = self.extra.get("restore_from")
+        if restore_from:
+            self.restore_checkpoint(restore_from)
+            get_resilience_log().record_restore(restore_from)
 
     # ------------------------------------------------------------- properties
     @property
@@ -311,12 +329,16 @@ class SolverState:
 
     # ------------------------------------------------------------ checkpoints
     def save_checkpoint(self, path) -> None:
-        """Write a restartable snapshot (fields, clock, temperature) as NPZ.
+        """Write a restartable ``repro.checkpoint/1`` snapshot as NPZ.
 
-        Restoring with :meth:`restore_checkpoint` onto a solver built from
-        the same problem resumes the run bit-exactly (tested).
+        The payload is the step index, the virtual time, every field array,
+        the BTE temperature if present, plus injector RNG/trigger state and
+        the rank's virtual-clock reading when those exist.  Restoring with
+        :meth:`restore_checkpoint` onto a solver built from the same problem
+        resumes the run bit-exactly (tested).
         """
         payload: dict[str, Any] = {
+            "__schema": np.array(CHECKPOINT_SCHEMA),
             "__time": np.array(self.time),
             "__step_index": np.array(self.step_index),
         }
@@ -325,11 +347,24 @@ class SolverState:
         T = self.extra.get("T")
         if T is not None:
             payload["__T"] = np.asarray(T)
+        injector = get_injector()
+        if injector.enabled:
+            payload["__rng"] = np.array(injector.state_json())
+        if self.comm is not None:
+            payload["__clock"] = np.array(self.comm.clock.now())
         np.savez(path, **payload)
 
     def restore_checkpoint(self, path) -> None:
         """Load a snapshot written by :meth:`save_checkpoint`."""
+        path = self._resolve_restore(path)
         with np.load(path) as data:
+            if "__schema" in data:
+                schema = str(data["__schema"])
+                if schema != CHECKPOINT_SCHEMA:
+                    raise ConfigError(
+                        f"checkpoint {path} has schema {schema!r}, "
+                        f"expected {CHECKPOINT_SCHEMA!r}"
+                    )
             for name, fld in self.fields.items():
                 key = f"field_{name}"
                 if key not in data:
@@ -344,6 +379,40 @@ class SolverState:
             self.step_index = int(data["__step_index"])
             if "__T" in data:
                 self.extra["T"] = data["__T"].copy()
+            if "__rng" in data:
+                injector = get_injector()
+                if injector.enabled:
+                    injector.load_state(json.loads(str(data["__rng"])))
+            if "__clock" in data and self.comm is not None:
+                self.comm.clock.advance_to(float(data["__clock"]))
+
+    def _resolve_restore(self, path):
+        """Prefer this rank's per-rank checkpoint when one sits next to ``path``."""
+        p = Path(path)
+        if self.comm is not None:
+            candidate = p.with_name(f"{p.stem}_rank{self.comm.rank}{p.suffix}")
+            if candidate.exists():
+                return candidate
+        return p
+
+    def maybe_checkpoint(self) -> None:
+        """Periodic checkpoint hook, called by every generated run loop.
+
+        No-op unless the problem asked for ``checkpoint_every``; writes
+        ``<dir>/ckpt_stepNNNNNN[_rankR].npz`` whenever the step index hits
+        the period.  Rank states write per-rank files so a distributed run
+        restarts from a consistent cut.
+        """
+        if self.checkpoint_every <= 0 or self.step_index == 0:
+            return
+        if self.step_index % self.checkpoint_every:
+            return
+        directory = Path(self.checkpoint_dir or ".")
+        directory.mkdir(parents=True, exist_ok=True)
+        rank = self.comm.rank if self.comm is not None else None
+        path = checkpoint_path(directory, self.step_index, rank=rank)
+        self.save_checkpoint(path)
+        get_resilience_log().record_checkpoint(path)
 
     # ------------------------------------------------------------------- misc
     def breakdown(self) -> dict[str, float]:

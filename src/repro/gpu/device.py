@@ -26,7 +26,13 @@ from repro.gpu.kernel import Kernel, KernelLaunchRecord, model_launch
 from repro.gpu.profiler import Profiler
 from repro.gpu.spec import DeviceSpec, A6000
 from repro.obs import get_metrics, get_tracer
-from repro.util.errors import CodegenError
+from repro.runtime.faults import get_injector
+from repro.util.errors import (
+    CodegenError,
+    DeviceOOMError,
+    DeviceResidencyError,
+    KernelFaultError,
+)
 from repro.util.logging import get_logger
 from repro.util.timing import VirtualClock
 
@@ -68,6 +74,7 @@ class Stream:
         timeline advances by the modelled duration, starting no earlier than
         ``host_time`` (a kernel cannot start before the host issued it).
         """
+        self.device._maybe_inject("launch", what=kernel.name)
         record = model_launch(self.device.spec, kernel, n_threads, block)
         # launch-queue backlog: device work still pending when the host
         # issues this launch (the overlap headroom the paper exploits)
@@ -130,18 +137,44 @@ class Device:
         self._m_allocated = metrics.gauge(
             "gpu_allocated_bytes", "simulated device memory in use")
 
+    # ----------------------------------------------------------- injection
+    def _maybe_inject(self, op: str, what: str = "") -> None:
+        """Raise an injected device fault for this operation, if one fires."""
+        injector = get_injector()
+        if not injector.enabled:
+            return
+        kind = injector.device_fault(self.name, op)
+        if kind is None:
+            return
+        from repro.runtime.resilience import get_resilience_log
+
+        get_resilience_log().record_injected(kind, device=self.name, op=op)
+        if self.tracer.enabled:
+            self.tracer.instant(f"{self.name}/faults", f"fault:{kind}:{op}",
+                                self.transfer_clock.now(), cat="fault",
+                                what=what)
+        detail = f" ({what})" if what else ""
+        if kind == "oom":
+            raise DeviceOOMError(
+                f"device {self.name}: out of memory during {op}{detail} [injected]"
+            )
+        raise KernelFaultError(
+            f"device {self.name}: kernel fault during {op}{detail} [injected]"
+        )
+
     # ------------------------------------------------------------- memory
     def alloc(self, name: str, host_array: np.ndarray, host_time: float = 0.0) -> DeviceBuffer:
         """Allocate + copy ``host_array`` to the device (charged H2D)."""
         if name in self.buffers:
             raise CodegenError(f"device buffer {name!r} already allocated")
+        self._maybe_inject("alloc", what=name)
         arr = np.array(host_array, dtype=np.float64, copy=True, order="C")
         buf = DeviceBuffer(name, arr, on_device=True)
         self.buffers[name] = buf
         self.allocated_bytes += buf.nbytes
         limit = self.spec.memory_gb * 1e9
         if self.allocated_bytes > limit:
-            raise CodegenError(
+            raise DeviceOOMError(
                 f"device {self.name}: out of memory "
                 f"({self.allocated_bytes / 1e9:.2f} GB > {self.spec.memory_gb} GB)"
             )
@@ -156,6 +189,7 @@ class Device:
         """Allocate without an H2D copy (like ``CUDA.zeros``)."""
         if name in self.buffers:
             raise CodegenError(f"device buffer {name!r} already allocated")
+        self._maybe_inject("alloc", what=name)
         buf = DeviceBuffer(name, np.zeros(shape, dtype=np.float64), on_device=True)
         self.buffers[name] = buf
         self.allocated_bytes += buf.nbytes
@@ -177,14 +211,28 @@ class Device:
             raise CodegenError(
                 f"h2d {name!r}: shape mismatch {host_array.shape} -> {buf.array.shape}"
             )
+        self._maybe_inject("h2d", what=name)
         buf.array[...] = host_array
         buf.on_device = True
         return self._charge_transfer(buf.nbytes, host_time, "h2d", name)
+
+    def mark_host_dirty(self, name: str) -> None:
+        """Record that the host copy was modified: the device copy is stale.
+
+        A degraded (CPU re-executed) task calls this so a later ``d2h``
+        cannot silently read the superseded device data.
+        """
+        self._get(name).on_device = False
 
     def d2h(self, name: str, out: np.ndarray | None = None, host_time: float = 0.0
             ) -> tuple[np.ndarray, float]:
         """Copy a buffer back to the host; returns ``(array, end_time)``."""
         buf = self._get(name)
+        if not buf.on_device:
+            raise DeviceResidencyError(
+                f"d2h {name!r} on {self.name}: device copy is stale (the host "
+                "copy was modified after the last h2d; re-upload before reading)"
+            )
         end = self._charge_transfer(buf.nbytes, host_time, "d2h", name)
         if out is not None:
             out[...] = buf.array

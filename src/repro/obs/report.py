@@ -17,6 +17,8 @@ actually has) into a single document:
     gpu      per-device kernel-launch records, profile metrics, transfers
     placement  per-task predicted vs measured cost — the direct check on
                the paper's data-movement-aware placement model
+    resilience injected faults, retries, recoveries, checkpoints and
+               degraded placements (when the fault/recovery layer was live)
     trace    span/track counts when a tracer was active
 
 Every numeric field is JSON-safe (no ``inf``/``nan``): never-recorded
@@ -55,6 +57,7 @@ class RunReport:
     comm: dict[str, Any] | None = None
     gpu: dict[str, Any] | None = None
     placement: dict[str, Any] | None = None
+    resilience: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
 
@@ -65,7 +68,7 @@ class RunReport:
             "timers": self.timers,
             "phases": self.phases,
         }
-        for key in ("comm", "gpu", "placement", "trace", "metrics"):
+        for key in ("comm", "gpu", "placement", "resilience", "trace", "metrics"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -248,6 +251,12 @@ def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
             plan, state.timers, max(state.step_index, 1),
             getattr(solver, "task_timer_map", None),
         )
+
+    # resilience: injected faults, retries, checkpoints, degraded placements
+    # (lazy import — repro.runtime must stay importable without repro.obs)
+    from repro.runtime.resilience import resilience_section
+
+    report.resilience = resilience_section()
 
     if tracer is not None and tracer.enabled:
         report.trace = tracer.summary()

@@ -17,13 +17,32 @@ energies — while the strong-scaling numbers come from the cost model
 * :func:`~repro.runtime.executor.run_spmd` — runs one program per rank and
   returns each rank's results and virtual timings;
 * :class:`~repro.runtime.halo.HaloExchanger` — neighbour exchange built from
-  a :class:`~repro.mesh.partition.PartitionLayout`.
+  a :class:`~repro.mesh.partition.PartitionLayout`;
+* :mod:`~repro.runtime.faults` / :mod:`~repro.runtime.resilience` — seeded
+  fault injection (message drop/delay/dup, rank stalls, device OOM/kernel
+  faults) and the recovery machinery (retry policy, resilience log,
+  ``repro.checkpoint/1`` schema).
 """
 
 from repro.runtime.netmodel import NetworkModel, IB_CLUSTER, SHARED_MEMORY, ZERO_COST
 from repro.runtime.comm import World, Communicator, ReduceOp
 from repro.runtime.executor import run_spmd, SPMDResult
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultRule,
+    fault_run,
+    get_injector,
+    parse_fault_spec,
+    set_injector,
+)
 from repro.runtime.halo import HaloExchanger
+from repro.runtime.resilience import (
+    CHECKPOINT_SCHEMA,
+    RetryPolicy,
+    checkpoint_path,
+    get_resilience_log,
+    resilience_section,
+)
 
 __all__ = [
     "NetworkModel",
@@ -36,4 +55,15 @@ __all__ = [
     "run_spmd",
     "SPMDResult",
     "HaloExchanger",
+    "FaultInjector",
+    "FaultRule",
+    "fault_run",
+    "get_injector",
+    "parse_fault_spec",
+    "set_injector",
+    "CHECKPOINT_SCHEMA",
+    "RetryPolicy",
+    "checkpoint_path",
+    "get_resilience_log",
+    "resilience_section",
 ]

@@ -23,8 +23,14 @@ from typing import Any
 import numpy as np
 
 from repro.obs import get_metrics, get_tracer
+from repro.runtime.faults import get_injector
 from repro.runtime.netmodel import NetworkModel, ZERO_COST
-from repro.util.errors import ReproError
+from repro.runtime.resilience import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    get_resilience_log,
+)
+from repro.util.errors import CommFaultError, ReproError
 from repro.util.timing import VirtualClock
 
 
@@ -48,6 +54,8 @@ class _Message:
     payload: Any
     nbytes: int
     send_time: float
+    seq: int = 0  # per-(src, dst, tag) sequence number (dedup + ordering)
+    extra_delay_s: float = 0.0  # injected in-flight delay
 
 
 def _payload_bytes(data: Any) -> int:
@@ -77,6 +85,11 @@ class World:
         self._coll_slots: list[Any] = [None] * nranks
         self._coll_result: Any = None
         self.timeout_s = 60.0  # deadlock guard for tests
+        # resend buffer: messages the injector "lost" in flight, keyed by
+        # channel.  The sender keeps every dropped message here so the
+        # receiver's timeout can trigger an idempotent re-send.
+        self._lost: dict[tuple[int, int, int], list[_Message]] = {}
+        self._lost_lock = threading.Lock()
 
     def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -86,6 +99,25 @@ class World:
                 ch = queue.Queue()
                 self._channels[key] = ch
             return ch
+
+    def stash_lost(self, src: int, dst: int, tag: int, msg: _Message) -> None:
+        """Record a dropped message in the sender's resend buffer."""
+        with self._lost_lock:
+            self._lost.setdefault((src, dst, tag), []).append(msg)
+
+    def redeliver(self, src: int, dst: int, tag: int) -> bool:
+        """Re-send the oldest lost message on a channel (idempotent resend).
+
+        Called by a receiver whose timeout expired; returns ``True`` when a
+        lost message was found and put back in flight.
+        """
+        with self._lost_lock:
+            pending = self._lost.get((src, dst, tag))
+            if not pending:
+                return False
+            msg = pending.pop(0)
+        self.channel(src, dst, tag).put(msg)
+        return True
 
     def communicator(self, rank: int) -> "Communicator":
         return Communicator(self, rank)
@@ -125,6 +157,13 @@ class Communicator:
         self.rank = rank
         self.clock = VirtualClock()
         self.stats = CommStats()
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+        # sequence numbers: next seq per (dest, tag); highest seq delivered
+        # per (source, tag) — the dedup watermark for duplicated messages
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._recv_watermark: dict[tuple[int, int], int] = {}
+        # reorder buffer: messages that overtook a lost one, per (source, tag)
+        self._recv_pending: dict[tuple[int, int], dict[int, _Message]] = {}
         # virtual-timeline track: one per rank in the exported trace
         self.tracer = get_tracer()
         self.track = f"virtual/rank{rank}"
@@ -148,9 +187,27 @@ class Communicator:
 
     # ------------------------------------------------------------- local work
     def compute(self, seconds: float, phase: str = "compute") -> None:
-        """Charge ``seconds`` of local computation to this rank's clock."""
+        """Charge ``seconds`` of local computation to this rank's clock.
+
+        An injected rank stall surfaces here: the clock additionally
+        advances by the stall duration, which peers then wait out in their
+        next receive or collective — exactly how a straggler rank looks in
+        a real trace.
+        """
         if seconds < 0:
             raise ReproError(f"negative compute charge {seconds}")
+        injector = get_injector()
+        if injector.enabled:
+            stall = injector.stall_seconds(self.rank)
+            if stall > 0.0:
+                before = self.clock.now()
+                self.clock.advance(stall)
+                self.stats.charge_phase("fault_stall", stall)
+                get_resilience_log().record_injected("stall", rank=self.rank)
+                if self.tracer.enabled:
+                    self.tracer.complete(self.track, "fault:stall", before,
+                                         self.clock.now(), cat="fault",
+                                         stall_s=stall)
         before = self.clock.now()
         self.clock.advance(seconds)
         self.stats.compute_s += seconds
@@ -161,7 +218,12 @@ class Communicator:
 
     # ---------------------------------------------------------- point to point
     def send(self, dest: int, data: Any, tag: int = 0) -> None:
-        """Non-blocking buffered send (MPI_Isend-like; copies the payload)."""
+        """Non-blocking buffered send (MPI_Isend-like; copies the payload).
+
+        The fault injector may drop the message into the world's resend
+        buffer (recovered by the receiver's retry), duplicate it (dropped
+        by the receiver's sequence dedup) or delay it in flight.
+        """
         if dest == self.rank:
             raise ReproError("send to self is not allowed")
         if isinstance(data, np.ndarray):
@@ -169,8 +231,29 @@ class Communicator:
         else:
             payload = data
         nbytes = _payload_bytes(payload)
-        msg = _Message(payload, nbytes, self.clock.now())
-        self.world.channel(self.rank, dest, tag).put(msg)
+        key = (dest, tag)
+        seq = self._send_seq.get(key, 0) + 1
+        self._send_seq[key] = seq
+        msg = _Message(payload, nbytes, self.clock.now(), seq=seq)
+        copies = 1
+        injector = get_injector()
+        if injector.enabled:
+            rule = injector.message_fault(self.rank, dest, tag)
+            if rule is not None:
+                get_resilience_log().record_injected(rule.kind, rank=self.rank)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        self.track, f"fault:{rule.kind}->{dest}",
+                        self.clock.now(), cat="fault", tag=tag, seq=seq)
+                if rule.kind == "drop":
+                    copies = 0
+                    self.world.stash_lost(self.rank, dest, tag, msg)
+                elif rule.kind == "dup":
+                    copies = 2
+                elif rule.kind == "delay":
+                    msg.extra_delay_s = rule.delay_s
+        for _ in range(copies):
+            self.world.channel(self.rank, dest, tag).put(msg)
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
         if self.metrics.enabled:
@@ -182,19 +265,101 @@ class Communicator:
             self.tracer.counter(self.track, "bytes_sent", self.clock.now(),
                                 self.stats.bytes_sent)
 
+    def _next_message(self, source: int, tag: int) -> tuple[_Message, float]:
+        """Blocking in-order dequeue with timeout/backoff/re-send and dedup.
+
+        Returns ``(message, recovery_penalty_s)`` where the penalty is the
+        virtual time the retry protocol added on top of the normal arrival
+        model.  Fault-free runs take the fast path: one blocking get with
+        the world's deadlock-guard timeout, no per-receive overhead.
+
+        Under injection the receiver enforces *in-order* delivery by
+        sequence number: only ``watermark + 1`` is accepted.  A stale seq
+        is a duplicate (discarded); a future seq means a message overtook
+        one the fabric lost (sends are non-blocking, so a fast sender runs
+        ahead) — it is parked in a reorder buffer and the gap triggers an
+        immediate re-send request.  A timeout with nothing to redeliver
+        backs off exponentially until the retry budget is spent.
+        """
+        ch = self.world.channel(source, self.rank, tag)
+        key = (source, tag)
+        policy = self.retry_policy
+        log = get_resilience_log()
+        fast_path = not get_injector().enabled
+        attempt = 0
+        penalty = 0.0
+        waited_wall = 0.0
+        while True:
+            expected = self._recv_watermark.get(key, 0) + 1
+            parked = self._recv_pending.get(key, {}).pop(expected, None)
+            if parked is not None:
+                msg = parked
+            else:
+                timeout = (self.world.timeout_s if fast_path
+                           else min(policy.wall_timeout(attempt), self.world.timeout_s))
+                try:
+                    msg = ch.get(timeout=timeout)
+                except queue.Empty:
+                    waited_wall += timeout
+                    if fast_path or waited_wall >= self.world.timeout_s \
+                            or attempt >= policy.max_retries:
+                        raise CommFaultError(
+                            f"rank {self.rank}: recv from {source} tag {tag} "
+                            f"timed out after {attempt} retries "
+                            "(deadlock, or a fault beyond the retry budget)"
+                        ) from None
+                    # timeout: request an idempotent re-send of anything the
+                    # fabric lost, back off exponentially, and charge the
+                    # protocol's virtual latency so recovery shows in traces
+                    attempt, penalty = self._retry(
+                        source, tag, attempt, penalty, "timeout")
+                    continue
+                if msg.seq and msg.seq < expected:
+                    # a duplicated copy re-announces an already-delivered
+                    # seq — discard and keep waiting
+                    log.record_duplicate_dropped(rank=self.rank)
+                    continue
+                if msg.seq and msg.seq > expected:
+                    # overtake: the gap seq was lost in flight; park this
+                    # message for later and ask for a re-send now
+                    self._recv_pending.setdefault(key, {})[msg.seq] = msg
+                    if attempt >= policy.max_retries:
+                        raise CommFaultError(
+                            f"rank {self.rank}: recv from {source} tag {tag} "
+                            f"missing seq {expected} after {attempt} retries "
+                            "(a dropped message was never recovered)"
+                        )
+                    attempt, penalty = self._retry(
+                        source, tag, attempt, penalty, f"gap:{expected}")
+                    continue
+            if msg.seq:
+                self._recv_watermark[key] = msg.seq
+            if attempt > 0:
+                log.record_recovered(penalty, rank=self.rank)
+            return msg, penalty
+
+    def _retry(self, source: int, tag: int, attempt: int, penalty: float,
+               why: str) -> tuple[int, float]:
+        """One recovery round: re-send request + backoff accounting."""
+        redelivered = self.world.redeliver(source, self.rank, tag)
+        penalty += self.retry_policy.virtual_penalty(attempt)
+        attempt += 1
+        get_resilience_log().record_retry(rank=self.rank)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.track, f"retry<-{source}", self.clock.now(),
+                cat="fault", attempt=attempt, why=why, redelivered=redelivered)
+        return attempt, penalty
+
     def recv(self, source: int, tag: int = 0, phase: str = "communication") -> Any:
         """Blocking receive; virtual clock jumps to the arrival time."""
-        ch = self.world.channel(source, self.rank, tag)
-        try:
-            msg: _Message = ch.get(timeout=self.world.timeout_s)
-        except queue.Empty:
-            raise ReproError(
-                f"rank {self.rank}: recv from {source} tag {tag} timed out "
-                "(deadlock in rank program?)"
-            ) from None
-        arrival = msg.send_time + self.world.network.transfer_time(msg.nbytes)
+        msg, penalty = self._next_message(source, tag)
+        arrival = (msg.send_time + msg.extra_delay_s
+                   + self.world.network.transfer_time(msg.nbytes))
         before = self.clock.now()
         self.clock.advance_to(arrival)
+        if penalty > 0.0:
+            self.clock.advance(penalty)
         waited = self.clock.now() - before
         self.stats.comm_s += waited
         self.stats.charge_phase(phase, waited)

@@ -41,3 +41,24 @@ class SolverError(ReproError):
 
 class ConfigError(ReproError):
     """Inconsistent or incomplete problem configuration."""
+
+
+class FaultSpecError(ConfigError):
+    """A ``--faults`` specification string could not be parsed."""
+
+
+class DeviceOOMError(CodegenError):
+    """The simulated device ran out of memory (real or injected)."""
+
+
+class KernelFaultError(CodegenError):
+    """A simulated kernel launch faulted (injected device fault)."""
+
+
+class DeviceResidencyError(CodegenError):
+    """A device buffer was read while its device copy was stale."""
+
+
+class CommFaultError(ReproError):
+    """A point-to-point message could not be recovered within the retry
+    budget (the fault outlived the resilience policy)."""

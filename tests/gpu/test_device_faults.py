@@ -1,0 +1,95 @@
+"""Typed device faults: genuine OOM, injected OOM/kernel faults, residency."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import Device
+from repro.gpu.kernel import Kernel
+from repro.gpu.spec import A6000, LAPTOP_GPU
+from repro.runtime.faults import fault_run
+from repro.runtime.resilience import get_resilience_log
+from repro.util.errors import (
+    CodegenError,
+    DeviceOOMError,
+    DeviceResidencyError,
+    KernelFaultError,
+)
+
+
+def noop_kernel():
+    def body(x):
+        x[...] = 1.0
+
+    return Kernel("noop", body, flops_per_thread=1, bytes_per_thread=8)
+
+
+class TestTypedOOM:
+    def test_over_allocation_raises_typed_oom(self):
+        dev = Device(LAPTOP_GPU)  # 4 GB
+        with pytest.raises(DeviceOOMError, match="out of memory"):
+            dev.alloc("big", np.zeros(int(5e9 // 8)))
+
+    def test_typed_oom_is_still_a_codegen_error(self):
+        # callers that catch the historical CodegenError keep working
+        assert issubclass(DeviceOOMError, CodegenError)
+        assert issubclass(KernelFaultError, CodegenError)
+        assert issubclass(DeviceResidencyError, CodegenError)
+
+
+class TestResidencyGuard:
+    def test_d2h_of_host_dirty_buffer_raises(self):
+        dev = Device(A6000)
+        dev.alloc("x", np.arange(4.0))
+        dev.mark_host_dirty("x")
+        with pytest.raises(DeviceResidencyError, match="x"):
+            dev.d2h("x")
+
+    def test_h2d_restores_residency(self):
+        dev = Device(A6000)
+        dev.alloc("x", np.arange(4.0))
+        dev.mark_host_dirty("x")
+        dev.h2d("x", np.full(4, 7.0))
+        arr, _ = dev.d2h("x")
+        assert np.allclose(arr, 7.0)
+
+    def test_unknown_buffer_still_a_codegen_error(self):
+        dev = Device(A6000)
+        with pytest.raises(CodegenError):
+            dev.mark_host_dirty("ghost")
+
+
+class TestInjectedDeviceFaults:
+    def test_injected_alloc_oom(self):
+        with fault_run("oom:device=gpu0,op=alloc,at=1"):
+            dev = Device(A6000, name="gpu0")
+            with pytest.raises(DeviceOOMError, match="injected"):
+                dev.alloc("x", np.zeros(8))
+            assert get_resilience_log().injected == {"oom": 1}
+
+    def test_injected_h2d_oom(self):
+        with fault_run("oom:device=gpu0,op=h2d,at=1"):
+            dev = Device(A6000, name="gpu0")
+            dev.alloc("x", np.zeros(8))  # op filter: alloc is untouched
+            with pytest.raises(DeviceOOMError):
+                dev.h2d("x", np.ones(8))
+
+    def test_injected_kernel_fault_on_launch(self):
+        with fault_run("kernel:device=gpu0,op=launch,at=1"):
+            dev = Device(A6000, name="gpu0")
+            dev.alloc("x", np.zeros(64))
+            with pytest.raises(KernelFaultError, match="noop"):
+                dev.launch(noop_kernel(), 64, dev.buffers["x"].array)
+
+    def test_device_name_substring_match(self):
+        with fault_run("oom:device=gpu1,op=alloc,at=1"):
+            dev0 = Device(A6000, name="gpu0:NVIDIA RTX A6000")
+            dev1 = Device(A6000, name="gpu1:NVIDIA RTX A6000")
+            dev0.alloc("x", np.zeros(8))  # other device: unaffected
+            with pytest.raises(DeviceOOMError):
+                dev1.alloc("x", np.zeros(8))
+
+    def test_no_injection_outside_fault_run(self):
+        dev = Device(A6000, name="gpu0")
+        dev.alloc("x", np.zeros(8))
+        dev.h2d("x", np.ones(8))
+        dev.launch(noop_kernel(), 64, np.zeros(64))
