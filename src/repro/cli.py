@@ -26,6 +26,17 @@ Commands
     Run the small deterministic benchmark suite, write a ``repro.bench/1``
     envelope, and optionally gate against a baseline envelope (exit 1 on
     any relative slowdown above the threshold).
+``lint SCRIPT [SCRIPT...] [--json F] [--no-deep] [--codes]``
+    Statically verify DSL scripts without running them: undefined symbols,
+    index/shape consistency, boundary coverage, placement/transfer hazards
+    and SPMD schedule deadlocks, each reported with a stable ``RPR###``
+    code (exit 1 on any error-severity finding).  ``--codes`` prints the
+    full diagnostic catalogue.
+
+``bte --sanitize`` additionally runs the transient under the runtime
+sanitizer (NaN/Inf guards, halo checksums, drift/CFL heuristics); findings
+land in the report's ``diagnostics`` section.  Library errors print as
+one-line ``error RPR###: ...`` diagnostics; pass ``-v`` for the traceback.
 
 The installed ``bte`` entry point is an alias: ``bte analyze ...`` is
 ``repro analyze ...`` and ``bte --gpu ...`` is ``repro bte --gpu ...``.
@@ -40,6 +51,8 @@ import sys
 from pathlib import Path
 
 import numpy as np
+
+from repro.util.errors import ReproError
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -217,11 +230,14 @@ def cmd_latex(args: argparse.Namespace) -> int:
 
 
 def cmd_bte(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.bte import build_bte_problem, hotspot_scenario
     from repro.obs import metrics_run, trace_run
     from repro.runtime.faults import fault_run, parse_fault_spec
     from repro.runtime.resilience import get_resilience_log
     from repro.util.errors import FaultSpecError
+    from repro.verify.sanitizer import get_sanitizer, sanitize_run
 
     scenario = hotspot_scenario(
         nx=args.nx, ny=args.nx, ndirs=args.ndirs,
@@ -254,8 +270,13 @@ def cmd_bte(args: argparse.Namespace) -> int:
             return 2
         print(f"fault injection on: {args.faults!r} (seed {args.fault_seed})")
 
+    if args.sanitize:
+        print("runtime sanitizer on (NaN/Inf guards, halo checksums, "
+              "drift/CFL heuristics)")
+
     report = None
-    with fault_run(args.faults, seed=args.fault_seed):
+    san_ctx = sanitize_run() if args.sanitize else nullcontext()
+    with san_ctx, fault_run(args.faults, seed=args.fault_seed):
         if args.trace or args.report or args.metrics:
             with metrics_run(args.metrics), trace_run(args.trace) as tracer:
                 solver = problem.solve()
@@ -268,6 +289,8 @@ def cmd_bte(args: argparse.Namespace) -> int:
     rlog = get_resilience_log()
     if rlog.has_events():
         print(f"resilience: {rlog.summary()}")
+    if args.sanitize:
+        print(f"sanitizer: {get_sanitizer().summary()}")
 
     T = solver.state.extra["T"]
     # state.time, not steps*dt: a --restore run resumes mid-trajectory
@@ -360,6 +383,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import lint_paths, render_catalogue
+
+    if args.codes:
+        print(render_catalogue())
+        return 0
+    if not args.scripts:
+        print("error: no scripts to lint (pass paths, or --codes for the "
+              "diagnostic catalogue)", file=sys.stderr)
+        return 2
+    missing = [p for p in args.scripts if not Path(p).is_file()]
+    if missing:
+        for p in missing:
+            print(f"error: no such script: {p}", file=sys.stderr)
+        return 2
+    results = lint_paths(args.scripts, deep=not args.no_deep)
+    for res in results:
+        print(res.render_text())
+    if args.json:
+        doc = {
+            "schema": "repro.lint/1",
+            "scripts": [
+                {"path": r.path, "ok": r.ok,
+                 "problems_checked": r.problems_checked,
+                 "note": r.note, **r.report.to_dict()}
+                for r in results
+            ],
+        }
+        Path(args.json).write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"wrote lint report to {args.json}")
+    bad = sum(not r.ok for r in results)
+    if bad:
+        print(f"{bad} of {len(results)} script(s) failed lint",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     # -v works both before and after the subcommand; the subparser copy
     # SUPPRESSes its default so it cannot clobber a value the top-level
@@ -430,6 +493,10 @@ def main(argv: list[str] | None = None) -> int:
     p_bte.add_argument("--restore", default=None, metavar="FILE",
                        help="restore solver state from a checkpoint before "
                             "stepping")
+    p_bte.add_argument("--sanitize", action="store_true",
+                       help="run under the runtime sanitizer (NaN/Inf "
+                            "guards, halo checksums, drift/CFL heuristics; "
+                            "results stay bit-identical)")
 
     p_an = sub.add_parser(
         "analyze", help="analyze a trace and/or run-report JSON",
@@ -460,11 +527,36 @@ def main(argv: list[str] | None = None) -> int:
                          help="relative slowdown tolerated for wall-clock "
                               "timings (default 1.0)")
 
+    p_lint = sub.add_parser(
+        "lint", help="statically verify DSL scripts (RPR### diagnostics)",
+        parents=[common],
+    )
+    p_lint.add_argument("scripts", nargs="*", metavar="SCRIPT",
+                        help="DSL script file(s) to verify")
+    p_lint.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the findings as repro.lint/1 JSON")
+    p_lint.add_argument("--no-deep", action="store_true",
+                        help="skip solver generation (static DSL/IR checks "
+                             "only, no placement/schedule analysis)")
+    p_lint.add_argument("--codes", action="store_true",
+                        help="print the RPR### diagnostic catalogue and exit")
+
     args = parser.parse_args(argv)
     if args.verbose:
         from repro.util.logging import set_verbosity
 
         set_verbosity("INFO" if args.verbose == 1 else "DEBUG")
+    try:
+        return _dispatch(args, parser)
+    except ReproError as exc:
+        if args.verbose:
+            raise
+        print(_render_error(exc), file=sys.stderr)
+        print("(re-run with -v for the full traceback)", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.command == "info":
         return cmd_info(args)
     if args.command == "figures":
@@ -479,12 +571,21 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_analyze(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     parser.print_help()
     return 2
 
 
+def _render_error(exc: "ReproError") -> str:
+    """One-line diagnostic (+ caret block when the error carries one)."""
+    lines = str(exc).splitlines() or [""]
+    return "\n".join([f"error {exc.code}: {lines[0]}", *lines[1:]])
+
+
 #: Subcommands the ``bte`` alias passes straight through to ``main``.
-_COMMANDS = {"info", "figures", "pipeline", "latex", "bte", "analyze", "bench"}
+_COMMANDS = {"info", "figures", "pipeline", "latex", "bte", "analyze",
+             "bench", "lint"}
 
 
 def bte_main(argv: list[str] | None = None) -> int:

@@ -79,6 +79,7 @@ def rank_program(comm):
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
+        state.sanitize_step()
         state.maybe_checkpoint()
     T = state.extra.get('T')
     return {
@@ -114,6 +115,7 @@ def rank_program(comm):
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
+        state.sanitize_step()
         state.maybe_checkpoint()
     T = state.extra.get('T')
     return {

@@ -148,6 +148,7 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
         "        with state.timers.time('post_step'), trace_phase('post_step'):",
         "            cb.fn(state)",
         "    state.observe_step()",
+        "    state.sanitize_step()",
         "    state.maybe_checkpoint()",
         "state.check_health()",
         "return state",

@@ -94,6 +94,13 @@ class FEMState:
     def check_health(self) -> None:
         check_finite(self.problem.unknown.name, self._u)
 
+    def sanitize_step(self) -> None:
+        from repro.verify.sanitizer import get_sanitizer
+
+        san = get_sanitizer()
+        if san.enabled:
+            san.check_state(self)
+
 
 _SOURCE = '''
 
@@ -115,6 +122,7 @@ def run_steps(state, nsteps):
         step_once(state)
         for cb in POST_STEP_CALLBACKS:
             cb.fn(state)
+        state.sanitize_step()
     state.check_health()
     return state
 '''

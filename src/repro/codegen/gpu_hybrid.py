@@ -266,6 +266,7 @@ def step_once(state):
                        launch_time, host.now(), cat='fault',
                        reason=type(faulted).__name__)
         state.gpu_phases['solve for intensity'] += COST_INTERIOR_CPU
+    state.sanitize_kernel_output(KERNEL.name, u_new)
     # u = u_new + u_bdry (the boundary part of the explicit update)
     state.u = u_new + state.dt * du_bdry
 
@@ -291,6 +292,7 @@ def run_steps(state, nsteps):
                            state.host_clock.now(), cat='phase')
             state.gpu_phases['temperature update'] += COST_TEMP
         state.observe_step()
+        state.sanitize_step()
         state.maybe_checkpoint()
     state.check_health()
     return state
@@ -422,9 +424,12 @@ class GPUHybridTarget(CodegenTarget):
             return solver
 
         arrays = [
+            # the unknown is double-buffered: the kernel writes u_new while
+            # the overlapped CPU boundary callbacks read u (Fig. 6 is safe)
             ArrayUse("u", u_bytes,
                      readers=("interior_update", "boundary_callbacks", "post_step_callbacks"),
-                     writers=("interior_update", "post_step_callbacks")),
+                     writers=("interior_update", "post_step_callbacks"),
+                     double_buffered=True),
             ArrayUse("geometry", float(geom.normal.nbytes + geom.area.nbytes),
                      readers=("interior_update",), writers=(), mutated_each_step=False),
         ] + [
@@ -433,6 +438,8 @@ class GPUHybridTarget(CodegenTarget):
             for name in known_vars
         ]
         transfer_plan = plan_transfers(placement, arrays)
+        # kept for the layer-2 verifier (transfer completeness, race checks)
+        array_uses = arrays
 
         # ---- source ---------------------------------------------------------
         lines = source_header("gpu_hybrid", problem, print_ir(ir))
@@ -515,6 +522,7 @@ class GPUHybridTarget(CodegenTarget):
         solver.expanded_expr = expanded
         solver.placement = placement
         solver.transfer_plan = transfer_plan
+        solver.array_uses = array_uses
         solver.device = device
         solver.kernel = kernel
         return solver

@@ -134,6 +134,7 @@ def rank_program(comm):
                            host.now(), cat='fault',
                            reason=type(faulted).__name__)
             comm.compute(host.now() - mark, phase='solve for intensity')
+        state.sanitize_kernel_output(KERNEL.name, u_new[own])
         state.u[own] = u_new[own] + state.dt * du_bdry[own]
 
         # CPU temperature update; its band-energy allreduce advances the
@@ -147,6 +148,7 @@ def rank_program(comm):
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
+        state.sanitize_step()
         state.maybe_checkpoint()
 
     T = state.extra.get('T')

@@ -56,6 +56,7 @@ def run_steps(state, nsteps):
         for cb in POST_STEP_CALLBACKS:
             cb.fn(state)
         state.observe_step()
+        state.sanitize_step()
         state.maybe_checkpoint()
     state.check_health()
     return state

@@ -23,13 +23,20 @@ from repro.codegen.placement.optimizer import PlacementPlan
 
 @dataclass(frozen=True)
 class ArrayUse:
-    """Which tasks read/write one named array, and its size."""
+    """Which tasks read/write one named array, and its size.
+
+    ``double_buffered`` marks arrays the generated code shadows on the
+    device (the unknown: kernels write ``u_new`` while CPU tasks read
+    ``u``): the race verifier exempts them from same-step read/write
+    hazards.
+    """
 
     name: str
     nbytes: float
     readers: tuple[str, ...] = ()
     writers: tuple[str, ...] = ()
     mutated_each_step: bool = True
+    double_buffered: bool = False
 
 
 @dataclass

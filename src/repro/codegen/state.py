@@ -117,6 +117,28 @@ class SolverState:
         """NaN/Inf guard, called by generated run loops between steps."""
         check_finite(self.unknown.name, self.u)
 
+    def sanitize_step(self) -> None:
+        """Per-step runtime-sanitizer hook, called by every generated run
+        loop next to :meth:`observe_step`.
+
+        A no-op (one attribute check) unless a ``--sanitize`` run enabled
+        the sanitizer; when live it runs the read-only NaN/Inf, residency,
+        CFL and conservation-drift checks with this step's provenance.
+        """
+        from repro.verify.sanitizer import get_sanitizer
+
+        san = get_sanitizer()
+        if san.enabled:
+            san.check_state(self)
+
+    def sanitize_kernel_output(self, kernel: str, array: np.ndarray) -> None:
+        """Per-kernel NaN/Inf guard on device output (``--sanitize`` only)."""
+        from repro.verify.sanitizer import get_sanitizer
+
+        san = get_sanitizer()
+        if san.enabled:
+            san.check_kernel_output(kernel, array, state=self)
+
     def observe_step(self) -> None:
         """Per-step solver metrics, called by every generated run loop.
 

@@ -26,7 +26,7 @@ from repro.mesh.partition import (
 )
 from repro.mesh.gmsh_io import read_gmsh, write_gmsh
 from repro.mesh.medit_io import read_medit, write_medit
-from repro.mesh.vtk_io import write_vtk
+from repro.mesh.vtk_io import read_vtk, write_vtk
 from repro.mesh.grid import triangulated_grid
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "read_gmsh",
     "write_gmsh",
     "read_medit",
+    "read_vtk",
     "write_medit",
     "write_vtk",
     "triangulated_grid",

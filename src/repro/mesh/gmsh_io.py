@@ -27,13 +27,32 @@ _ELEMENT_TYPES = {
 
 
 def read_gmsh(path: str | Path | io.TextIOBase, name: str | None = None) -> Mesh:
-    """Read a Gmsh 2.2 ASCII ``.msh`` file into a :class:`Mesh`."""
+    """Read a Gmsh 2.2 ASCII ``.msh`` file into a :class:`Mesh`.
+
+    Malformed input — truncated files, garbage tokens, dangling node
+    references — raises :class:`MeshError` (code RPR501), never a bare
+    ``IndexError``/``ValueError`` from the parser internals.
+    """
     if isinstance(path, (str, Path)):
         text = Path(path).read_text()
         label = name or Path(path).stem
     else:
         text = path.read()
         label = name or "gmsh"
+    try:
+        return _parse_gmsh(text, label)
+    except MeshError as exc:
+        if exc.code == MeshError.default_code:
+            exc.code = "RPR501"
+        raise
+    except (IndexError, KeyError, ValueError) as exc:
+        raise MeshError(
+            f"malformed gmsh input {label!r}: {type(exc).__name__}: {exc}",
+            code="RPR501",
+        ) from exc
+
+
+def _parse_gmsh(text: str, label: str) -> Mesh:
     lines = [ln.strip() for ln in text.splitlines()]
     i = 0
 

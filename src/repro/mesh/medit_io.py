@@ -21,13 +21,32 @@ _SECTIONS = ("vertices", "edges", "triangles", "quadrilaterals", "end")
 
 
 def read_medit(path: str | Path | io.TextIOBase, name: str | None = None) -> Mesh:
-    """Read a MEDIT ASCII ``.mesh`` file into a :class:`Mesh`."""
+    """Read a MEDIT ASCII ``.mesh`` file into a :class:`Mesh`.
+
+    Malformed input — truncated files, garbage tokens, negative counts —
+    raises :class:`MeshError` (code RPR502), never a bare
+    ``IndexError``/``ValueError`` from the parser internals.
+    """
     if isinstance(path, (str, Path)):
         text = Path(path).read_text()
         label = name or Path(path).stem
     else:
         text = path.read()
         label = name or "medit"
+    try:
+        return _parse_medit(text, label)
+    except MeshError as exc:
+        if exc.code == MeshError.default_code:
+            exc.code = "RPR502"
+        raise
+    except (IndexError, KeyError, ValueError) as exc:
+        raise MeshError(
+            f"malformed MEDIT input {label!r}: {type(exc).__name__}: {exc}",
+            code="RPR502",
+        ) from exc
+
+
+def _parse_medit(text: str, label: str) -> Mesh:
     tokens = text.split()
     i = 0
 

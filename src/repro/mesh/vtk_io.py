@@ -1,9 +1,10 @@
-"""VTK legacy ASCII writer for cell-centred results.
+"""VTK legacy ASCII reader/writer for cell-centred results.
 
 The paper's temperature plots (Figs. 2, 10) come from a visualisation tool;
 this writer exports any mesh + per-cell fields (temperature, intensity
 moments, partition ids) as an unstructured-grid ``.vtk`` file that ParaView
-and VisIt open directly.
+and VisIt open directly.  :func:`read_vtk` round-trips the same dialect
+(legacy ASCII ``DATASET UNSTRUCTURED_GRID``) back into a :class:`Mesh`.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.mesh.mesh import Mesh
+from repro.mesh.mesh import Mesh, build_mesh
 from repro.util.errors import MeshError
 
 #: VTK cell-type ids
@@ -32,6 +33,109 @@ def _cell_type(mesh: Mesh, nnodes: int) -> int:
     if nnodes == 8:
         return _VTK_HEXAHEDRON
     raise MeshError(f"cannot map a {mesh.dim}-D cell with {nnodes} nodes to VTK")
+
+
+#: legacy cell-type id -> spatial dimension (the types the writer emits)
+_TYPE_DIMS = {
+    _VTK_LINE: 1,
+    _VTK_TRIANGLE: 2,
+    _VTK_QUAD: 2,
+    _VTK_POLYGON: 2,
+    _VTK_HEXAHEDRON: 3,
+}
+
+
+def read_vtk(path: str | Path | io.TextIOBase, name: str | None = None) -> Mesh:
+    """Read a legacy ASCII unstructured-grid ``.vtk`` file into a :class:`Mesh`.
+
+    Malformed input — truncated sections, garbage tokens, unknown cell
+    types — raises :class:`MeshError` (code RPR503), never a bare
+    ``IndexError``/``ValueError`` from the parser internals.
+    """
+    if isinstance(path, (str, Path)):
+        text = Path(path).read_text()
+        label = name or Path(path).stem
+    else:
+        text = path.read()
+        label = name or "vtk"
+    try:
+        return _parse_vtk(text, label)
+    except MeshError as exc:
+        if exc.code == MeshError.default_code:
+            exc.code = "RPR503"
+        raise
+    except (IndexError, KeyError, ValueError) as exc:
+        raise MeshError(
+            f"malformed VTK input {label!r}: {type(exc).__name__}: {exc}",
+            code="RPR503",
+        ) from exc
+
+
+def _parse_vtk(text: str, label: str) -> Mesh:
+    lines = text.splitlines()
+    if len(lines) < 4 or not lines[0].startswith("# vtk DataFile"):
+        raise MeshError("not a legacy VTK file (missing '# vtk DataFile' header)")
+    if lines[2].strip().upper() != "ASCII":
+        raise MeshError(f"only ASCII VTK is supported (got {lines[2].strip()!r})")
+    if "UNSTRUCTURED_GRID" not in lines[3].upper():
+        raise MeshError(
+            f"only DATASET UNSTRUCTURED_GRID is supported (got {lines[3].strip()!r})")
+
+    tokens = " ".join(lines[4:]).split()
+    i = 0
+
+    def take() -> str:
+        nonlocal i
+        if i >= len(tokens):
+            raise MeshError("unexpected end of VTK file")
+        tok = tokens[i]
+        i += 1
+        return tok
+
+    def expect(keyword: str) -> None:
+        tok = take()
+        if tok.upper() != keyword:
+            raise MeshError(f"expected {keyword} section, got {tok!r}")
+
+    expect("POINTS")
+    npoints = int(take())
+    take()  # datatype (double/float)
+    if npoints < 1:
+        raise MeshError(f"POINTS count must be positive (got {npoints})")
+    points = np.array(
+        [float(take()) for _ in range(npoints * 3)]
+    ).reshape(npoints, 3)
+
+    expect("CELLS")
+    ncells = int(take())
+    take()  # total list size (recomputed below)
+    if ncells < 1:
+        raise MeshError(f"CELLS count must be positive (got {ncells})")
+    cells: list[list[int]] = []
+    for _ in range(ncells):
+        count = int(take())
+        if count < 2:
+            raise MeshError(f"cell with {count} nodes in CELLS section")
+        nodes = [int(take()) for _ in range(count)]
+        if any(n < 0 or n >= npoints for n in nodes):
+            raise MeshError(f"cell references node out of range [0, {npoints})")
+        cells.append(nodes)
+
+    expect("CELL_TYPES")
+    ntypes = int(take())
+    if ntypes != ncells:
+        raise MeshError(f"CELL_TYPES count {ntypes} != CELLS count {ncells}")
+    dims = set()
+    for _ in range(ncells):
+        ctype = int(take())
+        if ctype not in _TYPE_DIMS:
+            raise MeshError(f"unsupported VTK cell type {ctype}")
+        dims.add(_TYPE_DIMS[ctype])
+    if len(dims) != 1:
+        raise MeshError(f"mixed-dimension VTK cells {sorted(dims)}")
+    dim = dims.pop()
+    return build_mesh(points[:, :dim], cells, dim=dim,
+                      boundary_marker=lambda c, n: 1, name=label)
 
 
 def write_vtk(
@@ -88,4 +192,4 @@ def write_vtk(
         path.write(out.getvalue())
 
 
-__all__ = ["write_vtk"]
+__all__ = ["read_vtk", "write_vtk"]

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.util.errors import AnalysisInputError
+
 SCHEMA = "repro.analysis/1"
 
 #: Span categories recorded with virtual (simulated) timestamps.
@@ -321,7 +323,7 @@ def analyze(trace_path: str | Path | None = None,
             report_path: str | Path | None = None) -> Analysis:
     """Analyze a trace JSON and/or a run-report JSON into one document."""
     if trace_path is None and report_path is None:
-        raise ValueError("need a trace file, a report file, or both")
+        raise AnalysisInputError("need a trace file, a report file, or both")
     analysis = Analysis()
 
     if report_path is not None:

@@ -35,6 +35,7 @@ import threading
 from pathlib import Path
 from typing import Any
 
+from repro.util.errors import MetricsError
 from repro.util.stats import RESERVOIR_SIZE, Reservoir, percentile
 
 SCHEMA = "repro.metrics/1"
@@ -94,7 +95,7 @@ class Counter(_Metric):
 
     def inc(self, value: float = 1.0, **labels: Any) -> None:
         if value < 0:
-            raise ValueError(f"counter {self.name} cannot decrease (inc {value})")
+            raise MetricsError(f"counter {self.name} cannot decrease (inc {value})")
         cell = self._get(labels)
         with self._lock:
             cell[0] += value

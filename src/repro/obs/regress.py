@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.util.errors import BenchFormatError
+
 SCHEMA = "repro.bench/1"
 
 #: Relative slowdown ((cur - base) / base) above which a benchmark fails.
@@ -47,11 +49,11 @@ def load_bench(path: str | Path) -> dict[str, Any]:
     doc = json.loads(Path(path).read_text())
     schema = doc.get("schema", "")
     if not schema.startswith("repro.bench/"):
-        raise ValueError(
+        raise BenchFormatError(
             f"{path}: not a benchmark envelope (schema={schema!r})"
         )
     if not isinstance(doc.get("timings"), dict):
-        raise ValueError(f"{path}: envelope has no 'timings' mapping")
+        raise BenchFormatError(f"{path}: envelope has no 'timings' mapping")
     return doc
 
 

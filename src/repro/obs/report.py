@@ -19,6 +19,9 @@ actually has) into a single document:
                the paper's data-movement-aware placement model
     resilience injected faults, retries, recoveries, checkpoints and
                degraded placements (when the fault/recovery layer was live)
+    diagnostics  runtime sanitizer findings (``--sanitize`` runs only):
+               every RPR### diagnostic with its provenance, plus the
+               number of checks performed
     trace    span/track counts when a tracer was active
 
 Every numeric field is JSON-safe (no ``inf``/``nan``): never-recorded
@@ -58,6 +61,7 @@ class RunReport:
     gpu: dict[str, Any] | None = None
     placement: dict[str, Any] | None = None
     resilience: dict[str, Any] | None = None
+    diagnostics: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
 
@@ -68,7 +72,8 @@ class RunReport:
             "timers": self.timers,
             "phases": self.phases,
         }
-        for key in ("comm", "gpu", "placement", "resilience", "trace", "metrics"):
+        for key in ("comm", "gpu", "placement", "resilience", "diagnostics",
+                    "trace", "metrics"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -257,6 +262,10 @@ def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
     from repro.runtime.resilience import resilience_section
 
     report.resilience = resilience_section()
+
+    from repro.verify.sanitizer import sanitizer_section
+
+    report.diagnostics = sanitizer_section()
 
     if tracer is not None and tracer.enabled:
         report.trace = tracer.summary()

@@ -45,6 +45,7 @@ from repro.perfmodel.machines import (
     default_gpu_spec,
 )
 from repro.runtime.netmodel import IB_CLUSTER, NetworkModel
+from repro.util.errors import ScalingModelError
 
 #: Effective per-thread work of the flattened BTE interior kernel.  The
 #: one-thread-per-DOF flattening recomputes the whole face loop (geometry
@@ -115,7 +116,7 @@ def band_parallel_times(
     rows = []
     for p in procs:
         if p > w.nbands:
-            raise ValueError(
+            raise ScalingModelError(
                 f"band partitioning supports at most {w.nbands} ranks (got {p})"
             )
         nb = bands_per_rank(w.nbands, p)
@@ -146,7 +147,7 @@ def cell_parallel_times(
     rows = []
     for p in procs:
         if p > w.ncells:
-            raise ValueError(f"more ranks ({p}) than cells ({w.ncells})")
+            raise ScalingModelError(f"more ranks ({p}) than cells ({w.ncells})")
         nc = w.ncells / p
         intensity = cost.intensity_step(nc, w.ncomp)
         boundary = cost.boundary_step(w.n_boundary_faces / p, w.ncomp)
@@ -184,7 +185,7 @@ def fortran_reference_times(
     rows = []
     for p in procs:
         if p > w.nbands:
-            raise ValueError(
+            raise ScalingModelError(
                 f"band partitioning supports at most {w.nbands} ranks (got {p})"
             )
         nb = bands_per_rank(w.nbands, p)
@@ -234,7 +235,7 @@ def gpu_hybrid_times(
     rows = []
     for g in devices:
         if g > w.nbands:
-            raise ValueError(
+            raise ScalingModelError(
                 f"band partitioning supports at most {w.nbands} devices (got {g})"
             )
         nb = bands_per_rank(w.nbands, g)

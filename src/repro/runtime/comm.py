@@ -235,6 +235,12 @@ class Communicator:
         seq = self._send_seq.get(key, 0) + 1
         self._send_seq[key] = seq
         msg = _Message(payload, nbytes, self.clock.now(), seq=seq)
+        from repro.verify.sanitizer import get_sanitizer
+        san = get_sanitizer()
+        if san.enabled:
+            # out-of-band checksum: the payload (and every byte count the
+            # virtual clocks see) is untouched
+            san.note_sent(self.rank, dest, tag, seq, payload)
         copies = 1
         injector = get_injector()
         if injector.enabled:
@@ -354,6 +360,10 @@ class Communicator:
     def recv(self, source: int, tag: int = 0, phase: str = "communication") -> Any:
         """Blocking receive; virtual clock jumps to the arrival time."""
         msg, penalty = self._next_message(source, tag)
+        from repro.verify.sanitizer import get_sanitizer
+        san = get_sanitizer()
+        if san.enabled:
+            san.check_received(source, self.rank, tag, msg.seq, msg.payload)
         arrival = (msg.send_time + msg.extra_delay_s
                    + self.world.network.transfer_time(msg.nbytes))
         before = self.clock.now()

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from typing import Any
 
+from repro.util.errors import ExprError
+
 _NUMERIC = (int, float)
 
 
@@ -192,7 +194,7 @@ class Sym(_Leaf):
 
     def __init__(self, name: str):
         if not name:
-            raise ValueError("symbol name must be non-empty")
+            raise ExprError("symbol name must be non-empty")
         object.__setattr__(self, "name", name)
 
     def _key(self) -> tuple:
@@ -213,7 +215,7 @@ class Indexed(_Leaf):
 
     def __init__(self, base: str, indices: tuple[str | int, ...]):
         if not indices:
-            raise ValueError(f"Indexed('{base}') needs at least one index")
+            raise ExprError(f"Indexed('{base}') needs at least one index")
         for ix in indices:
             if not isinstance(ix, (str, int)) or isinstance(ix, bool):
                 raise TypeError(f"index must be str or int, got {ix!r}")
@@ -235,7 +237,7 @@ class FaceNormal(_Leaf):
 
     def __init__(self, component: int):
         if component < 1 or component > 3:
-            raise ValueError("face-normal component must be 1, 2 or 3")
+            raise ExprError("face-normal component must be 1, 2 or 3")
         object.__setattr__(self, "component", int(component))
 
     def _key(self) -> tuple:
@@ -279,7 +281,7 @@ class SideValue(Expr):
 
     def __init__(self, expr: Expr, side: int):
         if side not in (1, 2):
-            raise ValueError("side must be 1 (owner) or 2 (neighbour)")
+            raise ExprError("side must be 1 (owner) or 2 (neighbour)")
         object.__setattr__(self, "expr", as_expr(expr))
         object.__setattr__(self, "side", int(side))
 
@@ -318,7 +320,7 @@ class _Nary(Expr):
             else:
                 coerced.append(a)
         if len(coerced) < 1:
-            raise ValueError(f"{type(self).__name__} needs at least one argument")
+            raise ExprError(f"{type(self).__name__} needs at least one argument")
         object.__setattr__(self, "args", tuple(coerced))
 
     def __setattr__(self, name: str, value: Any) -> None:
@@ -427,7 +429,7 @@ class Call(Expr):
 
     def __init__(self, func: str, *args: Expr | int | float):
         if not func:
-            raise ValueError("function name must be non-empty")
+            raise ExprError("function name must be non-empty")
         object.__setattr__(self, "func", func)
         object.__setattr__(self, "args", tuple(as_expr(a) for a in args))
 
@@ -458,7 +460,7 @@ class Cmp(Expr):
 
     def __init__(self, op: str, lhs: Expr | int | float, rhs: Expr | int | float):
         if op not in _CMP_OPS:
-            raise ValueError(f"unknown comparison operator {op!r}")
+            raise ExprError(f"unknown comparison operator {op!r}")
         object.__setattr__(self, "op", op)
         object.__setattr__(self, "lhs", as_expr(lhs))
         object.__setattr__(self, "rhs", as_expr(rhs))
@@ -525,7 +527,7 @@ class Vector(Expr):
 
     def __init__(self, *components: Expr | int | float):
         if len(components) < 1:
-            raise ValueError("Vector needs at least one component")
+            raise ExprError("Vector needs at least one component")
         object.__setattr__(self, "components", tuple(as_expr(c) for c in components))
 
     def __setattr__(self, name: str, value: Any) -> None:
@@ -562,7 +564,7 @@ class Reconstruction(Expr):
 
     def __init__(self, scheme: str, velocity_normal: "Expr", quantity: "Expr"):
         if not scheme:
-            raise ValueError("reconstruction scheme name must be non-empty")
+            raise ExprError("reconstruction scheme name must be non-empty")
         object.__setattr__(self, "scheme", scheme)
         object.__setattr__(self, "velocity_normal", as_expr(velocity_normal))
         object.__setattr__(self, "quantity", as_expr(quantity))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.util.errors import ClockError
 from repro.util.stats import Reservoir, percentile
 
 
@@ -38,7 +39,7 @@ class VirtualClock:
     def advance(self, dt: float) -> float:
         """Move the clock forward by ``dt`` seconds (``dt`` must be >= 0)."""
         if dt < 0:
-            raise ValueError(f"cannot advance a clock backwards (dt={dt})")
+            raise ClockError(f"cannot advance a clock backwards (dt={dt})")
         self._t += dt
         return self._t
 

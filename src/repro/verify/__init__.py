@@ -1,0 +1,84 @@
+"""Static verification + runtime sanitizing for the DSL->IR->codegen pipeline.
+
+Three layers, one diagnostic vocabulary (stable ``RPR###`` codes, see
+:mod:`repro.verify.codes`):
+
+1. **static DSL/IR checks** (:mod:`repro.verify.static_checks`) — undefined
+   symbols, index/shape consistency, boundary coverage, loop ordering,
+   conservation-form well-formedness;
+2. **placement & schedule hazards** (:mod:`repro.verify.placement_checks`,
+   :mod:`repro.verify.schedule`) — transfer-plan completeness, WAW and
+   kernel-vs-CPU races, SPMD send/recv matching and deadlock detection;
+3. **runtime sanitizer** (:mod:`repro.verify.sanitizer`) — NaN/Inf guards,
+   halo checksums, residency and stability checks during a ``--sanitize``
+   run.
+
+Entry points: ``bte lint <script>`` on the CLI, :func:`lint_problem` /
+:func:`verify_solver` from code, :func:`sanitize_run` around a solve.
+"""
+
+from repro.verify.codes import CATALOGUE, CodeInfo, describe, render_catalogue
+from repro.verify.diagnostics import Diagnostic, DiagnosticReport
+from repro.verify.lint import (
+    ScriptLint,
+    lint_paths,
+    lint_problem,
+    lint_script,
+    verify_solver,
+)
+from repro.verify.placement_checks import (
+    check_hazards,
+    check_placement,
+    check_transfers,
+    verify_solver_placement,
+)
+from repro.verify.sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    get_sanitizer,
+    sanitize_run,
+    sanitizer_section,
+)
+from repro.verify.schedule import (
+    CollectiveOp,
+    RecvOp,
+    SendOp,
+    check_halo_symmetry,
+    halo_programs,
+    simulate_schedule,
+    verify_halo_layout,
+    verify_solver_schedule,
+)
+from repro.verify.static_checks import check_problem
+
+__all__ = [
+    "CATALOGUE",
+    "CodeInfo",
+    "describe",
+    "render_catalogue",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ScriptLint",
+    "lint_paths",
+    "lint_problem",
+    "lint_script",
+    "verify_solver",
+    "check_hazards",
+    "check_placement",
+    "check_transfers",
+    "verify_solver_placement",
+    "verify_solver_schedule",
+    "Sanitizer",
+    "SanitizerError",
+    "get_sanitizer",
+    "sanitize_run",
+    "sanitizer_section",
+    "CollectiveOp",
+    "RecvOp",
+    "SendOp",
+    "check_halo_symmetry",
+    "halo_programs",
+    "simulate_schedule",
+    "verify_halo_layout",
+    "check_problem",
+]

@@ -1,0 +1,156 @@
+"""Diagnostic records and reports for the verifier and the sanitizer.
+
+A :class:`Diagnostic` is one finding: a stable ``RPR###`` code, a severity,
+a human message, and whatever provenance the producing layer has — a source
+string with a caret position (static DSL checks), a task/array name
+(placement hazards), a rank (schedule analysis), a step/cell index (runtime
+sanitizer).  A :class:`DiagnosticReport` collects findings from all layers
+and renders them for the CLI or the run report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import ReproError, caret_block
+from repro.verify.codes import describe
+
+SCHEMA = "repro.diagnostics/1"
+
+#: severity ordering for sorting and gating
+_SEVERITY_RANK = {"error": 0, "warning": 1, "info": 2}
+
+
+@dataclass
+class Diagnostic:
+    """One verifier/sanitizer finding."""
+
+    code: str
+    message: str
+    severity: str = "error"
+    #: producing layer ("dsl", "ir", "placement", "schedule", "runtime", ...)
+    layer: str = ""
+    #: structured provenance: task=..., array=..., rank=..., step=..., cell=...
+    where: dict[str, Any] = field(default_factory=dict)
+    #: DSL source + caret position, when the finding points into an equation
+    source: str = ""
+    position: int = -1
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if not self.layer:
+            self.layer = describe(self.code).layer
+
+    @classmethod
+    def from_code(cls, code: str, message: str, **where: Any) -> "Diagnostic":
+        """Build a finding taking layer + default severity from the catalogue."""
+        info = describe(code)
+        source = where.pop("source", "")
+        position = where.pop("position", -1)
+        return cls(code=code, message=message, severity=info.severity,
+                   layer=info.layer, where=where, source=source,
+                   position=position)
+
+    @classmethod
+    def from_error(cls, exc: ReproError, **where: Any) -> "Diagnostic":
+        """Wrap a typed exception (its ``code`` becomes the diagnostic code)."""
+        d = cls.from_code(getattr(exc, "code", "RPR000"),
+                          str(exc).split("\n", 1)[0], **where)
+        d.source = getattr(exc, "source", "") or ""
+        d.position = getattr(exc, "position", -1)
+        return d
+
+    def render(self) -> str:
+        ctx = " ".join(f"{k}={v}" for k, v in self.where.items())
+        line = f"{self.code} {self.severity} [{self.layer}] {self.message}"
+        if ctx:
+            line += f"  ({ctx})"
+        block = caret_block(self.source, self.position)
+        if block:
+            line += f"\n{block}"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "layer": self.layer,
+            "message": self.message,
+        }
+        if self.where:
+            doc["where"] = dict(self.where)
+        if self.source and self.position >= 0:
+            doc["source"] = self.source
+            doc["position"] = self.position
+        return doc
+
+
+@dataclass
+class DiagnosticReport:
+    """All findings of one lint/sanitize pass."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: how many distinct checks ran (so "0 findings" is meaningful)
+    checks_run: int = 0
+
+    def add(self, diag: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "DiagnosticReport | list[Diagnostic]") -> None:
+        if isinstance(other, DiagnosticReport):
+            self.diagnostics.extend(other.diagnostics)
+            self.checks_run += other.checks_run
+        else:
+            self.diagnostics.extend(other)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def codes(self) -> list[str]:
+        return [d.code for d in self.diagnostics]
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (_SEVERITY_RANK[d.severity], d.code),
+        )
+
+    def summary(self) -> str:
+        ne, nw = len(self.errors), len(self.warnings)
+        if not ne and not nw:
+            return f"OK ({self.checks_run} check(s), no findings)"
+        parts = []
+        if ne:
+            parts.append(f"{ne} error(s)")
+        if nw:
+            parts.append(f"{nw} warning(s)")
+        return ", ".join(parts)
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.sorted()]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "checks_run": self.checks_run,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+
+__all__ = ["Diagnostic", "DiagnosticReport", "SCHEMA"]

@@ -1,0 +1,118 @@
+"""Diagnostic records, the RPR catalogue, and caret rendering."""
+
+import pytest
+
+from repro.symbolic.parser import parse
+from repro.util.errors import MeshError, ParseError, ReproError, caret_block
+from repro.verify import CATALOGUE, describe, render_catalogue
+from repro.verify.diagnostics import Diagnostic, DiagnosticReport
+
+
+class TestCatalogue:
+    def test_every_code_well_formed(self):
+        for code, info in CATALOGUE.items():
+            assert code == info.code
+            assert code.startswith("RPR") and len(code) == 6
+            assert info.layer
+            assert info.title
+            assert info.severity in ("error", "warning", "info")
+
+    def test_describe_known_and_unknown(self):
+        assert describe("RPR121").layer == "dsl"
+        assert describe("RPR999").title  # unknown codes get a placeholder
+
+    def test_render_catalogue_lists_everything(self):
+        text = render_catalogue()
+        for code in CATALOGUE:
+            assert code in text
+
+    def test_error_default_codes_are_catalogued(self):
+        # every ReproError subclass default code must exist in the catalogue
+        def subclasses(cls):
+            for sub in cls.__subclasses__():
+                yield sub
+                yield from subclasses(sub)
+
+        for cls in {ReproError, *subclasses(ReproError)}:
+            assert cls.default_code in CATALOGUE, cls.__name__
+
+    def test_documented_in_architecture_md(self):
+        from pathlib import Path
+
+        doc = Path(__file__).parents[2] / "docs" / "architecture.md"
+        text = doc.read_text()
+        missing = [code for code in CATALOGUE if code not in text]
+        assert not missing, f"codes absent from docs/architecture.md: {missing}"
+
+
+class TestDiagnostic:
+    def test_from_code_takes_catalogue_defaults(self):
+        d = Diagnostic.from_code("RPR303", "drifted", step=3)
+        assert d.severity == "warning"
+        assert d.layer == "runtime"
+        assert d.where == {"step": 3}
+
+    def test_from_error_uses_exception_code(self):
+        d = Diagnostic.from_error(MeshError("bad mesh", code="RPR501"))
+        assert d.code == "RPR501"
+        assert d.message == "bad mesh"
+
+    def test_render_includes_provenance(self):
+        d = Diagnostic.from_code("RPR301", "u went non-finite",
+                                 step=7, rank=1)
+        text = d.render()
+        assert "RPR301" in text and "step=7" in text and "rank=1" in text
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="RPR000", message="x", severity="fatal")
+
+
+class TestReport:
+    def test_summary_and_sorting(self):
+        r = DiagnosticReport()
+        r.checks_run = 2
+        assert r.summary() == "OK (2 check(s), no findings)"
+        r.add(Diagnostic.from_code("RPR304", "w"))  # warning
+        r.add(Diagnostic.from_code("RPR101", "e"))  # error
+        assert r.summary() == "1 error(s), 1 warning(s)"
+        assert [d.code for d in r.sorted()] == ["RPR101", "RPR304"]
+        assert r.has_errors
+
+    def test_to_dict_schema(self):
+        r = DiagnosticReport()
+        r.add(Diagnostic.from_code("RPR121", "m", region=4))
+        doc = r.to_dict()
+        assert doc["schema"] == "repro.diagnostics/1"
+        assert doc["errors"] == 1
+        assert doc["diagnostics"][0]["where"] == {"region": 4}
+
+
+class TestCaretRendering:
+    def test_single_line_caret(self):
+        err = ParseError("unexpected token", source="a + * b", position=4)
+        text = str(err)
+        lines = text.splitlines()
+        assert lines[1] == "  a + * b"
+        assert lines[2] == "      ^"
+
+    def test_multi_line_caret_points_into_right_line(self):
+        src = "first line\nsecond line has the error here\nthird"
+        pos = src.index("error")
+        err = ParseError("bad", source=src, position=pos)
+        lines = str(err).splitlines()
+        # only the offending line is shown, labelled with its number,
+        # and the caret column is measured from that line's start
+        assert lines[1] == "  line 2: second line has the error here"
+        caret_col = lines[2].index("^")
+        assert lines[1][caret_col:caret_col + 5] == "error"
+
+    def test_multi_line_parse_error_end_to_end(self):
+        src = "u\n+ surface(upwind(b, u)\n+ q"  # unclosed call
+        with pytest.raises(ParseError) as ei:
+            parse(src)
+        assert "line" in str(ei.value)  # the caret block names a line
+
+    def test_caret_block_empty_for_no_position(self):
+        assert caret_block("abc", -1) == ""
+        assert caret_block("", 2) == ""

@@ -1,0 +1,150 @@
+"""Static DSL/IR mutation tests: every corruption trips its documented code."""
+
+import numpy as np
+
+from repro.dsl.entities import VAR_ARRAY
+from repro.dsl.problem import Problem
+from repro.fvm.boundary import BCKind
+from repro.mesh.grid import structured_grid
+from repro.verify import check_problem
+
+
+def make_problem(n: int = 6, equation: str = "surface(diffuse(D, u))") -> Problem:
+    """A clean 2-D diffusion problem covering all four boundary regions."""
+    p = Problem("verify-fixture")
+    p.set_domain(2)
+    p.set_steps(1e-4, 4)
+    p.set_mesh(structured_grid((n, n)))
+    p.add_variable("u")
+    p.add_coefficient("D", 0.5)
+    for region in (1, 2, 3, 4):
+        p.add_boundary("u", region, BCKind.DIRICHLET, 0.0)
+    p.set_initial("u", lambda x: np.sin(np.pi * x[:, 0]))
+    p.set_conservation_form("u", equation)
+    return p
+
+
+def make_banded_problem(equation: str, nparts: int = 1) -> Problem:
+    """Like :func:`make_problem` but the unknown carries a band index."""
+    p = Problem("verify-banded")
+    p.set_domain(2)
+    p.set_steps(1e-4, 4)
+    p.set_mesh(structured_grid((6, 6)))
+    b = p.add_index("b", (0, 2))
+    p.add_variable("I", VAR_ARRAY, index=[b])
+    p.add_coefficient("D", 0.5)
+    for region in (1, 2, 3, 4):
+        p.add_boundary("I", region, BCKind.DIRICHLET, 0.0)
+    p.set_conservation_form("I", equation)
+    if nparts > 1:
+        p.set_partitioning("bands", nparts, index="b")
+    return p
+
+
+class TestCleanProblem:
+    def test_no_findings(self):
+        report = check_problem(make_problem())
+        assert not report.diagnostics, [d.render() for d in report.diagnostics]
+        assert report.checks_run > 5
+
+
+class TestBoundaryMutations:
+    def test_dropped_bc_trips_rpr121(self):
+        p = make_problem()
+        p.boundaries[:] = [b for b in p.boundaries if b.region != 3]
+        report = check_problem(p)
+        assert "RPR121" in report.codes()
+        diag = next(d for d in report.diagnostics if d.code == "RPR121")
+        assert diag.where["region"] == 3
+
+    def test_unknown_region_trips_rpr122(self):
+        p = make_problem()
+        p.boundaries[0].region = 99
+        report = check_problem(p)
+        codes = report.codes()
+        assert "RPR122" in codes  # region 99 does not exist
+        assert "RPR121" in codes  # ...and region 1 lost its condition
+
+    def test_duplicate_bc_trips_rpr123(self):
+        p = make_problem()
+        p.boundaries.append(p.boundaries[0])
+        assert "RPR123" in check_problem(p).codes()
+
+    def test_dirichlet_without_value_trips_rpr124(self):
+        p = make_problem()
+        p.boundaries[0].value = None
+        assert "RPR124" in check_problem(p).codes()
+
+
+class TestExpressionMutations:
+    def test_unknown_symbol_trips_rpr101_with_caret(self):
+        p = make_problem(equation="surface(diffuse(D, u)) + qqq")
+        report = check_problem(p)
+        diag = next(d for d in report.diagnostics if d.code == "RPR101")
+        assert "qqq" in diag.message
+        assert diag.source and diag.position == diag.source.index("qqq")
+
+    def test_unknown_function_trips_rpr102(self):
+        p = make_problem(equation="surface(wizardry(D, u))")
+        assert "RPR102" in check_problem(p).codes()
+
+    def test_nested_surface_trips_rpr107(self):
+        p = make_problem(
+            equation="surface(diffuse(D, u) + surface(diffuse(D, u)))")
+        assert "RPR107" in check_problem(p).codes()
+
+    def test_unknown_absent_warns_rpr109(self):
+        p = make_problem(equation="-D")
+        report = check_problem(p)
+        assert "RPR109" in [d.code for d in report.warnings]
+
+    def test_missing_equation_trips_rpr110(self):
+        p = Problem("no-eq")
+        p.set_domain(2)
+        p.set_steps(1e-4, 4)
+        p.set_mesh(structured_grid((4, 4)))
+        p.add_variable("u")
+        assert "RPR110" in check_problem(p).codes()
+
+    def test_indexed_entity_referenced_bare_trips_rpr105(self):
+        p = make_banded_problem("-D*I")
+        assert "RPR105" in check_problem(p).codes()
+
+    def test_wrong_index_trips_rpr104(self):
+        p = make_banded_problem("-D*I[z9]")
+        assert "RPR104" in check_problem(p).codes()
+
+
+class TestConfigMutations:
+    def test_missing_steps_trips_rpr132(self):
+        p = make_problem()
+        p.config.dt = 0.0
+        assert "RPR132" in check_problem(p).codes()
+
+    def test_mesh_dimension_mismatch_trips_rpr133(self):
+        p = make_problem()
+        p.config.dimension = 3
+        assert "RPR133" in check_problem(p).codes()
+
+    def test_bad_assembly_order_trips_rpr130(self):
+        p = make_problem()
+        p.config.assembly_order = ["cells", "cells"]
+        assert "RPR130" in check_problem(p).codes()
+
+    def test_assembly_loop_over_missing_index_trips_rpr130(self):
+        p = make_problem()
+        p.config.assembly_order = ["bogus_index", "cells"]
+        assert "RPR130" in check_problem(p).codes()
+
+    def test_partition_index_not_declared_trips_rpr131(self):
+        p = make_problem()
+        p.config.partition_strategy = "bands"
+        p.config.nparts = 2
+        p.config.partition_index = "b"
+        assert "RPR131" in check_problem(p).codes()
+
+    def test_more_ranks_than_bands_warns_rpr131(self):
+        p = make_banded_problem("-D*I[b]", nparts=8)
+        report = check_problem(p)
+        assert "RPR131" in [d.code for d in report.warnings]
+        assert not report.has_errors, [d.render() for d in report.errors]
