@@ -26,12 +26,23 @@ Commands
     Run the small deterministic benchmark suite, write a ``repro.bench/1``
     envelope, and optionally gate against a baseline envelope (exit 1 on
     any relative slowdown above the threshold).
+``tune [--trials N] [--seconds S] [--strategy greedy|grid] [--db F]``
+    Autotune the hot-spot problem: search the tunable space (assembly
+    loop order, partitioning, placement overrides, GPU kernel chunking)
+    on short proxy runs judged by deterministic virtual time, verify each
+    candidate's placement, and record the winner in a ``repro.tune/1``
+    database that ``bte --tuned`` consults automatically.
 ``lint SCRIPT [SCRIPT...] [--json F] [--no-deep] [--codes]``
     Statically verify DSL scripts without running them: undefined symbols,
     index/shape consistency, boundary coverage, placement/transfer hazards
     and SPMD schedule deadlocks, each reported with a stable ``RPR###``
     code (exit 1 on any error-severity finding).  ``--codes`` prints the
     full diagnostic catalogue.
+
+``bte``, ``bench`` and ``tune`` accept ``--cache-dir DIR`` (persist the
+compilation cache across processes; also ``$REPRO_CACHE_DIR``) and
+``--no-cache`` (disable it); ``bte --tuned`` applies the stored best
+configuration for the problem before generating.
 
 ``bte --sanitize`` additionally runs the transient under the runtime
 sanitizer (NaN/Inf guards, halo checksums, drift/CFL heuristics); findings
@@ -229,6 +240,16 @@ def cmd_latex(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    """Honour ``--cache-dir`` / ``--no-cache`` on the process-wide cache."""
+    from repro.tune import configure_cache
+
+    if getattr(args, "no_cache", False):
+        configure_cache(enabled=False)
+    elif getattr(args, "cache_dir", None):
+        configure_cache(cache_dir=args.cache_dir)
+
+
 def cmd_bte(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -239,6 +260,7 @@ def cmd_bte(args: argparse.Namespace) -> int:
     from repro.util.errors import FaultSpecError
     from repro.verify.sanitizer import get_sanitizer, sanitize_run
 
+    _apply_cache_flags(args)
     scenario = hotspot_scenario(
         nx=args.nx, ny=args.nx, ndirs=args.ndirs,
         n_freq_bands=args.bands, dt=args.dt, nsteps=args.steps,
@@ -258,6 +280,10 @@ def cmd_bte(args: argparse.Namespace) -> int:
         problem.extra["checkpoint_dir"] = args.checkpoint_dir
     if args.restore:
         problem.extra["restore_from"] = args.restore
+    if args.tuned:
+        problem.extra["tuned"] = True
+        if args.tune_db:
+            problem.extra["tuning_db"] = args.tune_db
     mode = "gpu" if args.gpu else "cpu"
     print(f"running {scenario.name}: {args.nx}x{args.nx} cells, "
           f"{model.ncomp} components/cell, {args.steps} steps "
@@ -291,6 +317,18 @@ def cmd_bte(args: argparse.Namespace) -> int:
         print(f"resilience: {rlog.summary()}")
     if args.sanitize:
         print(f"sanitizer: {get_sanitizer().summary()}")
+
+    if args.tuned:
+        if problem.extra.get("_tuned_applied"):
+            cfg = problem.extra.get("tuned_config")
+            print("tuned configuration applied: "
+                  f"{cfg if cfg else 'default (no overrides won)'}")
+        else:
+            print("tuned mode: no database entry for this problem "
+                  "(run `bte tune` first)")
+    info = getattr(solver, "generation_info", None)
+    if info and args.verbose:
+        print(f"codegen cache: {info.get('cache')} (key {info.get('key')})")
 
     T = solver.state.extra["T"]
     # state.time, not steps*dt: a --restore run resumes mid-trajectory
@@ -350,11 +388,49 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.bte import build_bte_problem, hotspot_scenario
+    from repro.tune import default_db_path, tune
+
+    _apply_cache_flags(args)
+
+    def factory():
+        scenario = hotspot_scenario(
+            nx=args.nx, ny=args.nx, ndirs=args.ndirs,
+            n_freq_bands=args.bands, dt=args.dt, nsteps=args.steps,
+        )
+        scenario.sigma = max(scenario.sigma, 2.5 * scenario.lx / args.nx)
+        problem, _ = build_bte_problem(scenario)
+        if args.gpu:
+            problem.enable_gpu()
+        if args.ranks > 1:
+            problem.set_partitioning("bands", args.ranks, index="b")
+        return problem
+
+    db_path = args.db or default_db_path()
+    mode = "gpu" if args.gpu else "cpu"
+    print(f"tuning {args.nx}x{args.nx} hot-spot [{mode}, {args.ranks} "
+          f"rank(s)]: {args.strategy} search, budget {args.trials} trial(s)"
+          + (f" / {args.seconds:g} s" if args.seconds else "") + " ...")
+    result = tune(
+        factory,
+        budget_trials=args.trials,
+        budget_seconds=args.seconds,
+        proxy_steps=args.proxy_steps,
+        strategy=args.strategy,
+        db_path=db_path,
+    )
+    print(result.summary())
+    print(f"recorded winner in {result.db_path} — apply it with `bte --tuned`")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import time
 
     from repro.obs.regress import compare, load_bench, run_benchmarks, write_bench
 
+    _apply_cache_flags(args)
     print(f"running benchmark suite ({args.nx}x{args.nx} cells, "
           f"{args.steps} steps per target) ...")
     timings = run_benchmarks(nx=args.nx, nsteps=args.steps)
@@ -441,6 +517,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command")
 
+    # compilation-cache flags shared by the commands that generate solvers
+    cache = argparse.ArgumentParser(add_help=False)
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist the compilation cache under DIR "
+                            "(also $REPRO_CACHE_DIR)")
+    cache.add_argument("--no-cache", action="store_true",
+                       help="disable the compilation cache for this run")
+
     sub.add_parser("info", help="package and configuration summary",
                    parents=[common])
 
@@ -462,7 +546,7 @@ def main(argv: list[str] | None = None) -> int:
     p_tex.add_argument("equation")
 
     p_bte = sub.add_parser("bte", help="run a reduced hot-spot BTE transient",
-                           parents=[common])
+                           parents=[common, cache])
     p_bte.add_argument("--nx", type=int, default=24)
     p_bte.add_argument("--ndirs", type=int, default=8)
     p_bte.add_argument("--bands", type=int, default=8)
@@ -497,6 +581,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="run under the runtime sanitizer (NaN/Inf "
                             "guards, halo checksums, drift/CFL heuristics; "
                             "results stay bit-identical)")
+    p_bte.add_argument("--tuned", action="store_true",
+                       help="apply the stored best configuration from the "
+                            "tuning database before generating")
+    p_bte.add_argument("--tune-db", default=None, metavar="FILE",
+                       help="tuning database to consult (default: "
+                            "tuned.json inside the cache dir)")
 
     p_an = sub.add_parser(
         "analyze", help="analyze a trace and/or run-report JSON",
@@ -511,7 +601,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_bench = sub.add_parser(
         "bench", help="run the benchmark suite; optionally gate on a baseline",
-        parents=[common],
+        parents=[common, cache],
     )
     p_bench.add_argument("--nx", type=int, default=16)
     p_bench.add_argument("--steps", type=int, default=5)
@@ -526,6 +616,33 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--wall-threshold", type=float, default=None,
                          help="relative slowdown tolerated for wall-clock "
                               "timings (default 1.0)")
+
+    p_tune = sub.add_parser(
+        "tune", help="autotune the hot-spot problem; record the winner",
+        parents=[common, cache],
+    )
+    p_tune.add_argument("--nx", type=int, default=16)
+    p_tune.add_argument("--ndirs", type=int, default=8)
+    p_tune.add_argument("--bands", type=int, default=8)
+    p_tune.add_argument("--dt", type=float, default=1e-12)
+    p_tune.add_argument("--steps", type=int, default=5,
+                        help="steps of the problem being tuned (trials run "
+                             "a shorter proxy; see --proxy-steps)")
+    p_tune.add_argument("--gpu", action="store_true",
+                        help="tune with the GPU target available")
+    p_tune.add_argument("--ranks", type=int, default=1, metavar="N",
+                        help="tune the N-rank band-partitioned problem")
+    p_tune.add_argument("--trials", type=int, default=8, metavar="N",
+                        help="trial budget (default 8)")
+    p_tune.add_argument("--seconds", type=float, default=None, metavar="S",
+                        help="wall-time budget on top of --trials")
+    p_tune.add_argument("--proxy-steps", type=int, default=2, metavar="N",
+                        help="steps per trial run (default 2)")
+    p_tune.add_argument("--strategy", choices=("greedy", "grid"),
+                        default="greedy")
+    p_tune.add_argument("--db", default=None, metavar="FILE",
+                        help="tuning database path (default: tuned.json "
+                             "inside the cache dir, else ./tuned.json)")
 
     p_lint = sub.add_parser(
         "lint", help="statically verify DSL scripts (RPR### diagnostics)",
@@ -571,6 +688,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return cmd_analyze(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "tune":
+        return cmd_tune(args)
     if args.command == "lint":
         return cmd_lint(args)
     parser.print_help()
@@ -585,7 +704,7 @@ def _render_error(exc: "ReproError") -> str:
 
 #: Subcommands the ``bte`` alias passes straight through to ``main``.
 _COMMANDS = {"info", "figures", "pipeline", "latex", "bte", "analyze",
-             "bench", "lint"}
+             "bench", "tune", "lint"}
 
 
 def bte_main(argv: list[str] | None = None) -> int:

@@ -34,7 +34,12 @@ import numpy as np
 from repro.codegen.cpu_serial import emit_rhs_function, eval_fcoef
 from repro.codegen.emit import ExprEmitter
 from repro.codegen.state import SolverState
-from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.codegen.target_base import (
+    CodegenTarget,
+    GeneratedSolver,
+    attach_artifact_attrs,
+    source_header,
+)
 from repro.ir.build import build_ir
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
@@ -148,7 +153,7 @@ class CPUDistributedTarget(CodegenTarget):
 
     name = "distributed"
 
-    def generate(self, problem: "Problem") -> GeneratedSolver:
+    def build_artifact(self, problem: "Problem"):
         if problem.equation is None:
             raise CodegenError("no conservation_form declared")
         cfg = problem.config
@@ -177,24 +182,16 @@ class CPUDistributedTarget(CodegenTarget):
         lines.append(_DRIVER)
         source = "\n".join(lines) + "\n"
 
-        master = SolverState(problem)
         machine = problem.extra.get("machine_rates", CASCADE_LAKE_FINCH)
-        network = problem.extra.get("network_model", IB_CLUSTER)
         cost = CostModel(machine)
+        ncomp = unknown.space.ncomp
 
-        env: dict = dict(emitter.component_tables())
-        env["NCOMP"] = master.ncomp
-        env["NPARTS"] = nparts
-        env["RUN_NSTEPS"] = [cfg.nsteps]  # boxed so run_steps can set it
-        env["NETWORK"] = network
-        env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
-        env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
-        env["run_spmd"] = run_spmd
-        env["eval_fcoef"] = eval_fcoef
-        env["trace_phase"] = phase_span
-        for name, coef in emitter.function_coefficients().items():
-            env[f"coef_fn_{name}"] = coef.value
+        static: dict = dict(emitter.component_tables())
+        static["NCOMP"] = ncomp
+        static["NPARTS"] = nparts
 
+        # partitioning is part of the build: the Metis-style cut and the
+        # halo layout are pure functions of (mesh, nparts, flux_order)
         layout = None
         owned_comp_sets: list[np.ndarray] | None = None
         nbands = _band_count(problem)
@@ -205,27 +202,59 @@ class CPUDistributedTarget(CodegenTarget):
             layout = build_partition_layout(
                 problem.mesh, parts, halo_layers=max(1, cfg.flux_order)
             )
-            env["SEND_CELLS"] = layout.send_cells
-            env["RECV_CELLS"] = layout.recv_cells
+            static["SEND_CELLS"] = layout.send_cells
+            static["RECV_CELLS"] = layout.recv_cells
             n_own_max = max(len(o) for o in layout.owned)
-            env["COST_SOLVE"] = cost.intensity_step(n_own_max, master.ncomp)
-            env["COST_TEMP"] = cost.temperature_step(n_own_max, nbands)
+            static["COST_SOLVE"] = cost.intensity_step(n_own_max, ncomp)
+            static["COST_TEMP"] = cost.temperature_step(n_own_max, nbands)
+        else:
+            owned_comp_sets = _split_components(problem, nparts)
+            ndirs = max(1, ncomp // max(nbands, 1))
+            n_comp_max = max(len(o) for o in owned_comp_sets)
+            static["COST_SOLVE"] = cost.intensity_step(problem.mesh.ncells, n_comp_max)
+            # Newton runs redundantly on every rank; the Io/tau refresh only
+            # covers the rank's own bands (the paper's Fig. 5 asymmetry)
+            static["COST_TEMP"] = cost.newton_step(problem.mesh.ncells) + cost.iobeta_step(
+                problem.mesh.ncells, max(1, n_comp_max // ndirs)
+            )
 
+        return self.make_artifact(
+            problem, source,
+            static_env=static,
+            attrs={
+                "ir": ir,
+                "classified_form": form,
+                "expanded_expr": expanded,
+                "layout": layout,
+            },
+        )
+
+    def bind_artifact(self, problem: "Problem", artifact) -> GeneratedSolver:
+        cfg = problem.config
+        master = SolverState(problem)
+        network = problem.extra.get("network_model", IB_CLUSTER)
+        layout = artifact.attrs["layout"]
+
+        env: dict = dict(artifact.static_env)
+        env["RUN_NSTEPS"] = [cfg.nsteps]  # boxed so run_steps can set it
+        env["NETWORK"] = network
+        env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
+        env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
+        env["run_spmd"] = run_spmd
+        env["eval_fcoef"] = eval_fcoef
+        env["trace_phase"] = phase_span
+        for name, coef in problem.entities.coefficients.items():
+            if coef.is_function:
+                env[f"coef_fn_{name}"] = coef.value
+
+        owned_comp_sets: list[np.ndarray] | None = None
+        if cfg.partition_strategy == "cells":
             def make_rank_state(rank: int) -> SolverState:
                 st = SolverState(problem)
                 st.owned_cells = layout.owned[rank]
                 return st
-
         else:
-            owned_comp_sets = _split_components(problem, nparts)
-            ndirs = max(1, master.ncomp // max(nbands, 1))
-            n_comp_max = max(len(o) for o in owned_comp_sets)
-            env["COST_SOLVE"] = cost.intensity_step(master.ncells, n_comp_max)
-            # Newton runs redundantly on every rank; the Io/tau refresh only
-            # covers the rank's own bands (the paper's Fig. 5 asymmetry)
-            env["COST_TEMP"] = cost.newton_step(master.ncells) + cost.iobeta_step(
-                master.ncells, max(1, n_comp_max // ndirs)
-            )
+            owned_comp_sets = _split_components(problem, cfg.nparts)
 
             def make_rank_state(rank: int) -> SolverState:
                 st = SolverState(problem)
@@ -233,13 +262,17 @@ class CPUDistributedTarget(CodegenTarget):
                 return st
 
         env["make_rank_state"] = make_rank_state
-        env["merge_results"] = _make_merger(problem, cfg.partition_strategy, layout, owned_comp_sets)
+        env["merge_results"] = _make_merger(
+            problem, cfg.partition_strategy, layout, owned_comp_sets
+        )
 
-        solver = GeneratedSolver(self.name, source, env, master)
-        solver.ir = ir
-        solver.classified_form = form
-        solver.expanded_expr = expanded
-        solver.layout = layout
+        solver = GeneratedSolver(
+            self.name, artifact.source, env, master,
+            code=artifact.code, module_name=artifact.module_name,
+        )
+        if artifact.code is None:
+            artifact.code = solver.code
+        attach_artifact_attrs(solver, artifact)
         return solver
 
 

@@ -13,7 +13,12 @@ from typing import TYPE_CHECKING
 
 from repro.codegen.emit import ExprEmitter
 from repro.codegen.state import SolverState
-from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.codegen.target_base import (
+    CodegenTarget,
+    GeneratedSolver,
+    attach_artifact_attrs,
+    source_header,
+)
 from repro.ir.build import build_ir
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
@@ -168,42 +173,79 @@ def eval_fcoef(state, fn, points, t):
         return np.asarray(fn(points), dtype=np.float64)
 
 
+def build_cpu_artifact(target: CodegenTarget, problem: "Problem"):
+    """The serial CPU build phase, reusable by the hybrid target's
+    CPU-fallback flavor: lowering + IR + emission + source."""
+    if problem.equation is None:
+        raise CodegenError("no conservation_form declared")
+    unknown = problem.unknown
+    expanded, form = lower_conservation_form(
+        problem.equation.source, unknown, problem.entities, problem.operators
+    )
+    ir = build_ir(problem, form, flavor="cpu")
+    emitter = ExprEmitter(problem, form)
+
+    lines = source_header("cpu_serial", problem, print_ir(ir))
+    lines += emit_rhs_function(problem, emitter)
+    lines += emit_step_and_run(problem, problem.config.stepper)
+    source = "\n".join(lines) + "\n"
+
+    return target.make_artifact(
+        problem, source,
+        static_env={
+            **emitter.component_tables(),
+            "NCOMP": unknown.space.ncomp,
+        },
+        attrs={
+            "ir": ir,
+            "classified_form": form,
+            "expanded_expr": expanded,
+        },
+    )
+
+
+def bind_cpu_env(problem: "Problem", artifact) -> dict:
+    """Live (non-picklable / per-solve) environment of the serial solver."""
+    env = dict(artifact.static_env)
+    env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
+    env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
+    env["stepper"] = make_stepper(problem.config.stepper)
+    env["eval_fcoef"] = eval_fcoef
+    env["trace_phase"] = phase_span
+    # function coefficients bind live: callables come from the problem's
+    # entity table, not the artifact (their code identity is in the key)
+    for name, coef in problem.entities.coefficients.items():
+        if coef.is_function:
+            env[f"coef_fn_{name}"] = coef.value
+    return env
+
+
 class CPUSerialTarget(CodegenTarget):
     """Serial CPU generation (the baseline the paper's Fig. 9 starts from)."""
 
     name = "cpu"
 
-    def generate(self, problem: "Problem") -> GeneratedSolver:
-        if problem.equation is None:
-            raise CodegenError("no conservation_form declared")
-        unknown = problem.unknown
-        expanded, form = lower_conservation_form(
-            problem.equation.source, unknown, problem.entities, problem.operators
-        )
-        ir = build_ir(problem, form, flavor="cpu")
-        emitter = ExprEmitter(problem, form)
+    def build_artifact(self, problem: "Problem"):
+        return build_cpu_artifact(self, problem)
 
-        lines = source_header("cpu_serial", problem, print_ir(ir))
-        lines += emit_rhs_function(problem, emitter)
-        lines += emit_step_and_run(problem, problem.config.stepper)
-        source = "\n".join(lines) + "\n"
-
+    def bind_artifact(self, problem: "Problem", artifact) -> GeneratedSolver:
         state = SolverState(problem)
-        env = dict(emitter.component_tables())
-        env["NCOMP"] = state.ncomp
-        env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
-        env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
-        env["stepper"] = make_stepper(problem.config.stepper)
-        env["eval_fcoef"] = eval_fcoef
-        env["trace_phase"] = phase_span
-        for name, coef in emitter.function_coefficients().items():
-            env[f"coef_fn_{name}"] = coef.value
-
-        solver = GeneratedSolver(self.name, source, env, state)
-        solver.ir = ir
-        solver.classified_form = form
-        solver.expanded_expr = expanded
+        env = bind_cpu_env(problem, artifact)
+        solver = GeneratedSolver(
+            self.name, artifact.source, env, state,
+            code=artifact.code, module_name=artifact.module_name,
+        )
+        if artifact.code is None:
+            artifact.code = solver.code  # memory layer reuses the compile
+        attach_artifact_attrs(solver, artifact)
         return solver
 
 
-__all__ = ["CPUSerialTarget", "emit_rhs_function", "emit_step_and_run", "eval_fcoef"]
+__all__ = [
+    "CPUSerialTarget",
+    "bind_cpu_env",
+    "build_cpu_artifact",
+    "emit_rhs_function",
+    "emit_step_and_run",
+    "eval_fcoef",
+]

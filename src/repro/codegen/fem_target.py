@@ -19,7 +19,11 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 import scipy.sparse as sp
 
-from repro.codegen.target_base import CodegenTarget, GeneratedSolver
+from repro.codegen.target_base import (
+    CodegenTarget,
+    GeneratedSolver,
+    attach_artifact_attrs,
+)
 from repro.fem.assemble import (
     assemble_advection,
     assemble_load,
@@ -150,7 +154,7 @@ class FEMTarget(CodegenTarget):
 
     name = "fem"
 
-    def generate(self, problem: "Problem") -> GeneratedSolver:
+    def build_artifact(self, problem: "Problem"):
         if problem.equation is None or problem.equation.source is None:
             raise CodegenError("no weak_form declared")
         if getattr(problem, "equation_kind", "conservation") != "weak":
@@ -238,22 +242,41 @@ class FEMTarget(CodegenTarget):
         lines += ['"""', _SOURCE]
         source = "\n".join(lines) + "\n"
 
-        state = FEMState(problem, p1)
+        # operators, load, boundary tables: all picklable — the whole
+        # assembly is the cacheable half (function coefficients are baked
+        # in here; their code identity is part of the cache key)
+        return self.make_artifact(
+            problem, source,
+            static_env={
+                "A_OPERATOR": A,
+                "LOAD": load,
+                "INV_LUMPED_MASS": inv_ml,
+                "DIRICHLET_NODES": dir_nodes,
+                "DIRICHLET_VALUES": dir_vals,
+            },
+            attrs={
+                "weak_form": form,
+                "p1": p1,
+                "operators": {"A": A, "load": load, "lumped_mass": 1.0 / inv_ml},
+            },
+        )
+
+    def bind_artifact(self, problem: "Problem", artifact) -> GeneratedSolver:
+        state = FEMState(problem, artifact.attrs["p1"])
+        dir_nodes = artifact.static_env["DIRICHLET_NODES"]
         if len(dir_nodes):
-            state.u[0, dir_nodes] = dir_vals  # consistent initial boundary
-        env = {
-            "A_OPERATOR": A,
-            "LOAD": load,
-            "INV_LUMPED_MASS": inv_ml,
-            "DIRICHLET_NODES": dir_nodes,
-            "DIRICHLET_VALUES": dir_vals,
-            "PRE_STEP_CALLBACKS": list(problem.pre_step_callbacks),
-            "POST_STEP_CALLBACKS": list(problem.post_step_callbacks),
-        }
-        solver = GeneratedSolver(self.name, source, env, state)
-        solver.weak_form = form
-        solver.p1 = p1
-        solver.operators = {"A": A, "load": load, "lumped_mass": 1.0 / inv_ml}
+            # consistent initial boundary
+            state.u[0, dir_nodes] = artifact.static_env["DIRICHLET_VALUES"]
+        env = dict(artifact.static_env)
+        env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
+        env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
+        solver = GeneratedSolver(
+            self.name, artifact.source, env, state,
+            code=artifact.code, module_name=artifact.module_name,
+        )
+        if artifact.code is None:
+            artifact.code = solver.code
+        attach_artifact_attrs(solver, artifact)
         return solver
 
 

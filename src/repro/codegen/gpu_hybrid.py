@@ -38,7 +38,12 @@ from repro.codegen.emit import ExprEmitter
 from repro.codegen.placement import Task, TaskGraph, optimize_placement, plan_transfers
 from repro.codegen.placement.transfers import ArrayUse
 from repro.codegen.state import SolverState
-from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.codegen.target_base import (
+    CodegenTarget,
+    GeneratedSolver,
+    attach_artifact_attrs,
+    source_header,
+)
 from repro.gpu.device import Device
 from repro.gpu.kernel import Kernel, model_launch
 from repro.ir.build import build_ir
@@ -221,7 +226,14 @@ def step_once(state):
         kernel_args = [dev.buffers[n].array for n in ['u'] + KERNEL_VAR_NAMES] \
             + [dev.buffers['u_new'].array]
         with state.timers.time('solve'):
-            dev.launch(KERNEL, NDOF, *kernel_args, host_time=launch_time)
+            if KERNEL_CHUNKS is None:
+                dev.launch(KERNEL, NDOF, *kernel_args, host_time=launch_time)
+            else:
+                # tuned chunking: one launch per component-row block (same
+                # numerics; smaller launches queue back-to-back on the device)
+                for chunk in KERNEL_CHUNKS:
+                    dev.launch(KERNEL, len(chunk) * NCELLS, *kernel_args,
+                               chunk, host_time=launch_time)
     except GPU_FAULTS as exc:
         faulted = exc
         launch_time = host.now()
@@ -299,12 +311,23 @@ def run_steps(state, nsteps):
 '''
 
 
+def _repin_graph(tg: TaskGraph, pins: dict[str, str]) -> TaskGraph:
+    """Copy a task graph with some tasks re-pinned (placement overrides)."""
+    out = TaskGraph()
+    for t in tg.tasks.values():
+        out.add_task(Task(t.name, t.cost_cpu, t.cost_gpu,
+                          pinned=pins.get(t.name, t.pinned)))
+    for e in tg.edges:
+        out.add_edge(e.src, e.dst, e.nbytes, e.label)
+    return out
+
+
 class GPUHybridTarget(CodegenTarget):
     """Generation for the simulated-GPU hybrid path (``use_gpu()``)."""
 
     name = "gpu"
 
-    def generate(self, problem: "Problem") -> GeneratedSolver:
+    def build_artifact(self, problem: "Problem"):
         if problem.equation is None:
             raise CodegenError("no conservation_form declared")
         if problem.config.stepper not in ("euler", "euler_explicit"):
@@ -379,6 +402,11 @@ class GPUHybridTarget(CodegenTarget):
             nb = float(state.fields[name].data.nbytes)
             known_bytes += nb
             tg.add_edge("post_step_callbacks", "interior_update", nb, label=name)
+        # explicit per-task placement overrides (tuner / user hook): re-pin
+        # before optimising so the transfer schedule matches the final plan
+        override = dict(problem.extra.get("placement_override") or {})
+        if override:
+            tg = _repin_graph(tg, override)
         placement = optimize_placement(tg, spec)
 
         if placement.device["interior_update"] == "cpu" and problem.extra.get(
@@ -388,40 +416,29 @@ class GPUHybridTarget(CodegenTarget):
             # interior pinned to the device so the transfer schedule (the
             # per-step Io/beta H2D, the u round trip) matches the code that
             # will actually run
-            tg_forced = TaskGraph()
-            for t in tg.tasks.values():
-                tg_forced.add_task(
-                    Task(t.name, t.cost_cpu, t.cost_gpu,
-                         pinned="gpu" if t.name == "interior_update" else t.pinned)
-                )
-            for e in tg.edges:
-                tg_forced.add_edge(e.src, e.dst, e.nbytes, e.label)
-            placement = optimize_placement(tg_forced, spec)
+            placement = optimize_placement(
+                _repin_graph(tg, {"interior_update": "gpu"}), spec
+            )
 
         if placement.device["interior_update"] == "cpu" and not problem.extra.get(
             "gpu_force_offload", False
         ):
             # the optimiser decided offloading does not pay (tiny problem or
-            # transfer-dominated): generate the CPU path, but keep the plan
-            # on the solver so callers can see why
-            from repro.codegen.cpu_serial import CPUSerialTarget
+            # transfer-dominated): build the serial CPU artifact instead,
+            # annotated with the plan so callers can see why
+            from repro.codegen.cpu_serial import build_cpu_artifact
 
-            solver = CPUSerialTarget().generate(problem)
-            solver.placement = placement
-            solver.task_timer_map = {
-                "interior_update": "solve",
-                "post_step_callbacks": "post_step",
-            }
-            solver.transfer_plan = None
-            solver.source = (
+            artifact = build_cpu_artifact(self, problem)
+            artifact.flavor = "cpu_fallback"
+            artifact.source = (
                 "# NOTE: the placement optimiser kept every task on the CPU\n"
                 "# (offload would cost more in transfers than it saves):\n"
                 + "\n".join("#   " + ln for ln in placement.report().splitlines())
                 + "\n\n"
-                + solver.source
+                + artifact.source
             )
-            solver.recompile()
-            return solver
+            artifact.attrs["placement"] = placement
+            return artifact
 
         arrays = [
             # the unknown is double-buffered: the kernel writes u_new while
@@ -438,8 +455,6 @@ class GPUHybridTarget(CodegenTarget):
             for name in known_vars
         ]
         transfer_plan = plan_transfers(placement, arrays)
-        # kept for the layer-2 verifier (transfer completeness, race checks)
-        array_uses = arrays
 
         # ---- source ---------------------------------------------------------
         lines = source_header("gpu_hybrid", problem, print_ir(ir))
@@ -451,14 +466,78 @@ class GPUHybridTarget(CodegenTarget):
         lines.append(_STEP_AND_RUN)
         source = "\n".join(lines) + "\n"
 
-        # ---- device setup ----------------------------------------------------
-        device = Device(spec, name=f"gpu0:{spec.name}")
-        interior = geom.interior_mask
-        int_faces = np.flatnonzero(interior)
-        env: dict = dict(emitter.component_tables())
-        env["NCOMP"] = state.ncomp
-        env["NDOF"] = ndof
-        env["DT"] = problem.config.dt
+        static: dict = dict(emitter.component_tables())
+        static["NCOMP"] = state.ncomp
+        static["NCELLS"] = state.ncells
+        static["NDOF"] = ndof
+        static["COST_BOUNDARY"] = cost.boundary_step(
+            geom.boundary_face_count(), state.ncomp
+        )
+        static["COST_TEMP"] = cost.temperature_step(state.ncells, nbands)
+        static["COST_INTERIOR_CPU"] = cost.intensity_step(state.ncells, state.ncomp)
+        # kernel argument order is fixed by the generated signature; the
+        # per-step H2D list is the subset the transfer plan marked as
+        # host-mutated (for the BTE: Io and beta after the temperature update)
+        static["KERNEL_VAR_NAMES"] = [f"var_{n}" for n in known_vars]
+        static["H2D_EACH_STEP"] = [
+            n for n in static["KERNEL_VAR_NAMES"] if n in transfer_plan.h2d_each_step
+        ]
+        static["HOST_TRACK"] = "hybrid/host"
+        # tuned kernel chunking: split the launch over component-row blocks
+        chunks = int(problem.extra.get("gpu_kernel_chunks", 0) or 0)
+        static["KERNEL_CHUNKS"] = (
+            [np.asarray(c)
+             for c in np.array_split(np.arange(state.ncomp),
+                                     min(chunks, state.ncomp))]
+            if chunks > 1 else None
+        )
+
+        return self.make_artifact(
+            problem, source,
+            static_env=static,
+            attrs={
+                "ir": ir,
+                "classified_form": form,
+                "expanded_expr": expanded,
+                "placement": placement,
+                "transfer_plan": transfer_plan,
+                # kept for the layer-2 verifier (transfer completeness, races)
+                "array_uses": arrays,
+                "kernel_spec": {
+                    "name": f"{unknown.name}_interior_step",
+                    "flops_per_thread": flops_per_dof * flop_factor,
+                    "bytes_per_thread": bytes_per_dof * byte_factor,
+                },
+            },
+        )
+
+    def bind_artifact(self, problem: "Problem", artifact) -> GeneratedSolver:
+        if artifact.flavor == "cpu_fallback":
+            from repro.codegen.cpu_serial import bind_cpu_env
+
+            state = SolverState(problem)
+            env = bind_cpu_env(problem, artifact)
+            solver = GeneratedSolver(
+                "cpu", artifact.source, env, state,
+                code=artifact.code, module_name=artifact.module_name,
+            )
+            if artifact.code is None:
+                artifact.code = solver.code
+            attach_artifact_attrs(solver, artifact)
+            solver.task_timer_map = {
+                "interior_update": "solve",
+                "post_step_callbacks": "post_step",
+            }
+            solver.transfer_plan = None
+            return solver
+
+        state = SolverState(problem)
+        geom = state.geom
+        spec = problem.config.gpu_spec or default_gpu_spec()
+        int_faces = np.flatnonzero(geom.interior_mask)
+
+        env: dict = dict(artifact.static_env)
+        env["DT"] = problem.config.dt  # runtime-bound: not part of the key
         env["OWNER_INT"] = geom.owner[int_faces]
         env["NEIGH_INT"] = geom.neighbor[int_faces]
         env["NORMALS_INT"] = geom.normal[int_faces]
@@ -468,24 +547,18 @@ class GPUHybridTarget(CodegenTarget):
         env["BFACE_SLOT"] = geom.bface_slot
         env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
         env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
-        env["COST_BOUNDARY"] = cost.boundary_step(geom.boundary_face_count(), state.ncomp)
-        env["COST_TEMP"] = cost.temperature_step(state.ncells, nbands)
         # resilience: the degraded (CPU re-execution) path for device faults
         env["GPU_FAULTS"] = (DeviceOOMError, KernelFaultError)
-        env["COST_INTERIOR_CPU"] = cost.intensity_step(state.ncells, state.ncomp)
         env["record_degraded"] = _record_degraded
-        # kernel argument order is fixed by the generated signature; the
-        # per-step H2D list is the subset the transfer plan marked as
-        # host-mutated (for the BTE: Io and beta after the temperature update)
-        env["KERNEL_VAR_NAMES"] = [f"var_{n}" for n in known_vars]
-        env["H2D_EACH_STEP"] = [
-            n for n in env["KERNEL_VAR_NAMES"] if n in transfer_plan.h2d_each_step
-        ]
         env["get_tracer"] = get_tracer
         env["trace_phase"] = phase_span
-        env["HOST_TRACK"] = "hybrid/host"
 
-        solver = GeneratedSolver(self.name, source, env, state)
+        solver = GeneratedSolver(
+            self.name, artifact.source, env, state,
+            code=artifact.code, module_name=artifact.module_name,
+        )
+        if artifact.code is None:
+            artifact.code = solver.code
         # observability: which wall-clock timer measures each placement task
         solver.task_timer_map = {
             "interior_update": "solve",
@@ -494,21 +567,23 @@ class GPUHybridTarget(CodegenTarget):
         }
 
         # the kernel object wraps the *generated* body with the work estimates
+        kspec = artifact.attrs["kernel_spec"]
         kernel = Kernel(
-            f"{unknown.name}_interior_step",
+            kspec["name"],
             body=solver.namespace["interior_kernel"],
-            flops_per_thread=flops_per_dof * flop_factor,
-            bytes_per_thread=bytes_per_dof * byte_factor,
+            flops_per_thread=kspec["flops_per_thread"],
+            bytes_per_thread=kspec["bytes_per_thread"],
             doc="generated flattened interior step",
         )
         solver.namespace["KERNEL"] = kernel
 
         # device-resident buffers: the unknown (both directions each step),
         # per-step refreshed known variables, static geometry (sent once)
+        device = Device(spec, name=f"gpu0:{spec.name}")
         device.alloc("u", state.u)
         device.alloc_empty("u_new", state.u.shape)
-        for name in known_vars:
-            device.alloc(f"var_{name}", state.fields[name].data)
+        for vname in env["KERNEL_VAR_NAMES"]:
+            device.alloc(vname, state.fields[vname.replace("var_", "")].data)
         state.device = device
         state.host_clock = VirtualClock()
         state.gpu_phases = {
@@ -517,12 +592,7 @@ class GPUHybridTarget(CodegenTarget):
             "communication": 0.0,
         }
 
-        solver.ir = ir
-        solver.classified_form = form
-        solver.expanded_expr = expanded
-        solver.placement = placement
-        solver.transfer_plan = transfer_plan
-        solver.array_uses = array_uses
+        attach_artifact_attrs(solver, artifact)
         solver.device = device
         solver.kernel = kernel
         return solver

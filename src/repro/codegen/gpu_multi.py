@@ -33,7 +33,12 @@ from repro.codegen.gpu_hybrid import (
     _record_degraded,
 )
 from repro.codegen.state import SolverState
-from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.codegen.target_base import (
+    CodegenTarget,
+    GeneratedSolver,
+    attach_artifact_attrs,
+    source_header,
+)
 from repro.gpu.device import Device
 from repro.gpu.kernel import Kernel
 from repro.ir.build import build_ir
@@ -180,7 +185,7 @@ class GPUMultiTarget(CodegenTarget):
 
     name = "gpu_distributed"
 
-    def generate(self, problem: "Problem") -> GeneratedSolver:
+    def build_artifact(self, problem: "Problem"):
         if problem.equation is None:
             raise CodegenError("no conservation_form declared")
         cfg = problem.config
@@ -206,20 +211,22 @@ class GPUMultiTarget(CodegenTarget):
         ir = build_ir(problem, form, flavor="gpu")
         emitter = ExprEmitter(problem, form, var_mode="local")
 
-        master = SolverState(problem)
-        geom = master.geom
-        spec = cfg.gpu_spec or default_gpu_spec()
         machine = problem.extra.get("machine_rates", CASCADE_LAKE_FINCH)
-        network = problem.extra.get("network_model", IB_CLUSTER)
         cost = CostModel(machine)
+        ncomp = unknown.space.ncomp
+        ncells = problem.mesh.ncells
 
         owned_sets = _split_components(problem, nparts)
         nbands = _band_count(problem)
-        ndirs = max(1, master.ncomp // max(nbands, 1))
+        ndirs = max(1, ncomp // max(nbands, 1))
         n_comp_max = max(len(o) for o in owned_sets)
 
         surface = emitter.emit_sum(form.surface_terms, "surface")
         volume = emitter.emit_sum(form.volume_terms, "volume")
+        # faces_per_cell needs the face count; compute it from a throwaway
+        # geometry-bearing state (the same one the cost terms need below)
+        probe = SolverState(problem)
+        geom = probe.geom
         faces_per_cell = 2.0 * geom.nfaces / geom.ncells
         flop_factor = float(problem.extra.get("gpu_flop_factor", DEFAULT_FLOP_FACTOR))
         byte_factor = float(problem.extra.get("gpu_byte_factor", DEFAULT_BYTE_FACTOR))
@@ -239,14 +246,47 @@ class GPUMultiTarget(CodegenTarget):
         source = "\n".join(lines) + "\n"
 
         known_vars = emitter.referenced_known_variables()
+
+        static: dict = dict(emitter.component_tables())
+        static["NCOMP"] = ncomp
+        static["NCELLS"] = ncells
+        static["NPARTS"] = nparts
+        static["KERNEL_VAR_NAMES"] = [f"var_{n}" for n in known_vars]
+        static["COST_BOUNDARY"] = cost.boundary_step(
+            geom.boundary_face_count(), n_comp_max
+        )
+        static["COST_TEMP"] = cost.newton_step(ncells) + cost.iobeta_step(
+            ncells, max(1, n_comp_max // ndirs)
+        )
+        static["COST_INTERIOR_CPU"] = cost.intensity_step(ncells, n_comp_max)
+
+        return self.make_artifact(
+            problem, source,
+            static_env=static,
+            attrs={
+                "ir": ir,
+                "classified_form": form,
+                "expanded_expr": expanded,
+                "kernel_spec": {
+                    "name": f"{unknown.name}_interior_step",
+                    "flops_per_thread": flops_per_dof,
+                    "bytes_per_thread": bytes_per_dof,
+                },
+            },
+        )
+
+    def bind_artifact(self, problem: "Problem", artifact) -> GeneratedSolver:
+        cfg = problem.config
+        master = SolverState(problem)
+        geom = master.geom
+        spec = cfg.gpu_spec or default_gpu_spec()
+        network = problem.extra.get("network_model", IB_CLUSTER)
+        owned_sets = _split_components(problem, cfg.nparts)
         int_faces = np.flatnonzero(geom.interior_mask)
 
-        env: dict = dict(emitter.component_tables())
-        env["NCOMP"] = master.ncomp
-        env["NCELLS"] = master.ncells
-        env["NPARTS"] = nparts
+        env: dict = dict(artifact.static_env)
         env["RUN_NSTEPS"] = [cfg.nsteps]
-        env["DT"] = cfg.dt
+        env["DT"] = cfg.dt  # runtime-bound: not part of the cache key
         env["NETWORK"] = network
         env["OWNER_INT"] = geom.owner[int_faces]
         env["NEIGH_INT"] = geom.neighbor[int_faces]
@@ -255,17 +295,9 @@ class GPUMultiTarget(CodegenTarget):
         env["DIV_INT"] = geom.divergence[:, int_faces]
         env["DIV_BDRY"] = geom.divergence[:, geom.bfaces]
         env["BFACE_SLOT"] = geom.bface_slot
-        env["KERNEL_VAR_NAMES"] = [f"var_{n}" for n in known_vars]
         env["PRE_STEP_CALLBACKS"] = list(problem.pre_step_callbacks)
         env["POST_STEP_CALLBACKS"] = list(problem.post_step_callbacks)
-        env["COST_BOUNDARY"] = cost.boundary_step(
-            geom.boundary_face_count(), n_comp_max
-        )
-        env["COST_TEMP"] = cost.newton_step(master.ncells) + cost.iobeta_step(
-            master.ncells, max(1, n_comp_max // ndirs)
-        )
         env["GPU_FAULTS"] = (DeviceOOMError, KernelFaultError)
-        env["COST_INTERIOR_CPU"] = cost.intensity_step(master.ncells, n_comp_max)
         env["record_degraded"] = _record_degraded
         env["run_spmd"] = run_spmd
         env["VirtualClock"] = VirtualClock
@@ -292,12 +324,18 @@ class GPUMultiTarget(CodegenTarget):
         env["make_device"] = make_device
         env["merge_results"] = merge_results
 
-        solver = GeneratedSolver(self.name, source, env, master)
+        solver = GeneratedSolver(
+            self.name, artifact.source, env, master,
+            code=artifact.code, module_name=artifact.module_name,
+        )
+        if artifact.code is None:
+            artifact.code = solver.code
+        kspec = artifact.attrs["kernel_spec"]
         kernel = Kernel(
-            f"{unknown.name}_interior_step",
+            kspec["name"],
             body=solver.namespace["interior_kernel"],
-            flops_per_thread=flops_per_dof,
-            bytes_per_thread=bytes_per_dof,
+            flops_per_thread=kspec["flops_per_thread"],
+            bytes_per_thread=kspec["bytes_per_thread"],
         )
         solver.namespace["KERNEL"] = kernel
         solver.kernel = kernel
@@ -306,9 +344,7 @@ class GPUMultiTarget(CodegenTarget):
             "boundary_callbacks": "boundary",
             "post_step_callbacks": "post_step",
         }
-        solver.ir = ir
-        solver.classified_form = form
-        solver.expanded_expr = expanded
+        attach_artifact_attrs(solver, artifact)
         return solver
 
 

@@ -18,7 +18,12 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.codegen.state import SolverState
-from repro.codegen.target_base import CodegenTarget, GeneratedSolver, source_header
+from repro.codegen.target_base import (
+    CodegenTarget,
+    GeneratedSolver,
+    attach_artifact_attrs,
+    source_header,
+)
 from repro.ir.build import build_ir
 from repro.ir.lowering import ClassifiedForm, lower_conservation_form
 from repro.ir.nodes import print_ir
@@ -184,7 +189,7 @@ class InterpretedTarget(CodegenTarget):
 
     name = "interp"
 
-    def generate(self, problem: "Problem") -> GeneratedSolver:
+    def build_artifact(self, problem: "Problem"):
         if problem.equation is None:
             raise CodegenError("no conservation_form declared")
         if problem.config.stepper not in ("euler", "euler_explicit"):
@@ -194,23 +199,33 @@ class InterpretedTarget(CodegenTarget):
             problem.equation.source, unknown, problem.entities, problem.operators
         )
         ir = build_ir(problem, form, flavor="cpu")
-        state = SolverState(problem)
-        interp = _TermInterpreter(problem, form)
 
         lines = source_header("interpreted", problem, print_ir(ir))
         lines.append("# no generated numerics: interpret_rhs walks the symbolic form")
         lines.append(_SOURCE_STUB)
         source = "\n".join(lines) + "\n"
+        return self.make_artifact(
+            problem, source,
+            attrs={"ir": ir, "classified_form": form, "expanded_expr": expanded},
+        )
 
+    def bind_artifact(self, problem: "Problem", artifact) -> GeneratedSolver:
+        # the interpreter holds problem references, so it is rebuilt per
+        # bind from the cached classified form (the expensive lowering)
+        state = SolverState(problem)
+        interp = _TermInterpreter(problem, artifact.attrs["classified_form"])
         env = {
             "interpret_rhs": interp.rhs,
             "PRE_STEP_CALLBACKS": list(problem.pre_step_callbacks),
             "POST_STEP_CALLBACKS": list(problem.post_step_callbacks),
         }
-        solver = GeneratedSolver(self.name, source, env, state)
-        solver.ir = ir
-        solver.classified_form = form
-        solver.expanded_expr = expanded
+        solver = GeneratedSolver(
+            self.name, artifact.source, env, state,
+            code=artifact.code, module_name=artifact.module_name,
+        )
+        if artifact.code is None:
+            artifact.code = solver.code
+        attach_artifact_attrs(solver, artifact)
         return solver
 
 

@@ -6,10 +6,27 @@ inspection — the paper stresses readable generated code and the ability to
 hand-modify it), compiled into a namespace pre-loaded with the problem's
 numeric environment, plus the :class:`~repro.codegen.state.SolverState` the
 generated functions operate on.
+
+Generation is split in two phases around the compilation cache
+(:mod:`repro.tune.cache`):
+
+* :meth:`CodegenTarget.build_artifact` — the expensive, cacheable half:
+  symbolic lowering, IR construction, expression emission, placement
+  optimisation, source assembly.  Its result is content-addressed by
+  :func:`repro.tune.signature.cache_key` and reused across solves.
+* :meth:`CodegenTarget.bind_artifact` — the cheap, per-solve half: a fresh
+  :class:`~repro.codegen.state.SolverState`, live callbacks/closures/
+  devices/clocks, and a :class:`GeneratedSolver` constructed from the
+  artifact's precompiled code object (so a warm solve performs zero
+  ``compile()`` calls — asserted by ``codegen_compile_total``).
+
+:meth:`CodegenTarget.generate` is the template method tying them together;
+targets implement only the two halves.
 """
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -21,6 +38,7 @@ from repro.util.errors import CodegenError
 
 if TYPE_CHECKING:
     from repro.dsl.problem import Problem
+    from repro.tune.cache import GenerationArtifact
 
 
 class GeneratedSolver:
@@ -36,6 +54,10 @@ class GeneratedSolver:
     namespace:
         The module-level namespace the source was executed in (contains the
         generated functions plus the injected numeric environment).
+    module_name:
+        The filename the source compiles under.  Content-derived (target +
+        cache-key prefix) so artifacts are stable across processes and
+        re-generation is idempotent.
     """
 
     def __init__(
@@ -44,12 +66,19 @@ class GeneratedSolver:
         source: str,
         env: dict[str, Any],
         state: SolverState,
+        code: Any = None,
+        module_name: str | None = None,
     ):
         self.target_name = target_name
         self.source = source
         self.state = state
+        self.module_name = module_name or f"<generated:{target_name}>"
         self.namespace: dict[str, Any] = {}
         self._base_env = env
+        # precompiled code object (cache hit) and the source it came from;
+        # recompile() only calls compile() when the source has changed
+        self._code = code
+        self._compiled_source = source if code is not None else None
         # observability hooks: maps placement-task names to the phase timer
         # that measures them (filled in by targets that run the optimiser)
         self.task_timer_map: dict[str, str] = {}
@@ -57,25 +86,40 @@ class GeneratedSolver:
 
     # ------------------------------------------------------------- compilation
     def recompile(self) -> None:
-        """(Re)compile ``self.source`` into a fresh namespace."""
+        """(Re)execute the source into a fresh namespace, compiling only
+        when the source changed since the last compile (hand edits,
+        fallback-path annotations)."""
         ns: dict[str, Any] = {
             "np": np,
             "kernels": kernels,
         }
         ns.update(self._base_env)
-        try:
-            code = compile(self.source, f"<generated:{self.target_name}>", "exec")
-        except SyntaxError as exc:
-            raise CodegenError(
-                f"generated source does not compile: {exc}\n{self.source}"
-            ) from exc
-        exec(code, ns)  # noqa: S102 - executing our own generated source is the point
+        if self._code is None or self._compiled_source != self.source:
+            try:
+                self._code = compile(self.source, self.module_name, "exec")
+            except SyntaxError as exc:
+                raise CodegenError(
+                    f"generated source does not compile: {exc}\n{self.source}"
+                ) from exc
+            self._compiled_source = self.source
+            from repro.obs.metrics import get_metrics
+
+            get_metrics().counter(
+                "codegen_compile_total",
+                "compile() calls on generated source",
+            ).inc(1, target=self.target_name)
+        exec(self._code, ns)  # noqa: S102 - executing our own generated source is the point
         for required in ("step_once", "run_steps"):
             if required not in ns:
                 raise CodegenError(
                     f"generated source defines no {required}() function"
                 )
         self.namespace = ns
+
+    @property
+    def code(self) -> Any:
+        """The compiled code object of ``source`` (shared with the cache)."""
+        return self._code
 
     # ---------------------------------------------------------------- execution
     def step(self) -> None:
@@ -110,22 +154,89 @@ class GeneratedSolver:
 
 
 class CodegenTarget:
-    """Base class for generation targets."""
+    """Base class for generation targets (template method over the cache)."""
 
     name = "base"
 
     def generate(self, problem: "Problem") -> GeneratedSolver:
+        """Generate a solver: cache lookup -> (build on miss) -> bind."""
+        from repro.obs.metrics import get_metrics
+        from repro.tune.cache import get_cache
+        from repro.tune.signature import cache_key
+
+        cache = get_cache()
+        key = cache_key(problem, self.name) if cache.enabled else ""
+        artifact = cache.get(key) if key else None
+        info: dict[str, Any] = {"target": self.name, "key": key[:12]}
+        if artifact is None:
+            metrics = get_metrics()
+            t0 = time.perf_counter()
+            with phase_span(f"codegen_build[{self.name}]", cat="codegen"):
+                artifact = self.build_artifact(problem)
+            build_s = time.perf_counter() - t0
+            artifact.key = key or artifact.key
+            artifact.build_seconds = build_s
+            cache.stats.builds += 1
+            metrics.counter(
+                "codegen_build_total", "full artifact builds (cache misses)"
+            ).inc(1, target=self.name)
+            metrics.histogram(
+                "codegen_build_seconds", "wall seconds per artifact build"
+            ).observe(build_s, target=self.name)
+            if key:
+                cache.put(key, artifact)
+            info.update(cache="miss", build_seconds=build_s)
+        else:
+            info.update(cache="hit", build_seconds=artifact.build_seconds)
+        solver = self.bind_artifact(problem, artifact)
+        solver.generation_info = info
+        return solver
+
+    # ------------------------------------------------------------ the two halves
+    def build_artifact(self, problem: "Problem") -> "GenerationArtifact":
+        """The expensive half: lowering + emission + placement + source."""
         raise NotImplementedError
+
+    def bind_artifact(self, problem: "Problem",
+                      artifact: "GenerationArtifact") -> GeneratedSolver:
+        """The cheap half: fresh state + live environment + solver."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- helpers
+    def make_artifact(self, problem: "Problem", source: str,
+                      flavor: str = "default", **static) -> "GenerationArtifact":
+        from repro.tune.cache import GenerationArtifact
+        from repro.tune.signature import cache_key
+
+        return GenerationArtifact(
+            target_name=self.name,
+            source=source,
+            key=cache_key(problem, self.name),
+            flavor=flavor,
+            static_env=static.pop("static_env", {}),
+            attrs=static.pop("attrs", {}),
+        )
+
+
+def attach_artifact_attrs(solver: GeneratedSolver, artifact) -> None:
+    """Copy the artifact's picklable attachments onto the solver."""
+    for name, value in artifact.attrs.items():
+        setattr(solver, name, value)
 
 
 def source_header(target: str, problem: "Problem", ir_text: str) -> list[str]:
-    """Standard header: provenance comment + the IR as a comment block."""
+    """Standard header: provenance comment + the IR as a comment block.
+
+    ``dt``/``nsteps`` are deliberately *not* printed: they are runtime
+    state (``state.dt`` / ``state.nsteps``), and embedding them would make
+    otherwise-identical generations cache-distinct.
+    """
     lines = [
         f'"""Generated by repro.codegen.{target} for problem {problem.name!r}.',
         "",
         f"equation: {problem.equation.source if problem.equation else '?'}",
-        f"stepper:  {problem.config.stepper}, dt={problem.config.dt}, "
-        f"nsteps={problem.config.nsteps}",
+        f"stepper:  {problem.config.stepper} "
+        "(dt/nsteps bound at runtime via state)",
         "",
         "IR:",
     ]
@@ -134,4 +245,9 @@ def source_header(target: str, problem: "Problem", ir_text: str) -> list[str]:
     return lines
 
 
-__all__ = ["CodegenTarget", "GeneratedSolver", "source_header"]
+__all__ = [
+    "CodegenTarget",
+    "GeneratedSolver",
+    "attach_artifact_attrs",
+    "source_header",
+]

@@ -394,6 +394,12 @@ class Problem:
         ``'cpu'``, ``'distributed'`` or ``'gpu'``."""
         from repro.codegen import make_target  # local import: avoid cycle
 
+        if self.extra.get("tuned"):
+            # consult the tuning database before dispatch: stored knobs may
+            # change the loop order, partitioning or placement overrides
+            from repro.tune.tuner import maybe_apply_tuned
+
+            maybe_apply_tuned(self, target)
         self.validate()
         if target is None:
             if self.config.solver_type == "FEM":

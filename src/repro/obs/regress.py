@@ -215,8 +215,13 @@ def run_benchmarks(nx: int = 16, ndirs: int = 4, bands: int = 4,
     * ``gpu_hybrid_virtual_s``   — host virtual clock of the hybrid run
     * ``spmd_bands_virtual_s``   — SPMD makespan of a 2-rank band run
     * ``gpu_multi_virtual_s``    — SPMD makespan of a 2-rank, 2-device run
+    * ``tune_default_virtual_s`` / ``tune_best_virtual_s`` — autotuner
+      default-vs-best proxy step time (best can never exceed default)
 
-    Wall entries (noisy; looser gate): ``*_wall_s`` per target.
+    Wall entries (noisy; looser gate): ``*_wall_s`` per target, plus
+    ``codegen_cold_wall_s`` / ``codegen_warm_wall_s`` — the same problem
+    generated twice inside a private compilation cache; the warm path
+    skips lowering, codegen and ``compile()`` entirely.
     """
     timings: dict[str, float] = {}
 
@@ -244,6 +249,24 @@ def run_benchmarks(nx: int = 16, ndirs: int = 4, bands: int = 4,
     spmd = getattr(solver.state, "spmd_result", None)
     if spmd is not None:
         timings["gpu_multi_virtual_s"] = spmd.makespan
+
+    from repro.tune.cache import cache_scope
+
+    with cache_scope() as cache:
+        t0 = time.perf_counter()
+        _bte_problem(nx, ndirs, bands, nsteps).generate()
+        timings["codegen_cold_wall_s"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _bte_problem(nx, ndirs, bands, nsteps).generate()
+        timings["codegen_warm_wall_s"] = time.perf_counter() - t0
+        assert cache.stats.hits == 1, "warm generate must hit the cache"
+
+    from repro.tune.tuner import tune
+
+    result = tune(lambda: _bte_problem(nx, ndirs, bands, nsteps),
+                  budget_trials=4, proxy_steps=2)
+    timings["tune_default_virtual_s"] = result.default_virtual_s
+    timings["tune_best_virtual_s"] = result.best_virtual_s
 
     return timings
 

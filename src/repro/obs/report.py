@@ -23,6 +23,9 @@ actually has) into a single document:
                every RPR### diagnostic with its provenance, plus the
                number of checks performed
     trace    span/track counts when a tracer was active
+    tuning   how this solver was produced: compilation-cache outcome
+             (hit/miss, key prefix, build seconds) and — for ``--tuned``
+             runs — the knob overrides applied from the tuning database
 
 Every numeric field is JSON-safe (no ``inf``/``nan``): never-recorded
 timers normalise ``min`` to ``0.0`` via ``TimerStats.as_dict``.
@@ -63,6 +66,7 @@ class RunReport:
     resilience: dict[str, Any] | None = None
     diagnostics: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
+    tuning: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
@@ -73,7 +77,7 @@ class RunReport:
             "phases": self.phases,
         }
         for key in ("comm", "gpu", "placement", "resilience", "diagnostics",
-                    "trace", "metrics"):
+                    "trace", "tuning", "metrics"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -217,6 +221,23 @@ def placement_accuracy(plan, timers, nsteps: int,
     }
 
 
+def _tuning_section(solver) -> dict[str, Any] | None:
+    """Compilation-cache provenance + applied tuning knobs, when either exists."""
+    section: dict[str, Any] = {}
+    info = getattr(solver, "generation_info", None)
+    if info:
+        section["cache"] = dict(info)
+    problem = getattr(solver.state, "problem", None)
+    extra = getattr(problem, "extra", None) or {}
+    if extra.get("_tuned_applied"):
+        section["tuned"] = True
+        section["config"] = extra.get("tuned_config")
+    elif extra.get("tuned"):
+        # tuned mode was requested but no database entry matched
+        section["tuned"] = False
+    return section or None
+
+
 def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
     """Merge one solver's fragmented metric stores into a :class:`RunReport`.
 
@@ -269,6 +290,8 @@ def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
 
     if tracer is not None and tracer.enabled:
         report.trace = tracer.summary()
+
+    report.tuning = _tuning_section(solver)
 
     from repro.obs.metrics import get_metrics
 

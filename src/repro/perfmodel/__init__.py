@@ -39,7 +39,7 @@ from repro.perfmodel.scaling import (
     fortran_reference_times,
     strong_scaling_table,
 )
-from repro.perfmodel.calibrate import calibrate_cpu_rate
+from repro.perfmodel.calibrate import calibrate_cpu_rate, load_rates, save_rates
 
 __all__ = [
     "MachineRates",
@@ -55,4 +55,6 @@ __all__ = [
     "fortran_reference_times",
     "strong_scaling_table",
     "calibrate_cpu_rate",
+    "load_rates",
+    "save_rates",
 ]

@@ -9,11 +9,23 @@ and returns a rescaled rate set.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.perfmodel.machines import MachineRates
+from repro.util.errors import ReproError
+
+#: Schema tag of a persisted calibration document.
+SCHEMA = "repro.calibration/1"
+
+
+class CalibrationError(ReproError):
+    """Malformed calibration file."""
+
+    default_code = "RPR702"
 
 
 def calibrate_cpu_rate(
@@ -54,4 +66,63 @@ def calibrate_cpu_rate(
     return machine.scaled(factor), per_dof
 
 
-__all__ = ["calibrate_cpu_rate"]
+def save_rates(machine: MachineRates, path: str | Path,
+               *, measured_per_dof: float | None = None) -> Path:
+    """Persist a (calibrated) rate set as a ``repro.calibration/1`` JSON
+    document, so later runs reuse the measurement instead of repeating it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": SCHEMA,
+        "name": machine.name,
+        "rates": {
+            "intensity_per_dof": machine.intensity_per_dof,
+            "newton_per_cell": machine.newton_per_cell,
+            "iobeta_per_cell_band": machine.iobeta_per_cell_band,
+            "boundary_per_face_comp": machine.boundary_per_face_comp,
+        },
+    }
+    if measured_per_dof is not None:
+        doc["measured_per_dof"] = float(measured_per_dof)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_rates(path: str | Path) -> MachineRates:
+    """Load a rate set saved by :func:`save_rates`.
+
+    Round-trip guarantee (tested): ``load_rates(save_rates(m, p))`` produces
+    a machine whose :class:`~repro.perfmodel.costs.CostModel` predictions
+    are identical to ``m``'s.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CalibrationError(f"{path}: unreadable calibration: {exc}") from exc
+    if not str(doc.get("schema", "")).startswith("repro.calibration/"):
+        raise CalibrationError(
+            f"{path}: not a calibration file (schema={doc.get('schema')!r})"
+        )
+    rates = doc.get("rates")
+    if not isinstance(rates, dict):
+        raise CalibrationError(f"{path}: calibration has no 'rates' mapping")
+    try:
+        return MachineRates(
+            name=str(doc.get("name", "calibrated")),
+            intensity_per_dof=float(rates["intensity_per_dof"]),
+            newton_per_cell=float(rates["newton_per_cell"]),
+            iobeta_per_cell_band=float(rates["iobeta_per_cell_band"]),
+            boundary_per_face_comp=float(rates["boundary_per_face_comp"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CalibrationError(f"{path}: incomplete rates: {exc}") from exc
+
+
+__all__ = [
+    "SCHEMA",
+    "CalibrationError",
+    "calibrate_cpu_rate",
+    "load_rates",
+    "save_rates",
+]

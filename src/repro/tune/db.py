@@ -1,0 +1,117 @@
+"""The ``"repro.tune/1"`` tuning database.
+
+One JSON document maps tuning keys (:func:`repro.tune.signature.tuning_key`
+— the problem signature with the tunable knobs normalised out) to the best
+configuration the tuner found, with enough provenance to audit it::
+
+    schema   "repro.tune/1"
+    entries  {tuning_key: {config, target, virtual_s, default_virtual_s,
+                           trials, date}}
+
+Future solves consult it automatically when tuned mode is on
+(``problem.extra['tuned'] = True`` / CLI ``--tuned``); see
+:func:`repro.tune.tuner.maybe_apply_tuned`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.tune.space import TuneConfig
+
+SCHEMA = "repro.tune/1"
+
+#: Default database file name (inside the cache dir when one is set).
+DB_FILENAME = "tuned.json"
+
+
+class TuneDBError(ReproError):
+    """Malformed tuning database."""
+
+    default_code = "RPR701"
+
+
+@dataclass
+class TuningDB:
+    """In-memory view of one ``repro.tune/1`` document."""
+
+    path: Path | None = None
+    entries: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------- I/O
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningDB":
+        path = Path(path)
+        if not path.is_file():
+            return cls(path=path)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TuneDBError(f"{path}: unreadable tuning database: {exc}") from exc
+        schema = doc.get("schema", "")
+        if not str(schema).startswith("repro.tune/"):
+            raise TuneDBError(
+                f"{path}: not a tuning database (schema={schema!r})"
+            )
+        entries = doc.get("entries")
+        if not isinstance(entries, dict):
+            raise TuneDBError(f"{path}: database has no 'entries' mapping")
+        return cls(path=path, entries=entries)
+
+    def save(self, path: str | Path | None = None) -> Path:
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise TuneDBError("tuning database has no path to save to")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"schema": SCHEMA, "entries": self.entries}
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        self.path = path
+        return path
+
+    # ---------------------------------------------------------------- entries
+    def record(self, key: str, config: "TuneConfig", *, target: str | None,
+               virtual_s: float, default_virtual_s: float,
+               trials: int) -> None:
+        self.entries[key] = {
+            "config": config.as_dict(),
+            "target": target,
+            "virtual_s": float(virtual_s),
+            "default_virtual_s": float(default_virtual_s),
+            "trials": int(trials),
+            "date": time.strftime("%Y-%m-%d"),
+        }
+
+    def lookup(self, key: str) -> dict[str, Any] | None:
+        return self.entries.get(key)
+
+    def lookup_config(self, key: str) -> "TuneConfig | None":
+        from repro.tune.space import TuneConfig
+
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        return TuneConfig.from_dict(entry.get("config", {}))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def default_db_path(cache_dir: str | Path | None = None) -> Path:
+    """Where the database lives: inside the cache dir when one is set,
+    else the working directory."""
+    if cache_dir is None:
+        from repro.tune.cache import get_cache
+
+        cache_dir = get_cache().cache_dir
+    base = Path(cache_dir) if cache_dir is not None else Path(".")
+    return base / DB_FILENAME
+
+
+__all__ = ["DB_FILENAME", "SCHEMA", "TuneDBError", "TuningDB", "default_db_path"]

@@ -1,0 +1,470 @@
+"""The autotuner: budgeted search over :mod:`repro.tune.space`.
+
+Each trial builds a *fresh* problem from the caller's factory, imposes one
+:class:`~repro.tune.space.TuneConfig`, generates a solver, checks the
+generated placement (:func:`repro.verify.verify_solver_placement` — a
+config whose plan fails verification never wins), runs a short proxy
+(``proxy_steps`` time steps) and scores it on **virtual time**: the SPMD
+makespan for distributed targets, the host clock for the hybrid GPU
+target, and a deterministic cost-model estimate for serial targets.
+Virtual scoring makes the search reproducible — identical on every
+machine and in CI — which the acceptance suite relies on.
+
+Search strategies:
+
+* ``grid`` — every candidate :func:`build_space` enumerates, standalone;
+* ``greedy`` (default) — walk the knob axes in :data:`repro.tune.space.AXES`
+  order, keep the per-axis winner, compose winners.
+
+Candidates whose cost-model prediction exceeds ``prune_ratio`` x the best
+prediction are skipped without running (the default configuration is never
+pruned).  Budgets cap the search by trial count and/or wall seconds.
+
+The winner is persisted in the ``"repro.tune/1"`` database under
+:func:`~repro.tune.signature.tuning_key`; future solves with
+``problem.extra["tuned"] = True`` (CLI ``--tuned``) pick it up through
+:func:`maybe_apply_tuned`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.tune.db import TuningDB, default_db_path
+from repro.tune.signature import tuning_key
+from repro.tune.space import (
+    AXES,
+    TuneConfig,
+    apply_config,
+    axis_of,
+    build_space,
+    merge_configs,
+)
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:
+    from repro.dsl.problem import Problem
+
+logger = get_logger("tune.tuner")
+
+#: Skip candidates predicted worse than ``PRUNE_RATIO`` x the best prediction.
+PRUNE_RATIO = 4.0
+
+#: Virtual per-step overhead charged per extra component block (serial
+#: fallback scoring): models the block-dispatch cost the cost model's
+#: per-DOF rates do not see.  Deterministic by construction.
+_BLOCK_DISPATCH_S = 1.0e-6
+
+
+@dataclass
+class Trial:
+    """One evaluated (or pruned) configuration."""
+
+    config: TuneConfig
+    status: str  # ok | verify_failed | error | pruned
+    virtual_s: float = float("inf")
+    predicted_s: float = float("inf")
+    wall_s: float = 0.0
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config.as_dict(),
+            "status": self.status,
+            "virtual_s": self.virtual_s,
+            "predicted_s": self.predicted_s,
+            "wall_s": self.wall_s,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one :func:`tune` call."""
+
+    best: TuneConfig
+    best_virtual_s: float
+    default_virtual_s: float
+    trials: list[Trial]
+    key: str
+    target: str | None
+    strategy: str
+    wall_s: float = 0.0
+    db_path: Path | None = None
+
+    @property
+    def speedup(self) -> float:
+        if self.best_virtual_s <= 0:
+            return 1.0
+        return self.default_virtual_s / self.best_virtual_s
+
+    def summary(self) -> str:
+        lines = [
+            f"tuned {len(self.trials)} trial(s) in {self.wall_s:.2f}s "
+            f"({self.strategy} search, key {self.key[:12]})",
+            f"  default: {self.default_virtual_s:.3e} virtual s",
+            f"  best:    {self.best_virtual_s:.3e} virtual s "
+            f"({self.speedup:.2f}x)  [{self.best.describe()}]",
+        ]
+        for t in self.trials:
+            mark = "*" if t.config == self.best else " "
+            shown = (f"{t.virtual_s:.3e}s" if t.status == "ok"
+                     else t.status)
+            lines.append(f"  {mark} {t.config.describe():<48} {shown}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.tune_result/1",
+            "key": self.key,
+            "target": self.target,
+            "strategy": self.strategy,
+            "best": self.best.as_dict(),
+            "best_virtual_s": self.best_virtual_s,
+            "default_virtual_s": self.default_virtual_s,
+            "speedup": self.speedup,
+            "wall_s": self.wall_s,
+            "trials": [t.as_dict() for t in self.trials],
+        }
+
+
+# ---------------------------------------------------------------------------
+# scoring
+# ---------------------------------------------------------------------------
+
+def _machine(problem: "Problem"):
+    machine = problem.extra.get("machine_rates")
+    if machine is None:
+        from repro.perfmodel.machines import CASCADE_LAKE_FINCH
+
+        machine = CASCADE_LAKE_FINCH
+    return machine
+
+
+def _workload(problem: "Problem", solver, nsteps: int):
+    from repro.perfmodel.costs import BTEWorkload
+
+    state = solver.state
+    names = list(problem.unknown.space.names)
+    sizes = list(problem.unknown.space.sizes)
+    nbands = 1
+    if "b" in names:
+        nbands = sizes[names.index("b")]
+    elif sizes:
+        nbands = sizes[-1]
+    ncomp = max(1, state.ncomp)
+    return BTEWorkload(
+        ncells=state.ncells,
+        ndirs=max(1, ncomp // max(1, nbands)),
+        nbands=nbands,
+        nsteps=nsteps,
+        n_boundary_faces=len(getattr(state.geom, "bfaces", ())),
+    )
+
+
+def predict_cost(problem: "Problem", config: TuneConfig,
+                 nsteps: int = 1) -> float:
+    """Cost-model prediction for pruning: deterministic, coarse, cheap.
+
+    Partitioned runs divide the intensity sweep by ``nparts`` (cells) or
+    parallelise bands only (band split leaves the temperature update
+    replicated); extra component blocks pay a dispatch surcharge.
+    """
+    from repro.perfmodel.costs import BTEWorkload, CostModel
+
+    cfg = problem.config
+    mesh = problem.mesh
+    ncells = mesh.ncells if mesh is not None else 1
+    names = list(problem.unknown.space.names)
+    sizes = list(problem.unknown.space.sizes)
+    nbands = sizes[names.index("b")] if "b" in names else (sizes[-1] if sizes else 1)
+    ncomp = 1
+    for s in sizes:
+        ncomp *= s
+    w = BTEWorkload(ncells=ncells, ndirs=max(1, ncomp // max(1, nbands)),
+                    nbands=nbands, nsteps=nsteps)
+    cost = CostModel(_machine(problem))
+
+    strategy = config.partition_strategy or cfg.partition_strategy
+    nparts = cfg.nparts
+    intensity = cost.intensity_step(w.ncells, w.ncomp)
+    temp = cost.temperature_step(w.ncells, w.nbands)
+    if nparts > 1 and strategy == "cells":
+        step = intensity / nparts + temp / nparts
+    elif nparts > 1 and strategy == "bands":
+        step = intensity / min(nparts, max(1, nbands)) + temp
+    else:
+        step = intensity + temp
+
+    order = list(config.assembly_order or cfg.assembly_order)
+    nblocks = 1
+    if order and order[0] != "cells":
+        outer = order[0]
+        nblocks = sizes[names.index(outer)] if outer in names else 1
+    step += _BLOCK_DISPATCH_S * (nblocks - 1)
+    return nsteps * step
+
+
+def _virtual_time(problem: "Problem", solver, nsteps: int) -> float:
+    """The trial's score: SPMD makespan > host clock > cost model."""
+    state = solver.state
+    spmd = getattr(state, "spmd_result", None)
+    if spmd is not None:
+        try:
+            makespan = float(spmd.makespan)
+            if makespan > 0:
+                return makespan
+        except (TypeError, ValueError):
+            pass
+    clock = getattr(state, "host_clock", None)
+    if clock is not None:
+        try:
+            now = float(clock.now())
+            if now > 0:
+                return now
+        except (TypeError, ValueError):
+            pass
+    # serial targets keep no virtual clock: deterministic model estimate,
+    # with the per-block dispatch surcharge measured from the real blocks
+    from repro.perfmodel.costs import CostModel
+
+    w = _workload(problem, solver, nsteps)
+    blocks = getattr(state, "comp_blocks", [slice(None)])
+    nblocks = 1 if blocks == [slice(None)] else len(blocks)
+    cost = CostModel(_machine(problem))
+    return nsteps * (cost.serial_step(w) + _BLOCK_DISPATCH_S * (nblocks - 1))
+
+
+# ---------------------------------------------------------------------------
+# trials
+# ---------------------------------------------------------------------------
+
+def run_trial(
+    problem_factory: Callable[[], "Problem"],
+    config: TuneConfig,
+    *,
+    target: str | None = None,
+    proxy_steps: int | None = 2,
+) -> Trial:
+    """Evaluate one configuration on a fresh problem instance."""
+    from repro.obs.metrics import get_metrics
+    from repro.verify import verify_solver_placement
+
+    t0 = time.perf_counter()
+    trial = Trial(config=config, status="error")
+    try:
+        problem = problem_factory()
+        problem.extra.pop("tuned", None)  # trials never recurse into the DB
+        apply_config(problem, config)
+        nsteps = problem.config.nsteps
+        if proxy_steps is not None:
+            nsteps = max(1, min(nsteps, int(proxy_steps)))
+            problem.config.nsteps = nsteps
+        solver = problem.generate(target)
+        report = verify_solver_placement(solver)
+        if report.has_errors:
+            trial.status = "verify_failed"
+            trial.detail = "; ".join(
+                getattr(e, "message", str(e)) for e in report.errors
+            )
+        else:
+            solver.run()
+            trial.virtual_s = _virtual_time(problem, solver, nsteps)
+            trial.status = "ok"
+    except Exception as exc:  # a failing candidate must not kill the search
+        trial.detail = f"{type(exc).__name__}: {exc}"
+        logger.warning("trial %s failed: %s", config.describe(), trial.detail)
+    trial.wall_s = time.perf_counter() - t0
+    get_metrics().counter(
+        "tune_trials_total", "autotuner trials by outcome"
+    ).inc(1, status=trial.status)
+    return trial
+
+
+# ---------------------------------------------------------------------------
+# the search
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Budget:
+    max_trials: int
+    max_seconds: float | None
+    started: float = field(default_factory=time.perf_counter)
+    used: int = 0
+
+    def exhausted(self) -> bool:
+        if self.used >= self.max_trials:
+            return True
+        if self.max_seconds is not None:
+            return (time.perf_counter() - self.started) >= self.max_seconds
+        return False
+
+
+def tune(
+    problem_factory: Callable[[], "Problem"],
+    *,
+    target: str | None = None,
+    budget_trials: int = 8,
+    budget_seconds: float | None = None,
+    proxy_steps: int | None = 2,
+    strategy: str = "greedy",
+    prune_ratio: float | None = PRUNE_RATIO,
+    db: TuningDB | None = None,
+    db_path: str | Path | None = None,
+) -> TuneResult:
+    """Search the tunable space of ``problem_factory()``'s problem.
+
+    The factory is called once per trial (configurations mutate the
+    problem, so trials must not share instances).  Returns the best
+    configuration found — never worse than the default, because the
+    default is always trial #1 and ties resolve in its favour.  When
+    ``db``/``db_path`` is given the winner is recorded (and saved when the
+    database has a path).
+    """
+    if strategy not in ("greedy", "grid"):
+        raise ValueError(f"unknown search strategy {strategy!r}")
+
+    probe = problem_factory()
+    key = tuning_key(probe, target)
+    candidates = build_space(probe)
+    predictions = {c: predict_cost(probe, c) for c in candidates}
+    floor = min(predictions.values())
+    budget = _Budget(max_trials=max(1, int(budget_trials)),
+                     max_seconds=budget_seconds)
+    trials: list[Trial] = []
+
+    def evaluate(config: TuneConfig) -> Trial:
+        predicted = predict_cost(probe, config)
+        if (prune_ratio is not None and not config.is_default
+                and predicted > prune_ratio * floor):
+            trial = Trial(config=config, status="pruned", predicted_s=predicted)
+            trials.append(trial)
+            return trial
+        budget.used += 1
+        trial = run_trial(problem_factory, config,
+                          target=target, proxy_steps=proxy_steps)
+        trial.predicted_s = predicted
+        trials.append(trial)
+        return trial
+
+    default_trial = evaluate(TuneConfig())
+    if default_trial.status != "ok":
+        raise RuntimeError(
+            "the default configuration failed its trial "
+            f"({default_trial.status}: {default_trial.detail})"
+        )
+    best = default_trial.config
+    best_virtual = default_trial.virtual_s
+
+    if strategy == "grid":
+        for config in sorted(
+            (c for c in candidates if not c.is_default),
+            key=lambda c: predictions[c],
+        ):
+            if budget.exhausted():
+                break
+            t = evaluate(config)
+            if t.status == "ok" and t.virtual_s < best_virtual:
+                best, best_virtual = config, t.virtual_s
+    else:  # greedy: walk axes, compose per-axis winners
+        base = TuneConfig()
+        for axis in AXES:
+            axis_candidates = sorted(
+                (c for c in candidates if axis_of(c) == axis),
+                key=lambda c: predictions[c],
+            )
+            for layer in axis_candidates:
+                if budget.exhausted():
+                    break
+                merged = merge_configs(base, layer)
+                if merged == base:
+                    continue
+                t = evaluate(merged)
+                if t.status == "ok" and t.virtual_s < best_virtual:
+                    best, best_virtual = merged, t.virtual_s
+            if best != base and axis_of_any(best, axis):
+                base = best
+            if budget.exhausted():
+                break
+
+    result = TuneResult(
+        best=best,
+        best_virtual_s=best_virtual,
+        default_virtual_s=default_trial.virtual_s,
+        trials=trials,
+        key=key,
+        target=target,
+        strategy=strategy,
+        wall_s=time.perf_counter() - budget.started,
+    )
+
+    if db is None and db_path is not None:
+        db = TuningDB.load(db_path)
+    if db is not None:
+        db.record(
+            key, best, target=target,
+            virtual_s=best_virtual,
+            default_virtual_s=default_trial.virtual_s,
+            trials=budget.used,
+        )
+        if db.path is not None:
+            db.save()
+            result.db_path = db.path
+    logger.info("tune: %s", result.summary().splitlines()[0])
+    return result
+
+
+def axis_of_any(config: TuneConfig, axis: str) -> bool:
+    """Does ``config`` set the knob(s) of ``axis``?"""
+    if axis == "partition":
+        return config.partition_strategy is not None
+    return getattr(config, axis, None) is not None
+
+
+# ---------------------------------------------------------------------------
+# auto-consultation (Problem.generate hook)
+# ---------------------------------------------------------------------------
+
+def maybe_apply_tuned(problem: "Problem",
+                      target: str | None = None) -> TuneConfig | None:
+    """Apply the stored best configuration when tuned mode is on.
+
+    Gated on ``problem.extra["tuned"]`` (set by the CLI's ``--tuned`` or
+    the user); idempotent via a ``_tuned_applied`` marker so repeated
+    ``generate()`` calls do not re-apply.  The database comes from
+    ``problem.extra["tuning_db"]`` (a :class:`TuningDB` or a path) or the
+    default location inside the cache dir.
+    """
+    if not problem.extra.get("tuned") or problem.extra.get("_tuned_applied"):
+        return None
+    db = problem.extra.get("tuning_db")
+    if isinstance(db, (str, Path)):
+        db = TuningDB.load(db)
+    if db is None:
+        path = default_db_path()
+        if not path.is_file():
+            return None
+        db = TuningDB.load(path)
+    config = db.lookup_config(tuning_key(problem, target))
+    if config is None:
+        logger.debug("tuned mode on but no entry for this problem")
+        return None
+    apply_config(problem, config)
+    problem.extra["_tuned_applied"] = True
+    problem.extra["tuned_config"] = config.as_dict()
+    logger.info("applied tuned configuration: %s", config.describe())
+    return config
+
+
+__all__ = [
+    "PRUNE_RATIO",
+    "Trial",
+    "TuneResult",
+    "maybe_apply_tuned",
+    "predict_cost",
+    "run_trial",
+    "tune",
+]

@@ -102,6 +102,9 @@ _RAW: list[tuple[str, str, str, str]] = [
     ("RPR501", "mesh", "malformed or truncated Gmsh file", "error"),
     ("RPR502", "mesh", "malformed or truncated Medit file", "error"),
     ("RPR503", "mesh", "malformed or truncated VTK file", "error"),
+    # ---- 7xx: autotuning / calibration persistence ------------------------
+    ("RPR701", "tune", "tuning database malformed or unreadable", "error"),
+    ("RPR702", "perfmodel", "calibration file malformed or unreadable", "error"),
 ]
 
 #: code -> CodeInfo for every known diagnostic code.

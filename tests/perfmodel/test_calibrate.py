@@ -1,8 +1,14 @@
-"""Live calibration of the cost model."""
+"""Live calibration of the cost model, and its persistence round-trip."""
 
 import pytest
 
-from repro.perfmodel.calibrate import calibrate_cpu_rate
+from repro.perfmodel.calibrate import (
+    CalibrationError,
+    calibrate_cpu_rate,
+    load_rates,
+    save_rates,
+)
+from repro.perfmodel.costs import BTEWorkload, CostModel
 from repro.perfmodel.machines import CASCADE_LAKE_FINCH
 
 
@@ -25,3 +31,48 @@ class TestSyntheticCalibration:
         rates, per_dof = calibrate_cpu_rate(CASCADE_LAKE_FINCH, solver=solver)
         assert per_dof > 0
         assert "x" in rates.name  # scaled marker
+
+
+class TestPersistenceRoundTrip:
+    """calibrate -> save -> load -> identical cost predictions (the tuner's
+    pruning depends on the loaded rates matching the measured ones)."""
+
+    def test_round_trip_identical_predictions(self, tmp_path):
+        calibrated, per_dof = calibrate_cpu_rate(CASCADE_LAKE_FINCH)
+        path = save_rates(calibrated, tmp_path / "rates.json",
+                          measured_per_dof=per_dof)
+        loaded = load_rates(path)
+
+        assert loaded.name == calibrated.name
+        w = BTEWorkload(ncells=1200, ndirs=24, nbands=40, nsteps=7,
+                        n_boundary_faces=140)
+        before, after = CostModel(calibrated), CostModel(loaded)
+        assert after.serial_step(w) == before.serial_step(w)
+        assert after.serial_total(w) == before.serial_total(w)
+        assert after.temperature_step(w.ncells, w.nbands) == \
+            before.temperature_step(w.ncells, w.nbands)
+        assert after.boundary_step(w.n_boundary_faces, w.ncomp) == \
+            before.boundary_step(w.n_boundary_faces, w.ncomp)
+
+    def test_document_shape(self, tmp_path):
+        import json
+
+        path = save_rates(CASCADE_LAKE_FINCH, tmp_path / "rates.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.calibration/1"
+        assert set(doc["rates"]) == {
+            "intensity_per_dof", "newton_per_cell",
+            "iobeta_per_cell_band", "boundary_per_face_comp",
+        }
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "repro.bench/1", "timings": {}}')
+        with pytest.raises(CalibrationError):
+            load_rates(path)
+
+    def test_rejects_unreadable_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(CalibrationError):
+            load_rates(path)

@@ -1,0 +1,99 @@
+"""Cache-key anatomy: stability, invalidation, runtime-binding exclusions."""
+
+import pytest
+
+from repro.bte.problem import build_bte_problem, hotspot_scenario
+from repro.tune.signature import cache_key, problem_signature, tuning_key
+
+
+def make_problem(nx=8, bands=4, dt=1e-12, nsteps=3, **scenario_kw):
+    scenario = hotspot_scenario(nx=nx, ny=nx, ndirs=4, n_freq_bands=bands,
+                                dt=dt, nsteps=nsteps, **scenario_kw)
+    problem, _ = build_bte_problem(scenario)
+    return problem
+
+
+class TestStability:
+    def test_same_problem_same_key(self):
+        assert cache_key(make_problem(), "cpu") == cache_key(make_problem(), "cpu")
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key(make_problem(), "cpu")
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_signature_is_json_safe(self):
+        import json
+
+        json.dumps(problem_signature(make_problem(), "cpu"))
+
+
+class TestInvalidation:
+    def test_mesh_resolution_changes_key(self):
+        assert cache_key(make_problem(nx=8), "cpu") != \
+            cache_key(make_problem(nx=10), "cpu")
+
+    def test_band_count_changes_key(self):
+        assert cache_key(make_problem(bands=4), "cpu") != \
+            cache_key(make_problem(bands=5), "cpu")
+
+    def test_target_changes_key(self):
+        problem = make_problem()
+        assert cache_key(problem, "cpu") != cache_key(problem, "gpu")
+
+    def test_assembly_order_changes_key(self):
+        fused, blocked = make_problem(), make_problem()
+        blocked.set_assembly_loops(["b", "cells", "d"])
+        assert cache_key(fused, "cpu") != cache_key(blocked, "cpu")
+
+    def test_partitioning_changes_key(self):
+        serial, parted = make_problem(), make_problem()
+        parted.set_partitioning("bands", 2, index="b")
+        assert cache_key(serial, "cpu") != cache_key(parted, "cpu")
+
+    def test_tuner_knobs_change_key(self):
+        plain, chunked = make_problem(), make_problem()
+        chunked.extra["gpu_kernel_chunks"] = 4
+        assert cache_key(plain, "gpu") != cache_key(chunked, "gpu")
+
+
+class TestRuntimeBoundExclusions:
+    """dt/nsteps bind at solve time, so changing them must NOT invalidate."""
+
+    def test_dt_not_in_key(self):
+        assert cache_key(make_problem(dt=1e-12), "cpu") == \
+            cache_key(make_problem(dt=2e-12), "cpu")
+
+    def test_nsteps_not_in_key(self):
+        assert cache_key(make_problem(nsteps=3), "cpu") == \
+            cache_key(make_problem(nsteps=30), "cpu")
+
+    def test_tuned_mode_flag_not_in_key(self):
+        plain, tuned = make_problem(), make_problem()
+        tuned.extra["tuned"] = True
+        assert cache_key(plain, "cpu") == cache_key(tuned, "cpu")
+
+
+class TestTuningKey:
+    """The tuning key normalises the knobs out: one DB entry covers every
+    configuration of the same underlying problem."""
+
+    def test_invariant_under_assembly_order(self):
+        fused, blocked = make_problem(), make_problem()
+        blocked.set_assembly_loops(["d", "cells", "b"])
+        assert tuning_key(fused) == tuning_key(blocked)
+
+    def test_invariant_under_partition_strategy(self):
+        a, b = make_problem(), make_problem()
+        a.set_partitioning("bands", 2, index="b")
+        b.set_partitioning("cells", 2)
+        assert tuning_key(a) == tuning_key(b)
+
+    def test_nparts_is_a_resource_not_a_knob(self):
+        a, b = make_problem(), make_problem()
+        a.set_partitioning("bands", 2, index="b")
+        b.set_partitioning("bands", 4, index="b")
+        assert tuning_key(a) != tuning_key(b)
+
+    def test_problem_content_still_matters(self):
+        assert tuning_key(make_problem(nx=8)) != tuning_key(make_problem(nx=10))

@@ -1,0 +1,130 @@
+"""The autotuner: search quality, verification, budget, auto-consultation.
+
+Acceptance (ISSUE 5): for two benchmark problems the tuned configuration
+is **no slower than the default** under the deterministic virtual-time
+suite, and **every executed trial passes placement verification**.
+"""
+
+import pytest
+
+from repro.bte.problem import build_bte_problem, hotspot_scenario
+from repro.tune.cache import cache_scope
+from repro.tune.db import TuningDB
+from repro.tune.signature import tuning_key
+from repro.tune.space import TuneConfig, build_space
+from repro.tune.tuner import maybe_apply_tuned, predict_cost, tune
+
+
+def serial_factory():
+    scenario = hotspot_scenario(nx=8, ny=8, ndirs=4, n_freq_bands=4,
+                                dt=1e-12, nsteps=3)
+    problem, _ = build_bte_problem(scenario)
+    return problem
+
+
+def banded_factory():
+    scenario = hotspot_scenario(nx=8, ny=8, ndirs=4, n_freq_bands=4,
+                                dt=1e-12, nsteps=3)
+    problem, _ = build_bte_problem(scenario)
+    problem.set_partitioning("bands", 2, index="b")
+    return problem
+
+
+FACTORIES = {"serial": serial_factory, "banded": banded_factory}
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+@pytest.mark.parametrize("strategy", ["greedy", "grid"])
+def test_tuned_no_slower_than_default(name, strategy):
+    with cache_scope():
+        result = tune(FACTORIES[name], budget_trials=8, strategy=strategy)
+    assert result.best_virtual_s <= result.default_virtual_s
+    assert result.speedup >= 1.0
+    executed = [t for t in result.trials if t.status != "pruned"]
+    assert executed, "budget must allow at least the default trial"
+    # every executed trial passed placement verification
+    assert all(t.status != "verify_failed" for t in result.trials)
+    assert executed[0].config.is_default  # default is always trial #1
+
+
+def test_trial_budget_respected():
+    with cache_scope():
+        result = tune(serial_factory, budget_trials=2)
+    assert len([t for t in result.trials if t.status != "pruned"]) <= 2
+
+
+def test_pruning_skips_predicted_slow_candidates():
+    probe = serial_factory()
+    space = build_space(probe)
+    floor = min(predict_cost(probe, c) for c in space)
+    with cache_scope():
+        # a prune ratio below every non-default prediction ratio forces
+        # every non-default candidate to be pruned, never executed
+        result = tune(serial_factory, budget_trials=16, strategy="grid",
+                      prune_ratio=1e-9)
+    statuses = {t.status for t in result.trials if not t.config.is_default}
+    assert statuses <= {"pruned"}
+    assert result.best == TuneConfig()
+    assert floor > 0
+
+
+def test_result_document_and_summary():
+    with cache_scope():
+        result = tune(serial_factory, budget_trials=4)
+    doc = result.as_dict()
+    assert doc["schema"].startswith("repro.tune_result/")
+    assert doc["key"] == result.key
+    assert isinstance(result.summary(), str)
+    assert "default" in result.summary()
+
+
+def test_winner_recorded_and_auto_applied(tmp_path):
+    db_path = tmp_path / "tuned.json"
+    with cache_scope():
+        result = tune(banded_factory, budget_trials=8, db_path=db_path)
+    assert result.db_path == db_path
+    db = TuningDB.load(db_path)
+    assert db.lookup_config(result.key) == result.best
+
+    problem = banded_factory()
+    problem.extra["tuned"] = True
+    problem.extra["tuning_db"] = db_path
+    applied = maybe_apply_tuned(problem)
+    assert applied == result.best
+    assert problem.extra["_tuned_applied"] is True
+    # idempotent: a second generate()-triggered consult is a no-op
+    assert maybe_apply_tuned(problem) is None
+
+
+def test_tuned_solve_end_to_end(tmp_path):
+    """The CLI shape: tune, then solve with extra['tuned'] — the solve must
+    pick the stored knobs up via Problem.generate and still be correct."""
+    import numpy as np
+
+    db_path = tmp_path / "tuned.json"
+    with cache_scope():
+        tune(serial_factory, budget_trials=8, db_path=db_path)
+
+        baseline = serial_factory().solve()
+
+        tuned_problem = serial_factory()
+        tuned_problem.extra["tuned"] = True
+        tuned_problem.extra["tuning_db"] = str(db_path)
+        tuned = tuned_problem.solve()
+
+    assert np.allclose(tuned.solution(), baseline.solution(), rtol=1e-13)
+    assert tuned_problem.extra.get("_tuned_applied") or \
+        tuned_problem.extra.get("tuned_config") is None
+
+
+def test_missing_db_entry_is_a_noop():
+    problem = serial_factory()
+    problem.extra["tuned"] = True
+    problem.extra["tuning_db"] = TuningDB()  # empty
+    assert maybe_apply_tuned(problem) is None
+    assert "_tuned_applied" not in problem.extra
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        tune(serial_factory, strategy="simulated-annealing")
