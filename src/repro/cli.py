@@ -38,6 +38,10 @@ Commands
     and SPMD schedule deadlocks, each reported with a stable ``RPR###``
     code (exit 1 on any error-severity finding).  ``--codes`` prints the
     full diagnostic catalogue.
+``events FILE [--tail N] [--level L] [--name SUBSTR] [--rank R] [--json]``
+    Tail, filter and pretty-print a ``repro.events/1`` JSONL stream written
+    by ``bte --events FILE``: one line per event with its timestamp, level,
+    rank/step provenance and span-correlation IDs.
 
 ``bte``, ``bench`` and ``tune`` accept ``--cache-dir DIR`` (persist the
 compilation cache across processes; also ``$REPRO_CACHE_DIR``) and
@@ -52,7 +56,14 @@ one-line ``error RPR###: ...`` diagnostics; pass ``-v`` for the traceback.
 The installed ``bte`` entry point is an alias: ``bte analyze ...`` is
 ``repro analyze ...`` and ``bte --gpu ...`` is ``repro bte --gpu ...``.
 
-``-v/--verbose`` (repeatable) raises the package log level (INFO, DEBUG).
+``bte --events FILE`` streams the structured event log to JSONL;
+``--blackbox-dir DIR`` makes the always-on flight recorder write its
+``repro.blackbox/1`` post-mortem bundle there when a run fails.
+
+``-v/--verbose`` (repeatable) raises the package log level (INFO, DEBUG);
+``--log-level`` sets the structured event log's threshold (``debug``
+records per-message comm events); ``-q/--quiet`` silences progress notes
+(data output and errors still print).
 """
 
 from __future__ import annotations
@@ -64,6 +75,26 @@ from pathlib import Path
 import numpy as np
 
 from repro.util.errors import ReproError
+
+#: Set by ``-q/--quiet``: progress notes go to the event log only.
+_QUIET = False
+
+
+def _say(msg: str) -> None:
+    """Progress note: mirrored into the structured event log, then stdout."""
+    from repro.obs.log import log_event
+
+    log_event("cli.note", "info", message=msg)
+    if not _QUIET:
+        print(msg)
+
+
+def _warn(msg: str) -> None:
+    """Warning/error line: event log + stderr (never silenced by ``-q``)."""
+    from repro.obs.log import log_event
+
+    log_event("cli.warning", "warning", message=msg)
+    print(msg, file=sys.stderr)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -164,7 +195,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         prof.report().table() + "\npaper: SM 86% | memory 11% | FLOP 49% of peak",
     )
 
-    print(f"wrote {len(written)} artefact(s) to {out}/")
+    _say(f"wrote {len(written)} artefact(s) to {out}/")
     return 0
 
 
@@ -175,7 +206,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if args.trace:
         with trace_run(args.trace):
             rc = _run_pipeline(args, phase_span)
-        print(f"wrote trace to {args.trace}", file=sys.stderr)
+        _say(f"wrote trace to {args.trace}")
         return rc
     return _run_pipeline(args, phase_span)
 
@@ -285,24 +316,35 @@ def cmd_bte(args: argparse.Namespace) -> int:
         if args.tune_db:
             problem.extra["tuning_db"] = args.tune_db
     mode = "gpu" if args.gpu else "cpu"
-    print(f"running {scenario.name}: {args.nx}x{args.nx} cells, "
-          f"{model.ncomp} components/cell, {args.steps} steps "
-          f"[{mode}, {args.ranks} rank(s)] ...")
+    _say(f"running {scenario.name}: {args.nx}x{args.nx} cells, "
+         f"{model.ncomp} components/cell, {args.steps} steps "
+         f"[{mode}, {args.ranks} rank(s)] ...")
     if args.faults:
         try:  # parse eagerly: a typo'd spec should fail before the solve
             parse_fault_spec(args.faults)
         except FaultSpecError as exc:
-            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            _warn(f"error: bad --faults spec: {exc}")
             return 2
-        print(f"fault injection on: {args.faults!r} (seed {args.fault_seed})")
+        _say(f"fault injection on: {args.faults!r} (seed {args.fault_seed})")
 
     if args.sanitize:
-        print("runtime sanitizer on (NaN/Inf guards, halo checksums, "
-              "drift/CFL heuristics)")
+        _say("runtime sanitizer on (NaN/Inf guards, halo checksums, "
+             "drift/CFL heuristics)")
+
+    if args.blackbox_dir:
+        from repro.obs import get_flight_recorder
+
+        get_flight_recorder().configure(directory=args.blackbox_dir)
+
+    from repro.obs.log import events_run
 
     report = None
+    events_ctx = (
+        events_run(args.events, level=getattr(args, "log_level", None) or "info")
+        if args.events else nullcontext()
+    )
     san_ctx = sanitize_run() if args.sanitize else nullcontext()
-    with san_ctx, fault_run(args.faults, seed=args.fault_seed):
+    with events_ctx, san_ctx, fault_run(args.faults, seed=args.fault_seed):
         if args.trace or args.report or args.metrics:
             with metrics_run(args.metrics), trace_run(args.trace) as tracer:
                 solver = problem.solve()
@@ -314,21 +356,21 @@ def cmd_bte(args: argparse.Namespace) -> int:
             solver = problem.solve()
     rlog = get_resilience_log()
     if rlog.has_events():
-        print(f"resilience: {rlog.summary()}")
+        _say(f"resilience: {rlog.summary()}")
     if args.sanitize:
-        print(f"sanitizer: {get_sanitizer().summary()}")
+        _say(f"sanitizer: {get_sanitizer().summary()}")
 
     if args.tuned:
         if problem.extra.get("_tuned_applied"):
             cfg = problem.extra.get("tuned_config")
-            print("tuned configuration applied: "
-                  f"{cfg if cfg else 'default (no overrides won)'}")
+            _say("tuned configuration applied: "
+                 f"{cfg if cfg else 'default (no overrides won)'}")
         else:
-            print("tuned mode: no database entry for this problem "
-                  "(run `bte tune` first)")
+            _say("tuned mode: no database entry for this problem "
+                 "(run `bte tune` first)")
     info = getattr(solver, "generation_info", None)
     if info and args.verbose:
-        print(f"codegen cache: {info.get('cache')} (key {info.get('key')})")
+        _say(f"codegen cache: {info.get('cache')} (key {info.get('key')})")
 
     T = solver.state.extra["T"]
     # state.time, not steps*dt: a --restore run resumes mid-trajectory
@@ -337,12 +379,15 @@ def cmd_bte(args: argparse.Namespace) -> int:
     for phase, frac in sorted(solver.breakdown().items()):
         print(f"  {phase:<12} {frac * 100:5.1f}%")
     if args.trace:
-        print(f"wrote trace to {args.trace} (open in https://ui.perfetto.dev)")
+        _say(f"wrote trace to {args.trace} (open in https://ui.perfetto.dev)")
     if report is not None:
         report.write(args.report)
-        print(f"wrote run report to {args.report}")
+        _say(f"wrote run report to {args.report}")
     if args.metrics:
-        print(f"wrote metrics exposition to {args.metrics}")
+        _say(f"wrote metrics exposition to {args.metrics}")
+    if args.events:
+        _say(f"wrote event log to {args.events} (pretty-print with "
+             f"`python -m repro events {args.events}`)")
     return 0
 
 
@@ -356,7 +401,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         try:
             doc = json.loads(Path(path).read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            _warn(f"error: cannot read {path}: {exc}")
             return 2
         schema = doc.get("schema", "") if isinstance(doc, dict) else ""
         if isinstance(schema, str) and schema.startswith("repro.run_report/"):
@@ -364,7 +409,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         else:
             trace_path = path
     if trace_path is None and report_path is None:
-        print("error: no usable trace or report file", file=sys.stderr)
+        _warn("error: no usable trace or report file")
         return 2
 
     analysis = analyze(trace_path, report_path)
@@ -373,18 +418,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         Path(args.json).write_text(
             json.dumps(analysis.to_dict(), indent=1) + "\n"
         )
-        print(f"wrote analysis JSON to {args.json}")
+        _say(f"wrote analysis JSON to {args.json}")
     if args.dot:
         if not analysis.placement:
-            print("error: --dot needs a report with a placement section "
-                  "(run with --gpu --report)", file=sys.stderr)
+            _warn("error: --dot needs a report with a placement section "
+                  "(run with --gpu --report)")
             return 2
         from repro.ir.dot import placement_to_dot
 
         name = analysis.meta.get("problem", "placement")
         Path(args.dot).write_text(placement_to_dot(analysis.placement, name) + "\n")
-        print(f"wrote placement task-graph DOT to {args.dot} "
-              "(render with: dot -Tsvg)")
+        _say(f"wrote placement task-graph DOT to {args.dot} "
+             "(render with: dot -Tsvg)")
     return 0
 
 
@@ -409,9 +454,9 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
     db_path = args.db or default_db_path()
     mode = "gpu" if args.gpu else "cpu"
-    print(f"tuning {args.nx}x{args.nx} hot-spot [{mode}, {args.ranks} "
-          f"rank(s)]: {args.strategy} search, budget {args.trials} trial(s)"
-          + (f" / {args.seconds:g} s" if args.seconds else "") + " ...")
+    _say(f"tuning {args.nx}x{args.nx} hot-spot [{mode}, {args.ranks} "
+         f"rank(s)]: {args.strategy} search, budget {args.trials} trial(s)"
+         + (f" / {args.seconds:g} s" if args.seconds else "") + " ...")
     result = tune(
         factory,
         budget_trials=args.trials,
@@ -421,7 +466,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
         db_path=db_path,
     )
     print(result.summary())
-    print(f"recorded winner in {result.db_path} — apply it with `bte --tuned`")
+    _say(f"recorded winner in {result.db_path} — apply it with `bte --tuned`")
     return 0
 
 
@@ -431,8 +476,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.regress import compare, load_bench, run_benchmarks, write_bench
 
     _apply_cache_flags(args)
-    print(f"running benchmark suite ({args.nx}x{args.nx} cells, "
-          f"{args.steps} steps per target) ...")
+    _say(f"running benchmark suite ({args.nx}x{args.nx} cells, "
+         f"{args.steps} steps per target) ...")
     timings = run_benchmarks(nx=args.nx, nsteps=args.steps)
     for name in sorted(timings):
         print(f"  {name:<28} {timings[name]:.6f} s")
@@ -441,13 +486,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     out = args.out or f"BENCH_{date}.json"
     write_bench(out, name=f"bte-suite@{date}", timings=timings,
                 date=date, nx=args.nx, steps=args.steps)
-    print(f"wrote benchmark envelope to {out}")
+    _say(f"wrote benchmark envelope to {out}")
 
     if args.compare:
         try:
             baseline = load_bench(args.compare)
         except (OSError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _warn(f"error: {exc}")
             return 2
         report = compare(
             baseline, {"name": f"bte-suite@{date}", "timings": timings},
@@ -468,13 +513,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(render_catalogue())
         return 0
     if not args.scripts:
-        print("error: no scripts to lint (pass paths, or --codes for the "
-              "diagnostic catalogue)", file=sys.stderr)
+        _warn("error: no scripts to lint (pass paths, or --codes for the "
+              "diagnostic catalogue)")
         return 2
     missing = [p for p in args.scripts if not Path(p).is_file()]
     if missing:
         for p in missing:
-            print(f"error: no such script: {p}", file=sys.stderr)
+            _warn(f"error: no such script: {p}")
         return 2
     results = lint_paths(args.scripts, deep=not args.no_deep)
     for res in results:
@@ -490,12 +535,60 @@ def cmd_lint(args: argparse.Namespace) -> int:
             ],
         }
         Path(args.json).write_text(json.dumps(doc, indent=1) + "\n")
-        print(f"wrote lint report to {args.json}")
+        _say(f"wrote lint report to {args.json}")
     bad = sum(not r.ok for r in results)
     if bad:
-        print(f"{bad} of {len(results)} script(s) failed lint",
-              file=sys.stderr)
+        _warn(f"{bad} of {len(results)} script(s) failed lint")
         return 1
+    return 0
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.obs.log import LEVELS, read_events
+
+    try:
+        events = read_events(args.file)
+    except (OSError, ValueError) as exc:
+        _warn(f"error: {exc}")
+        return 2
+    total = len(events)
+    if args.level:
+        floor = LEVELS[args.level]
+        events = [e for e in events
+                  if LEVELS.get(e.get("level", "info"), 20) >= floor]
+    if args.name:
+        events = [e for e in events if args.name in str(e.get("name", ""))]
+    if args.rank is not None:
+        events = [e for e in events if e.get("rank") == args.rank]
+    if args.tail:
+        events = events[-args.tail:]
+
+    if args.json:
+        for e in events:
+            print(json.dumps(e))
+    else:
+        for e in events:
+            ts = time.strftime("%H:%M:%S", time.localtime(e.get("ts", 0)))
+            line = f"{ts} {e.get('level', 'info'):<7} {e.get('name', '?'):<24}"
+            where = " ".join(
+                f"{k}={e[k]}" for k in ("rank", "step") if e.get(k) is not None
+            )
+            if where:
+                line += f" [{where}]"
+            if e.get("span_id"):
+                line += f" span={e['span_id']}"
+                if e.get("parent_id"):
+                    line += f"<-{e['parent_id']}"
+            fields = e.get("fields") or {}
+            if fields:
+                line += "  " + " ".join(f"{k}={v}" for k, v in fields.items())
+            print(line)
+    if not _QUIET and len(events) != total:
+        print(f"({len(events)} of {total} event(s) after filters)",
+              file=sys.stderr)
     return 0
 
 
@@ -508,12 +601,32 @@ def main(argv: list[str] | None = None) -> int:
         "-v", "--verbose", action="count", default=argparse.SUPPRESS,
         help="raise the package log level (-v INFO, -vv DEBUG)",
     )
+    common.add_argument(
+        "-q", "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="suppress progress notes (data output and errors still print)",
+    )
+    common.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=argparse.SUPPRESS, metavar="LEVEL",
+        help="structured event-log threshold (default info; 'debug' records "
+             "per-message comm events)",
+    )
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
     )
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="raise the package log level (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", default=False,
+        help="suppress progress notes (data output and errors still print)",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None, metavar="LEVEL",
+        help="structured event-log threshold (default info; 'debug' records "
+             "per-message comm events)",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -587,6 +700,14 @@ def main(argv: list[str] | None = None) -> int:
     p_bte.add_argument("--tune-db", default=None, metavar="FILE",
                        help="tuning database to consult (default: "
                             "tuned.json inside the cache dir)")
+    p_bte.add_argument("--events", default=None, metavar="FILE",
+                       help="stream the structured event log to FILE "
+                            "(repro.events/1 JSON Lines; inspect with "
+                            "`repro events FILE`)")
+    p_bte.add_argument("--blackbox-dir", default=None, metavar="DIR",
+                       help="write the flight recorder's repro.blackbox/1 "
+                            "post-mortem bundle under DIR when the run "
+                            "fails (also $REPRO_BLACKBOX_DIR)")
 
     p_an = sub.add_parser(
         "analyze", help="analyze a trace and/or run-report JSON",
@@ -658,19 +779,79 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--codes", action="store_true",
                         help="print the RPR### diagnostic catalogue and exit")
 
+    p_ev = sub.add_parser(
+        "events", help="tail/filter/pretty-print a repro.events/1 JSONL log",
+        parents=[common],
+    )
+    p_ev.add_argument("file", metavar="FILE",
+                      help="event log written by `bte --events FILE`")
+    p_ev.add_argument("--tail", type=int, default=None, metavar="N",
+                      help="show only the last N matching events")
+    p_ev.add_argument("--level", choices=("debug", "info", "warning", "error"),
+                      default=None, help="minimum level to show")
+    p_ev.add_argument("--name", default=None, metavar="SUBSTR",
+                      help="show only events whose name contains SUBSTR")
+    p_ev.add_argument("--rank", type=int, default=None, metavar="R",
+                      help="show only events from rank R")
+    p_ev.add_argument("--json", action="store_true",
+                      help="print raw JSON lines instead of pretty text")
+
     args = parser.parse_args(argv)
+    global _QUIET
+    _QUIET = bool(getattr(args, "quiet", False))
     if args.verbose:
         from repro.util.logging import set_verbosity
 
         set_verbosity("INFO" if args.verbose == 1 else "DEBUG")
+    if getattr(args, "log_level", None):
+        from repro.obs.log import get_event_log
+
+        get_event_log().set_level(args.log_level)
     try:
         return _dispatch(args, parser)
     except ReproError as exc:
+        # post-mortem first: the flight recorder's ring still holds the
+        # run's last events.  Skip the dump when a deeper handler (rank
+        # failure, sanitizer trip) already captured this same error.
+        from repro.obs import get_flight_recorder
+        from repro.obs.log import log_event
+
+        log_event("cli.error", "error", code=getattr(exc, "code", None),
+                  message=str(exc))
+        recorder = get_flight_recorder()
+        last = recorder.last_bundle or {}
+        if last.get("error", {}).get("message") == str(exc):
+            path = recorder.dumps_written[-1] if recorder.dumps_written else None
+        else:
+            path = recorder.dump("cli_error", exc)
         if args.verbose:
             raise
         print(_render_error(exc), file=sys.stderr)
+        if path is not None:
+            print(f"flight-recorder bundle: {path}", file=sys.stderr)
         print("(re-run with -v for the full traceback)", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout went away (| head, a closed pager): not an error, but the
+        # fd must be replaced or the interpreter complains again at exit
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        # an unexpected crash: leave the forensics behind, then let the
+        # traceback propagate — this is a bug, not a user error
+        from repro.obs import get_flight_recorder
+        from repro.obs.log import log_event
+
+        log_event("cli.crash", "error", type=type(exc).__name__,
+                  message=str(exc))
+        path = get_flight_recorder().dump("crash", exc)
+        if path is not None:
+            print(f"flight-recorder bundle: {path}", file=sys.stderr)
+        raise
 
 
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -692,6 +873,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return cmd_tune(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "events":
+        return cmd_events(args)
     parser.print_help()
     return 2
 
@@ -704,7 +887,7 @@ def _render_error(exc: "ReproError") -> str:
 
 #: Subcommands the ``bte`` alias passes straight through to ``main``.
 _COMMANDS = {"info", "figures", "pipeline", "latex", "bte", "analyze",
-             "bench", "tune", "lint"}
+             "bench", "tune", "lint", "events"}
 
 
 def bte_main(argv: list[str] | None = None) -> int:

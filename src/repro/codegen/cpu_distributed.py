@@ -140,10 +140,14 @@ def step_once(state):
 def run_steps(state, nsteps):
     """Launch one rank program per partition and merge the results."""
     RUN_NSTEPS[0] = nsteps
+    state.log_run_event('run.start', target='cpu_distributed',
+                        nsteps=nsteps, nranks=NPARTS)
     result = run_spmd(NPARTS, rank_program, NETWORK)
     merge_results(state, result, nsteps)
     state.spmd_result = result
     state.check_health()
+    state.log_run_event('run.end', target='cpu_distributed',
+                        makespan_s=result.makespan)
     return state
 '''
 

@@ -144,6 +144,7 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
     run_body = [
         '"""The sequential time loop (paper: "the time step loop is always',
         'done sequentially").  Hooks run on the CPU around each step."""',
+        "state.log_run_event('run.start', target='cpu_serial', nsteps=nsteps)",
         "for _ in range(nsteps):",
         "    for cb in PRE_STEP_CALLBACKS:",
         "        with state.timers.time('pre_step'), trace_phase('pre_step'):",
@@ -156,6 +157,7 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
         "    state.sanitize_step()",
         "    state.maybe_checkpoint()",
         "state.check_health()",
+        "state.log_run_event('run.end', target='cpu_serial')",
         "return state",
     ]
     lines += _indent(run_body)

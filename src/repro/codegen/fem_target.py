@@ -105,6 +105,15 @@ class FEMState:
         if san.enabled:
             san.check_state(self)
 
+    def log_run_event(self, name: str, **fields: Any) -> None:
+        """Run-lifecycle events with this state's provenance (no ranks here)."""
+        from repro.obs import get_event_log
+
+        elog = get_event_log()
+        if elog.enabled and elog.wants("info"):
+            elog.emit(name, level="info", step=self.step_index,
+                      problem=self.problem.name, **fields)
+
 
 _SOURCE = '''
 
@@ -120,6 +129,7 @@ def step_once(state):
 
 
 def run_steps(state, nsteps):
+    state.log_run_event('run.start', target='fem', nsteps=nsteps)
     for _ in range(nsteps):
         for cb in PRE_STEP_CALLBACKS:
             cb.fn(state)
@@ -128,6 +138,7 @@ def run_steps(state, nsteps):
             cb.fn(state)
         state.sanitize_step()
     state.check_health()
+    state.log_run_event('run.end', target='fem')
     return state
 '''
 

@@ -289,6 +289,7 @@ def step_once(state):
 def run_steps(state, nsteps):
     """Sequential time loop around the hybrid step + CPU hooks."""
     trace = get_tracer()
+    state.log_run_event('run.start', target='gpu_hybrid', nsteps=nsteps)
     for _ in range(nsteps):
         for cb in PRE_STEP_CALLBACKS:
             with state.timers.time('pre_step'), trace_phase('pre_step'):
@@ -307,6 +308,7 @@ def run_steps(state, nsteps):
         state.sanitize_step()
         state.maybe_checkpoint()
     state.check_health()
+    state.log_run_event('run.end', target='gpu_hybrid')
     return state
 '''
 

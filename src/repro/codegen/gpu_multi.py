@@ -171,11 +171,15 @@ def step_once(state):
 
 def run_steps(state, nsteps):
     RUN_NSTEPS[0] = nsteps
+    state.log_run_event('run.start', target='gpu_multi',
+                        nsteps=nsteps, nranks=NPARTS)
     result = run_spmd(NPARTS, rank_program, NETWORK)
     merge_results(state, result, nsteps)
     state.spmd_result = result
     state.device_profiles = [r['device_profile'] for r in result.results]
     state.check_health()
+    state.log_run_event('run.end', target='gpu_multi',
+                        makespan_s=result.makespan)
     return state
 '''
 

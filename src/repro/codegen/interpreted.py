@@ -54,6 +54,7 @@ def step_once(state):
 
 
 def run_steps(state, nsteps):
+    state.log_run_event('run.start', target='interpreted', nsteps=nsteps)
     for _ in range(nsteps):
         for cb in PRE_STEP_CALLBACKS:
             cb.fn(state)
@@ -64,6 +65,7 @@ def run_steps(state, nsteps):
         state.sanitize_step()
         state.maybe_checkpoint()
     state.check_health()
+    state.log_run_event('run.end', target='interpreted')
     return state
 '''
 

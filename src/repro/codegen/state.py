@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -24,7 +25,12 @@ from repro.fvm.boundary import (
 )
 from repro.fvm.fields import CellField
 from repro.fvm.geometry import FVGeometry
-from repro.obs import get_metrics
+from repro.obs import (
+    get_anomaly_monitor,
+    get_event_log,
+    get_flight_recorder,
+    get_metrics,
+)
 from repro.runtime.faults import get_injector
 from repro.runtime.resilience import (
     CHECKPOINT_SCHEMA,
@@ -79,6 +85,9 @@ class SolverState:
         # initialised by observe_step() when a live registry is installed
         self._prev_u: np.ndarray | None = None
         self._energy0: float | None = None
+        # wall clock of the previous observe_step(), feeding the always-on
+        # step-time spike detector
+        self._last_step_wall: float | None = None
 
         # resilience wiring: periodic checkpoints and restart-from-file,
         # configured through problem.extra so distributed rank states
@@ -147,13 +156,28 @@ class SolverState:
         the first observed step, and a step counter.  Zero-cost when no
         live metrics registry is installed: the expensive observations are
         computed only behind the ``enabled`` guard.
+
+        The always-on observability rides the same hook: the flight
+        recorder's heartbeat, the step-time spike detector, and (at debug
+        level) a ``step.done`` event — all attribute-check cheap when idle.
         """
+        rank = self.comm.rank if self.comm is not None else None
+        now = perf_counter()
+        if self._last_step_wall is not None:
+            get_anomaly_monitor().observe_step_time(
+                now - self._last_step_wall, rank=rank, step=self.step_index)
+        self._last_step_wall = now
+        get_flight_recorder().heartbeat(step=self.step_index, rank=rank)
+        elog = get_event_log()
+        if elog.debug_enabled:
+            elog.emit("step.done", level="debug", rank=rank,
+                      step=self.step_index, time=self.time)
         metrics = get_metrics()
         if not metrics.enabled:
             return
         labels = {"problem": self.problem.name}
-        if self.comm is not None:
-            labels["rank"] = self.comm.rank
+        if rank is not None:
+            labels["rank"] = rank
         metrics.counter(
             "solver_steps_total", "time steps completed").inc(1, **labels)
         u = self.u
@@ -176,6 +200,16 @@ class SolverState:
             "solver_energy_drift_rel",
             "relative drift of the volume-weighted unknown total",
         ).set(drift, **labels)
+
+    def log_run_event(self, name: str, **fields: Any) -> None:
+        """Emit one structured run-lifecycle event with this state's
+        provenance (rank, step, problem).  Called by generated run loops at
+        run start/end; cheap when the log is below info level."""
+        elog = get_event_log()
+        if elog.enabled and elog.wants("info"):
+            rank = self.comm.rank if self.comm is not None else None
+            elog.emit(name, level="info", rank=rank, step=self.step_index,
+                      problem=self.problem.name, **fields)
 
     def buffer(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
         """A reusable scratch array (allocated once, reused every step).
@@ -379,7 +413,13 @@ class SolverState:
     def restore_checkpoint(self, path) -> None:
         """Load a snapshot written by :meth:`save_checkpoint`."""
         path = self._resolve_restore(path)
-        with np.load(path) as data:
+        try:
+            handle = np.load(path)
+        except FileNotFoundError:
+            raise ConfigError(f"checkpoint {path} does not exist") from None
+        except (OSError, ValueError) as exc:
+            raise ConfigError(f"cannot read checkpoint {path}: {exc}") from exc
+        with handle as data:
             if "__schema" in data:
                 schema = str(data["__schema"])
                 if schema != CHECKPOINT_SCHEMA:

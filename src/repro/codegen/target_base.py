@@ -33,7 +33,13 @@ import numpy as np
 
 from repro.codegen.state import SolverState
 from repro.fvm import kernels
-from repro.obs import build_run_report, get_tracer, phase_span
+from repro.obs import (
+    build_run_report,
+    get_anomaly_monitor,
+    get_event_log,
+    get_tracer,
+    phase_span,
+)
 from repro.util.errors import CodegenError
 
 if TYPE_CHECKING:
@@ -129,6 +135,9 @@ class GeneratedSolver:
     def run(self, nsteps: int | None = None) -> SolverState:
         """Run ``nsteps`` (default: the configured count) and return state."""
         n = self.state.nsteps if nsteps is None else int(nsteps)
+        # each run() gets a fresh spike-detector window so back-to-back runs
+        # on one process don't alert against each other's step times
+        get_anomaly_monitor().reset()
         with phase_span(f"run[{self.target_name}]", cat="run", nsteps=n):
             self.namespace["run_steps"](self.state, n)
         return self.state
@@ -188,6 +197,11 @@ class CodegenTarget:
             info.update(cache="miss", build_seconds=build_s)
         else:
             info.update(cache="hit", build_seconds=artifact.build_seconds)
+        elog = get_event_log()
+        if elog.enabled:
+            elog.emit("codegen.cache", level="info", target=self.name,
+                      result=info["cache"], key=info["key"],
+                      build_seconds=info.get("build_seconds"))
         solver = self.bind_artifact(problem, artifact)
         solver.generation_info = info
         return solver

@@ -27,6 +27,22 @@ import threading
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.obs.anomaly import (
+    AnomalyMonitor,
+    DEFAULT_THRESHOLDS,
+    get_anomaly_monitor,
+    health_section,
+)
+from repro.obs.blackbox import FlightRecorder, get_flight_recorder
+from repro.obs.log import (
+    Event,
+    EventLog,
+    events_run,
+    get_event_log,
+    log_event,
+    read_events,
+    set_event_log,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
@@ -42,10 +58,13 @@ from repro.obs.report import RunReport, SCHEMA, build_run_report, placement_accu
 from repro.obs.tracer import (
     NULL_TRACER,
     CounterEvent,
+    FlowEvent,
     InstantEvent,
     NullTracer,
     SpanEvent,
     Tracer,
+    new_trace_id,
+    next_span_id,
 )
 
 _current: Tracer | NullTracer = NULL_TRACER
@@ -103,8 +122,14 @@ def trace_run(trace_path: str | Path | None = None, *,
 
 
 __all__ = [
+    "AnomalyMonitor",
     "Counter",
     "CounterEvent",
+    "DEFAULT_THRESHOLDS",
+    "Event",
+    "EventLog",
+    "FlightRecorder",
+    "FlowEvent",
     "Gauge",
     "Histogram",
     "InstantEvent",
@@ -118,11 +143,21 @@ __all__ = [
     "SpanEvent",
     "Tracer",
     "build_run_report",
+    "events_run",
+    "get_anomaly_monitor",
+    "get_event_log",
+    "get_flight_recorder",
     "get_metrics",
     "get_tracer",
+    "health_section",
+    "log_event",
     "metrics_run",
+    "new_trace_id",
+    "next_span_id",
     "phase_span",
     "placement_accuracy",
+    "read_events",
+    "set_event_log",
     "set_metrics",
     "set_tracer",
     "trace_run",

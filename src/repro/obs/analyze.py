@@ -14,7 +14,15 @@ module turns the two back into the paper's headline quantities:
   ``overlapped / min(busy_a, busy_b)`` in ``(0, 1]`` when both exist;
 * **placement explainability** — the report's per-task table (chosen
   device, modelled cost on both devices, measured cost, misprediction
-  flag) rendered so the min-cut optimiser's decisions can be audited.
+  flag) rendered so the min-cut optimiser's decisions can be audited;
+* **measured cross-rank critical path** — when the trace carries flow
+  events (the comm layer's causal send->recv edges), the path is walked
+  *backwards* from the last span to finish: a receive that blocked jumps
+  to the sending rank's send span, everything else chains to the latest
+  preceding span on the same track.  Unlike the innermost-covering sweep
+  above (an inference from span nesting), this follows recorded causal
+  dependencies across ranks, so the breakdown names the spans that
+  actually gated the makespan and counts the rank hops along the way.
 
 Wall-clock and virtual-clock spans share one trace but not one time axis;
 the analyzer works on the *virtual* processes (any process owning a
@@ -61,12 +69,28 @@ class Span:
         return self.track.partition("/")[0]
 
 
-def load_trace(path: str | Path) -> list[Span]:
-    """Parse a Chrome trace-event JSON back into :class:`Span` records.
+@dataclass
+class Flow:
+    """One causal edge reconstructed from a paired ``s``/``f`` flow event."""
+
+    name: str
+    flow_id: int
+    src_track: str
+    src_t: float
+    dst_track: str
+    dst_t: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+def load_trace_doc(path: str | Path) -> tuple[list[Span], list[Flow]]:
+    """Parse a Chrome trace-event JSON into spans plus causal flows.
 
     Accepts both the object form (``{"traceEvents": [...]}``) the tracer
     writes and the bare array form the format also allows.  Track names
     are rebuilt from the ``process_name``/``thread_name`` metadata events.
+    Flow starts (``ph:"s"``) and finishes (``ph:"f"``) are paired by their
+    ``id``; unpaired halves (a send whose message was dropped and never
+    redelivered) are discarded.
     """
     doc = json.loads(Path(path).read_text())
     events = doc.get("traceEvents", []) if isinstance(doc, dict) else doc
@@ -87,16 +111,40 @@ def load_trace(path: str | Path) -> list[Span]:
         return process if thread == process else f"{process}/{thread}"
 
     spans = []
+    starts: dict[int, dict[str, Any]] = {}
+    ends: dict[int, dict[str, Any]] = {}
     for ev in events:
-        if ev.get("ph") != "X":
+        ph = ev.get("ph")
+        if ph == "X":
+            t0 = ev["ts"] / 1e6
+            spans.append(Span(
+                track=track_of(ev), name=ev.get("name", "?"),
+                t0=t0, t1=t0 + ev.get("dur", 0.0) / 1e6,
+                cat=ev.get("cat", ""), args=ev.get("args", {}),
+            ))
+        elif ph == "s":
+            starts[ev["id"]] = ev
+        elif ph == "f":
+            ends[ev["id"]] = ev
+
+    flows = []
+    for fid, s_ev in starts.items():
+        f_ev = ends.get(fid)
+        if f_ev is None:
             continue
-        t0 = ev["ts"] / 1e6
-        spans.append(Span(
-            track=track_of(ev), name=ev.get("name", "?"),
-            t0=t0, t1=t0 + ev.get("dur", 0.0) / 1e6,
-            cat=ev.get("cat", ""), args=ev.get("args", {}),
+        flows.append(Flow(
+            name=s_ev.get("name", "?"), flow_id=fid,
+            src_track=track_of(s_ev), src_t=s_ev["ts"] / 1e6,
+            dst_track=track_of(f_ev), dst_t=f_ev["ts"] / 1e6,
+            args=s_ev.get("args", {}),
         ))
-    return spans
+    flows.sort(key=lambda f: f.src_t)
+    return spans, flows
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Parse a Chrome trace-event JSON back into :class:`Span` records."""
+    return load_trace_doc(path)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +264,86 @@ def critical_path(spans: list[Span]) -> dict[str, Any]:
     }
 
 
+def critical_path_measured(spans: list[Span], flows: list[Flow],
+                           eps: float = 1e-12) -> dict[str, Any]:
+    """Walk the *recorded* dependency chain backwards from the last finisher.
+
+    The inferred sweep above attributes elapsed time by span nesting; this
+    one follows causality: starting at the latest-ending non-envelope span,
+    the predecessor of a receive span that actually blocked (its
+    ``waited_s`` is positive) is the *sending rank's* send span, reached
+    through the flow edge the comm layer recorded for exactly the delivered
+    message copy.  Every other span chains to the latest span on its own
+    track ending at or before its start.  The result is a chain of spans
+    whose time, plus the idle gaps between them, spans the makespan —
+    with ``rank_hops`` counting how often the path crossed ranks.
+    """
+    usable = [s for s in spans if s.cat not in _ENVELOPE_CATS]
+    if not usable:
+        return {"makespan_s": 0.0, "phases": {}, "path": [],
+                "rank_hops": 0, "n_flows": len(flows)}
+    by_track: dict[str, list[Span]] = {}
+    for s in usable:
+        by_track.setdefault(s.track, []).append(s)
+    for lst in by_track.values():
+        lst.sort(key=lambda s: (s.t1, s.t0))
+    sends = {s.args["span_id"]: s for s in usable
+             if isinstance(s.args.get("span_id"), int)}
+    # spans with a recorded outgoing causal edge: point-to-point flows bind
+    # by the send span id itself; collective flows mint a fresh arrow id and
+    # name the straggler's entry span in their args instead
+    flow_srcs: set[int] = set()
+    for f in flows:
+        flow_srcs.add(f.flow_id)
+        src = f.args.get("src_span")
+        if isinstance(src, int) and src:
+            flow_srcs.add(src)
+
+    cur: Span | None = max(usable, key=lambda s: s.t1)
+    chain: list[Span] = []
+    hops = 0
+    seen: set[int] = set()
+    while cur is not None and id(cur) not in seen:
+        seen.add(id(cur))
+        chain.append(cur)
+        nxt: Span | None = None
+        parent = cur.args.get("parent_span_id")
+        waited = float(cur.args.get("waited_s") or 0.0)
+        if parent in flow_srcs and waited > eps:
+            # the receive blocked: the sender gated it, not local history
+            sender = sends.get(parent)
+            if sender is not None:
+                if sender.track != cur.track:
+                    hops += 1
+                nxt = sender
+        if nxt is None:
+            prior = [s for s in by_track.get(cur.track, [])
+                     if s.t1 <= cur.t0 + eps and id(s) not in seen]
+            nxt = prior[-1] if prior else None
+        cur = nxt
+
+    chain.reverse()
+    phases: dict[str, float] = {}
+    segments: list[dict[str, Any]] = []
+    frontier = chain[0].t0
+    for s in chain:
+        gap = s.t0 - frontier
+        if gap > eps:
+            phases["idle"] = phases.get("idle", 0.0) + gap
+        charged = max(s.t1 - max(s.t0, frontier), 0.0)
+        phases[s.name] = phases.get(s.name, 0.0) + charged
+        segments.append({"track": s.track, "name": s.name,
+                         "t0": s.t0, "t1": s.t1})
+        frontier = max(frontier, s.t1)
+    return {
+        "makespan_s": chain[-1].t1 - chain[0].t0,
+        "phases": dict(sorted(phases.items(), key=lambda kv: -kv[1])),
+        "path": segments,
+        "rank_hops": hops,
+        "n_flows": len(flows),
+    }
+
+
 # ---------------------------------------------------------------------------
 # the combined analysis document
 # ---------------------------------------------------------------------------
@@ -226,6 +354,7 @@ class Analysis:
 
     meta: dict[str, Any] = field(default_factory=dict)
     critical: dict[str, Any] = field(default_factory=dict)
+    critical_measured: dict[str, Any] | None = None
     overlap: dict[str, Any] = field(default_factory=dict)
     report_phases: dict[str, float] = field(default_factory=dict)
     placement: dict[str, Any] | None = None
@@ -240,6 +369,8 @@ class Analysis:
             "report_phases": self.report_phases,
             "trace": self.trace_stats,
         }
+        if self.critical_measured is not None:
+            doc["critical_path_measured"] = self.critical_measured
         if self.placement is not None:
             doc["placement"] = self.placement
         return doc
@@ -265,6 +396,21 @@ class Analysis:
                     f"  {name:<{width}}  {secs:.6f} s  {frac * 100:5.1f}%  {bar}"
                 )
             lines.append(f"  segments on path: {len(crit.get('path', []))}")
+        meas = self.critical_measured
+        if meas and meas.get("phases"):
+            lines.append("")
+            lines.append(
+                f"measured critical path (causal, {meas['n_flows']} flow "
+                f"edge(s), {meas['rank_hops']} rank hop(s), makespan "
+                f"{meas['makespan_s']:.6f} s):")
+            width = max(len(n) for n in meas["phases"])
+            for name, secs in meas["phases"].items():
+                frac = secs / meas["makespan_s"] if meas["makespan_s"] else 0.0
+                bar = "#" * int(round(frac * 30))
+                lines.append(
+                    f"  {name:<{width}}  {secs:.6f} s  {frac * 100:5.1f}%  {bar}"
+                )
+            lines.append(f"  spans on path: {len(meas.get('path', []))}")
         for key, score in self.overlap.items():
             if score is None:
                 continue
@@ -333,14 +479,17 @@ def analyze(trace_path: str | Path | None = None,
         analysis.placement = report.get("placement")
 
     if trace_path is not None:
-        spans = load_trace(trace_path)
+        spans, flows = load_trace_doc(trace_path)
         domain = analysis_domain(spans)
         analysis.trace_stats = {
             "n_spans": len(spans),
             "n_tracks": len({s.track for s in spans}),
             "n_virtual_spans": len(domain) if domain is not spans else 0,
+            "n_flows": len(flows),
         }
         analysis.critical = critical_path(domain)
+        if flows:
+            analysis.critical_measured = critical_path_measured(domain, flows)
         analysis.overlap = {
             "kernel_boundary": kernel_boundary_overlap(domain),
             "compute_comm": compute_comm_overlap(domain),
@@ -350,15 +499,18 @@ def analyze(trace_path: str | Path | None = None,
 
 __all__ = [
     "Analysis",
+    "Flow",
     "SCHEMA",
     "Span",
     "analysis_domain",
     "analyze",
     "compute_comm_overlap",
     "critical_path",
+    "critical_path_measured",
     "intersection_length",
     "kernel_boundary_overlap",
     "load_trace",
+    "load_trace_doc",
     "merge_intervals",
     "overlap_score",
     "total_length",

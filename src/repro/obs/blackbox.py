@@ -1,0 +1,227 @@
+"""Always-on flight recorder: the ``repro.blackbox/1`` post-mortem bundle.
+
+An aircraft-style black box for solver runs: the event log's bounded ring
+(:mod:`repro.obs.log`) is always recording, this module adds periodic
+metrics snapshots and — whenever a :class:`~repro.util.errors.ReproError`,
+a sanitizer trip or an unhandled rank crash occurs — assembles everything
+into one post-mortem bundle:
+
+.. code-block:: text
+
+    schema       "repro.blackbox/1"
+    reason       dump trigger ("rank_failure", "sanitizer", "cli_error", ...)
+    error        {type, message, code} of the triggering exception
+    trace_id     the run's correlation ID (matches events and spans)
+    events       the last-N structured events (step/rank/span provenance)
+    snapshots    periodic metrics snapshots (heartbeat of the dying run)
+    active_spans what every thread was inside at dump time
+    diagnostics  runtime-sanitizer findings, when the sanitizer was live
+    resilience   injected faults / retries / recoveries, when any happened
+    checkpoint   the most recent checkpoint path, for restart
+
+The recorder is a module-level singleton.  Dumping is cheap and always
+produces a bundle in memory (:attr:`FlightRecorder.last_bundle`); writing
+to disk happens only when a directory is configured (CLI ``--blackbox-dir``,
+``$REPRO_BLACKBOX_DIR``, or :meth:`FlightRecorder.configure`), so library
+error paths never surprise callers with files.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+SCHEMA = "repro.blackbox/1"
+
+#: How many heartbeat calls between metrics snapshots.
+DEFAULT_SNAPSHOT_EVERY = 25
+
+#: How many snapshots the recorder retains.
+DEFAULT_MAX_SNAPSHOTS = 16
+
+#: How many events a bundle carries (<= the event-log ring size).
+DEFAULT_MAX_EVENTS = 256
+
+_dump_seq = itertools.count(1)
+
+
+class FlightRecorder:
+    """Bounded, always-on crash recorder over the observability singletons."""
+
+    def __init__(self, directory: str | Path | None = None,
+                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+                 max_snapshots: int = DEFAULT_MAX_SNAPSHOTS,
+                 max_events: int = DEFAULT_MAX_EVENTS,
+                 enabled: bool = True):
+        self._lock = threading.Lock()
+        self.enabled = enabled
+        self.directory = Path(directory) if directory else None
+        self.snapshot_every = max(int(snapshot_every), 1)
+        self.max_events = int(max_events)
+        self._snapshots: deque[dict[str, Any]] = deque(maxlen=max_snapshots)
+        self._beats = 0
+        self.last_bundle: dict[str, Any] | None = None
+        self.dumps_written: list[Path] = []
+
+    def configure(self, *, directory: str | Path | None = None,
+                  enabled: bool | None = None,
+                  snapshot_every: int | None = None) -> "FlightRecorder":
+        if directory is not None:
+            self.directory = Path(directory)
+        if enabled is not None:
+            self.enabled = enabled
+        if snapshot_every is not None:
+            self.snapshot_every = max(int(snapshot_every), 1)
+        return self
+
+    def reset(self) -> None:
+        with self._lock:
+            self._snapshots.clear()
+            self._beats = 0
+            self.last_bundle = None
+            self.dumps_written = []
+
+    # -------------------------------------------------------------- heartbeat
+    def heartbeat(self, step: int | None = None, rank: int | None = None) -> None:
+        """Cheap per-step pulse; every Nth takes a metrics snapshot.
+
+        Called by :meth:`~repro.codegen.state.SolverState.observe_step` on
+        every generated run loop, so the recorder knows how far a run got
+        even when metrics and tracing are off.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._beats += 1
+            due = self._beats % self.snapshot_every == 0
+        if due:
+            self.snapshot(step=step, rank=rank)
+
+    def snapshot(self, step: int | None = None, rank: int | None = None) -> None:
+        """Capture one metrics snapshot (counter totals only: small)."""
+        if not self.enabled:
+            return
+        snap: dict[str, Any] = {"ts": time.time()}
+        if step is not None:
+            snap["step"] = step
+        if rank is not None:
+            snap["rank"] = rank
+        from repro.obs.metrics import get_metrics
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            totals: dict[str, float] = {}
+            for name, fam in metrics.to_dict().get("metrics", {}).items():
+                total = 0.0
+                for value in fam.get("values", {}).values():
+                    if isinstance(value, (int, float)):
+                        total += value
+                    elif isinstance(value, dict):  # histogram series
+                        total += value.get("count", 0)
+                totals[name] = total
+            snap["counters"] = totals
+        with self._lock:
+            self._snapshots.append(snap)
+
+    # ------------------------------------------------------------------ dump
+    def bundle(self, reason: str, exc: BaseException | None = None) -> dict[str, Any]:
+        """Assemble the post-mortem document from the live singletons."""
+        from repro.obs import get_tracer
+        from repro.obs.log import get_event_log
+        from repro.obs.metrics import get_metrics
+
+        elog = get_event_log()
+        tracer = get_tracer()
+        doc: dict[str, Any] = {
+            "schema": SCHEMA,
+            "reason": reason,
+            "created": time.time(),
+            "trace_id": tracer.trace_id if tracer.enabled else "",
+            "events": [e.to_dict() for e in elog.tail(self.max_events)],
+            "event_counts": elog.counts(),
+        }
+        if exc is not None:
+            doc["error"] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "code": getattr(exc, "code", None),
+            }
+        with self._lock:
+            doc["snapshots"] = list(self._snapshots)
+            doc["heartbeats"] = self._beats
+        doc["active_spans"] = tracer.active_spans()
+        metrics = get_metrics()
+        if metrics.enabled:
+            doc["metrics"] = metrics.to_dict()
+        from repro.verify.sanitizer import sanitizer_section
+
+        diagnostics = sanitizer_section()
+        if diagnostics is not None:
+            doc["diagnostics"] = diagnostics
+        from repro.runtime.resilience import get_resilience_log
+
+        rlog = get_resilience_log()
+        if rlog.has_events():
+            doc["resilience"] = rlog.as_dict()
+            if rlog.checkpoint_paths:
+                doc["checkpoint"] = rlog.checkpoint_paths[-1]
+        return doc
+
+    def dump(self, reason: str, exc: BaseException | None = None) -> Path | None:
+        """Build (and, when a directory is configured, write) a bundle.
+
+        Returns the path written, or ``None`` for the in-memory-only case.
+        Never raises: a crashing crash-handler helps nobody.
+        """
+        if not self.enabled:
+            return None
+        try:
+            doc = self.bundle(reason, exc)
+        except Exception:  # noqa: BLE001 - forensics must not mask the real error
+            return None
+        with self._lock:
+            self.last_bundle = doc
+        directory = self.directory
+        if directory is None:
+            env_dir = os.environ.get("REPRO_BLACKBOX_DIR")
+            directory = Path(env_dir) if env_dir else None
+        if directory is None:
+            return None
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / (
+                f"blackbox_{reason}_{os.getpid()}_{next(_dump_seq):03d}.json"
+            )
+            path.write_text(json.dumps(doc, indent=1, default=str) + "\n")
+        except OSError:
+            return None
+        with self._lock:
+            self.dumps_written.append(path)
+        from repro.obs.log import get_event_log
+
+        get_event_log().emit("blackbox.dumped", level="warning",
+                             reason=reason, path=str(path))
+        return path
+
+
+_RECORDER = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder singleton."""
+    return _RECORDER
+
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "DEFAULT_SNAPSHOT_EVERY",
+    "FlightRecorder",
+    "SCHEMA",
+    "get_flight_recorder",
+]

@@ -22,6 +22,10 @@ actually has) into a single document:
     diagnostics  runtime sanitizer findings (``--sanitize`` runs only):
                every RPR### diagnostic with its provenance, plus the
                number of checks performed
+    health   the anomaly monitor's verdict: ok/warning/error status, the
+             alerts that fired (step-time spikes, rank imbalance, retry
+             storms, cache-miss storms) and the thresholds used
+    events   structured-event-log summary (counts per event name/level)
     trace    span/track counts when a tracer was active
     tuning   how this solver was produced: compilation-cache outcome
              (hit/miss, key prefix, build seconds) and — for ``--tuned``
@@ -65,6 +69,8 @@ class RunReport:
     placement: dict[str, Any] | None = None
     resilience: dict[str, Any] | None = None
     diagnostics: dict[str, Any] | None = None
+    health: dict[str, Any] | None = None
+    events: dict[str, Any] | None = None
     trace: dict[str, Any] | None = None
     tuning: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
@@ -77,7 +83,7 @@ class RunReport:
             "phases": self.phases,
         }
         for key in ("comm", "gpu", "placement", "resilience", "diagnostics",
-                    "trace", "tuning", "metrics"):
+                    "health", "events", "trace", "tuning", "metrics"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -287,6 +293,16 @@ def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
     from repro.verify.sanitizer import sanitizer_section
 
     report.diagnostics = sanitizer_section()
+
+    from repro.obs.anomaly import health_section
+
+    report.health = health_section(solver)
+
+    from repro.obs.log import get_event_log
+
+    elog = get_event_log()
+    if elog.enabled and elog.counts():
+        report.events = elog.summary()
 
     if tracer is not None and tracer.enabled:
         report.trace = tracer.summary()

@@ -27,12 +27,28 @@ converts to the trace format's microseconds.
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+# Process-wide span-ID source.  ``itertools.count`` is atomic in CPython,
+# so rank threads can mint IDs without a lock; 0 means "no span".
+_span_ids = itertools.count(1)
+
+
+def next_span_id() -> int:
+    """A process-unique nonzero span ID (cheap, thread-safe)."""
+    return next(_span_ids)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit run/trace identifier."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass
@@ -76,6 +92,29 @@ class InstantEvent:
     args: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class FlowEvent:
+    """A causal arrow between two tracks (``ph: "s"``/``"f"`` pair).
+
+    Recorded in one shot by the *receiving* side of a cross-rank message
+    (the sender's span context travels inside the message), so every flow
+    is complete by construction — no unmatched starts to drop at export.
+    ``flow_id`` doubles as the Perfetto flow-binding ID: for point-to-point
+    messages it is the sender's span ID; collectives mint a fresh ID per
+    arrow (several ranks may depend on one straggler) and carry the source
+    span in ``args["src_span"]`` instead.
+    """
+
+    name: str
+    flow_id: int
+    src_track: str
+    src_t: float
+    dst_track: str
+    dst_t: float
+    cat: str = "flow"
+    args: dict[str, Any] = field(default_factory=dict)
+
+
 class _NullSpan:
     """Reusable no-op context manager handed out by the null tracer."""
 
@@ -100,6 +139,7 @@ class NullTracer:
     """
 
     enabled = False
+    trace_id = ""
 
     def span(self, track: str, name: str, cat: str = "phase", **args) -> _NullSpan:
         return _NULL_SPAN
@@ -114,13 +154,24 @@ class NullTracer:
     def counter(self, track: str, name: str, t: float, value: float) -> None:
         return None
 
+    def flow(self, name: str, flow_id: int, src_track: str, src_t: float,
+             dst_track: str, dst_t: float, **args) -> None:
+        return None
+
+    def active_spans(self) -> list[dict[str, Any]]:
+        return []
+
 
 #: Module-wide disabled tracer (singleton — identity comparisons are safe).
 NULL_TRACER = NullTracer()
 
 
 class _LiveSpan:
-    """Context manager recording a wall-clock span into a live tracer."""
+    """Context manager recording a wall-clock span into a live tracer.
+
+    Open spans register with the tracer so the flight recorder can list
+    what every thread was inside at crash time (``Tracer.active_spans``).
+    """
 
     __slots__ = ("_tracer", "_track", "_name", "_cat", "_args", "_t0")
 
@@ -135,9 +186,11 @@ class _LiveSpan:
 
     def __enter__(self) -> "_LiveSpan":
         self._t0 = self._tracer.clock()
+        self._tracer._open_span(self)
         return self
 
     def __exit__(self, *exc) -> bool:
+        self._tracer._close_span(self)
         self._tracer.complete(
             self._track, self._name, self._t0, self._tracer.clock(),
             cat=self._cat, **self._args,
@@ -153,12 +206,15 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter):
+    def __init__(self, clock=time.perf_counter, trace_id: str | None = None):
         self.clock = clock
+        self.trace_id = trace_id or new_trace_id()
         self._lock = threading.Lock()
         self.spans: list[SpanEvent] = []
         self.counters: list[CounterEvent] = []
         self.instants: list[InstantEvent] = []
+        self.flows: list[FlowEvent] = []
+        self._active: dict[int, _LiveSpan] = {}
 
     # ------------------------------------------------------------- recording
     def span(self, track: str, name: str, cat: str = "phase", **args) -> _LiveSpan:
@@ -167,7 +223,12 @@ class Tracer:
 
     def complete(self, track: str, name: str, t0: float, t1: float,
                  cat: str = "", **args) -> None:
-        """Record a finished span with explicit timestamps (virtual clocks)."""
+        """Record a finished span with explicit timestamps (virtual clocks).
+
+        ``span_id``/``parent_id`` keyword args (when callers pass them) ride
+        in ``args`` and surface in the export, linking the span to flow
+        events and to the structured event log's correlation IDs.
+        """
         with self._lock:
             self.spans.append(SpanEvent(track, name, t0, t1, cat, args))
 
@@ -178,6 +239,34 @@ class Tracer:
     def counter(self, track: str, name: str, t: float, value: float) -> None:
         with self._lock:
             self.counters.append(CounterEvent(track, name, t, float(value)))
+
+    def flow(self, name: str, flow_id: int, src_track: str, src_t: float,
+             dst_track: str, dst_t: float, **args) -> None:
+        """Record a complete causal arrow (both endpoints known)."""
+        with self._lock:
+            self.flows.append(FlowEvent(
+                name, flow_id, src_track, src_t, dst_track, dst_t, args=args))
+
+    # ---------------------------------------------------------- active spans
+    def _open_span(self, span: _LiveSpan) -> None:
+        with self._lock:
+            self._active[id(span)] = span
+
+    def _close_span(self, span: _LiveSpan) -> None:
+        with self._lock:
+            self._active.pop(id(span), None)
+
+    def active_spans(self) -> list[dict[str, Any]]:
+        """Snapshot of currently-open wall-clock spans (crash forensics)."""
+        now = self.clock()
+        with self._lock:
+            live = list(self._active.values())
+        return [
+            {"track": s._track, "name": s._name, "cat": s._cat,
+             "t0": s._t0, "elapsed_s": max(now - s._t0, 0.0),
+             "args": dict(s._args)}
+            for s in sorted(live, key=lambda s: s._t0)
+        ]
 
     # --------------------------------------------------------------- queries
     def tracks(self) -> list[str]:
@@ -203,11 +292,18 @@ class Tracer:
         return (process, thread or process)
 
     def to_chrome_trace(self) -> dict[str, Any]:
-        """Render as a Chrome trace-event document (Perfetto-compatible)."""
+        """Render as a Chrome trace-event document (Perfetto-compatible).
+
+        Degenerate runs stay loadable: a trace with zero spans (counters
+        only, instants only, or nothing at all) still gets process/thread
+        metadata and at least one event, because both Perfetto and
+        ``chrome://tracing`` reject files whose ``traceEvents`` is empty.
+        """
         with self._lock:
             spans = list(self.spans)
             counters = list(self.counters)
             instants = list(self.instants)
+            flows = list(self.flows)
 
         pids: dict[str, int] = {}
         tids: dict[tuple[str, str], int] = {}
@@ -250,7 +346,30 @@ class Tracer:
                 "ph": "C", "name": c.name, "pid": pid, "tid": tid,
                 "ts": c.t * 1e6, "args": {"value": c.value},
             })
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        # flows: one "s"/"f" pair per recorded causal arrow.  Both ends are
+        # known (complete-by-construction), so nothing dangles in the UI.
+        for f in sorted(flows, key=lambda e: e.src_t):
+            src_pid, src_tid = ids(f.src_track)
+            dst_pid, dst_tid = ids(f.dst_track)
+            common = {"name": f.name, "cat": f.cat or "flow", "id": f.flow_id}
+            events.append({
+                "ph": "s", **common, "pid": src_pid, "tid": src_tid,
+                "ts": f.src_t * 1e6, "args": f.args,
+            })
+            events.append({
+                "ph": "f", "bp": "e", **common, "pid": dst_pid,
+                "tid": dst_tid, "ts": f.dst_t * 1e6, "args": f.args,
+            })
+        if not any(e["ph"] != "M" for e in events):
+            # an entirely empty (or metadata-only) trace: emit one marker so
+            # the file always loads
+            pid, tid = ids("host")
+            events.append({
+                "ph": "i", "s": "t", "name": "trace_empty", "cat": "meta",
+                "pid": pid, "tid": tid, "ts": 0.0, "args": {},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"trace_id": self.trace_id}}
 
     def write(self, path: str | Path) -> Path:
         """Write the Chrome-trace JSON; returns the path written."""
@@ -264,19 +383,25 @@ class Tracer:
             n_spans = len(self.spans)
             n_counters = len(self.counters)
             n_instants = len(self.instants)
+            n_flows = len(self.flows)
         return {
+            "trace_id": self.trace_id,
             "n_spans": n_spans,
             "n_counters": n_counters,
             "n_instants": n_instants,
+            "n_flows": n_flows,
             "tracks": self.tracks(),
         }
 
 
 __all__ = [
     "CounterEvent",
+    "FlowEvent",
     "InstantEvent",
     "NULL_TRACER",
     "NullTracer",
     "SpanEvent",
     "Tracer",
+    "new_trace_id",
+    "next_span_id",
 ]

@@ -22,7 +22,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_event_log, get_metrics, get_tracer
+from repro.obs.tracer import next_span_id
 from repro.runtime.faults import get_injector
 from repro.runtime.netmodel import NetworkModel, ZERO_COST
 from repro.runtime.resilience import (
@@ -56,6 +57,11 @@ class _Message:
     send_time: float
     seq: int = 0  # per-(src, dst, tag) sequence number (dedup + ordering)
     extra_delay_s: float = 0.0  # injected in-flight delay
+    # sender's span context (trace_id, span_id, track, virtual send time):
+    # travels with the message through drops/dups/delays/re-sends so the
+    # receiver can record the causal send->recv flow edge for exactly the
+    # copy that was delivered
+    span: tuple[str, int, str, float] | None = None
 
 
 def _payload_bytes(data: Any) -> int:
@@ -167,6 +173,9 @@ class Communicator:
         # virtual-timeline track: one per rank in the exported trace
         self.tracer = get_tracer()
         self.track = f"virtual/rank{rank}"
+        # structured event log (per-message events are debug level, so the
+        # always-on default pays one attribute check per message)
+        self.elog = get_event_log()
         # metric instruments (shared no-ops when metrics are disabled)
         metrics = get_metrics()
         self.metrics = metrics
@@ -235,6 +244,13 @@ class Communicator:
         seq = self._send_seq.get(key, 0) + 1
         self._send_seq[key] = seq
         msg = _Message(payload, nbytes, self.clock.now(), seq=seq)
+        send_span = 0
+        if self.tracer.enabled:
+            # span context rides inside the message: the receiving side of
+            # exactly the delivered copy records the causal flow edge
+            send_span = next_span_id()
+            msg.span = (self.tracer.trace_id, send_span, self.track,
+                        msg.send_time)
         from repro.verify.sanitizer import get_sanitizer
         san = get_sanitizer()
         if san.enabled:
@@ -266,10 +282,17 @@ class Communicator:
             self._m_messages.inc(1, rank=self.rank)
             self._m_bytes.inc(nbytes, rank=self.rank)
         if self.tracer.enabled:
-            self.tracer.instant(self.track, f"send->{dest}", self.clock.now(),
-                                cat="comm", bytes=nbytes, tag=tag)
+            # a zero-duration span (not an instant) so the Perfetto flow
+            # start has an enclosing slice to bind to
+            self.tracer.complete(self.track, f"send->{dest}", msg.send_time,
+                                 msg.send_time, cat="comm", bytes=nbytes,
+                                 tag=tag, seq=seq, span_id=send_span)
             self.tracer.counter(self.track, "bytes_sent", self.clock.now(),
                                 self.stats.bytes_sent)
+        if self.elog.debug_enabled:
+            self.elog.emit("comm.send", level="debug", rank=self.rank,
+                           span_id=send_span, dest=dest, tag=tag, seq=seq,
+                           bytes=nbytes)
 
     def _next_message(self, source: int, tag: int) -> tuple[_Message, float]:
         """Blocking in-order dequeue with timeout/backoff/re-send and dedup.
@@ -376,9 +399,27 @@ class Communicator:
         if self.metrics.enabled:
             self._m_recv_wait.observe(waited, rank=self.rank)
         if self.tracer.enabled:
+            recv_span = next_span_id()
+            parent = 0
+            if msg.span is not None:
+                _, parent, src_track, src_t = msg.span
+                # causal edge: the sender's send-span to this recv-span.
+                # dst_t is the recv end, which the arrival model guarantees
+                # is >= src_t (+ delays/penalties) — flows point forward in
+                # virtual time even under retries, dups and reorders.
+                self.tracer.flow(
+                    f"msg:{source}->{self.rank}", parent, src_track, src_t,
+                    self.track, self.clock.now(), tag=tag, seq=msg.seq,
+                    bytes=msg.nbytes)
             self.tracer.complete(self.track, f"recv<-{source}", before,
                                  self.clock.now(), cat="comm",
-                                 bytes=msg.nbytes, tag=tag, waited_s=waited)
+                                 bytes=msg.nbytes, tag=tag, waited_s=waited,
+                                 span_id=recv_span, parent_span_id=parent)
+        if self.elog.debug_enabled:
+            parent = msg.span[1] if msg.span is not None else 0
+            self.elog.emit("comm.recv", level="debug", rank=self.rank,
+                           parent_id=parent, source=source, tag=tag,
+                           seq=msg.seq, bytes=msg.nbytes, waited_s=waited)
         return msg.payload
 
     def exchange(self, sends: dict[int, Any], tag: int = 0,
@@ -397,6 +438,46 @@ class Communicator:
         return {src: self.recv(src, tag, phase) for src in sends}
 
     # -------------------------------------------------------------- collectives
+    # Collectives carry causal context the same way messages do: every rank
+    # deposits its entry (time, rank, span_id, track) and the rendezvous max
+    # elects the *straggler* — the rank whose late arrival gated completion.
+    # Each other rank then records a flow edge from that entry to its own
+    # collective span, so the measured critical path can hop to the rank
+    # that actually caused the wait.
+    def _coll_entry(self, coll: str) -> tuple[float, int, int, str]:
+        now = self.clock.now()
+        entry_span = 0
+        if self.tracer.enabled:
+            entry_span = next_span_id()
+            # zero-duration span (like send): gives the flow start an
+            # enclosing slice and the measured critical path a span_id
+            self.tracer.complete(self.track, f"{coll}-enter", now, now,
+                                 cat="comm", span_id=entry_span)
+        return (now, self.rank, entry_span, self.track)
+
+    def _coll_finish(self, coll: str, latest: tuple[float, int, int, str],
+                     before: float, nbytes: int, **extra: Any) -> None:
+        """Record the collective span + the causal edge from the straggler."""
+        now = self.clock.now()
+        waited = now - before
+        src_t, src_rank, src_span, src_track = latest
+        parent = src_span if src_rank != self.rank else 0
+        if self.tracer.enabled:
+            if parent:
+                # fresh arrow id (one flow per dependent rank); the args
+                # carry the straggler's entry span so the measured critical
+                # path can resolve the jump target
+                self.tracer.flow(f"coll:{coll}", next_span_id(), src_track,
+                                 src_t, self.track, now, src_span=parent,
+                                 src_rank=src_rank)
+            self.tracer.complete(self.track, coll, before, now, cat="comm",
+                                 bytes=nbytes, waited_s=waited,
+                                 span_id=next_span_id(),
+                                 parent_span_id=parent, **extra)
+        if self.elog.debug_enabled:
+            self.elog.emit(f"comm.{coll}", level="debug", rank=self.rank,
+                           parent_id=parent, bytes=nbytes, waited_s=waited)
+
     def _rendezvous(self, value: Any, combine) -> Any:
         """All ranks deposit a value; one combines; all pick up the result."""
         w = self.world
@@ -420,16 +501,14 @@ class Communicator:
         if self.metrics.enabled:
             self._m_collective.inc(1, rank=self.rank, op="allreduce")
         # synchronise: collective completes only after the latest rank enters
-        entry = self._rendezvous(self.clock.now(), max)
+        latest = self._rendezvous(self._coll_entry("allreduce"), max)
         parts = self._rendezvous(arr, lambda slots: _REDUCERS[op](np.stack(slots)))
         cost = self.world.network.allreduce_time(arr.nbytes, self.size)
         before = self.clock.now()
-        self.clock.advance_to(entry + cost)
+        self.clock.advance_to(latest[0] + cost)
         self.stats.comm_s += self.clock.now() - before
         self.stats.charge_phase(phase, self.clock.now() - before)
-        if self.tracer.enabled:
-            self.tracer.complete(self.track, "allreduce", before, self.clock.now(),
-                                 cat="comm", bytes=arr.nbytes, op=op.value)
+        self._coll_finish("allreduce", latest, before, arr.nbytes, op=op.value)
         if np.ndim(data) == 0:
             return float(parts)
         return parts
@@ -438,17 +517,15 @@ class Communicator:
         """Ring allgather with modelled cost."""
         if self.metrics.enabled:
             self._m_collective.inc(1, rank=self.rank, op="allgather")
-        entry = self._rendezvous(self.clock.now(), max)
+        latest = self._rendezvous(self._coll_entry("allgather"), max)
         slots = self._rendezvous(data, list)
         nbytes = _payload_bytes(data)
         cost = self.world.network.allgather_time(nbytes, self.size)
         before = self.clock.now()
-        self.clock.advance_to(entry + cost)
+        self.clock.advance_to(latest[0] + cost)
         self.stats.comm_s += self.clock.now() - before
         self.stats.charge_phase(phase, self.clock.now() - before)
-        if self.tracer.enabled:
-            self.tracer.complete(self.track, "allgather", before, self.clock.now(),
-                                 cat="comm", bytes=nbytes)
+        self._coll_finish("allgather", latest, before, nbytes)
         return slots
 
     def barrier(self) -> None:

@@ -103,6 +103,11 @@ def run_spmd(
         root = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
         if root:
             rank, exc = min(root, key=lambda e: e[0])
+        from repro.obs import get_event_log, get_flight_recorder
+
+        get_event_log().emit("executor.rank_failed", level="error", rank=rank,
+                             error=f"{type(exc).__name__}: {exc}")
+        get_flight_recorder().dump("rank_failure", exc)
         raise ReproError(f"rank {rank} failed: {type(exc).__name__}: {exc}") from exc
 
     result = SPMDResult(

@@ -285,6 +285,11 @@ def fault_run(spec: str | list[FaultRule] | None, seed: int = 0, *,
         injector = NULL_INJECTOR
     else:
         injector = FaultInjector(spec, seed=seed)
+        from repro.obs.log import get_event_log
+
+        get_event_log().emit(
+            "faults.armed", level="info", seed=injector.seed,
+            rules=[r.describe() for r in injector.rules])
     previous = set_injector(injector)
     if reset_log:
         get_resilience_log().reset()

@@ -94,6 +94,7 @@ class ResilienceLog:
         self._metric_counter(
             "resilience_faults_injected_total",
             "faults injected by the seeded injector", kind=kind, **labels)
+        self._event("fault.injected", "warning", kind=kind, **labels)
 
     def record_retry(self, **labels: Any) -> None:
         with self._lock:
@@ -101,6 +102,7 @@ class ResilienceLog:
         self._metric_counter(
             "resilience_retries_total",
             "receive retries (timeout + idempotent re-send)", **labels)
+        self._event("comm.retry", "warning", **labels)
 
     def record_duplicate_dropped(self, **labels: Any) -> None:
         with self._lock:
@@ -108,6 +110,7 @@ class ResilienceLog:
         self._metric_counter(
             "resilience_duplicates_dropped_total",
             "duplicate messages discarded by sequence dedup", **labels)
+        self._event("comm.duplicate_dropped", "info", **labels)
 
     def record_recovered(self, latency_s: float, **labels: Any) -> None:
         with self._lock:
@@ -124,6 +127,7 @@ class ResilienceLog:
                 "resilience_recovery_latency_seconds",
                 "virtual seconds from fault detection to recovery",
                 buckets=_RECOVERY_BUCKETS).observe(latency_s, **labels)
+        self._event("comm.recovered", "info", latency_s=latency_s, **labels)
 
     def record_checkpoint(self, path: str | Path, **labels: Any) -> None:
         with self._lock:
@@ -131,12 +135,14 @@ class ResilienceLog:
             self.checkpoint_paths.append(str(path))
         self._metric_counter(
             "resilience_checkpoints_total", "solver checkpoints written", **labels)
+        self._event("checkpoint.written", "info", path=str(path), **labels)
 
     def record_restore(self, path: str | Path, **labels: Any) -> None:
         with self._lock:
             self.restores += 1
         self._metric_counter(
             "resilience_restores_total", "solver checkpoints restored", **labels)
+        self._event("checkpoint.restored", "info", path=str(path), **labels)
 
     def record_degraded(self, task: str, from_device: str, to_device: str,
                         reason: str, **labels: Any) -> None:
@@ -150,6 +156,9 @@ class ResilienceLog:
             "resilience_degraded_placements_total",
             "tasks re-placed after a device fault",
             task=task, **labels)
+        self._event("device.degraded", "warning", task=task,
+                    from_device=from_device, to_device=to_device,
+                    reason=reason, **labels)
 
     @staticmethod
     def _metric_counter(name: str, help: str, **labels: Any) -> None:
@@ -158,6 +167,17 @@ class ResilienceLog:
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter(name, help).inc(1, **labels)
+
+    @staticmethod
+    def _event(name: str, level: str = "info", **fields: Any) -> None:
+        """Mirror one resilience record into the structured event log."""
+        from repro.obs.log import get_event_log
+
+        elog = get_event_log()
+        if elog.enabled:
+            rank = fields.pop("rank", None)
+            step = fields.pop("step", None)
+            elog.emit(name, level, rank=rank, step=step, **fields)
 
     # ---------------------------------------------------------------- export
     def has_events(self) -> bool:

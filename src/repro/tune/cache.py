@@ -119,6 +119,13 @@ class CompilationCache:
             self.enabled = enabled
         if cache_dir is not None:
             self.cache_dir = Path(cache_dir)
+        from repro.obs.log import get_event_log
+
+        elog = get_event_log()
+        if elog.debug_enabled:
+            elog.emit("tune.cache.configured", level="debug",
+                      enabled=self.enabled,
+                      cache_dir=str(self.cache_dir) if self.cache_dir else None)
 
     def clear(self, *, disk: bool = False) -> None:
         with self._lock:
@@ -168,6 +175,12 @@ class CompilationCache:
         with self._lock:
             self._memory[key] = artifact
         self._disk_put(key, artifact)
+        from repro.obs.log import get_event_log
+
+        elog = get_event_log()
+        if elog.debug_enabled:
+            elog.emit("tune.cache.put", level="debug", key=key[:12],
+                      target=artifact.target_name, flavor=artifact.flavor)
 
     # -------------------------------------------------------------- disk layer
     def _entry_dir(self, key: str) -> Path | None:

@@ -84,7 +84,7 @@ class Sanitizer:
         self._feed_observability(diag)
 
     def _feed_observability(self, diag: Diagnostic) -> None:
-        from repro.obs import get_metrics, get_tracer
+        from repro.obs import get_event_log, get_metrics, get_tracer
 
         metrics = get_metrics()
         if metrics.enabled:
@@ -97,6 +97,12 @@ class Sanitizer:
             ts = diag.where.get("time", 0.0)
             tracer.instant("sanitizer", diag.code, float(ts or 0.0),
                            cat="sanitizer", message=diag.message)
+        level = diag.severity if diag.severity in ("info", "warning", "error") \
+            else "warning"
+        get_event_log().emit(
+            "sanitizer.finding", level=level,
+            rank=diag.where.get("rank"), step=diag.where.get("step"),
+            code=diag.code, severity=diag.severity, message=diag.message)
 
     def _count(self, n: int = 1) -> None:
         with self._lock:
@@ -128,7 +134,11 @@ class Sanitizer:
         diag = Diagnostic.from_code(code, msg, array=name, **where)
         self.record(diag)
         if fatal:
-            raise SanitizerError(f"[{diag.code}] {msg}", code=diag.code)
+            exc = SanitizerError(f"[{diag.code}] {msg}", code=diag.code)
+            from repro.obs import get_flight_recorder
+
+            get_flight_recorder().dump("sanitizer", exc)
+            raise exc
         return False
 
     def check_state(self, state) -> None:
@@ -250,8 +260,12 @@ class Sanitizer:
                 f"seq {seq}) failed its checksum: data corrupted in flight",
                 rank=dst, peer=src, tag=tag, seq=seq)
             self.record(diag)
-            raise SanitizerError(f"[{diag.code}] {diag.message}",
+            exc = SanitizerError(f"[{diag.code}] {diag.message}",
                                  code=diag.code)
+            from repro.obs import get_flight_recorder
+
+            get_flight_recorder().dump("sanitizer", exc)
+            raise exc
         self.check_array(f"halo from rank {src}", data, code="RPR302",
                          rank=dst, peer=src)
 

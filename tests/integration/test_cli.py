@@ -101,6 +101,85 @@ class TestObservabilityFlags:
             root.setLevel(previous)
 
 
+class TestEventLogCLI:
+    @pytest.fixture(autouse=True)
+    def restore_singletons(self):
+        from repro.obs import get_flight_recorder
+        from repro.obs.log import EventLog, set_event_log
+
+        recorder = get_flight_recorder()
+        saved_dir = recorder.directory
+        yield
+        recorder.reset()
+        recorder.directory = saved_dir
+        set_event_log(EventLog())
+
+    def bte(self, *extra):
+        return ["bte", "--nx", "8", "--ndirs", "4", "--bands", "4",
+                "--steps", "2", *extra]
+
+    def test_events_file_roundtrips_through_events_command(
+            self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main(self.bte("--events", str(log))) == 0
+        header = json.loads(log.read_text().splitlines()[0])
+        assert header["schema"] == "repro.events/1"
+        capsys.readouterr()
+
+        assert main(["events", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "run.start" in out and "run.end" in out
+
+    def test_events_command_filters(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main(self.bte("--events", str(log))) == 0
+        capsys.readouterr()
+
+        assert main(["events", str(log), "--name", "run.", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all("run." in json.loads(line)["name"] for line in lines)
+
+        assert main(["events", str(log), "--tail", "1", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+
+    def test_events_command_rejects_non_event_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "repro.bench/1"}\n')
+        assert main(["events", str(bogus)]) == 2
+        assert "not an event log" in capsys.readouterr().err
+
+    def test_quiet_keeps_data_output(self, capsys):
+        assert main(["-q"] + self.bte()) == 0
+        out = capsys.readouterr().out
+        assert "T in [" in out
+        assert "running bte-hotspot" not in out
+
+    def test_log_level_debug_records_comm_events(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main(self.bte("--ranks", "2", "--events", str(log),
+                             "--log-level", "debug")) == 0
+        from repro.obs.log import read_events
+
+        names = {e["name"] for e in read_events(log)}
+        assert any(n.startswith("comm.") for n in names), names
+        assert "run.start" in names
+
+    def test_blackbox_dir_captures_failed_run(self, tmp_path, capsys):
+        bundles = tmp_path / "bb"
+        rc = main(self.bte("--restore", str(tmp_path / "missing.npz"),
+                           "--blackbox-dir", str(bundles)))
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "flight-recorder bundle:" in err
+        (bundle,) = bundles.glob("blackbox_*.json")
+        doc = json.loads(bundle.read_text())
+        assert doc["schema"] == "repro.blackbox/1"
+        assert "checkpoint" in doc["error"]["message"]
+        assert any(e["name"] == "cli.error" for e in doc["events"])
+
+
 @pytest.mark.slow
 def test_cli_as_subprocess():
     proc = subprocess.run(

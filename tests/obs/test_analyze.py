@@ -7,13 +7,16 @@ from pathlib import Path
 import pytest
 
 from repro.obs.analyze import (
+    Flow,
     Span,
     analysis_domain,
     analyze,
     critical_path,
+    critical_path_measured,
     intersection_length,
     kernel_boundary_overlap,
     load_trace,
+    load_trace_doc,
     merge_intervals,
     overlap_score,
     total_length,
@@ -105,6 +108,83 @@ class TestCriticalPath:
         assert critical_path([]) == {"makespan_s": 0.0, "phases": {}, "path": []}
 
 
+class TestMeasuredCriticalPath:
+    """Backward walk over the *recorded* dependency chain."""
+
+    def two_rank_spans(self):
+        # rank 0 computes, then sends; rank 1 blocks on the recv and
+        # finishes last — the makespan is causally pinned to rank 0
+        return [
+            Span("virtual/rank0", "compute", 0.0, 2.0, cat="compute"),
+            Span("virtual/rank0", "send->1", 2.0, 2.0, cat="comm",
+                 args={"span_id": 10}),
+            Span("virtual/rank1", "recv<-0", 0.0, 2.1, cat="comm",
+                 args={"span_id": 20, "parent_span_id": 10, "waited_s": 2.0}),
+            Span("virtual/rank1", "finish", 2.1, 2.5, cat="compute"),
+        ]
+
+    def test_p2p_jump_through_flow_edge(self):
+        flows = [Flow("msg:0->1", 10, "virtual/rank0", 2.0,
+                      "virtual/rank1", 2.1)]
+        measured = critical_path_measured(self.two_rank_spans(), flows)
+        assert measured["rank_hops"] == 1
+        assert [s["name"] for s in measured["path"]] == [
+            "compute", "send->1", "recv<-0", "finish"]
+        assert measured["makespan_s"] == pytest.approx(2.5)
+        # rank 0's compute dominates; the recv's blocked time is not
+        # double-charged past the send it jumped to
+        assert measured["phases"]["compute"] == pytest.approx(2.0)
+        assert measured["phases"]["recv<-0"] == pytest.approx(0.1)
+
+    def test_no_flow_means_no_jump(self):
+        # without a recorded edge the walk stays on rank 1's own track
+        measured = critical_path_measured(self.two_rank_spans(), [])
+        assert measured["rank_hops"] == 0
+        assert {s["track"] for s in measured["path"]} == {"virtual/rank1"}
+
+    def test_nonblocking_recv_does_not_jump(self):
+        spans = self.two_rank_spans()
+        recv = spans[2]
+        recv.args = dict(recv.args, waited_s=0.0)
+        flows = [Flow("msg:0->1", 10, "virtual/rank0", 2.0,
+                      "virtual/rank1", 2.1)]
+        measured = critical_path_measured(spans, flows)
+        assert measured["rank_hops"] == 0
+
+    def test_collective_flow_resolves_src_span_arg(self):
+        # collective arrows mint fresh ids and name the straggler's entry
+        # span in args["src_span"] — the jump must still resolve
+        spans = [
+            Span("virtual/rank1", "compute", 0.0, 3.0, cat="compute"),
+            Span("virtual/rank1", "allreduce-enter", 3.0, 3.0, cat="comm",
+                 args={"span_id": 10}),
+            Span("virtual/rank1", "allreduce", 3.0, 3.2, cat="comm",
+                 args={"span_id": 11, "parent_span_id": 0, "waited_s": 0.2}),
+            Span("virtual/rank0", "allreduce", 0.0, 3.2, cat="comm",
+                 args={"span_id": 12, "parent_span_id": 10, "waited_s": 3.2}),
+            Span("virtual/rank0", "post", 3.2, 3.3, cat="compute"),
+        ]
+        flows = [Flow("coll:allreduce", 99, "virtual/rank1", 3.0,
+                      "virtual/rank0", 3.2, args={"src_span": 10,
+                                                  "src_rank": 1})]
+        measured = critical_path_measured(spans, flows)
+        assert measured["rank_hops"] == 1
+        names = [s["name"] for s in measured["path"]]
+        assert names[0] == "compute" and names[-1] == "post"
+        assert measured["phases"]["compute"] == pytest.approx(3.0)
+
+    def test_idle_gap_is_charged(self):
+        spans = [Span("t", "a", 0.0, 1.0), Span("t", "b", 2.0, 3.0)]
+        measured = critical_path_measured(spans, [])
+        assert measured["phases"]["idle"] == pytest.approx(1.0)
+        assert measured["makespan_s"] == pytest.approx(3.0)
+
+    def test_empty(self):
+        measured = critical_path_measured([], [])
+        assert measured == {"makespan_s": 0.0, "phases": {}, "path": [],
+                            "rank_hops": 0, "n_flows": 0}
+
+
 class TestLoadTrace:
     def test_roundtrip_through_chrome_json(self, tmp_path):
         tracer = Tracer()
@@ -127,6 +207,28 @@ class TestLoadTrace:
         spans = load_trace(path)
         assert len(spans) == 1
         assert spans[0].duration == pytest.approx(1.0)
+
+    def test_empty_tracer_roundtrips_as_degenerate_trace(self, tmp_path):
+        # a run with no spans still writes valid JSON (a trace_empty
+        # instant) that loads back as zero spans and zero flows
+        path = Tracer().write(tmp_path / "empty.json")
+        doc = json.loads(path.read_text())
+        assert any(e.get("ph") == "i" and e.get("name") == "trace_empty"
+                   for e in doc["traceEvents"])
+        spans, flows = load_trace_doc(path)
+        assert spans == [] and flows == []
+
+    def test_unpaired_flow_start_is_discarded(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps([
+            {"ph": "X", "name": "w", "pid": 1, "tid": 1, "ts": 0.0,
+             "dur": 1e6},
+            {"ph": "s", "name": "msg", "id": 7, "pid": 1, "tid": 1,
+             "ts": 0.0},
+        ]))
+        spans, flows = load_trace_doc(path)
+        assert len(spans) == 1
+        assert flows == []
 
     def test_domain_prefers_virtual_processes(self):
         spans = [

@@ -1,0 +1,164 @@
+"""Streaming anomaly detectors and the run report's ``health`` section."""
+
+import pytest
+
+from repro.obs.anomaly import (
+    DEFAULT_THRESHOLDS,
+    AnomalyMonitor,
+    get_anomaly_monitor,
+)
+from repro.obs.log import EventLog, set_event_log
+
+
+@pytest.fixture(autouse=True)
+def fresh_state():
+    previous = set_event_log(EventLog())
+    get_anomaly_monitor().reset()
+    yield
+    get_anomaly_monitor().reset()
+    set_event_log(previous)
+
+
+class TestStepTimeSpikes:
+    def feed(self, monitor, times, rank=0):
+        alerts = [monitor.observe_step_time(t, rank=rank, step=i)
+                  for i, t in enumerate(times)]
+        return [a for a in alerts if a is not None]
+
+    def test_spike_fires_after_warmup(self):
+        monitor = AnomalyMonitor()
+        fired = self.feed(monitor, [1e-3] * 4 + [1e-2])
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.kind == "step_time_spike"
+        assert alert.value == pytest.approx(10.0)
+        assert alert.context["step"] == 4
+
+    def test_no_fire_before_min_samples(self):
+        monitor = AnomalyMonitor()
+        # the spike arrives while the window is still warming up
+        assert self.feed(monitor, [1e-3, 1e-3, 1.0]) == []
+
+    def test_steady_run_is_clean(self):
+        monitor = AnomalyMonitor()
+        assert self.feed(monitor, [1e-3] * 20) == []
+
+    def test_windows_are_per_rank(self):
+        monitor = AnomalyMonitor()
+        self.feed(monitor, [1e-3] * 6, rank=0)
+        # rank 1 has no history yet: its first slow step must not fire
+        assert self.feed(monitor, [1e-2], rank=1) == []
+
+    def test_fires_once_per_rank(self):
+        monitor = AnomalyMonitor()
+        fired = self.feed(monitor, [1e-3] * 4 + [1e-2, 1e-2, 1e-2])
+        assert len(fired) == 1
+
+    def test_alert_emits_warning_event(self):
+        from repro.obs.log import get_event_log
+
+        monitor = AnomalyMonitor()
+        self.feed(monitor, [1e-3] * 4 + [1e-2])
+        events = get_event_log().tail()
+        assert any(e.name == "anomaly.step_time_spike"
+                   and e.level == "warning" for e in events)
+
+
+class TestPostRunScans:
+    def test_rank_imbalance(self):
+        monitor = AnomalyMonitor()
+        alert = monitor.scan_rank_times([1.0, 1.0, 4.0])
+        assert alert.kind == "rank_imbalance"
+        assert alert.value == pytest.approx(2.0)
+
+    def test_balanced_ranks_clean(self):
+        monitor = AnomalyMonitor()
+        assert monitor.scan_rank_times([1.0, 1.1, 0.9]) is None
+
+    def test_single_rank_never_imbalanced(self):
+        assert AnomalyMonitor().scan_rank_times([5.0]) is None
+
+    def test_retry_storm(self):
+        class Log:
+            retries = 20
+
+        alert = AnomalyMonitor().scan_resilience(Log())
+        assert alert.kind == "retry_storm"
+        assert alert.context["retries"] == 20
+
+    def test_few_retries_clean(self):
+        class Log:
+            retries = 2
+
+        assert AnomalyMonitor().scan_resilience(Log()) is None
+
+    def test_cache_miss_storm_needs_warmup(self):
+        class Stats:
+            hits, misses = 0, 3
+
+        monitor = AnomalyMonitor()
+        assert monitor.scan_cache(Stats()) is None  # only 3 lookups
+        Stats.misses = 5
+        alert = monitor.scan_cache(Stats())
+        assert alert.kind == "cache_miss_storm"
+        assert alert.value == pytest.approx(1.0)
+
+    def test_custom_thresholds_override(self):
+        monitor = AnomalyMonitor(thresholds={"rank_imbalance": 10.0})
+        assert monitor.scan_rank_times([1.0, 4.0]) is None
+        assert monitor.thresholds["retry_storm"] == \
+            DEFAULT_THRESHOLDS["retry_storm"]
+
+
+class TestHealthSection:
+    def test_ok_when_quiet(self):
+        section = AnomalyMonitor().section()
+        assert section["status"] == "ok"
+        assert section["alerts"] == []
+        assert section["thresholds"]["step_time_spike"] == \
+            DEFAULT_THRESHOLDS["step_time_spike"]
+
+    def test_warning_when_alerts_fired(self):
+        monitor = AnomalyMonitor()
+        monitor.scan_rank_times([1.0, 5.0])
+        section = monitor.section()
+        assert section["status"] == "warning"
+        assert section["alerts"][0]["kind"] == "rank_imbalance"
+
+    def test_run_report_embeds_health(self, tiny_scenario):
+        from repro.bte.problem import build_bte_problem
+        from repro.obs.report import build_run_report
+
+        problem, _ = build_bte_problem(tiny_scenario)
+        solver = problem.solve()
+        report = build_run_report(solver)
+        assert report.health["status"] in ("ok", "warning")
+        assert "thresholds" in report.health
+        assert report.to_dict()["health"] == report.health
+
+    def test_disabled_monitor_is_inert(self):
+        monitor = AnomalyMonitor()
+        monitor.enabled = False
+        assert monitor.observe_step_time(1.0, rank=0) is None
+        assert monitor.scan_rank_times([1.0, 100.0]) is None
+        assert monitor.scan() == []
+
+
+class TestGateCoupling:
+    def test_regress_thresholds_come_from_anomaly_table(self):
+        from repro.obs import regress
+
+        assert regress.DEFAULT_THRESHOLD == DEFAULT_THRESHOLDS["bench_regression"]
+        assert regress.DEFAULT_WALL_THRESHOLD == \
+            DEFAULT_THRESHOLDS["bench_wall_regression"]
+        assert regress.OBS_OVERHEAD_THRESHOLD == DEFAULT_THRESHOLDS["obs_overhead"]
+
+    def test_overhead_entries_use_tight_threshold(self):
+        from repro.obs.regress import _threshold_for
+
+        assert _threshold_for("events_on_vs_off_wall_s", 0.25, 1.0) == \
+            DEFAULT_THRESHOLDS["obs_overhead"]
+        assert _threshold_for("blackbox_on_vs_off_wall_s", 0.25, 1.0) == \
+            DEFAULT_THRESHOLDS["obs_overhead"]
+        assert _threshold_for("cpu_serial_wall_s", 0.25, 1.0) == 1.0
+        assert _threshold_for("cpu_serial_s", 0.25, 1.0) == 0.25

@@ -1,0 +1,165 @@
+"""The always-on flight recorder and its ``repro.blackbox/1`` bundles."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bte.problem import build_bte_problem, hotspot_scenario
+from repro.obs import get_flight_recorder, metrics_run, trace_run
+from repro.obs.log import EventLog, set_event_log
+from repro.runtime.executor import run_spmd
+from repro.util.errors import ReproError
+from repro.verify import SanitizerError, get_sanitizer, sanitize_run
+
+
+@pytest.fixture(autouse=True)
+def fresh_recorder():
+    rec = get_flight_recorder()
+    saved_dir = rec.directory
+    rec.reset()
+    rec.directory = None
+    previous = set_event_log(EventLog())
+    yield rec
+    rec.reset()
+    rec.directory = saved_dir
+    rec.enabled = True
+    set_event_log(previous)
+    san = get_sanitizer()
+    san.reset()
+    san.enabled = False
+    san.was_active = False
+
+
+def tiny():
+    return hotspot_scenario(nx=4, ny=4, ndirs=4, n_freq_bands=2,
+                            dt=1e-12, nsteps=3)
+
+
+def poison(state):
+    state.u[0, 0] = np.nan
+
+
+class TestRecorder:
+    def test_heartbeat_snapshot_cadence(self, fresh_recorder):
+        fresh_recorder.configure(snapshot_every=2)
+        for step in range(5):
+            fresh_recorder.heartbeat(step=step, rank=0)
+        doc = fresh_recorder.bundle("test")
+        assert doc["heartbeats"] == 5
+        assert len(doc["snapshots"]) == 2
+        assert doc["snapshots"][-1]["step"] == 3
+
+    def test_snapshot_captures_counter_totals(self, fresh_recorder):
+        with metrics_run() as metrics:
+            metrics.counter("comm_messages_total", "msgs").inc(3, rank=0)
+            fresh_recorder.snapshot(step=1)
+            doc = fresh_recorder.bundle("test")
+        assert doc["snapshots"][0]["counters"]["comm_messages_total"] == 3.0
+
+    def test_bundle_carries_events_error_and_trace_id(self, fresh_recorder, tmp_path):
+        from repro.obs.log import get_event_log
+
+        with trace_run(tmp_path / "t.json") as tracer:
+            get_event_log().emit("fault.injected", level="warning",
+                                 rank=1, step=4, kind="drop")
+            doc = fresh_recorder.bundle("test", ValueError("boom"))
+            assert doc["trace_id"] == tracer.trace_id
+        assert doc["schema"] == "repro.blackbox/1"
+        assert doc["reason"] == "test"
+        assert doc["error"] == {"type": "ValueError", "message": "boom",
+                                "code": None}
+        names = [e["name"] for e in doc["events"]]
+        assert "fault.injected" in names
+        ev = doc["events"][names.index("fault.injected")]
+        assert ev["rank"] == 1 and ev["step"] == 4
+
+    def test_dump_in_memory_without_directory(self, fresh_recorder):
+        assert fresh_recorder.dump("test") is None
+        assert fresh_recorder.last_bundle["reason"] == "test"
+        assert fresh_recorder.dumps_written == []
+
+    def test_dump_writes_file_and_emits_event(self, fresh_recorder, tmp_path):
+        from repro.obs.log import get_event_log
+
+        fresh_recorder.configure(directory=tmp_path)
+        path = fresh_recorder.dump("test", ReproError("bad", code="RPR999"))
+        assert path is not None and path.parent == tmp_path
+        doc = json.loads(path.read_text())
+        assert doc["error"]["code"] == "RPR999"
+        assert any(e.name == "blackbox.dumped"
+                   for e in get_event_log().tail())
+
+    def test_disabled_recorder_dumps_nothing(self, fresh_recorder, tmp_path):
+        fresh_recorder.configure(directory=tmp_path, enabled=False)
+        fresh_recorder.heartbeat(step=1)
+        assert fresh_recorder.dump("test") is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_var_directory(self, fresh_recorder, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BLACKBOX_DIR", str(tmp_path))
+        path = fresh_recorder.dump("test")
+        assert path is not None and path.parent == tmp_path
+
+
+class TestCrashBundles:
+    """The acceptance paths: NaN trip and rank failure leave forensics."""
+
+    def test_sanitizer_nan_trip_dumps_bundle_with_provenance(
+            self, fresh_recorder, tmp_path):
+        fresh_recorder.configure(directory=tmp_path)
+        p, _ = build_bte_problem(tiny())
+        p.add_post_step(poison, name="poison")
+        with sanitize_run():
+            with pytest.raises(SanitizerError):
+                p.solve()
+        bundles = list(tmp_path.glob("blackbox_sanitizer_*.json"))
+        assert len(bundles) == 1
+        doc = json.loads(bundles[0].read_text())
+        assert doc["reason"] == "sanitizer"
+        assert doc["error"]["code"] == "RPR301"
+        assert "step 1" in doc["error"]["message"]
+        # the structured finding rode along with its step provenance
+        finding = next(e for e in doc["events"] if e["name"] == "sanitizer.finding")
+        assert finding["step"] == 1
+        assert finding["fields"]["code"] == "RPR301"
+        # the sanitizer's own section is embedded for offline triage
+        assert any(d["code"] == "RPR301"
+                   for d in doc["diagnostics"]["diagnostics"])
+
+    def test_rank_failure_dumps_bundle_with_rank_and_span_ids(
+            self, fresh_recorder, tmp_path):
+        fresh_recorder.configure(directory=tmp_path)
+
+        def prog(comm):
+            comm.compute(1e-6)
+            if comm.rank == 1:
+                raise RuntimeError("device fell off the bus")
+            return comm.rank
+
+        with trace_run(tmp_path / "t.json"):
+            with pytest.raises(ReproError, match="rank 1 failed"):
+                run_spmd(2, prog)
+        bundles = list(tmp_path.glob("blackbox_rank_failure_*.json"))
+        assert len(bundles) == 1
+        doc = json.loads(bundles[0].read_text())
+        assert doc["error"]["type"] == "RuntimeError"
+        assert doc["trace_id"]
+        failed = next(e for e in doc["events"]
+                      if e["name"] == "executor.rank_failed")
+        assert failed["rank"] == 1
+        assert "device fell off the bus" in failed["fields"]["error"]
+
+    def test_dump_never_raises_on_broken_singletons(self, fresh_recorder):
+        from collections import deque
+
+        # a bundle source that explodes must not mask the real error
+        class Exploding:
+            def __getattr__(self, name):
+                raise RuntimeError("broken")
+
+        fresh_recorder._snapshots = Exploding()
+        try:
+            assert fresh_recorder.dump("test") is None
+        finally:
+            fresh_recorder._snapshots = deque(maxlen=16)

@@ -99,6 +99,22 @@ class TestCompare:
         report = compare(base, _env("cur", {"a_s": 1e-3}))
         assert report.deltas[0].status == "ok"
 
+    def test_overhead_ratio_judged_against_ideal(self):
+        # an on-vs-off ratio is gated on its distance from 1.0, not on the
+        # baseline's own noisy measurement of the same ideal
+        base = _env("base", {"events_on_vs_off_wall_s": 0.97})
+        ok = _env("cur", {"events_on_vs_off_wall_s": 1.04})
+        assert not compare(base, ok).has_regressions  # +7% vs base, but <1.05
+        bad = _env("cur", {"events_on_vs_off_wall_s": 1.06})
+        report = compare(base, bad)
+        assert report.has_regressions
+        assert report.deltas[0].slowdown == pytest.approx(0.06)
+
+    def test_overhead_ratio_under_one_is_not_improved(self):
+        base = _env("base", {"blackbox_on_vs_off_wall_s": 1.0})
+        report = compare(base, _env("cur", {"blackbox_on_vs_off_wall_s": 0.98}))
+        assert report.deltas[0].status == "ok"  # within noise of the ideal
+
     def test_render_text_marks_regressions(self):
         base = _env("base", {"a_s": 1.0})
         report = compare(base, _env("cur", {"a_s": 2.0}))

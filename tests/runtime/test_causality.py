@@ -1,0 +1,166 @@
+"""Causal flow edges must survive chaos.
+
+The comm layer carries span context inside every message so the receiver
+can record the send->recv flow for exactly the copy that was delivered.
+These tests run 2-rank programs under a live tracer with injected drops,
+duplicates, delays and stalls, and assert the recorded causality is
+complete (one flow per delivered message), forward in virtual time
+(acyclic), and correctly parented (flow id == sender's send span ==
+receiver's ``parent_span_id``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import trace_run
+from repro.obs.analyze import critical_path_measured, load_trace_doc
+from repro.runtime.comm import World
+from repro.runtime.executor import run_spmd
+from repro.runtime.faults import fault_run
+
+
+def stream_pair(comm):
+    """Rank 0 streams three arrays to rank 1."""
+    if comm.rank == 0:
+        for k in range(3):
+            comm.send(1, np.full(4, float(k + 1)))
+        return None
+    return [comm.recv(0)[0] for _ in range(3)]
+
+
+def run_chaos(tmp_path, spec, prog=stream_pair, seed=0):
+    path = tmp_path / "trace.json"
+    with trace_run(path) as tracer:
+        with fault_run(spec, seed=seed):
+            run_spmd(2, prog)
+    return tracer, path
+
+
+CHAOS_SPECS = [
+    pytest.param(None, id="fault-free"),
+    pytest.param("drop:rank=0,dest=1,at=2", id="drop"),
+    pytest.param("drop:rank=0,dest=1,at=1", id="drop-first-reorder"),
+    pytest.param("dup:rank=0,dest=1,at=1", id="dup"),
+    pytest.param("delay:rank=0,dest=1,at=2,delay=2e-3", id="delay"),
+    pytest.param("stall:rank=1,at=1,delay=7e-4", id="stall"),
+]
+
+
+class TestFlowsUnderChaos:
+    @pytest.mark.parametrize("spec", CHAOS_SPECS)
+    def test_one_flow_per_delivered_message(self, tmp_path, spec):
+        tracer, _ = run_chaos(tmp_path, spec)
+        flows = [f for f in tracer.flows if f.name.startswith("msg:")]
+        # 3 messages delivered exactly once each — dups are deduplicated,
+        # drops are re-delivered, neither creates a second edge
+        assert len(flows) == 3
+        assert all(f.name == "msg:0->1" for f in flows)
+
+    @pytest.mark.parametrize("spec", CHAOS_SPECS)
+    def test_flows_point_forward_in_virtual_time(self, tmp_path, spec):
+        tracer, _ = run_chaos(tmp_path, spec)
+        for f in tracer.flows:
+            assert f.dst_t >= f.src_t, (
+                f"flow {f.name} goes backwards: {f.src_t} -> {f.dst_t}")
+
+    @pytest.mark.parametrize("spec", CHAOS_SPECS)
+    def test_flows_are_correctly_parented(self, tmp_path, spec):
+        tracer, _ = run_chaos(tmp_path, spec)
+        send_ids = {s.args["span_id"] for s in tracer.spans
+                    if s.name == "send->1"}
+        recv_parents = [s.args["parent_span_id"] for s in tracer.spans
+                        if s.name == "recv<-0"]
+        flow_ids = [f.flow_id for f in tracer.flows]
+        # every flow binds a real send span to a recv that names it
+        assert set(flow_ids) <= send_ids
+        assert sorted(flow_ids) == sorted(recv_parents)
+        # three distinct deliveries -> three distinct parents
+        assert len(set(flow_ids)) == 3
+
+    @pytest.mark.parametrize("spec", CHAOS_SPECS)
+    def test_flows_survive_the_json_roundtrip(self, tmp_path, spec):
+        _, path = run_chaos(tmp_path, spec)
+        spans, flows = load_trace_doc(path)
+        assert len([f for f in flows if f.name.startswith("msg:")]) == 3
+        send_ids = {s.args["span_id"] for s in spans if s.name == "send->1"}
+        assert {f.flow_id for f in flows} <= send_ids
+
+    def test_redelivered_flow_binds_original_send_span(self, tmp_path):
+        # the resend puts the *same* message (same span context) back in
+        # flight: the flow must name the original send, not a phantom
+        tracer, _ = run_chaos(tmp_path, "drop:rank=0,dest=1,at=2")
+        sends = sorted(s.args["span_id"] for s in tracer.spans
+                       if s.name == "send->1")
+        assert sorted(f.flow_id for f in tracer.flows) == sends
+
+
+class TestCollectiveCausality:
+    def straggler_prog(self, comm):
+        # rank 1 computes 100x longer: it is the straggler every rank's
+        # allreduce completion causally depends on
+        comm.compute(5e-3 if comm.rank == 1 else 5e-5)
+        comm.allreduce(np.ones(4))
+        return comm.clock.now()
+
+    def test_allreduce_flow_comes_from_straggler(self, tmp_path):
+        tracer, _ = run_chaos(tmp_path, None, prog=self.straggler_prog)
+        flows = [f for f in tracer.flows if f.name == "coll:allreduce"]
+        # only the non-straggler rank records a dependence edge
+        assert len(flows) == 1
+        (flow,) = flows
+        assert flow.args["src_rank"] == 1
+        assert flow.src_track.endswith("rank1")
+        assert flow.dst_track.endswith("rank0")
+        entry = next(s for s in tracer.spans
+                     if s.name == "allreduce-enter"
+                     and s.track.endswith("rank1"))
+        assert flow.args["src_span"] == entry.args["span_id"]
+
+    def test_straggler_itself_has_no_parent(self, tmp_path):
+        tracer, _ = run_chaos(tmp_path, None, prog=self.straggler_prog)
+        colls = {s.track: s for s in tracer.spans if s.name == "allreduce"}
+        assert colls["virtual/rank1"].args["parent_span_id"] == 0
+        assert colls["virtual/rank0"].args["parent_span_id"] != 0
+        assert colls["virtual/rank0"].args["waited_s"] > 0
+
+    def test_stalled_rank_becomes_the_straggler(self, tmp_path):
+        def prog(comm):
+            comm.compute(1e-6)
+            comm.allreduce(np.ones(4))
+            return comm.clock.now()
+
+        tracer, _ = run_chaos(tmp_path, "stall:rank=0,at=1,delay=7e-4",
+                              prog=prog)
+        (flow,) = [f for f in tracer.flows if f.name == "coll:allreduce"]
+        assert flow.args["src_rank"] == 0
+        assert flow.dst_track.endswith("rank1")
+
+
+class TestMeasuredCriticalPath:
+    def test_path_crosses_ranks_through_recorded_edges(self, tmp_path):
+        def prog(comm):
+            # rank 0 computes long, then sends; rank 1 blocks on the recv:
+            # rank 1's finish is causally pinned to rank 0's compute
+            if comm.rank == 0:
+                comm.compute(2e-3)
+                comm.send(1, np.ones(8))
+            else:
+                comm.recv(0)
+                comm.compute(1e-5)
+            return None
+
+        _, path = run_chaos(tmp_path, None, prog=prog)
+        spans, flows = load_trace_doc(path)
+        measured = critical_path_measured(spans, flows)
+        assert measured["rank_hops"] >= 1
+        assert measured["n_flows"] == len(flows) >= 1
+        tracks = {step["track"] for step in measured["path"]}
+        assert len(tracks) >= 2  # the walk visited both ranks
+        assert measured["makespan_s"] > 0
+
+    def test_chaos_does_not_break_the_walk(self, tmp_path):
+        _, path = run_chaos(tmp_path, "drop:rank=0,dest=1,at=2")
+        spans, flows = load_trace_doc(path)
+        measured = critical_path_measured(spans, flows)
+        assert measured["makespan_s"] > 0
+        assert measured["path"]
