@@ -22,6 +22,19 @@ Commands
     critical-path phase breakdown, kernel/boundary and compute/comm
     overlap-efficiency scores, and the placement-explainability table.
     Files are told apart by their schema, so order does not matter.
+``profile [--gpu] [--ranks N] [--out F] [--record] [--calibrate-out F]``
+    Run the hot-spot transient under the per-launch kernel profiler and
+    print per-kernel/per-phase self time, roofline attribution and the
+    perfmodel-drift column of the ``repro.profile/1`` document.  When
+    drift exceeds tolerance, ``--calibrate-out`` persists the rescaled
+    machine rates; ``--record`` appends the run to the registry.
+``compare A B [--top N] [--json F]``
+    Diff two profiled runs (profile JSON, run report, or registry entry):
+    per-(rank, kind, kernel) self-time delta, the regression culprit
+    ranked first.
+``history [--key PREFIX] [--gc] [--keep N] [--max-age-days D]``
+    Per-problem-signature timeline of registry-recorded runs, with
+    anomaly flags (regression/drift/health); ``--gc`` prunes old entries.
 ``bench [--out F] [--compare BASELINE] [--threshold X]``
     Run the small deterministic benchmark suite, write a ``repro.bench/1``
     envelope, and optionally gate against a baseline envelope (exit 1 on
@@ -282,6 +295,7 @@ def _apply_cache_flags(args: argparse.Namespace) -> None:
 
 
 def cmd_bte(args: argparse.Namespace) -> int:
+    import time
     from contextlib import nullcontext
 
     from repro.bte import build_bte_problem, hotspot_scenario
@@ -344,16 +358,18 @@ def cmd_bte(args: argparse.Namespace) -> int:
         if args.events else nullcontext()
     )
     san_ctx = sanitize_run() if args.sanitize else nullcontext()
+    t0 = time.perf_counter()
     with events_ctx, san_ctx, fault_run(args.faults, seed=args.fault_seed):
         if args.trace or args.report or args.metrics:
             with metrics_run(args.metrics), trace_run(args.trace) as tracer:
                 solver = problem.solve()
                 # built inside the block so the report captures the live
                 # metrics registry
-                if args.report:
+                if args.report or args.record:
                     report = solver.run_report(tracer)
         else:
             solver = problem.solve()
+    wall_s = time.perf_counter() - t0
     rlog = get_resilience_log()
     if rlog.has_events():
         _say(f"resilience: {rlog.summary()}")
@@ -380,9 +396,33 @@ def cmd_bte(args: argparse.Namespace) -> int:
         print(f"  {phase:<12} {frac * 100:5.1f}%")
     if args.trace:
         _say(f"wrote trace to {args.trace} (open in https://ui.perfetto.dev)")
-    if report is not None:
+    if report is not None and args.report:
         report.write(args.report)
         _say(f"wrote run report to {args.report}")
+    if args.profile or args.record:
+        from repro.obs.profile import build_profile, write_profile
+
+        profile_doc = (report.profile if report is not None
+                       else build_profile(solver))
+        if args.profile:
+            write_profile(profile_doc, args.profile)
+            _say(f"wrote profile to {args.profile} (inspect with "
+                 f"`bte compare`)")
+        if args.record:
+            from repro.obs import configure_registry, get_registry
+
+            if args.runs_dir:
+                configure_registry(args.runs_dir)
+            registry = get_registry()
+            report_doc = (report or solver.run_report()).to_dict()
+            key = profile_doc["meta"]["problem_key"]
+            path = registry.append(
+                key, report=report_doc, profile=profile_doc,
+                meta={"wall_s": wall_s, "target": solver.target_name,
+                      "nsteps": solver.state.step_index},
+            )
+            _say(f"recorded run entry {path} (timeline: `bte history "
+                 f"--key {key[:12]}`)")
     if args.metrics:
         _say(f"wrote metrics exposition to {args.metrics}")
     if args.events:
@@ -430,6 +470,165 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         Path(args.dot).write_text(placement_to_dot(analysis.placement, name) + "\n")
         _say(f"wrote placement task-graph DOT to {args.dot} "
              "(render with: dot -Tsvg)")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.bte import build_bte_problem, hotspot_scenario
+    from repro.obs.profile import (
+        build_profile,
+        profile_run,
+        profile_table,
+        write_profile,
+    )
+
+    _apply_cache_flags(args)
+    scenario = hotspot_scenario(
+        nx=args.nx, ny=args.nx, ndirs=args.ndirs,
+        n_freq_bands=args.bands, dt=args.dt, nsteps=args.steps,
+    )
+    scenario.sigma = max(scenario.sigma, 2.5 * scenario.lx / args.nx)
+    problem, model = build_bte_problem(scenario)
+    if args.gpu:
+        problem.enable_gpu()
+        problem.extra["gpu_force_offload"] = True
+    if args.ranks > 1:
+        problem.set_partitioning("bands", args.ranks, index="b")
+    if args.chunks:
+        # deliberate slow-down knob (same maths, more launches): the
+        # injected-regression drill for `bte compare`
+        problem.extra["gpu_kernel_chunks"] = args.chunks
+    mode = "gpu" if args.gpu else "cpu"
+    _say(f"profiling {scenario.name}: {args.nx}x{args.nx} cells, "
+         f"{model.ncomp} components/cell, {args.steps} steps "
+         f"[{mode}, {args.ranks} rank(s)] ...")
+    t0 = time.perf_counter()
+    with profile_run():
+        solver = problem.solve()
+        wall_s = time.perf_counter() - t0
+        # built inside the block so the per-launch records are captured
+        doc = build_profile(solver, tolerance=args.tolerance)
+    print(profile_table(doc, top=args.top))
+    if args.out:
+        write_profile(doc, args.out)
+        _say(f"wrote profile to {args.out}")
+
+    suggestion = doc.get("drift", {}).get("calibration")
+    if suggestion is not None:
+        _say(f"cost-model drift exceeds tolerance: recalibration factor "
+             f"{suggestion['factor']:.3f} suggested")
+        if args.calibrate_out:
+            from repro.perfmodel.calibrate import (
+                machine_from_calibration,
+                save_rates,
+            )
+            from repro.perfmodel.machines import CASCADE_LAKE_FINCH
+
+            machine = problem.extra.get("machine_rates", CASCADE_LAKE_FINCH)
+            save_rates(
+                machine_from_calibration(suggestion, machine),
+                args.calibrate_out,
+                measured_per_dof=suggestion.get("measured_per_dof"),
+            )
+            _say(f"wrote recalibrated rates to {args.calibrate_out} "
+                 "(apply via problem.extra['machine_rates'])")
+    elif args.calibrate_out:
+        _say(f"drift within tolerance; nothing written to "
+             f"{args.calibrate_out}")
+
+    if args.record:
+        from repro.obs import configure_registry, get_registry
+
+        if args.runs_dir:
+            configure_registry(args.runs_dir)
+        registry = get_registry()
+        key = doc["meta"]["problem_key"]
+        path = registry.append(
+            key, report=solver.run_report().to_dict(), profile=doc,
+            meta={"wall_s": wall_s, "target": solver.target_name,
+                  "nsteps": solver.state.step_index},
+        )
+        _say(f"recorded run entry {path} (timeline: `bte history "
+             f"--key {key[:12]}`)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.profile import (
+        compare_profiles,
+        compare_table,
+        extract_profile,
+    )
+
+    docs = []
+    for path in (args.a, args.b):
+        try:
+            raw = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            _warn(f"error: cannot read {path}: {exc}")
+            return 2
+        docs.append(extract_profile(raw))
+    cmp = compare_profiles(docs[0], docs[1])
+    if not cmp["meta"]["same_problem"]:
+        _warn("warning: the two runs have different problem keys — "
+              "deltas compare different workloads")
+    print(compare_table(cmp, top=args.top))
+    if args.json:
+        Path(args.json).write_text(json.dumps(cmp, indent=1) + "\n")
+        _say(f"wrote comparison JSON to {args.json}")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs import configure_registry, get_registry
+    from repro.obs.anomaly import history_flags
+
+    if args.runs_dir:
+        configure_registry(args.runs_dir)
+    registry = get_registry()
+    if args.gc:
+        removed = registry.gc(keep_last=args.keep,
+                              max_age_days=args.max_age_days)
+        _say(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+             f"from {registry.root}")
+    keys = registry.keys()
+    if args.key:
+        keys = [k for k in keys if k.startswith(args.key)]
+        if not keys:
+            _warn(f"error: no runs recorded under key prefix "
+                  f"{args.key!r} in {registry.root}")
+            return 2
+    if not keys:
+        _say(f"no runs recorded in {registry.root} (record some with "
+             "`bte profile --record` or `bte --record`)")
+        return 0
+    for key in keys:
+        entries = registry.load_runs(key)
+        flags = history_flags(entries)
+        label = next(
+            (e.get("profile", {}).get("meta", {}).get("problem")
+             for e in entries
+             if e.get("profile", {}).get("meta", {}).get("problem")),
+            "?",
+        )
+        print(f"{key}  ({label}, {len(entries)} run(s))")
+        for entry, entry_flags in zip(entries, flags):
+            m = entry.get("meta", {})
+            wall = m.get("wall_s")
+            wall_str = "-" if wall is None else f"{wall:.3f} s"
+            dmax = entry.get("profile", {}).get("drift", {}).get("max_abs")
+            dstr = "-" if dmax is None else f"{dmax:.2f}"
+            line = (f"  run-{entry.get('seq', 0):06d}  "
+                    f"{entry.get('recorded_at', '?'):<19}  "
+                    f"target={m.get('target', '?'):<16} "
+                    f"wall={wall_str:<11} drift={dstr}")
+            if entry_flags:
+                line += "  [" + ",".join(entry_flags) + "]"
+            print(line)
     return 0
 
 
@@ -708,6 +907,15 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the flight recorder's repro.blackbox/1 "
                             "post-mortem bundle under DIR when the run "
                             "fails (also $REPRO_BLACKBOX_DIR)")
+    p_bte.add_argument("--profile", default=None, metavar="FILE",
+                       help="write the per-kernel repro.profile/1 document "
+                            "(diff two with `bte compare`)")
+    p_bte.add_argument("--record", action="store_true",
+                       help="append this run (report + profile) to the run "
+                            "registry (`bte history` reads it back)")
+    p_bte.add_argument("--runs-dir", default=None, metavar="DIR",
+                       help="run-registry root for --record (default "
+                            ".repro-runs; also $REPRO_RUNS_DIR)")
 
     p_an = sub.add_parser(
         "analyze", help="analyze a trace and/or run-report JSON",
@@ -719,6 +927,74 @@ def main(argv: list[str] | None = None) -> int:
                       help="also write the analysis as JSON")
     p_an.add_argument("--dot", default=None, metavar="FILE",
                       help="write the placement task graph as Graphviz DOT")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run the hot-spot transient under the per-launch kernel "
+             "profiler; print the roofline/drift table",
+        parents=[common, cache],
+    )
+    p_prof.add_argument("--nx", type=int, default=24)
+    p_prof.add_argument("--ndirs", type=int, default=8)
+    p_prof.add_argument("--bands", type=int, default=8)
+    p_prof.add_argument("--dt", type=float, default=1e-12)
+    p_prof.add_argument("--steps", type=int, default=50)
+    p_prof.add_argument("--gpu", action="store_true",
+                        help="profile the hybrid CPU+GPU target")
+    p_prof.add_argument("--ranks", type=int, default=1, metavar="N",
+                        help="band-partition over N ranks")
+    p_prof.add_argument("--chunks", type=int, default=0, metavar="N",
+                        help="split device kernels into N chunked launches "
+                             "(slow-down injection for `bte compare` drills)")
+    p_prof.add_argument("--top", type=int, default=0, metavar="N",
+                        help="show only the N most expensive rows")
+    p_prof.add_argument("--tolerance", type=float, default=None, metavar="X",
+                        help="perfmodel drift tolerance on "
+                             "|measured/predicted - 1| (default 0.50)")
+    p_prof.add_argument("--out", default=None, metavar="FILE",
+                        help="write the repro.profile/1 JSON")
+    p_prof.add_argument("--calibrate-out", default=None, metavar="FILE",
+                        help="when drift exceeds tolerance, write the "
+                             "rescaled machine rates as repro.calibration/1")
+    p_prof.add_argument("--record", action="store_true",
+                        help="append this run to the run registry")
+    p_prof.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="run-registry root (default .repro-runs; also "
+                             "$REPRO_RUNS_DIR)")
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="diff two profiled runs; rank the regression culprit first",
+        parents=[common],
+    )
+    p_cmp.add_argument("a", metavar="A",
+                       help="baseline: profile JSON, run report, or "
+                            "registry entry")
+    p_cmp.add_argument("b", metavar="B", help="candidate run (same formats)")
+    p_cmp.add_argument("--top", type=int, default=0, metavar="N",
+                       help="show only the N largest deltas")
+    p_cmp.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the comparison as JSON")
+
+    p_hist = sub.add_parser(
+        "history",
+        help="per-problem timeline of recorded runs, with anomaly flags",
+        parents=[common],
+    )
+    p_hist.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="run-registry root (default .repro-runs; also "
+                             "$REPRO_RUNS_DIR)")
+    p_hist.add_argument("--key", default=None, metavar="PREFIX",
+                        help="show only problem keys starting with PREFIX")
+    p_hist.add_argument("--gc", action="store_true",
+                        help="prune old entries before listing")
+    p_hist.add_argument("--keep", type=int, default=20, metavar="N",
+                        help="with --gc: newest entries kept per key "
+                             "(default 20)")
+    p_hist.add_argument("--max-age-days", type=float, default=None,
+                        metavar="D",
+                        help="with --gc: additionally drop entries older "
+                             "than D days")
 
     p_bench = sub.add_parser(
         "bench", help="run the benchmark suite; optionally gate on a baseline",
@@ -867,6 +1143,12 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return cmd_bte(args)
     if args.command == "analyze":
         return cmd_analyze(args)
+    if args.command == "profile":
+        return cmd_profile(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    if args.command == "history":
+        return cmd_history(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "tune":
@@ -887,7 +1169,8 @@ def _render_error(exc: "ReproError") -> str:
 
 #: Subcommands the ``bte`` alias passes straight through to ``main``.
 _COMMANDS = {"info", "figures", "pipeline", "latex", "bte", "analyze",
-             "bench", "tune", "lint", "events"}
+             "profile", "compare", "history", "bench", "tune", "lint",
+             "events"}
 
 
 def bte_main(argv: list[str] | None = None) -> int:

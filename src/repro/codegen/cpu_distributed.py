@@ -72,13 +72,13 @@ def rank_program(comm):
             received = comm.exchange(sends, tag=7)
             for q, data in received.items():
                 state.u[:, RECV_CELLS[comm.rank][q]] = data
-        with state.timers.time('solve'), trace_phase('solve'):
+        with state.profile_scope('solve'), trace_phase('solve'):
             rhs = compute_rhs(state, state.u, state.time)
             state.u[:, owned] = kernels.euler_update(
                 state.u[:, owned], state.dt, rhs[:, owned], 0.0)
         comm.compute(COST_SOLVE, phase='solve for intensity')
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'), trace_phase('post_step'):
+            with state.profile_scope('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         comm.compute(COST_TEMP, phase='temperature update')
         state.time += state.dt
@@ -108,13 +108,13 @@ def rank_program(comm):
     for _ in range(RUN_NSTEPS[0]):
         for cb in PRE_STEP_CALLBACKS:
             cb.fn(state)
-        with state.timers.time('solve'), trace_phase('solve'):
+        with state.profile_scope('solve'), trace_phase('solve'):
             rhs = compute_rhs(state, state.u, state.time)
             state.u[owned] = kernels.euler_update(
                 state.u[owned], state.dt, rhs[owned], 0.0)
         comm.compute(COST_SOLVE, phase='solve for intensity')
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'), trace_phase('post_step'):
+            with state.profile_scope('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         comm.compute(COST_TEMP, phase='temperature update')
         state.time += state.dt

@@ -123,13 +123,13 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
     step_body = ['"""Advance one explicit step (Eq. 3 of the paper)."""']
     if scheme == "euler":
         step_body += [
-            "with state.timers.time('solve'), trace_phase('solve'):",
+            "with state.profile_scope('solve'), trace_phase('solve'):",
             "    rhs = compute_rhs(state, state.u, state.time)",
             "    state.u = kernels.euler_update(state.u, state.dt, rhs, 0.0)",
         ]
     else:
         step_body += [
-            "with state.timers.time('solve'), trace_phase('solve'):",
+            "with state.profile_scope('solve'), trace_phase('solve'):",
             "    u_new = stepper.advance(state.u, state.time, state.dt,",
             "                            lambda uu, tt: compute_rhs(state, uu, tt))",
             "    state.u = u_new",
@@ -147,11 +147,11 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
         "state.log_run_event('run.start', target='cpu_serial', nsteps=nsteps)",
         "for _ in range(nsteps):",
         "    for cb in PRE_STEP_CALLBACKS:",
-        "        with state.timers.time('pre_step'), trace_phase('pre_step'):",
+        "        with state.profile_scope('pre_step'), trace_phase('pre_step'):",
         "            cb.fn(state)",
         "    step_once(state)",
         "    for cb in POST_STEP_CALLBACKS:",
-        "        with state.timers.time('post_step'), trace_phase('post_step'):",
+        "        with state.profile_scope('post_step'), trace_phase('post_step'):",
         "            cb.fn(state)",
         "    state.observe_step()",
         "    state.sanitize_step()",

@@ -114,12 +114,45 @@ class FEMState:
             elog.emit(name, level="info", step=self.step_index,
                       problem=self.problem.name, **fields)
 
+    def profile_scope(self, name: str):
+        """Phase timer + per-launch profiler probe (see ``SolverState``)."""
+        from repro.obs.profile import get_profiler
+
+        prof = get_profiler()
+        if not prof.enabled:
+            return self.timers.time(name)
+        return _FEMProfileScope(self, name, prof)
+
+
+class _FEMProfileScope:
+    """FEM twin of ``repro.codegen.state._ProfileScope`` (rank-less)."""
+
+    __slots__ = ("_state", "_name", "_profiler", "_start", "elapsed")
+
+    def __init__(self, state: FEMState, name: str, profiler):
+        self._state = state
+        self._name = name
+        self._profiler = profiler
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_FEMProfileScope":
+        self._start = self._state.timers.clock.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        state = self._state
+        self.elapsed = state.timers.clock.now() - self._start
+        state.timers.record(self._name, self.elapsed)
+        self._profiler.record(self._name, self.elapsed, rank=0,
+                              step=state.step_index)
+
 
 _SOURCE = '''
 
 def step_once(state):
     """Explicit lumped-mass step: u += dt * invM_L * (A u + F)."""
-    with state.timers.time('solve'):
+    with state.profile_scope('solve'):
         rhs = A_OPERATOR @ state.u[0] + LOAD
         state.u[0] = state.u[0] + state.dt * rhs * INV_LUMPED_MASS
         # strong Dirichlet enforcement

@@ -213,7 +213,7 @@ def step_once(state):
     t0 = host.now()
     try:
         # --- send per-step host-mutated arrays to the device ---------------
-        with state.timers.time('h2d'):
+        with state.profile_scope('h2d'):
             end = dev.h2d('u', state.u, t0)
             for name in H2D_EACH_STEP:
                 end = max(end, dev.h2d(name, state.fields[name.replace('var_', '')].data, t0))
@@ -225,7 +225,7 @@ def step_once(state):
         launch_time = host.now()
         kernel_args = [dev.buffers[n].array for n in ['u'] + KERNEL_VAR_NAMES] \
             + [dev.buffers['u_new'].array]
-        with state.timers.time('solve'):
+        with state.profile_scope('solve'):
             if KERNEL_CHUNKS is None:
                 dev.launch(KERNEL, NDOF, *kernel_args, host_time=launch_time)
             else:
@@ -239,7 +239,7 @@ def step_once(state):
         launch_time = host.now()
 
     # --- CPU boundary contribution, overlapped with the kernel (Fig. 6) ----
-    with state.timers.time('boundary'), trace_phase('boundary'):
+    with state.profile_scope('boundary'), trace_phase('boundary'):
         du_bdry = compute_boundary_contribution(state, state.u, t)
     host.advance(COST_BOUNDARY)
     # the host-timeline boundary span sits under the device kernel span —
@@ -255,7 +255,7 @@ def step_once(state):
         state.gpu_phases['solve for intensity'] += sync_time - launch_time
         host.advance_to(sync_time)
         d2h_start = host.now()
-        with state.timers.time('d2h'):
+        with state.profile_scope('d2h'):
             u_new, end = dev.d2h('u_new', host_time=d2h_start)
         host.advance_to(end)
         trace.complete(HOST_TRACK, 'd2h', d2h_start, host.now(), cat='transfer')
@@ -268,7 +268,7 @@ def step_once(state):
         record_degraded('interior_update', dev.name, 'cpu',
                         type(faulted).__name__, step=state.step_index)
         u_new = state.buffer('u_new_degraded', state.u.shape)
-        with state.timers.time('solve'):
+        with state.profile_scope('solve'):
             interior_kernel(state.u,
                             *[state.fields[n.replace('var_', '')].data
                               for n in KERNEL_VAR_NAMES],
@@ -292,11 +292,11 @@ def run_steps(state, nsteps):
     state.log_run_event('run.start', target='gpu_hybrid', nsteps=nsteps)
     for _ in range(nsteps):
         for cb in PRE_STEP_CALLBACKS:
-            with state.timers.time('pre_step'), trace_phase('pre_step'):
+            with state.profile_scope('pre_step'), trace_phase('pre_step'):
                 cb.fn(state)
         step_once(state)
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'), trace_phase('post_step'):
+            with state.profile_scope('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         if POST_STEP_CALLBACKS:
             t0 = state.host_clock.now()

@@ -78,7 +78,7 @@ def rank_program(comm):
     for _ in range(RUN_NSTEPS[0]):
         t = state.time
         for cb in PRE_STEP_CALLBACKS:
-            with state.timers.time('pre_step'):
+            with state.profile_scope('pre_step'):
                 cb.fn(state)
 
         # H2D: the unknown + the refreshed closure fields; device faults
@@ -99,13 +99,13 @@ def rank_program(comm):
             kernel_args = [dev.buffers['u'].array] \\
                 + [dev.buffers[n].array for n in KERNEL_VAR_NAMES] \\
                 + [dev.buffers['u_new'].array]
-            with state.timers.time('solve'):
+            with state.profile_scope('solve'):
                 dev.launch(KERNEL, len(own) * NCELLS, *kernel_args, own,
                            host_time=mark)
         except GPU_FAULTS as exc:
             faulted = exc
             mark = host.now()
-        with state.timers.time('boundary'), trace_phase('boundary'):
+        with state.profile_scope('boundary'), trace_phase('boundary'):
             du_bdry = compute_boundary_contribution(state, state.u, t)
         host.advance(COST_BOUNDARY)
         trace.complete(htrack, 'boundary_callbacks', mark, host.now(), cat='phase')
@@ -129,7 +129,7 @@ def rank_program(comm):
                             type(faulted).__name__, rank=comm.rank,
                             step=state.step_index)
             u_new = state.buffer('u_new_degraded', state.u.shape)
-            with state.timers.time('solve'):
+            with state.profile_scope('solve'):
                 interior_kernel(state.u,
                                 *[state.fields[n.replace('var_', '')].data
                                   for n in KERNEL_VAR_NAMES],
@@ -145,7 +145,7 @@ def rank_program(comm):
         # CPU temperature update; its band-energy allreduce advances the
         # communicator clock itself — mirror that back onto the host
         for cb in POST_STEP_CALLBACKS:
-            with state.timers.time('post_step'), trace_phase('post_step'):
+            with state.profile_scope('post_step'), trace_phase('post_step'):
                 cb.fn(state)
         comm.compute(COST_TEMP, phase='temperature update')
         host.advance_to(comm.clock.now())
@@ -161,6 +161,9 @@ def rank_program(comm):
         'u_owned': state.u[own].copy(),
         'T': None if T is None else np.asarray(T).copy(),
         'device_profile': dev.profiler.report(KERNEL.name),
+        # the full per-launch profiler, for the per-kernel rows of the
+        # run report's gpu section and the repro.profile/1 artifact
+        'device_profiler': dev.profiler,
         'timers': state.timers,
     }
 
@@ -177,6 +180,7 @@ def run_steps(state, nsteps):
     merge_results(state, result, nsteps)
     state.spmd_result = result
     state.device_profiles = [r['device_profile'] for r in result.results]
+    state.device_profilers = [r['device_profiler'] for r in result.results]
     state.check_health()
     state.log_run_event('run.end', target='gpu_multi',
                         makespan_s=result.makespan)

@@ -47,8 +47,9 @@ _SOURCE_STUB = '''
 
 def step_once(state):
     """Interpreted step: evaluate the classified symbolic form directly."""
-    rhs = interpret_rhs(state, state.u, state.time)
-    state.u = state.u + state.dt * rhs
+    with state.profile_scope('solve'):
+        rhs = interpret_rhs(state, state.u, state.time)
+        state.u = state.u + state.dt * rhs
     state.time += state.dt
     state.step_index += 1
 
@@ -56,11 +57,15 @@ def step_once(state):
 def run_steps(state, nsteps):
     state.log_run_event('run.start', target='interpreted', nsteps=nsteps)
     for _ in range(nsteps):
-        for cb in PRE_STEP_CALLBACKS:
-            cb.fn(state)
+        if PRE_STEP_CALLBACKS:
+            with state.profile_scope('pre_step'):
+                for cb in PRE_STEP_CALLBACKS:
+                    cb.fn(state)
         step_once(state)
-        for cb in POST_STEP_CALLBACKS:
-            cb.fn(state)
+        if POST_STEP_CALLBACKS:
+            with state.profile_scope('post_step'):
+                for cb in POST_STEP_CALLBACKS:
+                    cb.fn(state)
         state.observe_step()
         state.sanitize_step()
         state.maybe_checkpoint()

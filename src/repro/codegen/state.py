@@ -211,6 +211,24 @@ class SolverState:
             elog.emit(name, level="info", rank=rank, step=self.step_index,
                       problem=self.problem.name, **fields)
 
+    def profile_scope(self, name: str):
+        """Phase timer that doubles as a per-launch profiler probe.
+
+        Generated run loops time their phases through this instead of
+        ``timers.time(name)`` directly.  With profiling off (the default)
+        it *is* the plain timer — same object, same cost, nothing extra
+        allocated.  With a live :class:`~repro.obs.profile.RunProfiler`
+        installed, every entry/exit additionally records one per-launch
+        sample (rank, phase, step, seconds) using the registry's clock, so
+        profiles taken under the virtual bench clock are deterministic.
+        """
+        from repro.obs.profile import get_profiler
+
+        prof = get_profiler()
+        if not prof.enabled:
+            return self.timers.time(name)
+        return _ProfileScope(self, name, prof)
+
     def buffer(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
         """A reusable scratch array (allocated once, reused every step).
 
@@ -486,6 +504,31 @@ class SolverState:
             f"SolverState(problem={self.problem.name!r}, step={self.step_index}/"
             f"{self.nsteps}, time={self.time:.3e})"
         )
+
+
+class _ProfileScope:
+    """Timer context recording into both the phase timers and the profiler."""
+
+    __slots__ = ("_state", "_name", "_profiler", "_start", "elapsed")
+
+    def __init__(self, state: "SolverState", name: str, profiler):
+        self._state = state
+        self._name = name
+        self._profiler = profiler
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_ProfileScope":
+        self._start = self._state.timers.clock.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        state = self._state
+        self.elapsed = state.timers.clock.now() - self._start
+        state.timers.record(self._name, self.elapsed)
+        rank = state.comm.rank if state.comm is not None else 0
+        self._profiler.record(self._name, self.elapsed, rank=rank,
+                              step=state.step_index)
 
 
 def _eval_on_points(fn, points: np.ndarray, time: float) -> np.ndarray:

@@ -105,6 +105,64 @@ class Profiler:
             }
         return out
 
+    def kernel_rows(self) -> list[dict]:
+        """Per-kernel roofline attribution over the recorded launches.
+
+        One JSON-safe row per kernel name (first-launch order) with self
+        time (kernel durations including launch latency), achieved FLOP/byte
+        intensity, the roofline ridge intensity of the device, and the
+        achieved-vs-peak fractions the paper's Tab. 1 profile reports.
+        """
+        order: list[str] = []
+        groups: dict[str, list] = {}
+        for rec in self.launches:
+            if rec.kernel not in groups:
+                order.append(rec.kernel)
+                groups[rec.kernel] = []
+            groups[rec.kernel].append(rec)
+        peak_flops = self.spec.fp64_peak_flops()
+        peak_bw = self.spec.dram_bw_bytes()
+        ridge = peak_flops / peak_bw if peak_bw > 0 else 0.0
+        rows = []
+        for name in order:
+            recs = groups[name]
+            self_s = sum(r.duration for r in recs)
+            exec_s = sum(r.exec_time for r in recs)
+            flops = sum(r.total_flops for r in recs)
+            nbytes = sum(r.total_bytes for r in recs)
+            flop_time = sum(r.flop_time for r in recs)
+            mem_time = sum(r.mem_time for r in recs)
+            if exec_s > 0:
+                flop_frac = min(flops / (exec_s * peak_flops), 1.0)
+                mem_frac = min(nbytes / (exec_s * peak_bw), 1.0)
+                sm_util = min(
+                    sum(r.exec_time * r.occupancy * r.tail_efficiency for r in recs)
+                    / exec_s
+                    * self.spec.sm_activity,
+                    1.0,
+                )
+            else:
+                flop_frac = mem_frac = sm_util = 0.0
+            rows.append(
+                {
+                    "name": name,
+                    "count": len(recs),
+                    "self_s": self_s,
+                    "exec_s": exec_s,
+                    "launch_latency_s": self_s - exec_s,
+                    "mean_s": self_s / len(recs) if recs else 0.0,
+                    "flops": flops,
+                    "bytes": nbytes,
+                    "intensity_flop_per_byte": flops / nbytes if nbytes > 0 else 0.0,
+                    "ridge_flop_per_byte": ridge,
+                    "bound": "compute" if flop_time >= mem_time else "memory",
+                    "flop_fraction_of_peak": flop_frac,
+                    "memory_throughput_fraction": mem_frac,
+                    "sm_utilization": sm_util,
+                }
+            )
+        return rows
+
     def report(self, kernel: str | None = None) -> ProfileReport:
         """Metrics over all launches, or only those of one kernel name."""
         records = [r for r in self.launches if kernel is None or r.kernel == kernel]
@@ -145,3 +203,4 @@ class Profiler:
 
 
 __all__ = ["Profiler", "ProfileReport", "TransferEvent"]
+

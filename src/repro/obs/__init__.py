@@ -54,6 +54,27 @@ from repro.obs.metrics import (
     metrics_run,
     set_metrics,
 )
+from repro.obs.profile import (
+    RunProfiler,
+    build_profile,
+    compare_profiles,
+    compare_table,
+    extract_profile,
+    get_profiler,
+    load_profile,
+    problem_key,
+    profile_run,
+    profile_table,
+    set_profiler,
+    write_profile,
+)
+from repro.obs.registry import (
+    RegistryError,
+    RunRegistry,
+    configure_registry,
+    get_registry,
+    registry_scope,
+)
 from repro.obs.report import RunReport, SCHEMA, build_run_report, placement_accuracy
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -138,27 +159,44 @@ __all__ = [
     "NULL_TRACER",
     "NullMetrics",
     "NullTracer",
+    "RegistryError",
+    "RunProfiler",
+    "RunRegistry",
     "RunReport",
     "SCHEMA",
     "SpanEvent",
     "Tracer",
+    "build_profile",
     "build_run_report",
+    "compare_profiles",
+    "compare_table",
+    "configure_registry",
+    "extract_profile",
     "events_run",
     "get_anomaly_monitor",
     "get_event_log",
     "get_flight_recorder",
     "get_metrics",
+    "get_profiler",
+    "get_registry",
     "get_tracer",
     "health_section",
+    "load_profile",
     "log_event",
     "metrics_run",
     "new_trace_id",
     "next_span_id",
     "phase_span",
     "placement_accuracy",
+    "problem_key",
+    "profile_run",
+    "profile_table",
     "read_events",
+    "registry_scope",
     "set_event_log",
     "set_metrics",
+    "set_profiler",
     "set_tracer",
     "trace_run",
+    "write_profile",
 ]

@@ -359,6 +359,8 @@ class Analysis:
     report_phases: dict[str, float] = field(default_factory=dict)
     placement: dict[str, Any] | None = None
     trace_stats: dict[str, Any] = field(default_factory=dict)
+    kernels: list[dict[str, Any]] = field(default_factory=list)
+    profile_drift: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
@@ -373,6 +375,10 @@ class Analysis:
             doc["critical_path_measured"] = self.critical_measured
         if self.placement is not None:
             doc["placement"] = self.placement
+        if self.kernels:
+            doc["kernels"] = self.kernels
+        if self.profile_drift is not None:
+            doc["profile_drift"] = self.profile_drift
         return doc
 
     # ------------------------------------------------------------- rendering
@@ -448,6 +454,34 @@ class Analysis:
             moved = self.placement.get("bytes_moved_per_step")
             if moved is not None:
                 lines.append(f"  bytes moved per step: {moved:.0f}")
+        if self.kernels:
+            lines.append("")
+            lines.append("per-kernel roofline attribution (device timeline):")
+            lines.append(
+                f"  {'kernel':<24} {'count':>5} {'self_s':>11} "
+                f"{'flop/byte':>10} {'ridge':>8} {'bound':<7} "
+                f"{'%peak':>6} {'%bw':>6}"
+            )
+            for row in self.kernels:
+                peak = row.get("flop_fraction_of_peak")
+                bw = row.get("memory_throughput_fraction")
+                lines.append(
+                    f"  {row.get('name', '?'):<24} {row.get('count', 0):>5} "
+                    f"{row.get('self_s', 0.0):>11.6f} "
+                    f"{_fmt_ratio(row.get('intensity_flop_per_byte')):>10} "
+                    f"{_fmt_ratio(row.get('ridge_flop_per_byte')):>8} "
+                    f"{row.get('bound', '?'):<7} "
+                    f"{_fmt_pct(peak):>6} {_fmt_pct(bw):>6}"
+                )
+        if self.profile_drift is not None:
+            drift = self.profile_drift
+            status = "EXCEEDED" if drift.get("exceeded") else "ok"
+            lines.append("")
+            lines.append(
+                f"perfmodel drift: max |measured/predicted - 1| = "
+                f"{_fmt_ratio(drift.get('max_abs'))} "
+                f"(tolerance {_fmt_ratio(drift.get('tolerance'))}, {status})"
+            )
         if self.trace_stats:
             lines.append("")
             lines.append(
@@ -465,6 +499,37 @@ def _fmt(value: Any) -> str:
     return f"{value:.3e}"
 
 
+def _fmt_ratio(value: Any) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}"
+
+
+def _fmt_pct(value: Any) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 100:.1f}%"
+
+
+def _report_kernel_rows(report: dict[str, Any]) -> list[dict[str, Any]]:
+    """Per-kernel roofline rows from a report's ``gpu`` section.
+
+    Tolerates documents predating the ``kernel_rows`` field (and pre-``gpu``
+    documents): every access goes through ``.get``, returning ``[]`` when the
+    report has nothing to show.
+    """
+    gpu = report.get("gpu") or {}
+    rows: list[dict[str, Any]] = []
+    for dev in gpu.get("devices") or []:
+        rows.extend(dev.get("kernel_rows") or [])
+    for rank, rank_rows in enumerate(gpu.get("rank_kernels") or []):
+        for row in rank_rows or []:
+            row = dict(row)
+            row["name"] = f"rank{rank}/{row.get('name', '?')}"
+            rows.append(row)
+    return rows
+
+
 def analyze(trace_path: str | Path | None = None,
             report_path: str | Path | None = None) -> Analysis:
     """Analyze a trace JSON and/or a run-report JSON into one document."""
@@ -477,6 +542,12 @@ def analyze(trace_path: str | Path | None = None,
         analysis.meta = report.get("meta", {})
         analysis.report_phases = report.get("phases", {})
         analysis.placement = report.get("placement")
+        analysis.kernels = _report_kernel_rows(report)
+        # drift summary from the nested repro.profile/1 document (older
+        # reports predate the section — every hop via .get)
+        profile = report.get("profile") or {}
+        if profile.get("drift") is not None:
+            analysis.profile_drift = profile["drift"]
 
     if trace_path is not None:
         spans, flows = load_trace_doc(trace_path)

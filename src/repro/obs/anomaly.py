@@ -51,6 +51,12 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
     # bench gate: tolerated overhead ratio drift of the always-on
     # observability (event log ring + flight recorder), the 5% budget
     "obs_overhead": 0.05,
+    # per-kernel profile: tolerated |measured/predicted - 1| before the
+    # drift column flags the cost model for recalibration
+    "perfmodel_drift": 0.5,
+    # run history: wall-time growth vs the previous recorded run of the
+    # same problem key before `bte history` flags a regression
+    "history_regression": 0.25,
 }
 
 #: Steps a rank must complete before its spike detector arms.
@@ -257,10 +263,47 @@ def health_section(solver=None) -> dict[str, Any]:
     return monitor.section()
 
 
+def history_flags(entries: list[dict[str, Any]],
+                  thresholds: dict[str, float] | None = None
+                  ) -> list[list[str]]:
+    """Anomaly flags for a run-registry timeline (``bte history``).
+
+    ``entries`` are ``repro.runs/1`` documents of one problem key, oldest
+    first.  Per entry:
+
+    * ``regression`` — recorded wall seconds grew more than
+      ``history_regression`` over the previous entry's;
+    * ``drift`` — the entry's profile flagged cost-model drift;
+    * ``health`` — the entry's run report recorded a non-ok health status.
+    """
+    table = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        table.update(thresholds)
+    flags: list[list[str]] = []
+    prev_wall: float | None = None
+    for entry in entries:
+        entry_flags: list[str] = []
+        wall = entry.get("meta", {}).get("wall_s")
+        if (wall is not None and prev_wall is not None and prev_wall > 0
+                and (wall - prev_wall) / prev_wall
+                > table["history_regression"]):
+            entry_flags.append("regression")
+        if wall is not None:
+            prev_wall = float(wall)
+        if entry.get("profile", {}).get("drift", {}).get("exceeded"):
+            entry_flags.append("drift")
+        health = entry.get("report", {}).get("health", {})
+        if health.get("status", "ok") != "ok":
+            entry_flags.append("health")
+        flags.append(entry_flags)
+    return flags
+
+
 __all__ = [
     "Alert",
     "AnomalyMonitor",
     "DEFAULT_THRESHOLDS",
     "get_anomaly_monitor",
     "health_section",
+    "history_flags",
 ]

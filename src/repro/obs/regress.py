@@ -246,7 +246,8 @@ def run_benchmarks(nx: int = 16, ndirs: int = 4, bands: int = 4,
     rather than the baseline): interleaved min-of-4 serial solves with the
     always-on observability enabled vs disabled —
     ``events_on_vs_off_wall_s`` toggles the structured event-log ring,
-    ``blackbox_on_vs_off_wall_s`` toggles the flight recorder.
+    ``blackbox_on_vs_off_wall_s`` toggles the flight recorder, and
+    ``profile_on_vs_off_wall_s`` toggles the per-launch kernel profiler.
     """
     timings: dict[str, float] = {}
 
@@ -332,6 +333,19 @@ def run_benchmarks(nx: int = 16, ndirs: int = 4, bands: int = 4,
 
     timings["blackbox_on_vs_off_wall_s"] = paired_ratio(
         recorder_off, recorder_on)
+
+    # per-launch kernel profiler: OFF by default, so unlike the two above
+    # the "on" side must be installed first — same 5% budget, making the
+    # opt-in profiler's "cheap enough to leave on" claim a tested property
+    from repro.obs.profile import RunProfiler, set_profiler
+
+    set_profiler(RunProfiler(enabled=True))
+    try:
+        timings["profile_on_vs_off_wall_s"] = paired_ratio(
+            lambda: set_profiler(None),
+            lambda: set_profiler(RunProfiler(enabled=True)))
+    finally:
+        set_profiler(None)
 
     return timings
 

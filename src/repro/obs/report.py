@@ -30,6 +30,12 @@ actually has) into a single document:
     tuning   how this solver was produced: compilation-cache outcome
              (hit/miss, key prefix, build seconds) and — for ``--tuned``
              runs — the knob overrides applied from the tuning database
+    profile  nested ``repro.profile/1`` document: per-rank per-kernel
+             self/total time with roofline attribution and the perfmodel
+             drift column (:mod:`repro.obs.profile`)
+
+Loaders must tolerate documents predating a section (older reports have no
+``profile``/``health``): read sections with ``.get``, never ``[...]``.
 
 Every numeric field is JSON-safe (no ``inf``/``nan``): never-recorded
 timers normalise ``min`` to ``0.0`` via ``TimerStats.as_dict``.
@@ -74,6 +80,7 @@ class RunReport:
     trace: dict[str, Any] | None = None
     tuning: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
+    profile: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
@@ -83,7 +90,8 @@ class RunReport:
             "phases": self.phases,
         }
         for key in ("comm", "gpu", "placement", "resilience", "diagnostics",
-                    "health", "events", "trace", "tuning", "metrics"):
+                    "health", "events", "trace", "tuning", "metrics",
+                    "profile"):
             value = getattr(self, key)
             if value is not None:
                 doc[key] = value
@@ -131,6 +139,9 @@ def _device_section(device) -> dict[str, Any]:
         "spec": device.spec.name,
         "allocated_bytes": device.allocated_bytes,
         "kernels": launches,
+        # per-kernel roofline attribution (achieved intensity vs the ridge,
+        # fraction-of-peak columns) — the Tab. 1 Nsight-profile analogue
+        "kernel_rows": prof.kernel_rows(),
         "profile": prof.report().as_dict(),
         "transfers": prof.transfer_summary(),
         "stream_busy_s": {
@@ -149,10 +160,14 @@ def _gpu_section(solver) -> dict[str, Any] | None:
     # rank threads); include them so the section is never silently empty
     profiles = getattr(solver.state, "device_profiles", None)
     if profiles:
-        return {
+        section = {
             "devices": devices,
             "rank_profiles": [p.as_dict() for p in profiles],
         }
+        profilers = getattr(solver.state, "device_profilers", None)
+        if profilers:
+            section["rank_kernels"] = [p.kernel_rows() for p in profilers]
+        return section
     if not devices:
         return None
     return {"devices": devices}
@@ -314,6 +329,13 @@ def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
     metrics = get_metrics()
     if metrics.enabled:
         report.metrics = metrics.to_dict()
+
+    # per-kernel profile with the perfmodel drift column — always built
+    # (aggregation over already-recorded timers/launches; nested schema,
+    # like the metrics section)
+    from repro.obs.profile import build_profile
+
+    report.profile = build_profile(solver)
     return report
 
 

@@ -119,10 +119,63 @@ def load_rates(path: str | Path) -> MachineRates:
         raise CalibrationError(f"{path}: incomplete rates: {exc}") from exc
 
 
+def calibration_from_rows(state, ranks: list[dict]) -> dict | None:
+    """Recalibration suggestion from profiled drift rows.
+
+    ``ranks`` is the per-rank row structure of a ``repro.profile/1``
+    document under construction (:func:`repro.obs.profile.build_profile`
+    calls this when the drift column exceeds tolerance).  The intensity
+    sweep dominates the serial cost (Fig. 5), so its measured/predicted
+    ratio is the rescale factor; the returned mapping carries everything
+    ``save_rates`` needs to persist the corrected machine.
+    """
+    drift = None
+    for entry in ranks:
+        for row in entry.get("kernels", []):
+            if (row.get("kind") == "phase" and row.get("name") == "solve"
+                    and row.get("drift") is not None):
+                drift = float(row["drift"])
+                break
+        if drift is not None:
+            break
+    if drift is None or drift <= 0:
+        return None
+    machine = state.problem.extra.get("machine_rates")
+    if machine is None:
+        from repro.perfmodel.machines import CASCADE_LAKE_FINCH
+
+        machine = CASCADE_LAKE_FINCH
+    scaled = machine.scaled(drift)
+    ndof = state.ncells * state.ncomp
+    measured_per_dof = machine.intensity_per_dof * drift
+    return {
+        "factor": drift,
+        "machine": machine.name,
+        "suggested_intensity_per_dof": scaled.intensity_per_dof,
+        "measured_per_dof": measured_per_dof,
+        "ndof": ndof,
+        "note": ("cost-model drift exceeded tolerance; rerun with "
+                 "machine_rates scaled by 'factor' or persist via "
+                 "'bte profile --calibrate-out'"),
+    }
+
+
+def machine_from_calibration(suggestion: dict, machine: MachineRates
+                             ) -> MachineRates:
+    """The rescaled machine a drift suggestion describes."""
+    try:
+        return machine.scaled(float(suggestion["factor"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CalibrationError(
+            f"malformed drift-calibration suggestion: {exc}") from exc
+
+
 __all__ = [
     "SCHEMA",
     "CalibrationError",
     "calibrate_cpu_rate",
+    "calibration_from_rows",
     "load_rates",
+    "machine_from_calibration",
     "save_rates",
 ]

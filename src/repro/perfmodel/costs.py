@@ -87,6 +87,24 @@ class CostModel:
         return w.nsteps * self.serial_step(w)
 
 
+def predicted_phase_costs(cost: CostModel, *, ncells: float, ncomp: float,
+                          nbands: float, n_boundary_faces: float
+                          ) -> dict[str, float]:
+    """Per-step seconds the model predicts for each *timed phase* of the
+    generated run loops, keyed by the timer names the targets use.
+
+    This is the prediction side of the profile's drift column
+    (:mod:`repro.obs.profile`): ``solve`` is the intensity sweep,
+    ``boundary`` the boundary callbacks, ``post_step`` the temperature
+    update that rides the post-step callbacks.
+    """
+    return {
+        "solve": cost.intensity_step(int(ncells), int(ncomp)),
+        "boundary": cost.boundary_step(int(n_boundary_faces), int(ncomp)),
+        "post_step": cost.temperature_step(int(ncells), int(nbands)),
+    }
+
+
 def bands_per_rank(nbands: int, nranks: int) -> int:
     """Largest band count any rank owns under a contiguous band split —
     the quantity that gates band-parallel scaling (max 55 useful ranks)."""
@@ -110,4 +128,10 @@ def halo_cells_per_rank(ncells: int, nranks: int, dim: int = 2) -> float:
     return 2.0
 
 
-__all__ = ["BTEWorkload", "CostModel", "bands_per_rank", "halo_cells_per_rank"]
+__all__ = [
+    "BTEWorkload",
+    "CostModel",
+    "bands_per_rank",
+    "halo_cells_per_rank",
+    "predicted_phase_costs",
+]

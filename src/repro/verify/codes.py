@@ -105,6 +105,8 @@ _RAW: list[tuple[str, str, str, str]] = [
     # ---- 7xx: autotuning / calibration persistence ------------------------
     ("RPR701", "tune", "tuning database malformed or unreadable", "error"),
     ("RPR702", "perfmodel", "calibration file malformed or unreadable", "error"),
+    # ---- 8xx: observability persistence ------------------------------------
+    ("RPR801", "obs", "run-registry entry malformed or unwritable", "error"),
 ]
 
 #: code -> CodeInfo for every known diagnostic code.

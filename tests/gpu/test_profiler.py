@@ -83,3 +83,36 @@ class TestTransfers:
         assert prof.report().n_launches == 0
         assert prof.transfer_summary()["count"] == 0
         assert prof.transfer_bytes == 0.0
+
+class TestKernelRows:
+    def test_rows_group_by_kernel_in_first_launch_order(self):
+        prof = Profiler(A6000)
+        a1 = _launch(prof, "interior")
+        _launch(prof, "reduce", n_threads=10_000)
+        a2 = _launch(prof, "interior")
+        rows = prof.kernel_rows()
+        assert [r["name"] for r in rows] == ["interior", "reduce"]
+        row = rows[0]
+        assert row["count"] == 2
+        assert row["self_s"] == pytest.approx(a1.duration + a2.duration)
+        assert row["exec_s"] == pytest.approx(a1.exec_time + a2.exec_time)
+        assert row["launch_latency_s"] == pytest.approx(
+            row["self_s"] - row["exec_s"])
+        assert row["mean_s"] == pytest.approx(row["self_s"] / 2)
+
+    def test_roofline_attribution_columns(self):
+        prof = Profiler(A6000)
+        rec = _launch(prof, "interior")
+        (row,) = prof.kernel_rows()
+        assert row["intensity_flop_per_byte"] == pytest.approx(
+            rec.total_flops / rec.total_bytes)
+        assert row["ridge_flop_per_byte"] == pytest.approx(
+            A6000.fp64_peak_flops() / A6000.dram_bw_bytes())
+        # 100/48 flop/byte on an fp64-weak part: compute-bound
+        assert row["bound"] == "compute"
+        for key in ("flop_fraction_of_peak", "memory_throughput_fraction",
+                    "sm_utilization"):
+            assert 0.0 <= row[key] <= 1.0
+
+    def test_no_launches_no_rows(self):
+        assert Profiler(A6000).kernel_rows() == []

@@ -195,3 +195,94 @@ class TestLatexCommand:
         out = capsys.readouterr().out
         assert r"\frac" in out
         assert r"\beta_{b}" in out
+
+
+class TestProfileRegistryCLI:
+    @pytest.fixture(autouse=True)
+    def isolated_registry(self, tmp_path):
+        from repro.obs.registry import configure_registry
+
+        self.runs_dir = tmp_path / "runs"
+        yield
+        configure_registry(None)
+
+    def profile(self, *extra):
+        return ["profile", "--nx", "8", "--ndirs", "4", "--bands", "4",
+                "--steps", "2", "--gpu", *extra]
+
+    def test_profile_prints_table_and_writes_doc(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(self.profile("--out", str(out))) == 0
+        text = capsys.readouterr().out
+        assert "I_interior_step" in text
+        assert "perfmodel drift" in text
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.profile/1"
+        assert doc["meta"]["per_launch"] is True
+
+    def test_compare_ranks_injected_slowdown_first(self, tmp_path, capsys):
+        # a bigger workload than the other tests: the injected chunking
+        # delta (~tens of ms on the virtual kernel rows) must dominate
+        # the wall-clock noise of the tiny phase timers
+        def profile(*extra):
+            return ["profile", "--nx", "12", "--ndirs", "4", "--bands",
+                    "4", "--steps", "3", "--gpu", *extra]
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(profile("--out", str(a))) == 0
+        assert main(profile("--out", str(b), "--chunks", "6")) == 0
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        first_row = out.splitlines()[2]
+        assert "I_interior_step" in first_row
+        assert "top culprit: rank 0 kernel I_interior_step" in out
+
+    def test_record_history_and_gc(self, capsys):
+        runs = str(self.runs_dir)
+        assert main(self.profile("--record", "--runs-dir", runs)) == 0
+        assert main(self.profile("--record", "--runs-dir", runs,
+                                 "--chunks", "6")) == 0
+        capsys.readouterr()
+
+        # both runs land in one per-problem timeline (chunking is
+        # normalised out of the key)
+        assert main(["history", "--runs-dir", runs]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "run-000001" in out and "run-000002" in out
+
+        assert main(["history", "--runs-dir", runs, "--gc",
+                     "--keep", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out
+        assert "run-000001" not in out and "run-000002" in out
+
+    def test_history_empty_registry(self, capsys):
+        assert main(["history", "--runs-dir", str(self.runs_dir)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_history_unknown_key_prefix(self, capsys):
+        assert main(self.profile("--record", "--runs-dir",
+                                 str(self.runs_dir))) == 0
+        capsys.readouterr()
+        assert main(["history", "--runs-dir", str(self.runs_dir),
+                     "--key", "zzzz"]) == 2
+
+    def test_compare_rejects_unreadable_file(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["compare", str(missing), str(missing)]) == 2
+
+    def test_bte_record_round_trips_through_registry(self, capsys):
+        runs = str(self.runs_dir)
+        assert main(["bte", "--nx", "8", "--ndirs", "4", "--bands", "4",
+                     "--steps", "2", "--record", "--runs-dir", runs]) == 0
+        capsys.readouterr()
+        from repro.obs.registry import RunRegistry
+
+        registry = RunRegistry(runs)
+        (key,) = registry.keys()
+        (entry,) = registry.load_runs(key)
+        assert entry["report"]["schema"] == "repro.run_report/1"
+        assert entry["profile"]["schema"] == "repro.profile/1"
+        assert entry["meta"]["wall_s"] > 0

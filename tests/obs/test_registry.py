@@ -1,0 +1,137 @@
+"""The persistent cross-run registry (``repro.runs/1``)."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_ROOT,
+    RegistryError,
+    RunRegistry,
+    SCHEMA,
+    configure_registry,
+    get_registry,
+    registry_scope,
+)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return RunRegistry(tmp_path / "runs")
+
+
+class TestAppend:
+    def test_round_trip(self, registry):
+        path = registry.append("abcd1234", profile={"x": 1},
+                               meta={"wall_s": 0.5})
+        doc = registry.load(path)
+        assert doc["schema"] == SCHEMA
+        assert doc["key"] == "abcd1234"
+        assert doc["seq"] == 1
+        assert doc["meta"]["wall_s"] == 0.5
+        assert doc["profile"] == {"x": 1}
+        assert "report" not in doc and "bench" not in doc
+
+    def test_sharded_layout_mirrors_the_cache(self, registry):
+        path = registry.append("abcd1234", report={})
+        assert path.parent == registry.root / "ab" / "abcd1234"
+        assert path.name == "run-000001.json"
+
+    def test_sequence_increments(self, registry):
+        registry.append("abcd", bench={})
+        path = registry.append("abcd", bench={})
+        assert registry.load(path)["seq"] == 2
+        assert [p.name for p in registry.runs("abcd")] == [
+            "run-000001.json", "run-000002.json"
+        ]
+
+    def test_empty_entry_refused(self, registry):
+        with pytest.raises(RegistryError, match="empty"):
+            registry.append("abcd")
+
+    def test_bad_keys_refused(self, registry):
+        for key in ("", "a/b", "a\\b"):
+            with pytest.raises(RegistryError, match="invalid"):
+                registry.append(key, report={})
+
+    def test_non_finite_floats_sanitised(self, registry):
+        path = registry.append("abcd", profile={"v": float("inf")})
+        assert registry.load(path)["profile"]["v"] is None
+
+
+class TestReads:
+    def test_keys_lists_populated_dirs(self, registry):
+        assert registry.keys() == []
+        registry.append("aa11", report={})
+        registry.append("bb22", report={})
+        assert registry.keys() == ["aa11", "bb22"]
+
+    def test_load_rejects_wrong_schema(self, registry, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "repro.bench/1"}))
+        with pytest.raises(RegistryError, match="not a run-registry"):
+            registry.load(bogus)
+
+    def test_corrupt_entries_skipped_with_warning(self, registry, caplog):
+        registry.append("aa11", report={"ok": 1})
+        (registry.root / "aa" / "aa11" / "run-000002.json").write_text("{oops")
+        with caplog.at_level("WARNING", logger="repro.obs.registry"):
+            docs = registry.load_runs("aa11")
+        assert len(docs) == 1
+        assert docs[0]["report"] == {"ok": 1}
+        assert any("skipping" in r.message for r in caplog.records)
+
+    def test_iter_entries_spans_keys(self, registry):
+        registry.append("aa11", report={})
+        registry.append("bb22", report={})
+        registry.append("bb22", report={})
+        entries = list(registry.iter_entries())
+        assert [k for k, _ in entries] == ["aa11", "bb22", "bb22"]
+
+
+class TestGC:
+    def test_keep_last_prunes_oldest(self, registry):
+        for _ in range(5):
+            registry.append("aa11", report={})
+        removed = registry.gc(keep_last=2)
+        assert removed == 3
+        assert [p.name for p in registry.runs("aa11")] == [
+            "run-000004.json", "run-000005.json"
+        ]
+
+    def test_keep_zero_drops_everything_and_empty_dirs(self, registry):
+        registry.append("aa11", report={})
+        assert registry.gc(keep_last=0) == 1
+        assert registry.keys() == []
+        assert not (registry.root / "aa").exists()
+
+    def test_max_age_days_prunes_stale_kept_entries(self, registry):
+        path = registry.append("aa11", report={})
+        doc = registry.load(path)
+        doc["recorded_at"] = "2000-01-01T00:00:00"
+        path.write_text(json.dumps(doc))
+        registry.append("aa11", report={})
+        removed = registry.gc(keep_last=10, max_age_days=365.0)
+        assert removed == 1
+        assert len(registry.runs("aa11")) == 1
+
+    def test_negative_keep_refused(self, registry):
+        with pytest.raises(RegistryError, match=">= 0"):
+            registry.gc(keep_last=-1)
+
+
+class TestProcessWide:
+    def test_configure_and_scope(self, tmp_path):
+        saved = configure_registry(tmp_path / "a")
+        try:
+            assert get_registry().root == tmp_path / "a"
+            with registry_scope(tmp_path / "b") as scratch:
+                assert get_registry() is scratch
+                assert scratch.root == tmp_path / "b"
+            assert get_registry().root == tmp_path / "a"
+        finally:
+            configure_registry(None)
+
+    def test_default_root(self):
+        configure_registry(None)
+        assert get_registry().root.name == DEFAULT_ROOT

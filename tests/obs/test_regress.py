@@ -137,3 +137,28 @@ class TestSeedBaseline:
         doc = load_bench(seed)
         assert doc["timings"], "seed baseline must carry timings"
         assert any(k.endswith("_virtual_s") for k in doc["timings"])
+
+    def test_seed_carries_profiler_overhead_entry(self):
+        from pathlib import Path
+
+        seed = Path(__file__).parents[2] / "benchmarks" / "BENCH_seed.json"
+        timings = load_bench(seed)["timings"]
+        assert "profile_on_vs_off_wall_s" in timings
+        # a ratio near 1.0, not seconds: the 5% overhead budget applies
+        assert 0.5 < timings["profile_on_vs_off_wall_s"] < 1.5
+
+
+class TestProfilerOverheadGate:
+    def test_profile_ratio_uses_the_overhead_threshold(self):
+        from repro.obs.regress import _threshold_for, OBS_OVERHEAD_THRESHOLD
+
+        assert _threshold_for("profile_on_vs_off_wall_s", None, None) \
+            == OBS_OVERHEAD_THRESHOLD
+
+    def test_profile_ratio_gated_at_five_percent(self):
+        base = _env("base", {"profile_on_vs_off_wall_s": 1.0})
+        ok = compare(base, _env("cur", {"profile_on_vs_off_wall_s": 1.04}))
+        assert not ok.has_regressions
+        bad = compare(base, _env("cur", {"profile_on_vs_off_wall_s": 1.06}))
+        assert [d.name for d in bad.regressions] == [
+            "profile_on_vs_off_wall_s"]

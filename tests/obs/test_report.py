@@ -111,3 +111,83 @@ class TestBuildRunReport:
         d = s.as_dict()
         assert d["min"] == 0.0  # normalised for export
         json.dumps(d)
+
+
+class TestProfileSection:
+    @pytest.fixture(scope="class")
+    def gpu_solver(self):
+        from repro.bte import build_bte_problem, hotspot_scenario
+
+        scenario = hotspot_scenario(
+            nx=8, ny=8, ndirs=4, n_freq_bands=4, dt=1e-12, nsteps=3
+        )
+        problem, _ = build_bte_problem(scenario)
+        problem.enable_gpu()
+        problem.extra["gpu_force_offload"] = True
+        return problem.solve()
+
+    def test_report_embeds_nested_profile(self, gpu_solver):
+        doc = gpu_solver.run_report().to_dict()
+        assert doc["profile"]["schema"] == "repro.profile/1"
+        assert doc["profile"]["meta"]["target"] == "gpu"
+        assert doc["profile"]["ranks"]
+        json.dumps(doc)
+
+    def test_device_section_has_roofline_rows(self, gpu_solver):
+        doc = gpu_solver.run_report().to_dict()
+        (device,) = doc["gpu"]["devices"]
+        # legacy aggregate dict stays for old consumers
+        assert "I_interior_step" in device["kernels"]
+        (row,) = device["kernel_rows"]
+        assert row["name"] == "I_interior_step"
+        for key in ("intensity_flop_per_byte", "ridge_flop_per_byte",
+                    "bound", "flop_fraction_of_peak", "sm_utilization"):
+            assert key in row
+
+    def test_multi_gpu_rank_kernels(self):
+        from repro.bte import build_bte_problem, hotspot_scenario
+
+        scenario = hotspot_scenario(
+            nx=8, ny=8, ndirs=4, n_freq_bands=4, dt=1e-12, nsteps=2
+        )
+        problem, _ = build_bte_problem(scenario)
+        problem.enable_gpu()
+        problem.extra["gpu_force_offload"] = True
+        problem.set_partitioning("bands", 2, index="b")
+        doc = problem.solve().run_report().to_dict()
+        assert len(doc["gpu"]["rank_kernels"]) == 2
+        for rows in doc["gpu"]["rank_kernels"]:
+            assert any(r["name"] == "I_interior_step" for r in rows)
+
+
+class TestOldFormatCompat:
+    """``repro.run_report/1`` documents written before the profile/health
+    sections existed must keep loading everywhere (analyze, CLI)."""
+
+    from pathlib import Path as _Path
+
+    FIXTURE = _Path(__file__).parent / "data" / "golden_report.json"
+
+    def test_fixture_predates_new_sections(self):
+        doc = json.loads(self.FIXTURE.read_text())
+        assert doc["schema"].startswith("repro.run_report/")
+        assert "profile" not in doc and "health" not in doc
+        (device,) = doc["gpu"]["devices"]
+        assert "kernel_rows" not in device
+
+    def test_analyze_tolerates_old_document(self):
+        from repro.obs.analyze import analyze
+
+        analysis = analyze(report_path=self.FIXTURE)
+        assert analysis.kernels == []  # nothing fabricated
+        assert analysis.profile_drift is None
+        text = analysis.render_text()
+        assert "per-kernel" not in text
+        assert "perfmodel drift" not in text
+
+    def test_cli_analyze_old_document(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", str(self.FIXTURE)]) == 0
+        out = capsys.readouterr().out
+        assert "reported phase fractions" in out
