@@ -19,7 +19,9 @@ from repro.codegen.target_base import (
     attach_artifact_attrs,
     source_header,
 )
+from repro.codegen.vectorvm import install_vms
 from repro.ir.build import build_ir
+from repro.ir.fuse import fusion_mode, fusion_summary
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
 from repro.fvm.timesteppers import make_stepper
@@ -35,12 +37,23 @@ def _indent(lines: list[str], level: int = 1) -> list[str]:
     return [pad + ln if ln else ln for ln in lines]
 
 
-def emit_rhs_function(problem: "Problem", emitter: ExprEmitter) -> list[str]:
-    """Source of ``compute_rhs(state, u, t)`` — shared by CPU targets."""
+def emit_rhs_function(
+    problem: "Problem", emitter: ExprEmitter, fusion: str = "off"
+) -> list[str]:
+    """Source of ``compute_rhs(state, u, t)`` — shared by CPU targets.
+
+    With ``fusion`` 'auto'/'on' the surface and volume statements are
+    compiled into fused vector programs and the statement bodies become
+    single ``VM_*.run(...)`` calls over the same leaf arrays; the unfused
+    emission is still performed for its reads/FLOP estimates, so the
+    prologue (normals, function coefficients) is identical either way.
+    """
     form = emitter.form
     fcoefs = emitter.function_coefficients()
     surface = emitter.emit_sum(form.surface_terms, "surface")
     volume = emitter.emit_sum(form.volume_terms, "volume")
+    fused_surface = emitter.try_fuse(form.surface_terms, "surface", "surface", fusion)
+    fused_volume = emitter.try_fuse(form.volume_terms, "volume", "volume", fusion)
 
     body: list[str] = [
         '"""Semi-discrete RHS du/dt: volume sources + surface divergence."""',
@@ -90,14 +103,30 @@ def emit_rhs_function(problem: "Problem", emitter: ExprEmitter) -> list[str]:
     block: list[str] = []
     if form.surface_terms:
         block += [f"# RHS surface: {t}" for t in map(str, form.surface_terms)]
-        if surface.prelude:
-            block.append("# hoisted coefficient-only subexpressions")
-            block += surface.prelude
-        block.append(f"flux[sel] = {surface.code}")
+        if fused_surface is not None:
+            stats = fused_surface.program.stats
+            block.append(
+                f"# fused: {stats['n_instructions']} instrs over "
+                f"{stats['n_registers']} registers"
+            )
+            block.append(f"flux[sel] = {fused_surface.code}")
+        else:
+            if surface.prelude:
+                block.append("# hoisted coefficient-only subexpressions")
+                block += surface.prelude
+            block.append(f"flux[sel] = {surface.code}")
     if form.volume_terms:
         block += [f"# RHS volume: {t}" for t in map(str, form.volume_terms)]
-        block += volume.prelude
-        block.append(f"source[sel] = {volume.code}")
+        if fused_volume is not None:
+            stats = fused_volume.program.stats
+            block.append(
+                f"# fused: {stats['n_instructions']} instrs over "
+                f"{stats['n_registers']} registers"
+            )
+            block.append(f"source[sel] = {fused_volume.code}")
+        else:
+            block += volume.prelude
+            block.append(f"source[sel] = {volume.code}")
     if not block:
         block = ["pass"]
     body += _indent(block)
@@ -186,9 +215,10 @@ def build_cpu_artifact(target: CodegenTarget, problem: "Problem"):
     )
     ir = build_ir(problem, form, flavor="cpu")
     emitter = ExprEmitter(problem, form)
+    fusion = fusion_mode(problem.extra)
 
     lines = source_header("cpu_serial", problem, print_ir(ir))
-    lines += emit_rhs_function(problem, emitter)
+    lines += emit_rhs_function(problem, emitter, fusion=fusion)
     lines += emit_step_and_run(problem, problem.config.stepper)
     source = "\n".join(lines) + "\n"
 
@@ -197,11 +227,13 @@ def build_cpu_artifact(target: CodegenTarget, problem: "Problem"):
         static_env={
             **emitter.component_tables(),
             "NCOMP": unknown.space.ncomp,
+            "FUSED_PROGRAMS": dict(emitter.fused_programs),
         },
         attrs={
             "ir": ir,
             "classified_form": form,
             "expanded_expr": expanded,
+            "fusion_info": fusion_summary(fusion, emitter.fused_programs),
         },
     )
 
@@ -214,6 +246,7 @@ def bind_cpu_env(problem: "Problem", artifact) -> dict:
     env["stepper"] = make_stepper(problem.config.stepper)
     env["eval_fcoef"] = eval_fcoef
     env["trace_phase"] = phase_span
+    install_vms(env, env.pop("FUSED_PROGRAMS", None))
     # function coefficients bind live: callables come from the problem's
     # entity table, not the artifact (their code identity is in the key)
     for name, coef in problem.entities.coefficients.items():

@@ -44,27 +44,35 @@ from repro.symbolic.expr import (
     Sym,
     preorder,
 )
+from repro.symbolic.functions import FUNCTION_CODES
 from repro.util.errors import CodegenError
 
 if TYPE_CHECKING:
     from repro.dsl.problem import Problem
+    from repro.ir.fuse import FusedProgram
     from repro.ir.lowering import ClassifiedForm
 
 _AXIS_NAMES = {1: "normal_x", 2: "normal_y", 3: "normal_z"}
 
-#: math functions usable inside equation terms (mirrors
-#: :data:`repro.symbolic.evaluate.DEFAULT_FUNCTIONS`)
-_MATH_FUNCS = {
-    "abs": "np.abs",
-    "min": "np.minimum",
-    "max": "np.maximum",
-    "sqrt": "np.sqrt",
-    "exp": "np.exp",
-    "log": "np.log",
-    "sin": "np.sin",
-    "cos": "np.cos",
-    "tanh": "np.tanh",
-}
+#: math functions usable inside equation terms — the source-string view of
+#: the unified :mod:`repro.symbolic.functions` registry (shared with the
+#: interpreter's ``DEFAULT_FUNCTIONS`` and the fused vector VM)
+_MATH_FUNCS = FUNCTION_CODES
+
+
+@dataclass
+class FusedStatement:
+    """A statement compiled to a fused vector program plus its call site.
+
+    ``code`` replaces the unfused expression string in the generated
+    source: ``VM_<NAME>.run(<slot code strings>)``.  The slot keys *are*
+    emitted source fragments, so the call site reads exactly the locals
+    the unfused expression would.
+    """
+
+    name: str
+    program: "FusedProgram"
+    code: str
 
 
 @dataclass
@@ -103,6 +111,9 @@ class ExprEmitter:
         self.entities = problem.entities
         self.space = self.unknown.space
         self.var_mode = var_mode
+        #: fused programs compiled by :meth:`try_fuse`, keyed by VM name;
+        #: builds lift this into ``static_env["FUSED_PROGRAMS"]``
+        self.fused_programs: dict[str, "FusedProgram"] = {}
 
     # ------------------------------------------------------------- public API
     def emit_volume(self, term: Expr) -> EmittedExpr:
@@ -141,6 +152,41 @@ class ExprEmitter:
         for p in parts:
             reads |= p.reads
         return EmittedExpr(code, flops, reads, prelude=prelude)
+
+    def try_fuse(
+        self, terms: list[Expr], context: str, vm_name: str, mode: str
+    ) -> FusedStatement | None:
+        """Compile a statement into a fused vector program (or fall back).
+
+        Leaves keep their normal emitted code strings and become the
+        program's slots, so the generated call passes exactly the arrays
+        the unfused expression would read.  ``mode='auto'`` returns None
+        on an unfusable statement; ``mode='on'`` raises.  Work estimates
+        (FLOPs/bytes) always come from the unfused :meth:`emit_sum`, so
+        placement and virtual timings are identical fused or unfused.
+        """
+        from repro.ir.fuse import UnfusableError, compile_terms
+
+        if mode == "off" or not terms:
+            return None
+        reads: set[str] = set()
+        saved = getattr(self, "_cse_table", None)
+        self._cse_table = None  # slot code must be self-contained (no temps)
+        try:
+            program = compile_terms(
+                terms, lambda node: self._walk(node, context, reads)
+            )
+        except UnfusableError as exc:
+            if mode == "on":
+                raise CodegenError(
+                    f"fusion='on' but the {context} statement is unfusable: {exc}"
+                ) from exc
+            return None
+        finally:
+            self._cse_table = saved
+        code = f"VM_{vm_name.upper()}.run({', '.join(program.slots)})"
+        self.fused_programs[vm_name] = program
+        return FusedStatement(vm_name, program, code)
 
     # ------------------------------------------------------------- internals
     #: leaf name prefixes that are constant within one RHS evaluation
@@ -456,4 +502,4 @@ def _count_flops(term: Expr) -> int:
     return flops
 
 
-__all__ = ["ExprEmitter", "EmittedExpr"]
+__all__ = ["ExprEmitter", "EmittedExpr", "FusedStatement"]

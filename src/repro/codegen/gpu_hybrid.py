@@ -46,7 +46,9 @@ from repro.codegen.target_base import (
 )
 from repro.gpu.device import Device
 from repro.gpu.kernel import Kernel, model_launch
+from repro.codegen.vectorvm import install_vms
 from repro.ir.build import build_ir
+from repro.ir.fuse import fusion_mode, fusion_summary
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
 from repro.obs import get_tracer, phase_span
@@ -98,11 +100,15 @@ def _reject_reconstructions(form) -> None:
             )
 
 
-def _emit_kernel_source(problem: "Problem", emitter: ExprEmitter) -> list[str]:
+def _emit_kernel_source(
+    problem: "Problem", emitter: ExprEmitter, fusion: str = "off"
+) -> list[str]:
     """The flattened interior kernel (one thread per DOF, vectorised body)."""
     form = emitter.form
     surface = emitter.emit_sum(form.surface_terms, "surface")
     volume = emitter.emit_sum(form.volume_terms, "volume")
+    fused_surface = emitter.try_fuse(form.surface_terms, "surface", "surface", fusion)
+    fused_volume = emitter.try_fuse(form.volume_terms, "volume", "volume", fusion)
     known = emitter.referenced_known_variables()
     args = ["u"] + [f"var_{n}" for n in known] + ["u_new"]
     lines = [
@@ -130,17 +136,21 @@ def _emit_kernel_source(problem: "Problem", emitter: ExprEmitter) -> list[str]:
         if "face_dist" in surface.reads:
             body.append("face_dist = FACEDIST_INT")
         body += [f"# face flux: {t}" for t in map(str, form.surface_terms)]
-        body += surface.prelude
-        body += [
-            f"flux = {surface.code}",
-            "div = (DIV_INT @ flux.T).T",
-        ]
+        if fused_surface is not None:
+            body.append(f"flux = {fused_surface.code}")
+        else:
+            body += surface.prelude
+            body.append(f"flux = {surface.code}")
+        body.append("div = (DIV_INT @ flux.T).T")
     else:
         body.append("div = 0.0")
     if form.volume_terms:
         body += [f"# volume source: {t}" for t in map(str, form.volume_terms)]
-        body += volume.prelude
-        body.append(f"source = {volume.code}")
+        if fused_volume is not None:
+            body.append(f"source = {fused_volume.code}")
+        else:
+            body += volume.prelude
+            body.append(f"source = {volume.code}")
     else:
         body.append("source = 0.0")
     body += [
@@ -150,10 +160,15 @@ def _emit_kernel_source(problem: "Problem", emitter: ExprEmitter) -> list[str]:
     return lines + _indent(body)
 
 
-def _emit_boundary_source(problem: "Problem", emitter: ExprEmitter) -> list[str]:
+def _emit_boundary_source(
+    problem: "Problem", emitter: ExprEmitter, fusion: str = "off"
+) -> list[str]:
     """CPU-side boundary contribution (rhs part from boundary faces)."""
     form = emitter.form
     surface = emitter.emit_sum(form.surface_terms, "surface")
+    # same surface program, its own VM: boundary shapes (nbfaces) differ from
+    # the interior kernel's, and a VM's scratch assumes stable shapes
+    fused = emitter.try_fuse(form.surface_terms, "surface", "surface_bdry", fusion)
     lines = [
         "",
         "",
@@ -183,9 +198,12 @@ def _emit_boundary_source(problem: "Problem", emitter: ExprEmitter) -> list[str]
     if "face_dist" in surface.reads:
         body.append("face_dist = geom.face_dist[bfaces]")
     body += [f"# face flux: {t}" for t in map(str, form.surface_terms)]
-    body += surface.prelude
+    if fused is not None:
+        body.append(f"flux = {fused.code}")
+    else:
+        body += surface.prelude
+        body.append(f"flux = {surface.code}")
     body += [
-        f"flux = {surface.code}",
         "# FLUX-type callbacks override their faces",
         "for faces, values in state.bset.flux_overrides(u, t, dt, state.extra):",
         "    flux[:, BFACE_SLOT[faces]] = values",
@@ -463,12 +481,14 @@ class GPUHybridTarget(CodegenTarget):
         lines.append("# placement decided by the min-cut optimiser:")
         lines += ["#   " + ln for ln in placement.report().splitlines()]
         lines += ["#   " + ln for ln in transfer_plan.report().splitlines()]
-        lines += _emit_kernel_source(problem, emitter)
-        lines += _emit_boundary_source(problem, emitter)
+        fusion = fusion_mode(problem.extra)
+        lines += _emit_kernel_source(problem, emitter, fusion=fusion)
+        lines += _emit_boundary_source(problem, emitter, fusion=fusion)
         lines.append(_STEP_AND_RUN)
         source = "\n".join(lines) + "\n"
 
         static: dict = dict(emitter.component_tables())
+        static["FUSED_PROGRAMS"] = dict(emitter.fused_programs)
         static["NCOMP"] = state.ncomp
         static["NCELLS"] = state.ncells
         static["NDOF"] = ndof
@@ -510,6 +530,7 @@ class GPUHybridTarget(CodegenTarget):
                     "flops_per_thread": flops_per_dof * flop_factor,
                     "bytes_per_thread": bytes_per_dof * byte_factor,
                 },
+                "fusion_info": fusion_summary(fusion, emitter.fused_programs),
             },
         )
 
@@ -554,6 +575,9 @@ class GPUHybridTarget(CodegenTarget):
         env["record_degraded"] = _record_degraded
         env["get_tracer"] = get_tracer
         env["trace_phase"] = phase_span
+        # one VM per call site (interior kernel vs boundary assembler); the
+        # degraded host path re-runs the same kernel, so faults stay fused
+        install_vms(env, env.pop("FUSED_PROGRAMS", None))
 
         solver = GeneratedSolver(
             self.name, artifact.source, env, state,

@@ -65,6 +65,7 @@ from repro.dsl.api import (
     conservation_form,
     weak_form,
     custom_operator,
+    register_function,
     partitioning,
     generate,
     solve,
@@ -114,6 +115,7 @@ __all__ = [
     "conservation_form",
     "weak_form",
     "custom_operator",
+    "register_function",
     "partitioning",
     "generate",
     "solve",

@@ -161,6 +161,20 @@ def custom_operator(name: str, expand: Callable, arity: int | None = None) -> No
     current_problem().add_custom_operator(name, expand, arity)
 
 
+def register_function(name: str, fn: Callable, code: str | None = None) -> None:
+    """Register a named numeric function callable from equation terms.
+
+    Unlike :func:`custom_operator` (a symbolic macro expanded at parse
+    time), this binds a numeric implementation for ``Call(name, ...)``
+    nodes in the unified function registry, making it available to the
+    interpreter, the fused vector VM and — when ``code`` names it inside
+    a generated module (e.g. ``"np.hypot"``) — emitted source.
+    """
+    from repro.symbolic.functions import register_function as _register
+
+    _register(name, fn, code)
+
+
 # ----------------------------------------------------------- equations / BCs
 def conservation_form(variable: Variable | str, source: str) -> None:  # noqa: A002
     """``conservationForm(u, "s(u) - surface(f(u))")`` — declare the PDE."""

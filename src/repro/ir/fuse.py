@@ -1,0 +1,429 @@
+"""Expression fusion: symbolic trees → register-allocated vector programs.
+
+The code generators normally emit one NumPy expression per statement, so
+every operator node pays a dispatcher round-trip and allocates a full-size
+temporary.  This pass collapses a statement's whole arithmetic tree (a sum
+of classified integrands) into a single *fused vector program* — a compact
+sequence of instructions over a small register file — executed in one pass
+by :class:`repro.codegen.vectorvm.VectorVM`, one whole-array operation per
+instruction.
+
+The pipeline, modeled on numexpr's compiler:
+
+1. **Lowering** — walk the trees, hash-consed memoisation sharing common
+   subexpressions, whole constant subtrees folded at compile time, n-ary
+   ``Add``/``Mul`` lowered to binary left-folds (the exact fold order
+   ``evaluate()`` and the emitted source use — fusion must be bit-identical,
+   not just close).  Leaves become *slots*: values the caller passes to
+   ``run()``, keyed by whatever string the caller's ``leaf_key`` returns
+   (emitted source fragments for codegen, ``str(node)`` for the
+   interpreter).  The result is a linear SSA value list.
+2. **Liveness + register allocation** — each SSA value's last use is
+   computed and registers are recycled from a free list (lowest index
+   first, for stable disassembly) over a bounded register file.  Dead
+   temporaries therefore share storage; the VM reuses the backing arrays
+   across calls.
+
+Statements the pass cannot express raise :class:`UnfusableError`; targets
+fall back to the unfused emission per statement (``fusion="auto"``) or
+surface the error (``fusion="on"``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Any
+
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Conditional,
+    Expr,
+    Mul,
+    Num,
+    Pow,
+    Surface,
+    TimeDerivative,
+)
+from repro.symbolic.functions import get_function
+from repro.util.errors import CodegenError
+
+#: bound on the register file; programs needing more fall back to unfused
+MAX_REGISTERS = 64
+
+#: instruction opcodes (dst ← op(args)); ``imm`` use per opcode:
+#: load: slot index · const: literal value · pow_const: exponent ·
+#: cmp: operator string · call: function name
+OPCODES = (
+    "load",       # dst ← slots[imm]
+    "const",      # dst ← imm
+    "add",        # dst ← r[a] + r[b]
+    "mul",        # dst ← r[a] * r[b]
+    "recip",      # dst ← 1.0 / r[a]
+    "pow_const",  # dst ← r[a] ** imm
+    "pow",        # dst ← r[a] ** r[b]   (runtime -1 → reciprocal, as evaluate())
+    "cmp",        # dst ← r[a] <imm> r[b]
+    "where",      # dst ← select(r[a], r[b], r[c])
+    "call",       # dst ← functions[imm](*r[args])
+)
+
+
+class UnfusableError(CodegenError):
+    """The statement cannot be expressed as a fused vector program."""
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One VM instruction: ``r[dst] = op(args..., imm)``."""
+
+    op: str
+    dst: int
+    args: tuple[int, ...] = ()
+    imm: Any = None
+
+    def render(self) -> str:
+        parts = [f"r{a}" for a in self.args]
+        if self.op == "load":
+            parts.append(f"s{self.imm}")
+        elif self.imm is not None:
+            parts.append(repr(self.imm))
+        operands = ", ".join(parts)
+        return f"r{self.dst} = {self.op} {operands}".rstrip()
+
+
+@dataclass(frozen=True)
+class FusedProgram:
+    """A compiled vector program (picklable; lives in artifact static envs).
+
+    ``slots`` are the caller-provided inputs of ``run()``, in first-use
+    order; each entry is the ``leaf_key`` string the caller compiled with.
+    ``slot_nodes`` keeps the originating leaf nodes for callers that bind
+    slots by node rather than by emitted source (interpreter, FEM).
+    """
+
+    slots: tuple[str, ...]
+    instructions: tuple[Instr, ...]
+    n_registers: int
+    out_reg: int
+    slot_nodes: tuple[Expr, ...] | None = None
+    stats: dict = field(default_factory=dict)
+
+    def disassemble(self) -> str:
+        """Stable, diffable text form (the golden-fixture format)."""
+        lines = ["; fused vector program (repro.fuse/1)"]
+        lines.append(
+            f"; slots={len(self.slots)} registers={self.n_registers} "
+            f"instructions={len(self.instructions)}"
+        )
+        for i, key in enumerate(self.slots):
+            lines.append(f"slot s{i} = {key}")
+        for instr in self.instructions:
+            lines.append(instr.render())
+        lines.append(f"ret r{self.out_reg}")
+        return "\n".join(lines) + "\n"
+
+
+class _NotConstant(Exception):
+    pass
+
+
+class _Compiler:
+    """Single-use lowering context for one statement."""
+
+    def __init__(self, leaf_key: Callable[[Expr], str], max_registers: int):
+        self.leaf_key = leaf_key
+        self.max_registers = max_registers
+        # linear SSA list: (op, operand value indices, imm)
+        self.values: list[tuple[str, tuple[int, ...], Any]] = []
+        self.memo: dict[Expr, int] = {}
+        self.slots: list[str] = []
+        self.slot_nodes: list[Expr] = []
+        self.slot_index: dict[str, int] = {}
+        self.slot_value: dict[int, int] = {}
+        self.const_value: dict[tuple, int] = {}
+        self.cse_hits = 0
+        self.constants_folded = 0
+
+    # ------------------------------------------------------------- lowering
+    def emit(self, op: str, args: tuple[int, ...] = (), imm: Any = None) -> int:
+        self.values.append((op, args, imm))
+        return len(self.values) - 1
+
+    def const(self, value: Any) -> int:
+        # key by type as well: 2 == 2.0 to a dict, but int vs float literals
+        # can differ numerically (2**53 + 1) — never alias them
+        try:
+            key = (type(value), value)
+            idx = self.const_value.get(key)
+        except TypeError:  # unhashable — never happens for numbers, stay safe
+            key, idx = None, None
+        if idx is not None:
+            return idx
+        idx = self.emit("const", imm=value)
+        if key is not None:
+            self.const_value[key] = idx
+        return idx
+
+    def visit(self, node: Expr) -> int:
+        # Expr is hash-consed: structurally equal subtrees are one object,
+        # so memoisation doubles as common-subexpression elimination.
+        cached = self.memo.get(node)
+        if cached is not None:
+            self.cse_hits += 1
+            return cached
+        idx = self._lower(node)
+        self.memo[node] = idx
+        return idx
+
+    def _lower(self, node: Expr) -> int:
+        if isinstance(node, Num):
+            return self.const(node.value)
+        if isinstance(node, (Surface, TimeDerivative)):
+            # markers are transparent, as in evaluate()
+            return self.visit(node.expr)
+        if isinstance(node, (Add, Mul)):
+            folded = self._fold(node)
+            if folded is not None:
+                return self.const(folded)
+            op = "add" if isinstance(node, Add) else "mul"
+            acc = self.visit(node.args[0])
+            for a in node.args[1:]:
+                acc = self.emit(op, (acc, self.visit(a)))
+            return acc
+        if isinstance(node, Pow):
+            folded = self._fold(node)
+            if folded is not None:
+                return self.const(folded)
+            if isinstance(node.exponent, Num):
+                e = node.exponent.value
+                base = self.visit(node.base)
+                if e == -1:
+                    return self.emit("recip", (base,))
+                return self.emit("pow_const", (base,), imm=e)
+            base = self.visit(node.base)
+            exponent = self.visit(node.exponent)
+            return self.emit("pow", (base, exponent))
+        if isinstance(node, Cmp):
+            lhs = self.visit(node.lhs)
+            rhs = self.visit(node.rhs)
+            return self.emit("cmp", (lhs, rhs), imm=node.op)
+        if isinstance(node, Conditional):
+            cond = self.visit(node.cond)
+            then = self.visit(node.then)
+            other = self.visit(node.otherwise)
+            return self.emit("where", (cond, then, other))
+        if isinstance(node, Call):
+            if get_function(node.func) is None:
+                raise UnfusableError(
+                    f"function {node.func!r} is not in the unified registry"
+                )
+            args = tuple(self.visit(a) for a in node.args)
+            return self.emit("call", args, imm=node.func)
+        # anything else is a leaf the caller must supply as a slot
+        return self._leaf(node)
+
+    def _leaf(self, node: Expr) -> int:
+        key = self.leaf_key(node)
+        if not isinstance(key, str) or not key:
+            raise UnfusableError(f"cannot fuse leaf node {node!r}")
+        slot = self.slot_index.get(key)
+        if slot is None:
+            slot = len(self.slots)
+            self.slot_index[key] = slot
+            self.slots.append(key)
+            self.slot_nodes.append(node)
+        cached = self.slot_value.get(slot)
+        if cached is not None:
+            return cached
+        idx = self.emit("load", imm=slot)
+        self.slot_value[slot] = idx
+        return idx
+
+    def _fold(self, node: Expr) -> float | None:
+        """Fold a whole pure-constant Add/Mul/Pow subtree.
+
+        Uses exactly the runtime fold order and the ``-1 → reciprocal``
+        power rule, so the folded value is bit-identical to what the
+        unfused code would compute.  Anything that would raise at runtime
+        (0**-1, overflow) is left unfolded so it still raises at runtime.
+        """
+
+        def go(n: Expr) -> Any:
+            if isinstance(n, Num):
+                return n.value
+            if isinstance(n, Add):
+                total = go(n.args[0])
+                for a in n.args[1:]:
+                    total = total + go(a)
+                return total
+            if isinstance(n, Mul):
+                prod = go(n.args[0])
+                for a in n.args[1:]:
+                    prod = prod * go(a)
+                return prod
+            if isinstance(n, Pow):
+                base = go(n.base)
+                exponent = go(n.exponent)
+                if exponent == -1:
+                    return 1.0 / base
+                return base ** exponent
+            raise _NotConstant
+
+        if isinstance(node, Num):
+            return None  # already a constant; nothing to fold
+        try:
+            value = go(node)
+        except _NotConstant:
+            return None
+        except ArithmeticError:
+            return None  # would raise at runtime too — keep runtime semantics
+        self.constants_folded += 1
+        return value
+
+    # ---------------------------------------------------------- allocation
+    def allocate(self, roots: list[int]) -> FusedProgram:
+        """Liveness analysis + linear-scan register allocation."""
+        # sum the statement's terms left-to-right, matching " + ".join(...)
+        acc = roots[0]
+        for r in roots[1:]:
+            acc = self.emit("add", (acc, r))
+        out = acc
+
+        n = len(self.values)
+        last_use = list(range(n))
+        for i, (_op, args, _imm) in enumerate(self.values):
+            for a in args:
+                last_use[a] = i
+        last_use[out] = n  # the result outlives the program
+
+        reg_of: dict[int, int] = {}
+        free: list[int] = []
+        n_registers = 0
+        instrs: list[Instr] = []
+        for i, (op, args, imm) in enumerate(self.values):
+            arg_regs = tuple(reg_of[a] for a in args)
+            for a in set(args):
+                if last_use[a] == i:
+                    heappush(free, reg_of.pop(a))
+            if free:
+                dst = heappop(free)
+            else:
+                dst = n_registers
+                n_registers += 1
+                if n_registers > self.max_registers:
+                    raise UnfusableError(
+                        f"program needs more than {self.max_registers} registers"
+                    )
+            reg_of[i] = dst
+            instrs.append(Instr(op, dst, arg_regs, imm))
+
+        n_arith = sum(1 for ins in instrs if ins.op not in ("load", "const"))
+        stats = {
+            "n_instructions": len(instrs),
+            "n_registers": n_registers,
+            "n_slots": len(self.slots),
+            # naive per-node evaluation allocates one temporary per
+            # operation; the register file is all the storage fusion needs
+            "temporaries_eliminated": max(0, n_arith - n_registers),
+            "cse_hits": self.cse_hits,
+            "constants_folded": self.constants_folded,
+        }
+        return FusedProgram(
+            slots=tuple(self.slots),
+            instructions=tuple(instrs),
+            n_registers=n_registers,
+            out_reg=reg_of[out],
+            slot_nodes=tuple(self.slot_nodes),
+            stats=stats,
+        )
+
+
+def compile_terms(
+    terms: Iterable[Expr],
+    leaf_key: Callable[[Expr], str],
+    max_registers: int = MAX_REGISTERS,
+) -> FusedProgram:
+    """Compile a statement (sum of integrand trees) into a fused program.
+
+    ``leaf_key`` maps a leaf node to its slot key string; raising
+    :class:`UnfusableError` (or returning a non-string) rejects the whole
+    statement.  Terms are summed left-to-right exactly like the unfused
+    ``" + ".join(...)`` emission and ``evaluate()``'s Add fold.
+    """
+    terms = list(terms)
+    if not terms:
+        raise UnfusableError("cannot fuse an empty statement")
+    compiler = _Compiler(leaf_key, max_registers)
+    roots = [compiler.visit(t) for t in terms]
+    return compiler.allocate(roots)
+
+
+def compile_expr(
+    expr: Expr,
+    leaf_key: Callable[[Expr], str],
+    max_registers: int = MAX_REGISTERS,
+) -> FusedProgram:
+    """Compile a single expression tree (convenience wrapper)."""
+    return compile_terms([expr], leaf_key, max_registers)
+
+
+def fusion_mode(extra: dict | None) -> str:
+    """Resolve a problem's ``fusion`` knob to ``on``/``off``/``auto``.
+
+    ``off`` (the default) keeps the classic per-expression emission;
+    ``auto`` fuses every statement that compiles and silently falls back
+    per statement; ``on`` additionally turns an unfusable statement into
+    a hard :class:`CodegenError`.
+    """
+    raw = (extra or {}).get("fusion")
+    mode = str(raw).lower() if raw is not None else "off"
+    if mode not in ("on", "off", "auto"):
+        raise CodegenError(f"fusion must be 'on', 'off' or 'auto', got {raw!r}")
+    return mode
+
+
+def node_leaf_key() -> Callable[[Expr], str]:
+    """Per-program slot keys for node-bound leaves (interpreter/FEM paths).
+
+    Keys are assigned in first-visit order and disambiguated by index, so
+    two *different* leaf nodes that happen to print alike never share a
+    slot, while the hash-consed identity of equal subtrees still dedups.
+    Callers bind slots via ``program.slot_nodes``, not the key strings.
+    """
+    seen: dict[Expr, str] = {}
+
+    def key(node: Expr) -> str:
+        k = seen.get(node)
+        if k is None:
+            k = f"{node}#{len(seen)}"
+            seen[node] = k
+        return k
+
+    return key
+
+
+def fusion_summary(mode: str, programs: dict[str, FusedProgram]) -> dict:
+    """The ``fusion_info`` dict attached to solvers and run reports."""
+    return {
+        "mode": mode,
+        "programs": {
+            name: dict(programs[name].stats) for name in sorted(programs)
+        },
+    }
+
+
+__all__ = [
+    "MAX_REGISTERS",
+    "OPCODES",
+    "UnfusableError",
+    "Instr",
+    "FusedProgram",
+    "compile_terms",
+    "compile_expr",
+    "fusion_mode",
+    "fusion_summary",
+    "node_leaf_key",
+]

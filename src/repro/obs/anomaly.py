@@ -51,6 +51,9 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
     # bench gate: tolerated overhead ratio drift of the always-on
     # observability (event log ring + flight recorder), the 5% budget
     "obs_overhead": 0.05,
+    # bench gate: tolerated fused/unfused wall-time ratio drift above the
+    # ideal 1.0 ("fusion never runs slower", with room for timer noise)
+    "fusion_overhead": 0.15,
     # per-kernel profile: tolerated |measured/predicted - 1| before the
     # drift column flags the cost model for recalibration
     "perfmodel_drift": 0.5,

@@ -32,21 +32,14 @@ from repro.symbolic.expr import (
     TimeDerivative,
     Vector,
 )
+from repro.symbolic.functions import FUNCTION_CALLABLES, function_callables
 from repro.util.errors import DSLError
 
-#: Callables usable from expressions by default.  Registered custom operators
-#: may extend this set at evaluation time via the ``functions`` argument.
-DEFAULT_FUNCTIONS: dict[str, Callable[..., Any]] = {
-    "abs": np.abs,
-    "min": np.minimum,
-    "max": np.maximum,
-    "sqrt": np.sqrt,
-    "exp": np.exp,
-    "log": np.log,
-    "sin": np.sin,
-    "cos": np.cos,
-    "tanh": np.tanh,
-}
+#: Callables usable from expressions by default — a live view of the unified
+#: :mod:`repro.symbolic.functions` registry, so functions registered there
+#: (or via the DSL) are immediately evaluatable.  Per-call overrides still
+#: arrive through the ``functions`` argument.
+DEFAULT_FUNCTIONS: Mapping[str, Callable[..., Any]] = FUNCTION_CALLABLES
 
 _CMP_FUNCS: dict[str, Callable[[Any, Any], Any]] = {
     ">": lambda a, b: a > b,
@@ -83,9 +76,7 @@ def evaluate(
     DSLError
         If a leaf or function is unbound.
     """
-    funcs = dict(DEFAULT_FUNCTIONS)
-    if functions:
-        funcs.update(functions)
+    funcs = function_callables(functions)
 
     if callable(env) and not isinstance(env, Mapping):
         lookup = env

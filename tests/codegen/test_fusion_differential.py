@@ -1,0 +1,175 @@
+"""Differential proof: fused kernels are bit-identical on every target.
+
+One small BTE hotspot problem runs through all six execution targets —
+interpreted, serial CPU, cell-distributed SPMD, hybrid GPU, 2-rank
+multi-GPU, and the FEM pipeline (on its own heat problem) — once with the
+classic per-expression emission and once with fused vector programs.  The
+two solutions must agree **bit for bit** (``np.array_equal``, no
+tolerance): fusion is an execution strategy, not an approximation.
+
+The faulted half re-runs fused solves under the resilience harness's
+fault specs (message drops, rank stalls, device OOM with GPU→CPU
+degradation) and demands the same bitwise agreement with the unfused run
+under the identical fault schedule — fusion must commute with fault
+recovery and placement degradation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bte.problem import build_bte_problem, hotspot_scenario
+from repro.runtime.faults import fault_run
+from repro.runtime.resilience import get_resilience_log
+
+
+def scenario():
+    return hotspot_scenario(nx=8, ny=8, ndirs=4, n_freq_bands=4,
+                            dt=1e-12, nsteps=4)
+
+
+def use_gpu(problem):
+    problem.enable_gpu()
+    problem.extra["gpu_force_offload"] = True
+
+
+def use_gpu_multi(problem):
+    use_gpu(problem)
+    problem.set_partitioning("bands", 2, index="b")
+
+
+def solve_bte(fusion, configure=None, target=None, fault_spec=None, seed=0):
+    problem, _ = build_bte_problem(scenario())
+    if configure is not None:
+        configure(problem)
+    problem.extra["fusion"] = fusion
+    if fault_spec is None:
+        solver = problem.solve(target=target)
+    else:
+        with fault_run(fault_spec, seed=seed):
+            solver = problem.solve(target=target)
+    return solver
+
+
+def assert_bit_identical(fused, unfused):
+    assert np.array_equal(fused.solution(), unfused.solution()), \
+        "fused solution differs bitwise from unfused"
+    assert np.array_equal(fused.state.extra["T"], unfused.state.extra["T"]), \
+        "fused temperature field differs bitwise from unfused"
+
+
+def assert_actually_fused(solver):
+    info = getattr(solver, "fusion_info", None)
+    assert info and info["mode"] == "on", "fusion did not engage"
+    assert info["programs"], "no fused programs were compiled"
+
+
+#: (configure, explicit target) per execution target, as in the
+#: cross-target equivalence suite
+TARGETS = [
+    pytest.param(None, "interp", id="interpreted"),
+    pytest.param(None, "cpu", id="cpu_serial"),
+    pytest.param(lambda p: p.set_partitioning("cells", 2), None,
+                 id="cpu_distributed"),
+    pytest.param(use_gpu, None, id="gpu_hybrid"),
+    pytest.param(use_gpu_multi, None, id="gpu_multi"),
+]
+
+
+@pytest.fixture(scope="module")
+def unfused():
+    """Unfused baselines, one solve per target, shared across the module."""
+    cache = {}
+
+    def get(key, configure=None, target=None):
+        if key not in cache:
+            cache[key] = solve_bte("off", configure, target)
+        return cache[key]
+
+    return get
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("configure,target", TARGETS)
+    def test_fused_bit_identical(self, unfused, configure, target, request):
+        key = request.node.callspec.id
+        fused = solve_bte("on", configure, target)
+        assert_actually_fused(fused)
+        assert_bit_identical(fused, unfused(key, configure, target))
+
+    def test_auto_mode_bit_identical_serial(self, unfused):
+        fused = solve_bte("auto", target="cpu")
+        assert np.array_equal(fused.solution(),
+                              unfused("cpu_serial", None, "cpu").solution())
+
+
+class TestFaulted:
+    """Fused + injected faults == unfused + the same faults, bitwise."""
+
+    def test_fused_halo_drop_and_dup(self, unfused):
+        configure = TARGETS[2].values[0]  # cells-2 partitioning
+        spec = "drop:rank=0,dest=1,tag=7,at=2;dup:rank=1,dest=0,tag=7,at=3"
+        fused = solve_bte("on", configure, fault_spec=spec, seed=1)
+        log = get_resilience_log()
+        assert log.injected == {"drop": 1, "dup": 1}
+        assert_actually_fused(fused)
+        # message recovery is lossless, so the faulted fused run matches
+        # the *fault-free* unfused baseline bit for bit
+        assert_bit_identical(fused, unfused("cpu_distributed", configure))
+
+    def test_fused_rank_stall_multi_gpu(self, unfused):
+        spec = "stall:rank=1,at=2,delay=5e-4"
+        fused = solve_bte("on", use_gpu_multi, fault_spec=spec, seed=2)
+        log = get_resilience_log()
+        assert log.injected == {"stall": 1}
+        assert_actually_fused(fused)
+        # stalls perturb virtual time only — data is untouched
+        assert_bit_identical(fused, unfused("gpu_multi", use_gpu_multi))
+
+    def test_fused_oom_degrades_gpu_to_cpu(self):
+        """Device OOM forces the interior kernel onto the CPU mid-run; the
+        fused program must ride along through the degraded placement and
+        still match the unfused run under the identical fault schedule."""
+        spec = "oom:device=gpu0,op=h2d,at=1"
+        fused = solve_bte("on", use_gpu, fault_spec=spec, seed=3)
+        log = get_resilience_log()
+        assert log.injected == {"oom": 1}
+        assert log.degraded and log.degraded[0]["to"] == "cpu"
+        assert_actually_fused(fused)
+        unfused_faulted = solve_bte("off", use_gpu, fault_spec=spec, seed=3)
+        assert_bit_identical(fused, unfused_faulted)
+
+
+class TestFEM:
+    """The sixth target: the FEM pipeline has its own assembly loop and
+    binds fused programs by node, not by emitted source fragment."""
+
+    @staticmethod
+    def solve_fem(fusion):
+        from repro.dsl.entities import NODE
+        from repro.dsl.problem import Problem
+        from repro.fvm.boundary import BCKind
+        from repro.mesh.grid import structured_grid
+
+        n, D = 12, 0.7
+        dt = 0.2 * (1.0 / n) ** 2 / D
+        p = Problem(f"fem-fusion-{fusion}")
+        p.set_domain(1)
+        p.set_solver_type("FEM")
+        p.set_steps(dt, 10)
+        p.set_mesh(structured_grid((n,)))
+        p.add_variable("u", location=NODE)
+        p.add_coefficient("k", D)
+        p.add_coefficient(
+            "f", lambda x: D * np.pi ** 2 * np.sin(np.pi * x[:, 0]))
+        p.add_boundary("u", 1, BCKind.DIRICHLET, 0.0)
+        p.add_boundary("u", 2, BCKind.DIRICHLET, 0.0)
+        p.set_initial("u", lambda x: np.sin(np.pi * x[:, 0]))
+        p.set_weak_form("u", "-k*dot(grad(u), grad(v)) + f*v")
+        p.extra["fusion"] = fusion
+        return p.solve()
+
+    def test_fused_bit_identical(self):
+        fused = self.solve_fem("on")
+        unfused = self.solve_fem("off")
+        assert_actually_fused(fused)
+        assert np.array_equal(fused.solution(), unfused.solution())

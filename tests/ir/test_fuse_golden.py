@@ -1,0 +1,78 @@
+"""Golden fused-program fixtures for two representative kernels.
+
+The fusion pass must be deterministic and stable: the same physics must
+compile to the same bytecode, instruction for instruction, register for
+register.  These tests disassemble the fused programs of the paper's
+hotspot problem — the interior advection kernel (``surface``) and the
+BTE scattering/relaxation term (``volume``) — and compare against
+committed ``.fuseasm`` fixtures (the stable text format defined by
+:meth:`repro.ir.fuse.FusedProgram.disassemble`).
+
+A diff here means the compiler's output changed.  If the change is
+intentional (better allocation, new folding), regenerate the fixtures::
+
+    PYTHONPATH=src python tests/ir/test_fuse_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+DATA = Path(__file__).parent / "data"
+
+GOLDENS = {
+    "surface": DATA / "hotspot_interior.fuseasm",
+    "volume": DATA / "bte_scattering.fuseasm",
+}
+
+
+def hotspot_programs():
+    from repro.bte.problem import build_bte_problem, hotspot_scenario
+    from repro.codegen import make_target
+
+    scenario = hotspot_scenario(nx=8, ny=8, ndirs=4, n_freq_bands=4,
+                                dt=1e-12, nsteps=2)
+    problem, _ = build_bte_problem(scenario)
+    problem.extra["fusion"] = "on"
+    artifact = make_target("cpu").build_artifact(problem)
+    return artifact.static_env["FUSED_PROGRAMS"]
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return hotspot_programs()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_disassembly_matches_golden(programs, name):
+    assert name in programs, f"hotspot problem no longer fuses {name!r}"
+    got = programs[name].disassemble()
+    expected = GOLDENS[name].read_text()
+    assert got == expected, (
+        f"fused {name} program drifted from {GOLDENS[name].name}; "
+        "if intentional, regenerate with "
+        "`python tests/ir/test_fuse_golden.py --regen`\n"
+        f"--- expected ---\n{expected}\n--- got ---\n{got}"
+    )
+
+
+def test_goldens_are_wellformed():
+    for name, path in GOLDENS.items():
+        text = path.read_text()
+        assert text.startswith("; fused vector program (repro.fuse/1)"), name
+        assert text.rstrip().splitlines()[-1].startswith("ret r"), name
+
+
+def test_fixture_set_matches_fused_programs(programs):
+    # every golden has a live program; new fused statements in the hotspot
+    # problem should gain fixtures (or this inventory updated) on purpose
+    assert set(GOLDENS) <= set(programs)
+
+
+if __name__ == "__main__" and "--regen" in sys.argv:
+    for name, path in GOLDENS.items():
+        path.write_text(hotspot_programs()[name].disassemble())
+        print(f"regenerated {path}")

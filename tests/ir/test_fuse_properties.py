@@ -1,0 +1,217 @@
+"""Property-based fusion equivalence: fused programs are bit-identical.
+
+Hypothesis generates random well-typed expression trees over a fixed
+symbol pool (the :mod:`tests.symbolic.test_parser_fuzz` idiom), compiles
+each through :func:`repro.ir.fuse.compile_expr`, and executes the fused
+program on both VM engines.  For every tree and every environment —
+scalars, arrays, NaN/Inf payloads — the fused result must match
+``evaluate()`` **bit for bit** (``tobytes()`` equality, not ``allclose``),
+and when one side raises, the other must raise the same exception type.
+
+The trees deliberately include the edge cases the fusion pass special-
+cases: ``Pow`` with constant/dynamic/−1 exponents, ``Cmp`` embedded in
+``Conditional``, registered ``Call`` functions, and pure-constant
+subtrees (exercising the compile-time folder, which must fold with
+exactly the runtime's semantics).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.ir.fuse import compile_expr
+from repro.codegen.vectorvm import VectorVM
+from repro.symbolic.evaluate import evaluate
+from repro.symbolic.expr import (
+    Add,
+    Call,
+    Cmp,
+    Conditional,
+    Expr,
+    Indexed,
+    Mul,
+    Num,
+    Pow,
+    Sym,
+)
+
+# CI runs with a pinned derandomised profile so golden failures reproduce
+settings.register_profile("ci", derandomize=True, max_examples=60)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+
+LEAVES = (Sym("a"), Sym("b"), Sym("c"), Indexed("u", ("i",)))
+
+_FUNCS_1 = ("abs", "sqrt", "exp", "cos", "tanh")
+_FUNCS_2 = ("min", "max")
+
+
+def leaf() -> st.SearchStrategy[Expr]:
+    return st.one_of(
+        st.sampled_from(LEAVES),
+        st.integers(min_value=-4, max_value=4).map(Num),
+        st.floats(
+            min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False
+        ).map(Num),
+    )
+
+
+def trees() -> st.SearchStrategy[Expr]:
+    def compound(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        pair = st.tuples(children, children)
+        return st.one_of(
+            pair.map(lambda ab: Add(*ab)),
+            st.tuples(children, children, children).map(lambda abc: Add(*abc)),
+            pair.map(lambda ab: Mul(*ab)),
+            # the pass's three power paths: recip, pow_const, dynamic pow
+            children.map(lambda b: Pow(b, Num(-1))),
+            st.tuples(children, st.sampled_from([-3, -2, 2, 3, 0.5])).map(
+                lambda be: Pow(be[0], Num(be[1]))
+            ),
+            pair.map(lambda be: Pow(*be)),
+            st.tuples(
+                st.sampled_from((">", "<", ">=", "<=", "==", "!=")),
+                children, children, children, children,
+            ).map(lambda t: Conditional(Cmp(t[0], t[1], t[2]), t[3], t[4])),
+            st.tuples(st.sampled_from(_FUNCS_1), children).map(
+                lambda fa: Call(fa[0], fa[1])
+            ),
+            st.tuples(st.sampled_from(_FUNCS_2), children, children).map(
+                lambda fab: Call(fab[0], fab[1], fab[2])
+            ),
+        )
+
+    return st.recursive(leaf(), compound, max_leaves=14)
+
+
+def scalar_envs() -> st.SearchStrategy[dict]:
+    value = st.one_of(
+        st.floats(min_value=-8.0, max_value=8.0,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from([0.0, -0.0, 1.0, -1.0]),
+    )
+    return st.fixed_dictionaries({str(s): value for s in LEAVES})
+
+
+def array_envs(n: int = 7, special: bool = False) -> st.SearchStrategy[dict]:
+    element = st.floats(
+        min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False
+    )
+    if special:
+        element = st.one_of(
+            element,
+            st.sampled_from([float("nan"), float("inf"), float("-inf"),
+                             0.0, -0.0]),
+        )
+    array = st.lists(element, min_size=n, max_size=n).map(
+        lambda vs: np.asarray(vs, dtype=np.float64)
+    )
+    return st.fixed_dictionaries({str(s): array for s in LEAVES})
+
+
+def _outcome(fn):
+    """Run ``fn``; normalise to (bit-pattern, None) or (None, error type)."""
+    with warnings.catch_warnings(), np.errstate(all="ignore"):
+        warnings.simplefilter("ignore")
+        try:
+            value = fn()
+        except Exception as exc:  # noqa: BLE001 - compared by type below
+            return None, type(exc)
+    arr = np.asarray(value)
+    return (arr.shape, arr.dtype.str, arr.tobytes()), None
+
+
+def assert_fused_matches(expr: Expr, env: dict) -> None:
+    program = compile_expr(expr, leaf_key=str)
+    vm = VectorVM(program)
+    slots = tuple(env[key] for key in program.slots)
+
+    expected, expected_err = _outcome(lambda: evaluate(expr, env))
+    for engine in (vm.run, vm.run_interpreted):
+        got, got_err = _outcome(lambda: engine(*slots))
+        assert got_err is expected_err, (
+            f"{engine.__name__}: raised {got_err} vs evaluate's "
+            f"{expected_err} for {expr}"
+        )
+        assert got == expected, (
+            f"{engine.__name__}: bit mismatch for {expr}"
+        )
+
+    # repeat runs reuse VM scratch; the result must not drift
+    if expected_err is None:
+        again, again_err = _outcome(lambda: vm.run(*slots))
+        assert again_err is None and again == expected, (
+            f"scratch reuse changed the result for {expr}"
+        )
+
+
+@seed(20260808)
+@given(expr=trees(), env=scalar_envs())
+@settings(max_examples=150, deadline=None)
+def test_fused_matches_evaluate_scalar(expr, env):
+    assert_fused_matches(expr, env)
+
+
+@seed(20260808)
+@given(expr=trees(), env=array_envs())
+@settings(max_examples=150, deadline=None)
+def test_fused_matches_evaluate_array(expr, env):
+    assert_fused_matches(expr, env)
+
+
+@seed(20260808)
+@given(expr=trees(), env=array_envs(special=True))
+@settings(max_examples=150, deadline=None)
+def test_fused_propagates_nan_inf(expr, env):
+    """NaN payloads, signed zeros and infinities must propagate identically."""
+    assert_fused_matches(expr, env)
+
+
+@seed(20260808)
+@given(expr=trees(), scalar=scalar_envs(), arrays=array_envs())
+@settings(max_examples=75, deadline=None)
+def test_fused_mixed_scalar_array_env(expr, scalar, arrays):
+    """Half the leaves scalar, half arrays: broadcasting must match too."""
+    env = dict(arrays)
+    for i, s in enumerate(LEAVES):
+        if i % 2 == 0:
+            env[str(s)] = scalar[str(s)]
+    assert_fused_matches(expr, env)
+
+
+@seed(20260808)
+@given(expr=trees(), env=array_envs())
+@settings(max_examples=20, deadline=None)
+def test_fused_large_arrays_inplace_path(expr, env):
+    """Arrays >= the in-place threshold: the compiled ``out=`` scratch path
+    engages (it is size-gated) and must still be bit-identical, including
+    across repeated runs that overwrite adopted scratch.  Small generated
+    arrays are tiled up past the threshold to keep strategy inputs small."""
+    from repro.codegen.vectorvm import _MIN_INPLACE
+
+    reps = _MIN_INPLACE // 7 + 1
+    env = {key: np.tile(value, reps) for key, value in env.items()}
+    assert_fused_matches(expr, env)
+
+
+@seed(20260808)
+@given(env=array_envs())
+@settings(max_examples=30, deadline=None)
+def test_conditional_array_condition_uses_where(env):
+    a, b = Sym("a"), Sym("b")
+    expr = Conditional(Cmp(">", a, b), Mul(a, Num(2)), Mul(b, Num(-1)))
+    assert_fused_matches(expr, env)
+
+
+@seed(20260808)
+@given(env=scalar_envs())
+@settings(max_examples=30, deadline=None)
+def test_conditional_scalar_condition_branches(env):
+    a, b = Sym("a"), Sym("b")
+    expr = Conditional(Cmp("<=", a, b), Add(a, b), Add(a, Mul(b, Num(-1))))
+    assert_fused_matches(expr, env)

@@ -1,0 +1,166 @@
+"""The unified function registry (`repro.symbolic.functions`).
+
+One table backs every consumer of named functions: ``evaluate()``, the
+code generators' emitted source, and the fused vector VM.  These tests
+pin the registry's contract — registration, builtin restore, live views —
+and the regression the unification exists for: a function registered once
+(e.g. via the ``finch.register_function`` DSL API) is immediately usable
+by *all three* execution paths, and a custom symbolic operator built on
+registry functions (the ``examples/custom_operator.py`` flow) solves
+bit-identically with fusion on and off.
+"""
+
+import numpy as np
+import pytest
+
+import repro.dsl as finch
+from repro.codegen.vectorvm import VectorVM
+from repro.ir.fuse import UnfusableError, compile_expr
+from repro.mesh import structured_grid
+from repro.symbolic.evaluate import evaluate
+from repro.symbolic.expr import Add, Call, Mul, Num, SideValue, Sym
+from repro.symbolic.functions import (
+    FUNCTION_CALLABLES,
+    FUNCTION_CODES,
+    function_callables,
+    get_function,
+    register_function,
+    unregister_function,
+)
+from repro.symbolic.operators import dot_with_normal
+from repro.util.errors import DSLError
+
+
+@pytest.fixture
+def registered():
+    """Register a test function; always clean up the process-wide table."""
+    names = []
+
+    def add(name, fn, code=None):
+        register_function(name, fn, code)
+        names.append(name)
+        return name
+
+    yield add
+    for name in names:
+        unregister_function(name)
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        for name in ("abs", "min", "max", "sqrt", "exp", "log", "sin",
+                     "cos", "tanh"):
+            entry = get_function(name)
+            assert entry is not None and entry.code is not None
+
+    def test_register_and_unregister(self, registered):
+        registered("tripled", lambda x: 3 * x)
+        assert get_function("tripled").fn(2.0) == 6.0
+        unregister_function("tripled")
+        assert get_function("tripled") is None
+
+    def test_unregister_restores_builtin(self):
+        register_function("abs", lambda x: 0.0)
+        try:
+            assert FUNCTION_CALLABLES["abs"](-5.0) == 0.0
+        finally:
+            unregister_function("abs")
+        assert FUNCTION_CALLABLES["abs"] is np.abs
+
+    def test_validation(self):
+        with pytest.raises(DSLError):
+            register_function("", lambda x: x)
+        with pytest.raises(DSLError):
+            register_function("notcallable", 42)
+
+    def test_live_views_see_late_registrations(self, registered):
+        assert "halved" not in FUNCTION_CALLABLES
+        registered("halved", lambda x: x / 2, code="np.halved")
+        assert FUNCTION_CALLABLES["halved"](8.0) == 4.0
+        assert FUNCTION_CODES["halved"] == "np.halved"
+
+    def test_codeless_functions_hidden_from_code_view(self, registered):
+        registered("vmonly", lambda x: x + 1)
+        assert "vmonly" in FUNCTION_CALLABLES
+        assert "vmonly" not in FUNCTION_CODES
+
+    def test_function_callables_snapshot_with_overrides(self, registered):
+        registered("f1", lambda x: 1.0)
+        table = function_callables({"f1": lambda x: 2.0})
+        assert table["f1"](0.0) == 2.0  # override wins
+        assert FUNCTION_CALLABLES["f1"](0.0) == 1.0  # registry untouched
+
+
+class TestAllConsumersShareTheTable:
+    def test_dsl_registration_reaches_evaluate_and_vm(self):
+        finch.register_function("softsign", lambda x: x / (1.0 + np.abs(x)))
+        try:
+            expr = Call("softsign", Mul(Sym("a"), Num(2)))
+            env = {"a": np.array([-4.0, 0.0, 1.5])}
+            expected = evaluate(expr, env)
+            program = compile_expr(expr, leaf_key=str)
+            vm = VectorVM(program)
+            got = vm.run(*(env[k] for k in program.slots))
+            np.testing.assert_array_equal(got, expected)
+            np.testing.assert_array_equal(vm.run_interpreted(env["a"]),
+                                          expected)
+        finally:
+            unregister_function("softsign")
+
+    def test_unregistered_name_fails_everywhere(self):
+        expr = Call("ghost_fn", Sym("a"))
+        with pytest.raises(DSLError):
+            evaluate(expr, {"a": 1.0})
+        with pytest.raises(UnfusableError):
+            compile_expr(expr, leaf_key=str)
+
+
+def rusanov(velocity, quantity):
+    """The example's custom flux: central average + |v.n|/2 dissipation.
+
+    Builds on the registry's ``abs`` — the regression being tested is that
+    a custom operator's function calls flow through the unified table into
+    emitted source *and* fused programs, with identical numerics.
+    """
+    vn = dot_with_normal(velocity)
+    central = Mul(vn, Mul(Num(0.5),
+                          Add(SideValue(quantity, 1), SideValue(quantity, 2))))
+    dissipation = Mul(
+        Num(-0.5),
+        Call("abs", vn),
+        Add(SideValue(quantity, 2), Mul(Num(-1), SideValue(quantity, 1))),
+    )
+    return Add(central, dissipation)
+
+
+class TestCustomOperatorExampleFlow:
+    """examples/custom_operator.py in miniature, plus the fusion claim."""
+
+    @staticmethod
+    def solve(fusion):
+        finch.init_problem(f"rusanov-registry-{fusion}")
+        finch.domain(2)
+        finch.time_stepper(finch.EULER_EXPLICIT)
+        n = 8
+        finch.set_steps(0.25 / n, 10)
+        finch.mesh(structured_grid((n, n), [(-1.0, 1.0), (-1.0, 1.0)]))
+        u = finch.variable("u")
+        finch.coefficient("bx", lambda c: -c[:, 1])
+        finch.coefficient("by", lambda c: c[:, 0])
+        for region in (1, 2, 3, 4):
+            finch.boundary(u, region, finch.NEUMANN0)
+        finch.initial(
+            u, lambda c: np.exp(-8 * ((c[:, 0] - 0.4) ** 2 + c[:, 1] ** 2)))
+        finch.custom_operator("rusanov", rusanov, arity=2)
+        finch.conservation_form(u, "-surface(rusanov([bx;by], u))")
+        finch.current_problem().extra["fusion"] = fusion
+        solver = finch.solve(u)
+        finch.finalize()
+        return solver
+
+    def test_custom_operator_fuses_bit_identically(self):
+        unfused = self.solve("off")
+        fused = self.solve("on")
+        info = fused.fusion_info
+        assert info["mode"] == "on" and info["programs"]
+        assert np.array_equal(fused.solution(), unfused.solution())
