@@ -325,6 +325,11 @@ def cmd_bte(args: argparse.Namespace) -> int:
     if args.checkpoint_every:
         problem.extra["checkpoint_every"] = args.checkpoint_every
         problem.extra["checkpoint_dir"] = args.checkpoint_dir
+    if args.rebalance:
+        problem.extra["rebalance"] = True
+        problem.extra["imbalance_threshold"] = args.imbalance_threshold
+    if args.heartbeat_s:
+        problem.extra["heartbeat_s"] = args.heartbeat_s
     if args.restore:
         problem.extra["restore_from"] = args.restore
     if args.fusion:
@@ -377,6 +382,11 @@ def cmd_bte(args: argparse.Namespace) -> int:
     rlog = get_resilience_log()
     if rlog.has_events():
         _say(f"resilience: {rlog.summary()}")
+    from repro.runtime.rebalance import get_rebalance_log
+
+    rblog = get_rebalance_log()
+    if rblog.has_events():
+        _say(f"rebalance: {rblog.summary()}")
     if args.sanitize:
         _say(f"sanitizer: {get_sanitizer().summary()}")
 
@@ -893,13 +903,27 @@ def main(argv: list[str] | None = None) -> int:
     p_bte.add_argument("--faults", default=None, metavar="SPEC",
                        help="inject faults, e.g. 'stall:rank=2,at=7;"
                             "oom:device=gpu0' (kinds: drop delay dup stall "
-                            "oom kernel; see docs/architecture.md)")
+                            "rank_kill rank_slow oom kernel; see "
+                            "docs/architecture.md)")
     p_bte.add_argument("--fault-seed", type=int, default=0, metavar="N",
                        help="seed for probabilistic fault rules (default 0)")
     p_bte.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                        help="write a repro.checkpoint/1 snapshot every N steps")
     p_bte.add_argument("--checkpoint-dir", default="checkpoints", metavar="DIR",
                        help="directory for --checkpoint-every snapshots")
+    p_bte.add_argument("--rebalance", action="store_true",
+                       help="elastic runtime: recover killed ranks from "
+                            "checkpoints and migrate work off slow ranks "
+                            "(distributed targets; results stay "
+                            "bit-identical)")
+    p_bte.add_argument("--heartbeat-s", type=float, default=None, metavar="S",
+                       help="declare a rank dead after S seconds without a "
+                            "liveness beat (default: off)")
+    p_bte.add_argument("--imbalance-threshold", type=float, default=1.5,
+                       metavar="R",
+                       help="max/mean per-rank step-time ratio that "
+                            "triggers a proactive migration under "
+                            "--rebalance (default 1.5)")
     p_bte.add_argument("--restore", default=None, metavar="FILE",
                        help="restore solver state from a checkpoint before "
                             "stepping")

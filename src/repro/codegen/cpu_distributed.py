@@ -45,7 +45,11 @@ from repro.codegen.target_base import (
 from repro.ir.build import build_ir
 from repro.ir.lowering import lower_conservation_form
 from repro.ir.nodes import print_ir
-from repro.mesh.partition import build_partition_layout, partition_cells
+from repro.mesh.partition import (
+    build_partition_layout,
+    partition_cells,
+    weighted_counts,
+)
 from repro.obs import phase_span
 from repro.perfmodel.costs import CostModel
 from repro.perfmodel.machines import CASCADE_LAKE_FINCH
@@ -78,16 +82,17 @@ def rank_program(comm):
             rhs = compute_rhs(state, state.u, state.time)
             state.u[:, owned] = kernels.euler_update(
                 state.u[:, owned], state.dt, rhs[:, owned], 0.0)
-        comm.compute(COST_SOLVE, phase='solve for intensity')
+        comm.compute(COST_SOLVE[comm.rank], phase='solve for intensity')
         for cb in POST_STEP_CALLBACKS:
             with state.profile_scope('post_step'), trace_phase('post_step'):
                 cb.fn(state)
-        comm.compute(COST_TEMP, phase='temperature update')
+        comm.compute(COST_TEMP[comm.rank], phase='temperature update')
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
         state.sanitize_step()
         state.maybe_checkpoint()
+        state.maybe_rebalance()
     T = state.extra.get('T')
     return {
         'u_owned': state.u[:, owned].copy(),
@@ -114,16 +119,17 @@ def rank_program(comm):
             rhs = compute_rhs(state, state.u, state.time)
             state.u[owned] = kernels.euler_update(
                 state.u[owned], state.dt, rhs[owned], 0.0)
-        comm.compute(COST_SOLVE, phase='solve for intensity')
+        comm.compute(COST_SOLVE[comm.rank], phase='solve for intensity')
         for cb in POST_STEP_CALLBACKS:
             with state.profile_scope('post_step'), trace_phase('post_step'):
                 cb.fn(state)
-        comm.compute(COST_TEMP, phase='temperature update')
+        comm.compute(COST_TEMP[comm.rank], phase='temperature update')
         state.time += state.dt
         state.step_index += 1
         state.observe_step()
         state.sanitize_step()
         state.maybe_checkpoint()
+        state.maybe_rebalance()
     T = state.extra.get('T')
     return {
         'u_owned': state.u[owned].copy(),
@@ -140,11 +146,20 @@ def step_once(state):
 
 
 def run_steps(state, nsteps):
-    """Launch one rank program per partition and merge the results."""
+    """Launch one rank program per partition and merge the results.
+
+    With the elastic runtime bound (``--rebalance``), the runner wraps
+    ``run_spmd`` in its recover/rebalance retry loop; the merge then reads
+    the *final* partition through the shared layout boxes.
+    """
     RUN_NSTEPS[0] = nsteps
     state.log_run_event('run.start', target='cpu_distributed',
                         nsteps=nsteps, nranks=NPARTS)
-    result = run_spmd(NPARTS, rank_program, NETWORK)
+    if ELASTIC is None:
+        result = run_spmd(NPARTS, rank_program, NETWORK,
+                          heartbeat_s=HEARTBEAT_S)
+    else:
+        result = ELASTIC.run(rank_program, nsteps, RUN_NSTEPS)
     merge_results(state, result, nsteps)
     state.spmd_result = result
     state.check_health()
@@ -212,19 +227,19 @@ class CPUDistributedTarget(CodegenTarget):
             )
             static["SEND_CELLS"] = layout.send_cells
             static["RECV_CELLS"] = layout.recv_cells
-            n_own_max = max(len(o) for o in layout.owned)
-            static["COST_SOLVE"] = cost.intensity_step(n_own_max, ncomp)
-            static["COST_TEMP"] = cost.temperature_step(n_own_max, nbands)
+            # per-rank cost vectors: each rank's clock advances by *its own*
+            # owned work, so partition skew is visible to the imbalance
+            # watcher (and correctable by a weighted repartition)
+            solve_costs, temp_costs = _cell_costs(cost, layout, ncomp, nbands)
+            static["COST_SOLVE"] = solve_costs
+            static["COST_TEMP"] = temp_costs
         else:
             owned_comp_sets = _split_components(problem, nparts)
-            ndirs = max(1, ncomp // max(nbands, 1))
-            n_comp_max = max(len(o) for o in owned_comp_sets)
-            static["COST_SOLVE"] = cost.intensity_step(problem.mesh.ncells, n_comp_max)
-            # Newton runs redundantly on every rank; the Io/tau refresh only
-            # covers the rank's own bands (the paper's Fig. 5 asymmetry)
-            static["COST_TEMP"] = cost.newton_step(problem.mesh.ncells) + cost.iobeta_step(
-                problem.mesh.ncells, max(1, n_comp_max // ndirs)
+            solve_costs, temp_costs = _band_costs(
+                cost, problem.mesh.ncells, owned_comp_sets, ncomp, nbands
             )
+            static["COST_SOLVE"] = solve_costs
+            static["COST_TEMP"] = temp_costs
 
         return self.make_artifact(
             problem, source,
@@ -258,24 +273,36 @@ class CPUDistributedTarget(CodegenTarget):
             if coef.is_function:
                 env[f"coef_fn_{name}"] = coef.value
 
-        owned_comp_sets: list[np.ndarray] | None = None
-        if cfg.partition_strategy == "cells":
+        # the current partition lives in a shared box so the elastic
+        # runtime can swap it mid-run; make_rank_state and the merger read
+        # the box instead of closing over a fixed layout
+        strategy = cfg.partition_strategy
+        if strategy == "cells":
+            layout_box = [layout]
+        else:
+            layout_box = [_split_components(problem, cfg.nparts)]
+
+        controller = _make_controller(problem, layout_box, network)
+
+        if strategy == "cells":
             def make_rank_state(rank: int) -> SolverState:
                 st = SolverState(problem)
-                st.owned_cells = layout.owned[rank]
+                st.owned_cells = layout_box[0].owned[rank]
+                if controller is not None:
+                    controller.prepare_rank_state(st)
                 return st
         else:
-            owned_comp_sets = _split_components(problem, cfg.nparts)
-
             def make_rank_state(rank: int) -> SolverState:
                 st = SolverState(problem)
-                st.owned_comps = owned_comp_sets[rank]
+                st.owned_comps = layout_box[0][rank]
+                if controller is not None:
+                    controller.prepare_rank_state(st)
                 return st
 
         env["make_rank_state"] = make_rank_state
-        env["merge_results"] = _make_merger(
-            problem, cfg.partition_strategy, layout, owned_comp_sets
-        )
+        env["merge_results"] = _make_merger(problem, strategy, layout_box)
+        env["ELASTIC"] = controller
+        env["HEARTBEAT_S"] = problem.extra.get("heartbeat_s")
 
         solver = GeneratedSolver(
             self.name, artifact.source, env, master,
@@ -284,6 +311,10 @@ class CPUDistributedTarget(CodegenTarget):
         if artifact.code is None:
             artifact.code = solver.code
         attach_artifact_attrs(solver, artifact)
+        if controller is not None:
+            # recompile() built a fresh namespace dict; partition swaps
+            # must rewrite *that* dict, so hand it over post-construction
+            controller.attach(solver.namespace)
         return solver
 
 
@@ -299,9 +330,15 @@ def _band_count(problem: "Problem") -> int:
     return 1
 
 
-def _split_components(problem: "Problem", nparts: int) -> list[np.ndarray]:
+def _split_components(
+    problem: "Problem", nparts: int, weights=None
+) -> list[np.ndarray]:
     """Owned component sets for band partitioning: contiguous blocks of the
-    partition index's values, all other indices complete."""
+    partition index's values, all other indices complete.
+
+    ``weights`` skews block sizes (elastic rebalancing); the default split
+    is bit-identical to the historical ``np.array_split`` blocks.
+    """
     unknown = problem.unknown
     space = unknown.space
     ix = problem.config.partition_index
@@ -314,16 +351,48 @@ def _split_components(problem: "Problem", nparts: int) -> list[np.ndarray]:
             "(the paper's band-strategy limit)"
         )
     values = space.axis_values(ix)
-    blocks = np.array_split(np.arange(size), nparts)
+    counts = weighted_counts(size, nparts, weights)
+    bounds = np.cumsum([0] + counts)
+    blocks = [np.arange(bounds[i], bounds[i + 1]) for i in range(nparts)]
     return [np.flatnonzero(np.isin(values, blk)) for blk in blocks]
 
 
-def _make_merger(problem: "Problem", strategy: str, layout, owned_comp_sets):
-    """Build the function that folds rank results into the master state."""
+def _cell_costs(cost: CostModel, layout, ncomp: int, nbands: int):
+    """Per-rank (solve, temperature) virtual costs for a cell partition."""
+    solve = [cost.intensity_step(len(o), ncomp) for o in layout.owned]
+    temp = [cost.temperature_step(len(o), nbands) for o in layout.owned]
+    return solve, temp
+
+
+def _band_costs(cost: CostModel, ncells: int, owned_comp_sets, ncomp: int,
+                nbands: int):
+    """Per-rank (solve, temperature) virtual costs for a band partition.
+
+    Newton runs redundantly on every rank; the Io/tau refresh only covers
+    the rank's own bands (the paper's Fig. 5 asymmetry).
+    """
+    ndirs = max(1, ncomp // max(nbands, 1))
+    solve = [cost.intensity_step(ncells, len(o)) for o in owned_comp_sets]
+    temp = [
+        cost.newton_step(ncells)
+        + cost.iobeta_step(ncells, max(1, len(o) // ndirs))
+        for o in owned_comp_sets
+    ]
+    return solve, temp
+
+
+def _make_merger(problem: "Problem", strategy: str, layout_box: list):
+    """Build the function that folds rank results into the master state.
+
+    The partition is read through ``layout_box`` at merge time: an elastic
+    run may have migrated to a different layout (or rank count) than the
+    one the solver was bound with.
+    """
 
     def merge(state: SolverState, result, nsteps: int) -> None:
         ranks = result.results
         if strategy == "cells":
+            layout = layout_box[0]
             T = None
             for rank, out in enumerate(ranks):
                 owned = layout.owned[rank]
@@ -335,6 +404,7 @@ def _make_merger(problem: "Problem", strategy: str, layout, owned_comp_sets):
             if T is not None:
                 state.extra["T"] = T
         else:
+            owned_comp_sets = layout_box[0]
             for rank, out in enumerate(ranks):
                 state.u[owned_comp_sets[rank]] = out["u_owned"]
             if ranks and ranks[0]["T"] is not None:
@@ -343,6 +413,73 @@ def _make_merger(problem: "Problem", strategy: str, layout, owned_comp_sets):
         state.step_index += nsteps
 
     return merge
+
+
+def _make_controller(problem: "Problem", layout_box: list, network):
+    """Build the :class:`~repro.runtime.rebalance.ElasticRunner` when the
+    problem opted into the elastic runtime (``rebalance`` extra), else
+    ``None`` (zero overhead: the driver then calls ``run_spmd`` directly).
+    """
+    extra = problem.extra
+    if not extra.get("rebalance"):
+        return None
+    from repro.runtime.rebalance import ElasticRunner, RebalancePolicy
+
+    cfg = problem.config
+    cost = CostModel(extra.get("machine_rates", CASCADE_LAKE_FINCH))
+    ncomp = problem.unknown.space.ncomp
+    nbands = _band_count(problem)
+
+    if cfg.partition_strategy == "cells":
+        axis = "cells"
+
+        def repartition(nranks: int, weights):
+            parts = partition_cells(
+                problem.mesh, nranks, method="graph", weights=weights)
+            return build_partition_layout(
+                problem.mesh, parts, halo_layers=max(1, cfg.flux_order))
+
+        def install(layout, namespace):
+            layout_box[0] = layout
+            solve, temp = _cell_costs(cost, layout, ncomp, nbands)
+            namespace["SEND_CELLS"] = layout.send_cells
+            namespace["RECV_CELLS"] = layout.recv_cells
+            namespace["COST_SOLVE"] = solve
+            namespace["COST_TEMP"] = temp
+            namespace["NPARTS"] = layout.nparts
+
+        def owned_of(layout):
+            return layout.owned
+    else:
+        axis = "comps"
+
+        def repartition(nranks: int, weights):
+            return _split_components(problem, nranks, weights)
+
+        def install(owned_sets, namespace):
+            layout_box[0] = owned_sets
+            solve, temp = _band_costs(
+                cost, problem.mesh.ncells, owned_sets, ncomp, nbands)
+            namespace["COST_SOLVE"] = solve
+            namespace["COST_TEMP"] = temp
+            namespace["NPARTS"] = len(owned_sets)
+
+        def owned_of(owned_sets):
+            return owned_sets
+
+    policy = RebalancePolicy(
+        heartbeat_s=extra.get("heartbeat_s"),
+        imbalance_threshold=float(extra.get("imbalance_threshold", 1.5)),
+        check_every=int(extra.get("rebalance_check_every", 4)),
+        max_rebalances=int(extra.get("max_rebalances", 1)),
+    )
+    return ElasticRunner(
+        policy=policy, nranks=cfg.nparts, axis=axis,
+        repartition=repartition, install=install, owned_of=owned_of,
+        current=layout_box[0], network=network,
+        state_bytes=ncomp * problem.mesh.ncells * 8,
+        workdir=extra.get("checkpoint_dir"),
+    )
 
 
 __all__ = ["CPUDistributedTarget"]

@@ -185,6 +185,7 @@ def emit_step_and_run(problem: "Problem", scheme: str) -> list[str]:
         "    state.observe_step()",
         "    state.sanitize_step()",
         "    state.maybe_checkpoint()",
+        "    state.maybe_rebalance()",
         "state.check_health()",
         "state.log_run_event('run.end', target='cpu_serial')",
         "return state",

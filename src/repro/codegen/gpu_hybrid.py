@@ -325,6 +325,7 @@ def run_steps(state, nsteps):
         state.observe_step()
         state.sanitize_step()
         state.maybe_checkpoint()
+        state.maybe_rebalance()
     state.check_health()
     state.log_run_event('run.end', target='gpu_hybrid')
     return state

@@ -109,7 +109,7 @@ def rank_program(comm):
             mark = host.now()
         with state.profile_scope('boundary'), trace_phase('boundary'):
             du_bdry = compute_boundary_contribution(state, state.u, t)
-        host.advance(COST_BOUNDARY)
+        host.advance(COST_BOUNDARY[comm.rank])
         trace.complete(htrack, 'boundary_callbacks', mark, host.now(), cat='phase')
         if faulted is None:
             sync_time = dev.synchronize(host.now())
@@ -136,7 +136,7 @@ def rank_program(comm):
                                 *[state.fields[n.replace('var_', '')].data
                                   for n in KERNEL_VAR_NAMES],
                                 u_new, own)
-            host.advance(COST_INTERIOR_CPU)
+            host.advance(COST_INTERIOR_CPU[comm.rank])
             trace.complete(htrack, 'interior_update[degraded:cpu]', mark,
                            host.now(), cat='fault',
                            reason=type(faulted).__name__)
@@ -149,7 +149,7 @@ def rank_program(comm):
         for cb in POST_STEP_CALLBACKS:
             with state.profile_scope('post_step'), trace_phase('post_step'):
                 cb.fn(state)
-        comm.compute(COST_TEMP, phase='temperature update')
+        comm.compute(COST_TEMP[comm.rank], phase='temperature update')
         host.advance_to(comm.clock.now())
 
         state.time += state.dt
@@ -157,6 +157,7 @@ def rank_program(comm):
         state.observe_step()
         state.sanitize_step()
         state.maybe_checkpoint()
+        state.maybe_rebalance()
 
     T = state.extra.get('T')
     return {
@@ -178,7 +179,11 @@ def run_steps(state, nsteps):
     RUN_NSTEPS[0] = nsteps
     state.log_run_event('run.start', target='gpu_multi',
                         nsteps=nsteps, nranks=NPARTS)
-    result = run_spmd(NPARTS, rank_program, NETWORK)
+    if ELASTIC is None:
+        result = run_spmd(NPARTS, rank_program, NETWORK,
+                          heartbeat_s=HEARTBEAT_S)
+    else:
+        result = ELASTIC.run(rank_program, nsteps, RUN_NSTEPS)
     merge_results(state, result, nsteps)
     state.spmd_result = result
     state.device_profiles = [r['device_profile'] for r in result.results]
@@ -264,13 +269,14 @@ class GPUMultiTarget(CodegenTarget):
         static["NCELLS"] = ncells
         static["NPARTS"] = nparts
         static["KERNEL_VAR_NAMES"] = [f"var_{n}" for n in known_vars]
-        static["COST_BOUNDARY"] = cost.boundary_step(
-            geom.boundary_face_count(), n_comp_max
+        # per-rank cost vectors (each rank's clock advances by its own band
+        # block's work — the elastic runtime rewrites these on migration)
+        boundary_costs, temp_costs, interior_costs = _gpu_rank_costs(
+            cost, geom.boundary_face_count(), ncells, owned_sets, ndirs
         )
-        static["COST_TEMP"] = cost.newton_step(ncells) + cost.iobeta_step(
-            ncells, max(1, n_comp_max // ndirs)
-        )
-        static["COST_INTERIOR_CPU"] = cost.intensity_step(ncells, n_comp_max)
+        static["COST_BOUNDARY"] = boundary_costs
+        static["COST_TEMP"] = temp_costs
+        static["COST_INTERIOR_CPU"] = interior_costs
 
         return self.make_artifact(
             problem, source,
@@ -294,7 +300,9 @@ class GPUMultiTarget(CodegenTarget):
         geom = master.geom
         spec = cfg.gpu_spec or default_gpu_spec()
         network = problem.extra.get("network_model", IB_CLUSTER)
-        owned_sets = _split_components(problem, cfg.nparts)
+        # shared box: the elastic runtime swaps the owned sets mid-run;
+        # make_rank_state and the merger read the box, not a fixed list
+        owned_box = [_split_components(problem, cfg.nparts)]
         int_faces = np.flatnonzero(geom.interior_mask)
 
         env: dict = dict(artifact.static_env)
@@ -319,15 +327,20 @@ class GPUMultiTarget(CodegenTarget):
         # rank threads share this namespace: the VMs keep thread-local scratch
         install_vms(env, env.pop("FUSED_PROGRAMS", None))
 
+        controller = _make_gpu_controller(problem, owned_box, network, geom)
+
         def make_rank_state(rank: int) -> SolverState:
             st = SolverState(problem)
-            st.owned_comps = owned_sets[rank]
+            st.owned_comps = owned_box[0][rank]
+            if controller is not None:
+                controller.prepare_rank_state(st)
             return st
 
         def make_device(rank: int) -> Device:
             return Device(spec, name=f"gpu{rank}:{spec.name}")
 
         def merge_results(state: SolverState, result, nsteps: int) -> None:
+            owned_sets = owned_box[0]
             for rank, out in enumerate(result.results):
                 state.u[owned_sets[rank]] = out["u_owned"]
             if result.results and result.results[0]["T"] is not None:
@@ -338,6 +351,8 @@ class GPUMultiTarget(CodegenTarget):
         env["make_rank_state"] = make_rank_state
         env["make_device"] = make_device
         env["merge_results"] = merge_results
+        env["ELASTIC"] = controller
+        env["HEARTBEAT_S"] = problem.extra.get("heartbeat_s")
 
         solver = GeneratedSolver(
             self.name, artifact.source, env, master,
@@ -360,7 +375,66 @@ class GPUMultiTarget(CodegenTarget):
             "post_step_callbacks": "post_step",
         }
         attach_artifact_attrs(solver, artifact)
+        if controller is not None:
+            # the namespace is rebuilt by recompile(); partition swaps must
+            # rewrite the live dict, so hand it over post-construction
+            controller.attach(solver.namespace)
         return solver
+
+
+def _gpu_rank_costs(cost: CostModel, n_bfaces: int, ncells: int, owned_sets,
+                    ndirs: int):
+    """Per-rank (boundary, temperature, degraded-interior) virtual costs."""
+    boundary = [cost.boundary_step(n_bfaces, len(o)) for o in owned_sets]
+    temp = [
+        cost.newton_step(ncells)
+        + cost.iobeta_step(ncells, max(1, len(o) // ndirs))
+        for o in owned_sets
+    ]
+    interior = [cost.intensity_step(ncells, len(o)) for o in owned_sets]
+    return boundary, temp, interior
+
+
+def _make_gpu_controller(problem: "Problem", owned_box: list, network, geom):
+    """The multi-GPU target's :class:`ElasticRunner` (``rebalance`` extra)."""
+    extra = problem.extra
+    if not extra.get("rebalance"):
+        return None
+    from repro.runtime.rebalance import ElasticRunner, RebalancePolicy
+
+    cfg = problem.config
+    cost = CostModel(extra.get("machine_rates", CASCADE_LAKE_FINCH))
+    ncomp = problem.unknown.space.ncomp
+    ncells = problem.mesh.ncells
+    nbands = _band_count(problem)
+    ndirs = max(1, ncomp // max(nbands, 1))
+    n_bfaces = geom.boundary_face_count()
+
+    def repartition(nranks: int, weights):
+        return _split_components(problem, nranks, weights)
+
+    def install(owned_sets, namespace):
+        owned_box[0] = owned_sets
+        boundary, temp, interior = _gpu_rank_costs(
+            cost, n_bfaces, ncells, owned_sets, ndirs)
+        namespace["COST_BOUNDARY"] = boundary
+        namespace["COST_TEMP"] = temp
+        namespace["COST_INTERIOR_CPU"] = interior
+        namespace["NPARTS"] = len(owned_sets)
+
+    policy = RebalancePolicy(
+        heartbeat_s=extra.get("heartbeat_s"),
+        imbalance_threshold=float(extra.get("imbalance_threshold", 1.5)),
+        check_every=int(extra.get("rebalance_check_every", 4)),
+        max_rebalances=int(extra.get("max_rebalances", 1)),
+    )
+    return ElasticRunner(
+        policy=policy, nranks=cfg.nparts, axis="comps",
+        repartition=repartition, install=install,
+        owned_of=lambda owned_sets: owned_sets, current=owned_box[0],
+        network=network, state_bytes=ncomp * ncells * 8,
+        workdir=extra.get("checkpoint_dir"),
+    )
 
 
 __all__ = ["GPUMultiTarget"]

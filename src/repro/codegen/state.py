@@ -34,11 +34,12 @@ from repro.obs import (
 from repro.runtime.faults import get_injector
 from repro.runtime.resilience import (
     CHECKPOINT_SCHEMA,
+    atomic_save_npz,
     checkpoint_path,
     get_resilience_log,
 )
 from repro.symbolic.expr import Call, Indexed, Num, Sym
-from repro.util.errors import CodegenError, ConfigError
+from repro.util.errors import CheckpointCorruptError, CodegenError, ConfigError
 from repro.util.misc import check_finite
 from repro.util.timing import TimerRegistry
 
@@ -94,6 +95,9 @@ class SolverState:
         # (rebuilt per run) inherit them without target-specific plumbing
         self.checkpoint_every = int(self.extra.get("checkpoint_every", 0) or 0)
         self.checkpoint_dir = self.extra.get("checkpoint_dir")
+        # elastic runtime hook: the distributed targets attach a
+        # per-rank imbalance monitor here (see runtime.rebalance)
+        self.rebalance = None
         restore_from = self.extra.get("restore_from")
         if restore_from:
             self.restore_checkpoint(restore_from)
@@ -426,15 +430,23 @@ class SolverState:
             payload["__rng"] = np.array(injector.state_json())
         if self.comm is not None:
             payload["__clock"] = np.array(self.comm.clock.now())
-        np.savez(path, **payload)
+        # atomic: a concurrent reader (elastic migration composing a
+        # consistent cut) must never see a truncated archive
+        atomic_save_npz(path, **payload)
 
     def restore_checkpoint(self, path) -> None:
         """Load a snapshot written by :meth:`save_checkpoint`."""
+        import zipfile
+
         path = self._resolve_restore(path)
         try:
             handle = np.load(path)
         except FileNotFoundError:
             raise ConfigError(f"checkpoint {path} does not exist") from None
+        except (zipfile.BadZipFile, EOFError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} is corrupt or truncated: {exc}"
+            ) from exc
         except (OSError, ValueError) as exc:
             raise ConfigError(f"cannot read checkpoint {path}: {exc}") from exc
         with handle as data:
@@ -493,6 +505,18 @@ class SolverState:
         path = checkpoint_path(directory, self.step_index, rank=rank)
         self.save_checkpoint(path)
         get_resilience_log().record_checkpoint(path)
+
+    def maybe_rebalance(self) -> None:
+        """Elastic-runtime hook, called by every generated run loop next to
+        :meth:`maybe_checkpoint`.
+
+        No-op (one attribute check) unless a distributed target attached a
+        rebalance monitor; when live, the monitor watches measured per-rank
+        step times and cooperatively interrupts the run segment (on every
+        rank symmetrically) when migrating work would pay.
+        """
+        if self.rebalance is not None:
+            self.rebalance.observe(self)
 
     # ------------------------------------------------------------------- misc
     def breakdown(self) -> dict[str, float]:

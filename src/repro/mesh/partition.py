@@ -24,12 +24,58 @@ from repro.mesh.mesh import Mesh
 from repro.util.errors import MeshError
 
 
-def partition_rcb(centroids: np.ndarray, nparts: int) -> np.ndarray:
+def weighted_counts(
+    n: int, nparts: int, weights: list[float] | np.ndarray | None = None
+) -> list[int]:
+    """Split ``n`` items into ``nparts`` counts proportional to ``weights``.
+
+    With ``weights=None`` (or all equal) this reproduces the classic
+    balanced split exactly — ``n // nparts`` each, the first ``n % nparts``
+    parts one larger — which is also what ``np.array_split`` produces, so
+    weight-aware call sites stay bit-compatible with their unweighted
+    history.  Every count is at least 1 (a rank must own something);
+    remainders go to the largest fractional shares, ties broken by part
+    index, so the split is deterministic.
+    """
+    if nparts < 1:
+        raise MeshError(f"nparts must be >= 1, got {nparts}")
+    if nparts > n:
+        raise MeshError(f"cannot split {n} items into {nparts} parts")
+    if weights is None:
+        return [n // nparts + (1 if p < n % nparts else 0) for p in range(nparts)]
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (nparts,):
+        raise MeshError(
+            f"weights must have length {nparts}, got shape {w.shape}")
+    if not np.all(np.isfinite(w)) or np.any(w < 0) or w.sum() <= 0:
+        raise MeshError("weights must be finite, non-negative, not all zero")
+    ideal = n * w / w.sum()
+    counts = np.floor(ideal).astype(np.int64)
+    frac = ideal - counts
+    # largest fractional shares get the remainder (ties: lowest part index)
+    for p in sorted(range(nparts), key=lambda p: (-frac[p], p)):
+        if counts.sum() >= n:
+            break
+        counts[p] += 1
+    # every part owns at least one item: steal from the largest
+    for p in range(nparts):
+        while counts[p] < 1:
+            donor = int(np.argmax(counts))
+            counts[donor] -= 1
+            counts[p] += 1
+    return [int(c) for c in counts]
+
+
+def partition_rcb(
+    centroids: np.ndarray, nparts: int,
+    weights: list[float] | np.ndarray | None = None,
+) -> np.ndarray:
     """Recursive coordinate bisection.
 
     Splits the longest coordinate axis at the weighted median, recursing with
     part counts proportional to each half, so any ``nparts`` (not only powers
-    of two) gives balanced parts.
+    of two) gives balanced parts.  ``weights`` skews the per-part cell counts
+    (e.g. inverse measured step times, so a slow rank owns fewer cells).
     """
     centroids = np.asarray(centroids, dtype=np.float64)
     if centroids.ndim == 1:
@@ -40,6 +86,24 @@ def partition_rcb(centroids: np.ndarray, nparts: int) -> np.ndarray:
     if nparts > n:
         raise MeshError(f"cannot cut {n} cells into {nparts} parts")
     parts = np.zeros(n, dtype=np.int64)
+
+    if weights is not None:
+        counts = weighted_counts(n, nparts, weights)
+
+        def recurse_counts(idx: np.ndarray, lo: int, hi: int) -> None:
+            if hi - lo == 1:
+                parts[idx] = lo
+                return
+            mid = lo + (hi - lo) // 2
+            n_left = sum(counts[lo:mid])
+            pts = centroids[idx]
+            axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+            order = np.argsort(pts[:, axis], kind="stable")
+            recurse_counts(idx[order[:n_left]], lo, mid)
+            recurse_counts(idx[order[n_left:]], mid, hi)
+
+        recurse_counts(np.arange(n), 0, nparts)
+        return parts
 
     def recurse(idx: np.ndarray, k: int, first_part: int) -> None:
         if k == 1:
@@ -60,9 +124,15 @@ def partition_rcb(centroids: np.ndarray, nparts: int) -> np.ndarray:
 
 
 def partition_graph(
-    mesh: Mesh, nparts: int, refine_passes: int = 4, seed: int = 0
+    mesh: Mesh, nparts: int, refine_passes: int = 4, seed: int = 0,
+    weights: list[float] | np.ndarray | None = None,
 ) -> np.ndarray:
-    """Greedy growth + KL-style refinement on the cell-adjacency graph."""
+    """Greedy growth + KL-style refinement on the cell-adjacency graph.
+
+    ``weights`` skews the per-part target sizes (see
+    :func:`weighted_counts`); the refinement's balance guard then works
+    against the per-part targets rather than one uniform bound.
+    """
     n = mesh.ncells
     if nparts < 1:
         raise MeshError(f"nparts must be >= 1, got {nparts}")
@@ -73,7 +143,7 @@ def partition_graph(
 
     adj = mesh.cell_neighbors()
     parts = np.full(n, -1, dtype=np.int64)
-    target = [n // nparts + (1 if p < n % nparts else 0) for p in range(nparts)]
+    target = weighted_counts(n, nparts, weights)
     rng = np.random.default_rng(seed)
 
     # --- greedy BFS growth: seed each part at the unassigned cell farthest
@@ -121,7 +191,10 @@ def partition_graph(
     # --- KL-style boundary refinement: move boundary cells to the adjacent
     # part with the largest gain, respecting balance
     sizes = np.bincount(parts, minlength=nparts)
-    max_size = int(np.ceil(n / nparts * 1.05)) + 1
+    if weights is None:
+        max_size = np.full(nparts, int(np.ceil(n / nparts * 1.05)) + 1)
+    else:
+        max_size = np.array([int(np.ceil(t * 1.05)) + 1 for t in target])
     for _ in range(refine_passes):
         moved = 0
         for c in range(n):
@@ -140,7 +213,7 @@ def partition_graph(
             best_q, best_gain = -1, 0
             for q, cnt in counts.items():
                 gain = cnt - same
-                if gain > best_gain and sizes[q] < max_size:
+                if gain > best_gain and sizes[q] < max_size[q]:
                     best_q, best_gain = q, gain
             if best_q >= 0:
                 sizes[p] -= 1
@@ -152,12 +225,15 @@ def partition_graph(
     return parts
 
 
-def partition_cells(mesh: Mesh, nparts: int, method: str = "graph", **kwargs) -> np.ndarray:
+def partition_cells(
+    mesh: Mesh, nparts: int, method: str = "graph",
+    weights: list[float] | np.ndarray | None = None, **kwargs,
+) -> np.ndarray:
     """Partition cells into ``nparts``; ``method`` is ``'graph'`` or ``'rcb'``."""
     if method == "rcb":
-        return partition_rcb(mesh.cell_centroids, nparts)
+        return partition_rcb(mesh.cell_centroids, nparts, weights=weights)
     if method == "graph":
-        return partition_graph(mesh, nparts, **kwargs)
+        return partition_graph(mesh, nparts, weights=weights, **kwargs)
     raise MeshError(f"unknown partition method {method!r} (use 'graph' or 'rcb')")
 
 
@@ -291,6 +367,7 @@ def build_partition_layout(
 
 
 __all__ = [
+    "weighted_counts",
     "partition_rcb",
     "partition_graph",
     "partition_cells",

@@ -74,6 +74,7 @@ class RunReport:
     gpu: dict[str, Any] | None = None
     placement: dict[str, Any] | None = None
     resilience: dict[str, Any] | None = None
+    rebalance: dict[str, Any] | None = None
     diagnostics: dict[str, Any] | None = None
     health: dict[str, Any] | None = None
     events: dict[str, Any] | None = None
@@ -90,7 +91,8 @@ class RunReport:
             "timers": self.timers,
             "phases": self.phases,
         }
-        for key in ("comm", "gpu", "placement", "resilience", "diagnostics",
+        for key in ("comm", "gpu", "placement", "resilience", "rebalance",
+                    "diagnostics",
                     "health", "events", "trace", "tuning", "fusion",
                     "metrics", "profile"):
             value = getattr(self, key)
@@ -305,6 +307,10 @@ def build_run_report(solver, tracer=None, **extra_meta: Any) -> RunReport:
     from repro.runtime.resilience import resilience_section
 
     report.resilience = resilience_section()
+
+    from repro.runtime.rebalance import rebalance_section
+
+    report.rebalance = rebalance_section()
 
     from repro.verify.sanitizer import sanitizer_section
 

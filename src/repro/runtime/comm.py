@@ -31,7 +31,12 @@ from repro.runtime.resilience import (
     RetryPolicy,
     get_resilience_log,
 )
-from repro.util.errors import CommFaultError, ReproError
+from repro.util.errors import (
+    CommFaultError,
+    RankKilledError,
+    RankPeerFailedError,
+    ReproError,
+)
 from repro.util.timing import VirtualClock
 
 
@@ -64,6 +69,20 @@ class _Message:
     span: tuple[str, int, str, float] | None = None
 
 
+@dataclass
+class _Poison:
+    """Sentinel flooded through every channel when a rank dies.
+
+    Receivers raise :class:`RankPeerFailedError` the moment they dequeue
+    one, instead of blocking until the deadlock-guard timeout.  The
+    sentinel is re-enqueued on delivery so every later receive on the same
+    channel fails fast too.
+    """
+
+    rank: int  # the rank that failed
+    error: str  # its original error, pre-rendered
+
+
 def _payload_bytes(data: Any) -> int:
     if isinstance(data, np.ndarray):
         return data.nbytes
@@ -91,6 +110,12 @@ class World:
         self._coll_slots: list[Any] = [None] * nranks
         self._coll_result: Any = None
         self.timeout_s = 60.0  # deadlock guard for tests
+        # liveness monitor (set by run_spmd when heartbeat_s is given);
+        # Communicator.compute() beats it on every call
+        self.monitor = None
+        # poison pill: set once by the first failing rank, then flooded
+        # through every existing and future channel
+        self._poison: _Poison | None = None
         # resend buffer: messages the injector "lost" in flight, keyed by
         # channel.  The sender keeps every dropped message here so the
         # receiver's timeout can trigger an idempotent re-send.
@@ -104,7 +129,27 @@ class World:
             if ch is None:
                 ch = queue.Queue()
                 self._channels[key] = ch
+                if self._poison is not None:
+                    ch.put(self._poison)
             return ch
+
+    def poison(self, rank: int, exc: BaseException) -> None:
+        """Cancel peers after ``rank`` failed: flood channels, break barriers.
+
+        Idempotent — only the first failure becomes the pill; later ones
+        are collateral of the unwind and keep their own error objects.
+        """
+        with self._channel_lock:
+            if self._poison is not None:
+                return
+            self._poison = _Poison(rank, f"{type(exc).__name__}: {exc}")
+            channels = list(self._channels.values())
+        try:
+            self._barrier.abort()
+        except Exception:  # noqa: BLE001 - abort must never mask the root cause
+            pass
+        for ch in channels:
+            ch.put(self._poison)
 
     def stash_lost(self, src: int, dst: int, tag: int, msg: _Message) -> None:
         """Record a dropped message in the sender's resend buffer."""
@@ -205,8 +250,16 @@ class Communicator:
         """
         if seconds < 0:
             raise ReproError(f"negative compute charge {seconds}")
+        if self.world.monitor is not None:
+            self.world.monitor.beat(self.rank)
         injector = get_injector()
         if injector.enabled:
+            if injector.kill_rank(self.rank):
+                get_resilience_log().record_injected("rank_kill", rank=self.rank)
+                raise RankKilledError(
+                    f"rank {self.rank} killed by injected fault",
+                    rank=self.rank,
+                )
             stall = injector.stall_seconds(self.rank)
             if stall > 0.0:
                 before = self.clock.now()
@@ -217,6 +270,21 @@ class Communicator:
                     self.tracer.complete(self.track, "fault:stall", before,
                                          self.clock.now(), cat="fault",
                                          stall_s=stall)
+            factor = injector.slow_factor(self.rank)
+            if factor > 1.0:
+                # a degraded rank: its compute genuinely takes longer, so
+                # the extra lands in compute_s (not comm_s) — that is what
+                # the imbalance-triggered rebalancer measures
+                slow = seconds * (factor - 1.0)
+                before = self.clock.now()
+                self.clock.advance(slow)
+                self.stats.compute_s += slow
+                self.stats.charge_phase("fault_slow", slow)
+                get_resilience_log().record_injected("rank_slow", rank=self.rank)
+                if self.tracer.enabled:
+                    self.tracer.complete(self.track, "fault:slow", before,
+                                         self.clock.now(), cat="fault",
+                                         factor=factor)
         before = self.clock.now()
         self.clock.advance(seconds)
         self.stats.compute_s += seconds
@@ -329,6 +397,8 @@ class Communicator:
                 try:
                     msg = ch.get(timeout=timeout)
                 except queue.Empty:
+                    if self.world._poison is not None:
+                        self._raise_poisoned(self.world._poison)
                     waited_wall += timeout
                     if fast_path or waited_wall >= self.world.timeout_s \
                             or attempt >= policy.max_retries:
@@ -343,6 +413,9 @@ class Communicator:
                     attempt, penalty = self._retry(
                         source, tag, attempt, penalty, "timeout")
                     continue
+                if isinstance(msg, _Poison):
+                    ch.put(msg)  # keep the channel poisoned for later receives
+                    self._raise_poisoned(msg)
                 if msg.seq and msg.seq < expected:
                     # a duplicated copy re-announces an already-delivered
                     # seq — discard and keep waiting
@@ -366,6 +439,14 @@ class Communicator:
             if attempt > 0:
                 log.record_recovered(penalty, rank=self.rank)
             return msg, penalty
+
+    def _raise_poisoned(self, pill: _Poison) -> None:
+        """Unwind this rank after a peer failure (poison-pill delivery)."""
+        raise RankPeerFailedError(
+            f"rank {self.rank}: aborting, peer rank {pill.rank} failed "
+            f"({pill.error})",
+            rank=pill.rank,
+        )
 
     def _retry(self, source: int, tag: int, attempt: int, penalty: float,
                why: str) -> tuple[int, float]:

@@ -12,7 +12,8 @@ Fault-spec grammar (the CLI ``--faults`` argument)::
 
     spec   := rule (';' rule)*
     rule   := kind [':' key '=' value (',' key '=' value)*]
-    kind   := 'drop' | 'delay' | 'dup' | 'stall' | 'oom' | 'kernel'
+    kind   := 'drop' | 'delay' | 'dup' | 'stall' | 'rank_kill'
+            | 'rank_slow' | 'oom' | 'kernel'
 
     keys (all optional; unset keys match anything):
       rank=R      match events on rank R (sender rank for messages)
@@ -24,11 +25,14 @@ Fault-spec grammar (the CLI ``--faults`` argument)::
       count=C     fire at most C times (default 1; count=0 means unlimited)
       p=X         fire with probability X per matching event (seeded RNG)
       delay=S     extra virtual seconds ('delay' and 'stall' kinds)
+      factor=F    compute slowdown multiplier ('rank_slow' kind, default 4)
 
 Examples::
 
     drop:rank=0,dest=1,at=2            # drop the 2nd message 0 -> 1
     stall:rank=2,at=7,delay=5e-4       # stall rank 2's 7th compute call
+    rank_kill:rank=1,at=5              # rank 1 dies at its 5th compute call
+    rank_slow:rank=0,factor=3,count=0  # rank 0 computes 3x slower, forever
     oom:device=gpu1,op=h2d,at=3        # 3rd H2D on device gpu1 raises OOM
     delay:p=0.1,delay=1e-5;dup:p=0.05  # chaos mode, seeded
 
@@ -55,11 +59,11 @@ from repro.util.errors import FaultSpecError
 
 #: Kinds understood by the injector, grouped by the subsystem they hit.
 MESSAGE_KINDS = ("drop", "delay", "dup")
-RANK_KINDS = ("stall",)
+RANK_KINDS = ("stall", "rank_kill", "rank_slow")
 DEVICE_KINDS = ("oom", "kernel")
 ALL_KINDS = MESSAGE_KINDS + RANK_KINDS + DEVICE_KINDS
 
-_FLOAT_KEYS = {"p", "delay"}
+_FLOAT_KEYS = {"p", "delay", "factor"}
 _INT_KEYS = {"rank", "dest", "tag", "at", "count"}
 _STR_KEYS = {"device", "op"}
 
@@ -78,6 +82,7 @@ class FaultRule:
     count: int = 1  # max firings; 0 = unlimited
     p: float | None = None  # per-event probability (seeded)
     delay_s: float = 1e-4  # extra virtual seconds for delay/stall
+    factor: float = 4.0  # compute slowdown multiplier for rank_slow
     # runtime trigger state (owned by the injector, under its lock)
     occurrences: int = field(default=0, compare=False)
     fired: int = field(default=0, compare=False)
@@ -188,8 +193,29 @@ class FaultInjector:
 
     def stall_seconds(self, rank: int) -> float:
         """Extra virtual seconds this rank stalls at its next compute call."""
-        rule = self._query(RANK_KINDS, rank=rank)
+        rule = self._query(("stall",), rank=rank)
         return rule.delay_s if rule is not None else 0.0
+
+    def kill_rank(self, rank: int) -> bool:
+        """Should this rank die right now (``rank_kill``)?
+
+        Occurrences count the rank's ``compute`` calls, so ``at=N`` pins
+        the death to a specific point of the step loop.  The default
+        ``count=1`` means a restarted run segment does not re-fire the
+        rule — trigger state survives across segments, which is what lets
+        the elastic runner resume past the kill.
+        """
+        return self._query(("rank_kill",), rank=rank) is not None
+
+    def slow_factor(self, rank: int) -> float:
+        """Compute-time multiplier for this rank (``rank_slow``; 1.0 = none).
+
+        Use ``count=0`` for a persistently degraded rank (e.g. modelling a
+        post-``degrade_to_cpu`` skew) — the slowdown then survives elastic
+        restarts too, so a rebalance has something real to correct.
+        """
+        rule = self._query(("rank_slow",), rank=rank)
+        return rule.factor if rule is not None else 1.0
 
     def device_fault(self, device: str, op: str, rank: int | None = None
                      ) -> str | None:
@@ -237,6 +263,12 @@ class NullInjector:
 
     def stall_seconds(self, rank: int) -> float:
         return 0.0
+
+    def kill_rank(self, rank: int) -> bool:
+        return False
+
+    def slow_factor(self, rank: int) -> float:
+        return 1.0
 
     def device_fault(self, device: str, op: str, rank: int | None = None) -> None:
         return None

@@ -30,6 +30,7 @@ The recovery state machine for one point-to-point receive::
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -86,6 +87,7 @@ class ResilienceLog:
             self.checkpoint_paths: list[str] = []
             self.restores = 0
             self.degraded: list[dict[str, Any]] = []
+            self.migrations: list[dict[str, Any]] = []
 
     # --------------------------------------------------------------- events
     def record_injected(self, kind: str, **labels: Any) -> None:
@@ -160,6 +162,22 @@ class ResilienceLog:
                     from_device=from_device, to_device=to_device,
                     reason=reason, **labels)
 
+    def record_migration(self, kind: str, step: int, from_ranks: int,
+                         to_ranks: int, **labels: Any) -> None:
+        """State migrated to a new rank layout (rank loss or rebalance)."""
+        with self._lock:
+            self.migrations.append({
+                "kind": kind, "step": int(step),
+                "from_ranks": int(from_ranks), "to_ranks": int(to_ranks),
+                **labels,
+            })
+        self._metric_counter(
+            "resilience_migrations_total",
+            "checkpoint-based state migrations (rank loss / rebalance)",
+            kind=kind)
+        self._event("state.migrated", "warning", kind=kind, step=step,
+                    from_ranks=from_ranks, to_ranks=to_ranks, **labels)
+
     @staticmethod
     def _metric_counter(name: str, help: str, **labels: Any) -> None:
         from repro.obs.metrics import get_metrics
@@ -185,7 +203,7 @@ class ResilienceLog:
             return bool(
                 self.injected or self.retries or self.recovered
                 or self.duplicates_dropped or self.checkpoints_written
-                or self.restores or self.degraded
+                or self.restores or self.degraded or self.migrations
             )
 
     def as_dict(self) -> dict[str, Any]:
@@ -201,6 +219,7 @@ class ResilienceLog:
                 "checkpoints_written": self.checkpoints_written,
                 "restores": self.restores,
                 "degraded_placements": list(self.degraded),
+                "migrations": list(self.migrations),
             }
             if lat:
                 section["recovery_latency_s"] = {
@@ -230,6 +249,11 @@ class ResilienceLog:
             moved = ", ".join(
                 f"{e['task']}->{e['to']}" for e in d["degraded_placements"])
             parts.append(f"degraded placements: {len(d['degraded_placements'])} ({moved})")
+        if d["migrations"]:
+            kinds = ", ".join(
+                f"{e['kind']}@{e['step']}:{e['from_ranks']}->{e['to_ranks']}"
+                for e in d["migrations"])
+            parts.append(f"migrations: {len(d['migrations'])} ({kinds})")
         return "; ".join(parts)
 
 
@@ -258,11 +282,35 @@ def checkpoint_path(directory: str | Path, step: int, rank: int | None = None) -
     return Path(directory) / f"{name}.npz"
 
 
+def atomic_save_npz(path: str | Path, **payload: Any) -> None:
+    """Write an ``.npz`` atomically: tmp file in the same directory, then
+    ``os.replace``.
+
+    A reader (e.g. the elastic runner composing a consistent cut from the
+    checkpoints of every rank) can never observe a half-written archive: it
+    sees either the previous file or the complete new one.  ``np.savez`` is
+    handed an open file object so it cannot append its own ``.npz`` suffix
+    to the temporary name.
+    """
+    import numpy as np
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 __all__ = [
     "CHECKPOINT_SCHEMA",
     "DEFAULT_RETRY_POLICY",
     "ResilienceLog",
     "RetryPolicy",
+    "atomic_save_npz",
     "checkpoint_path",
     "get_resilience_log",
     "resilience_section",

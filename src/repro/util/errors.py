@@ -124,6 +124,51 @@ class CommFaultError(ReproError):
     default_code = "RPR312"
 
 
+class RankKilledError(ReproError):
+    """A rank process died mid-run (injected ``rank_kill`` fault)."""
+
+    default_code = "RPR313"
+
+    def __init__(self, *args, rank: int | None = None, code: str | None = None):
+        self.rank = rank
+        super().__init__(*args, code=code)
+
+
+class RankPeerFailedError(ReproError):
+    """A rank aborted because a peer rank failed (poison-pill cancel).
+
+    Raised on the *surviving* ranks when the executor floods the comm
+    channels after one rank dies — collateral, never the root cause."""
+
+    default_code = "RPR314"
+
+    def __init__(self, *args, rank: int | None = None, code: str | None = None):
+        self.rank = rank  # the rank that originally failed
+        super().__init__(*args, code=code)
+
+
+class HeartbeatError(ReproError):
+    """A rank missed its liveness deadline (stalled or silently dead)."""
+
+    default_code = "RPR315"
+
+    def __init__(self, *args, rank: int | None = None, code: str | None = None):
+        self.rank = rank
+        super().__init__(*args, code=code)
+
+
+class CheckpointCorruptError(ReproError):
+    """A checkpoint file is corrupt or truncated (failed mid-write)."""
+
+    default_code = "RPR316"
+
+
+class MigrationError(ReproError):
+    """Checkpoint-based state migration could not complete."""
+
+    default_code = "RPR317"
+
+
 # ---------------------------------------------------------------------------
 # typed replacements for historical bare ValueError/RuntimeError sites.
 # Each also subclasses ValueError so pre-existing `except ValueError`
@@ -181,6 +226,11 @@ __all__ = [
     "KernelFaultError",
     "DeviceResidencyError",
     "CommFaultError",
+    "RankKilledError",
+    "RankPeerFailedError",
+    "HeartbeatError",
+    "CheckpointCorruptError",
+    "MigrationError",
     "ExprError",
     "ClockError",
     "MetricsError",

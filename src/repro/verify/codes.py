@@ -91,6 +91,11 @@ _RAW: list[tuple[str, str, str, str]] = [
     ("RPR310", "runtime", "simulated device out of memory", "error"),
     ("RPR311", "runtime", "simulated kernel launch faulted", "error"),
     ("RPR312", "runtime", "message not recovered within the retry budget", "error"),
+    ("RPR313", "runtime", "rank killed mid-run (injected rank_kill fault)", "error"),
+    ("RPR314", "runtime", "rank aborted after a peer rank failed (poison pill)", "error"),
+    ("RPR315", "runtime", "rank heartbeat missed its liveness deadline", "error"),
+    ("RPR316", "runtime", "checkpoint file corrupt or truncated", "error"),
+    ("RPR317", "runtime", "checkpoint-based state migration failed", "error"),
     # ---- 4xx: observability / perfmodel usage ----------------------------
     ("RPR401", "obs", "virtual clock moved backwards", "error"),
     ("RPR402", "obs", "metrics instrument misused (e.g. counter decreased)", "error"),

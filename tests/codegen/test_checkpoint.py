@@ -69,3 +69,55 @@ class TestCheckpointRestart:
         solver = p.generate()
         with pytest.raises(ConfigError, match="lacks field"):
             solver.state.restore_checkpoint(ckpt)
+
+
+class TestCheckpointRobustness:
+    """Atomic writes + typed corruption errors (the elastic runtime trusts
+    every on-disk checkpoint it finds when composing a consistent cut)."""
+
+    def test_truncated_file_raises_typed_error(self, tiny_scenario, tmp_path):
+        from repro.util.errors import CheckpointCorruptError
+
+        ckpt = tmp_path / "trunc.npz"
+        p, _ = build_bte_problem(tiny_scenario)
+        solver = p.generate()
+        solver.run(2)
+        solver.state.save_checkpoint(ckpt)
+
+        blob = ckpt.read_bytes()
+        ckpt.write_bytes(blob[: len(blob) // 2])  # torn write / partial copy
+
+        p2, _ = build_bte_problem(tiny_scenario)
+        with pytest.raises(CheckpointCorruptError) as ei:
+            p2.generate().state.restore_checkpoint(ckpt)
+        assert ei.value.code == "RPR316"
+        assert "corrupt or truncated" in str(ei.value)
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tiny_scenario, tmp_path):
+        ckpt = tmp_path / "atomic.npz"
+        p, _ = build_bte_problem(tiny_scenario)
+        p.generate().state.save_checkpoint(ckpt)
+        assert ckpt.exists()
+        leftovers = [f for f in tmp_path.iterdir() if f.name != ckpt.name]
+        assert leftovers == []
+
+    def test_failed_write_preserves_previous_checkpoint(
+            self, tiny_scenario, tmp_path, monkeypatch):
+        """A crash mid-save must not clobber the last good checkpoint."""
+        ckpt = tmp_path / "keep.npz"
+        p, _ = build_bte_problem(tiny_scenario)
+        solver = p.generate()
+        solver.run(1)
+        solver.state.save_checkpoint(ckpt)
+        good = ckpt.read_bytes()
+
+        def torn_savez(fh, **payload):
+            fh.write(b"\x50\x4b\x03\x04half-a-zip")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", torn_savez)
+        solver.run(1)
+        with pytest.raises(OSError):
+            solver.state.save_checkpoint(ckpt)
+        assert ckpt.read_bytes() == good  # untouched
+        assert list(tmp_path.glob("*.tmp")) == []  # tmp cleaned up

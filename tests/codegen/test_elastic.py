@@ -1,0 +1,191 @@
+"""End-to-end elastic runtime: kill-recovery and proactive rebalancing.
+
+The acceptance bar is *differential*: a distributed run that loses a rank
+mid-flight (``rank_kill``) must recover from the periodic checkpoints onto
+the surviving ranks and still produce results **bit-identical** to the
+fault-free run — on the CPU-distributed target and on the multi-GPU
+target.  Likewise a run skewed by a degraded rank (``rank_slow``) must
+detect the imbalance, migrate work proactively, and converge to the same
+bits with a measurably lower imbalance ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bte.problem import build_bte_problem, hotspot_scenario
+from repro.runtime.faults import fault_run
+from repro.runtime.rebalance import get_rebalance_log
+from repro.runtime.resilience import get_resilience_log
+
+
+@pytest.fixture(autouse=True)
+def _fresh_rebalance_log():
+    """The log is a run-scoped singleton; isolate it per test."""
+    get_rebalance_log().reset()
+    yield
+
+
+def _scenario(nsteps):
+    return hotspot_scenario(nx=8, ny=8, ndirs=8, n_freq_bands=5,
+                            dt=1e-12, nsteps=nsteps)
+
+
+def _solve(scenario, *, axis=None, nparts=1, index=None, target=None,
+           extra=None, faults=None):
+    """Build + solve, returning (u, T, solver)."""
+    p, _ = build_bte_problem(scenario)
+    if extra:
+        p.extra.update(extra)
+    if axis is not None:
+        if index is None:
+            p.set_partitioning(axis, nparts)
+        else:
+            p.set_partitioning(axis, nparts, index=index)
+    with fault_run(faults):
+        solver = p.solve() if target is None else p.solve(target=target)
+    return solver.solution(), solver.state.extra["T"], solver
+
+
+class TestKillRecoveryCells:
+    """Lose rank 1 of 3 mid-run (cell partitioning) and keep the bits."""
+
+    def test_recovery_is_bit_identical(self):
+        sc = _scenario(8)
+        u_ref, t_ref, _ = _solve(sc, axis="cells", nparts=3)
+
+        extra = {"rebalance": True, "checkpoint_every": 2}
+        # the cells template computes twice per step: at=12 is step 6,
+        # after the step-4 checkpoints of every rank hit disk
+        u, t, _ = _solve(sc, axis="cells", nparts=3, extra=extra,
+                         faults="rank_kill:rank=1,at=12")
+
+        assert np.array_equal(u, u_ref)
+        assert np.array_equal(t, t_ref)
+
+    def test_migration_is_logged(self):
+        sc = _scenario(8)
+        extra = {"rebalance": True, "checkpoint_every": 2}
+        _solve(sc, axis="cells", nparts=3, extra=extra,
+               faults="rank_kill:rank=1,at=12")
+
+        log = get_rebalance_log().as_dict()
+        (mig,) = log["migrations"]
+        assert mig["kind"] == "rank_loss"
+        assert (mig["from_nranks"], mig["to_nranks"]) == (3, 2)
+        assert mig["victim"] == 1
+        assert mig["step"] == 4  # newest complete checkpoint cut
+        assert sum(mig["new_owned_sizes"]) == 8 * 8  # all cells re-owned
+        assert log["final_nranks"] == 2
+
+        res = get_resilience_log().as_dict()
+        assert any(m["kind"] == "rank_loss" for m in res["migrations"])
+
+    def test_recovery_without_checkpoints_restarts_from_zero(self):
+        """No periodic checkpoints: the consistent cut is step 0."""
+        sc = _scenario(6)
+        u_ref, t_ref, _ = _solve(sc, axis="cells", nparts=3)
+        u, t, _ = _solve(sc, axis="cells", nparts=3,
+                         extra={"rebalance": True},
+                         faults="rank_kill:rank=2,at=6")
+        assert np.array_equal(u, u_ref)
+        assert np.array_equal(t, t_ref)
+        (mig,) = get_rebalance_log().as_dict()["migrations"]
+        assert mig["step"] == 0
+
+
+class TestKillRecoveryGpuMulti:
+    """Same contract on the multi-GPU (band-partitioned) target."""
+
+    def test_recovery_is_bit_identical(self):
+        sc = _scenario(8)
+        p_ref, _ = build_bte_problem(sc)
+        p_ref.set_partitioning("bands", 3, index="b")
+        s_ref = p_ref.solve(target="gpu_distributed")
+
+        sc2 = _scenario(8)
+        p, _ = build_bte_problem(sc2)
+        p.set_partitioning("bands", 3, index="b")
+        p.extra.update({"rebalance": True, "checkpoint_every": 2})
+        with fault_run("rank_kill:rank=1,at=20"):
+            solver = p.solve(target="gpu_distributed")
+
+        assert np.array_equal(solver.solution(), s_ref.solution())
+        assert np.array_equal(solver.state.extra["T"], s_ref.state.extra["T"])
+
+        log = get_rebalance_log().as_dict()
+        (mig,) = log["migrations"]
+        assert mig["kind"] == "rank_loss"
+        assert mig["to_nranks"] == mig["from_nranks"] - 1
+
+
+class TestProactiveRebalance:
+    """A 4x-degraded rank triggers a measured-speed repartition."""
+
+    FAULT = "rank_slow:rank=0,factor=4,count=0"
+
+    def test_migration_fires_and_reduces_imbalance(self):
+        sc = _scenario(12)
+        extra = {"rebalance": True, "imbalance_threshold": 1.5}
+        u, t, _ = _solve(sc, axis="cells", nparts=4, extra=extra,
+                         faults=self.FAULT)
+
+        log = get_rebalance_log().as_dict()
+        (mig,) = log["migrations"]
+        assert mig["kind"] == "imbalance"
+        assert mig["imbalance_before"] > 1.5
+        assert mig["benefit_s"] > mig["cost_s"]
+        # the slow rank sheds work: it ends with the smallest share
+        sizes = mig["new_owned_sizes"]
+        assert sizes[0] == min(sizes) and sizes[0] < 64 // 4
+        assert log["final_imbalance"] < mig["imbalance_before"]
+
+    def test_rebalanced_run_is_bit_identical(self):
+        sc = _scenario(12)
+        u_ref, t_ref, _ = _solve(sc, axis="cells", nparts=4)
+        u, t, _ = _solve(sc, axis="cells", nparts=4,
+                         extra={"rebalance": True}, faults=self.FAULT)
+        assert np.array_equal(u, u_ref)
+        assert np.array_equal(t, t_ref)
+
+    def test_balanced_run_does_not_migrate(self):
+        sc = _scenario(8)
+        _solve(sc, axis="cells", nparts=3, extra={"rebalance": True})
+        log = get_rebalance_log().as_dict()
+        assert log["migrations"] == []
+        assert log["checks"] > 0  # the watcher did look
+
+
+class TestBandPartitionRecovery:
+    """Equation/band partitioning migrates whole bands — still exact."""
+
+    def test_cells_kill_with_band_axis(self):
+        sc = _scenario(8)
+        u_ref, t_ref, _ = _solve(sc, axis="bands", nparts=3, index="b")
+        u, t, _ = _solve(sc, axis="bands", nparts=3, index="b",
+                         extra={"rebalance": True, "checkpoint_every": 2},
+                         faults="rank_kill:rank=1,at=12")
+        assert np.array_equal(u, u_ref)
+        assert np.array_equal(t, t_ref)
+
+
+class TestRunReportSection:
+    def test_report_carries_the_rebalance_section(self):
+        from repro.obs.report import build_run_report
+
+        sc = _scenario(8)
+        _, _, solver = _solve(sc, axis="cells", nparts=3,
+                              extra={"rebalance": True, "checkpoint_every": 2},
+                              faults="rank_kill:rank=1,at=12")
+        report = build_run_report(solver)
+        assert report.rebalance is not None
+        assert report.rebalance["final_nranks"] == 2
+        assert report.rebalance["migrations"][0]["kind"] == "rank_loss"
+        assert "rebalance" in report.to_dict()
+
+    def test_section_absent_without_the_feature(self):
+        from repro.obs.report import build_run_report
+
+        sc = _scenario(5)
+        _, _, solver = _solve(sc, axis="cells", nparts=2)
+        report = build_run_report(solver)
+        assert report.rebalance is None

@@ -144,3 +144,67 @@ class TestLayout:
         sparse[0] = 2  # part 1 empty
         with pytest.raises(MeshError):
             build_partition_layout(mesh, sparse)
+
+
+class TestWeightedCounts:
+    """Work-share arithmetic behind the proactive rebalancer."""
+
+    def _wc(self, *a, **kw):
+        from repro.mesh.partition import weighted_counts
+        return weighted_counts(*a, **kw)
+
+    @pytest.mark.parametrize("n", [5, 17, 64])
+    @pytest.mark.parametrize("nparts", [1, 2, 3, 4, 5])
+    def test_default_matches_array_split(self, n, nparts):
+        """Unweighted splits must be bit-compatible with np.array_split —
+        the pre-elastic partitioners used it directly."""
+        expected = [len(c) for c in np.array_split(np.arange(n), nparts)]
+        assert self._wc(n, nparts) == expected
+
+    def test_counts_sum_and_follow_weights(self):
+        counts = self._wc(64, 4, weights=[1.0, 3.0, 3.0, 9.0])
+        assert sum(counts) == 64
+        assert counts[0] == min(counts) and counts[3] == max(counts)
+
+    def test_every_part_gets_at_least_one(self):
+        counts = self._wc(4, 3, weights=[1e-9, 1.0, 1e-9])
+        assert sum(counts) == 4
+        assert min(counts) >= 1
+
+    def test_equal_weights_reduce_to_default(self):
+        assert self._wc(17, 3, weights=[2.0, 2.0, 2.0]) == self._wc(17, 3)
+
+    def test_invalid_weights_rejected(self):
+        from repro.util.errors import MeshError
+        with pytest.raises(MeshError):
+            self._wc(10, 2, weights=[1.0])  # wrong length
+        with pytest.raises(MeshError):
+            self._wc(10, 2, weights=[-1.0, 1.0])
+        with pytest.raises(MeshError):
+            self._wc(10, 2, weights=[np.nan, 1.0])
+
+
+class TestWeightedPartitioners:
+    def test_rcb_respects_weights(self):
+        mesh = structured_grid((10, 8))
+        from repro.mesh.partition import partition_rcb
+        parts = partition_rcb(mesh.cell_centroids, 2, weights=[1.0, 3.0])
+        sizes = np.bincount(parts, minlength=2)
+        assert sizes.sum() == mesh.ncells
+        assert sizes[1] > sizes[0]
+
+    def test_graph_respects_weights_and_stays_contiguous(self):
+        mesh = structured_grid((10, 8))
+        parts = partition_cells(mesh, 4, weights=[1.0, 1.0, 1.0, 5.0])
+        sizes = np.bincount(parts, minlength=4)
+        assert sizes.sum() == mesh.ncells
+        assert sizes[3] == sizes.max()
+        # still a valid layout (every part non-empty, halos constructible)
+        build_partition_layout(mesh, parts)
+
+    def test_unweighted_calls_are_bit_identical_to_before(self):
+        """weights=None must not perturb the existing partitions."""
+        mesh = structured_grid((9, 7))
+        a = partition_cells(mesh, 3)
+        b = partition_cells(mesh, 3, weights=None)
+        assert np.array_equal(a, b)

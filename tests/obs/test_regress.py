@@ -162,3 +162,37 @@ class TestProfilerOverheadGate:
         bad = compare(base, _env("cur", {"profile_on_vs_off_wall_s": 1.06}))
         assert [d.name for d in bad.regressions] == [
             "profile_on_vs_off_wall_s"]
+
+
+class TestRebalanceOverheadGate:
+    def test_ratio_uses_its_own_threshold(self):
+        from repro.obs.regress import (
+            _threshold_for,
+            OBS_OVERHEAD_THRESHOLD,
+            REBALANCE_OVERHEAD_THRESHOLD,
+        )
+
+        got = _threshold_for("rebalance_overhead_wall_s", None, None)
+        assert got == REBALANCE_OVERHEAD_THRESHOLD
+        assert got > OBS_OVERHEAD_THRESHOLD  # real work, looser budget
+
+    def test_gated_against_the_ideal_not_the_baseline(self):
+        # baseline already over the ideal: current is judged vs 1.0
+        base = _env("base", {"rebalance_overhead_wall_s": 1.2})
+        ok = compare(base, _env("cur", {"rebalance_overhead_wall_s": 1.2}))
+        assert not ok.has_regressions
+        bad = compare(base, _env("cur", {"rebalance_overhead_wall_s": 1.3}))
+        assert [d.name for d in bad.regressions] == [
+            "rebalance_overhead_wall_s"]
+
+    def test_seed_carries_elastic_entries(self):
+        from pathlib import Path
+
+        seed = Path(__file__).parents[2] / "benchmarks" / "BENCH_seed.json"
+        timings = load_bench(seed)["timings"]
+        assert 0.5 < timings["rebalance_overhead_wall_s"] < 1.5
+        # skewed strong scaling: deterministic virtual makespans, and
+        # more ranks must still mean a shorter skewed run
+        r4 = timings["skewed_rebalance_virtual_s_r4"]
+        r16 = timings["skewed_rebalance_virtual_s_r16"]
+        assert 0.0 < r16 < r4

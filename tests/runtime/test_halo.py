@@ -70,3 +70,93 @@ def test_wrong_local_size_rejected():
         return True
 
     assert all(run_spmd(2, prog, IB_CLUSTER).results)
+
+
+# --------------------------------------------------------------------------
+# edge cases the elastic runtime leans on (empty halos, repartitioning)
+# --------------------------------------------------------------------------
+
+def test_single_rank_layout_is_a_noop():
+    """nparts=1: no ghosts, no sends — update must not touch the array."""
+    mesh = structured_grid((5, 4))
+    layout = build_partition_layout(mesh, partition_cells(mesh, 1))
+
+    def prog(comm):
+        ex = HaloExchanger(layout, comm.rank)
+        assert ex.n_ghost == 0
+        assert ex.neighbors == []
+        assert ex.bytes_per_exchange() == 0
+        local = np.arange(ex.n_owned, dtype=float)
+        before = local.copy()
+        ex.update(comm, local)
+        assert np.array_equal(local, before)
+        return True
+
+    assert all(run_spmd(1, prog, IB_CLUSTER).results)
+
+
+def test_non_adjacent_ranks_exchange_nothing():
+    """On a 1D strip split three ways, the end ranks share no interface."""
+    mesh = structured_grid((12,), [(0.0, 1.0)])
+    layout = build_partition_layout(mesh, partition_cells(mesh, 3))
+
+    def prog(comm):
+        ex = HaloExchanger(layout, comm.rank)
+        if comm.rank in (0, 2):
+            assert sorted(ex.send_local) == [1]  # only the middle neighbour
+        local = np.zeros(ex.n_owned + ex.n_ghost)
+        local[: ex.n_owned] = 1.0 + comm.rank
+        ex.update(comm, local)
+        return True
+
+    assert all(run_spmd(3, prog, IB_CLUSTER).results)
+
+
+def test_reexchange_after_partition_change():
+    """A migration installs a new layout; fresh exchangers must deliver
+    correct ghosts for it — the elastic runtime's post-migration refresh."""
+    mesh = structured_grid((9, 7))
+    truth = np.linspace(0.0, 5.0, mesh.ncells)
+    layouts = [
+        build_partition_layout(mesh, partition_cells(mesh, 3)),
+        build_partition_layout(mesh, partition_cells(mesh, 3, method="rcb")),
+    ]
+
+    def prog(comm):
+        for layout in layouts:  # same ranks, different ownership
+            ex = HaloExchanger(layout, comm.rank)
+            local = np.full(ex.n_owned + ex.n_ghost, np.nan)
+            local[: ex.n_owned] = truth[layout.owned[comm.rank]]
+            ex.update(comm, local)
+            assert np.allclose(local[ex.n_owned :],
+                               truth[layout.ghosts[comm.rank]])
+        return True
+
+    assert all(run_spmd(3, prog, IB_CLUSTER).results)
+
+
+def test_shrunk_world_reexchange():
+    """After a rank loss the survivors re-partition and re-exchange."""
+    mesh = structured_grid((8, 6))
+    truth = np.arange(mesh.ncells, dtype=float)
+    layout3 = build_partition_layout(mesh, partition_cells(mesh, 3))
+    layout2 = build_partition_layout(mesh, partition_cells(mesh, 2))
+
+    def prog3(comm):
+        ex = HaloExchanger(layout3, comm.rank)
+        local = np.zeros(ex.n_owned + ex.n_ghost)
+        local[: ex.n_owned] = truth[layout3.owned[comm.rank]]
+        ex.update(comm, local)
+        return True
+
+    def prog2(comm):
+        ex = HaloExchanger(layout2, comm.rank)
+        local = np.zeros(ex.n_owned + ex.n_ghost)
+        local[: ex.n_owned] = truth[layout2.owned[comm.rank]]
+        ex.update(comm, local)
+        assert np.allclose(local[ex.n_owned :],
+                           truth[layout2.ghosts[comm.rank]])
+        return True
+
+    assert all(run_spmd(3, prog3, IB_CLUSTER).results)
+    assert all(run_spmd(2, prog2, IB_CLUSTER).results)
