@@ -57,8 +57,18 @@ Commands
     Tail, filter and pretty-print a ``repro.events/1`` JSONL stream written
     by ``bte --events FILE``: one line per event with its timestamp, level,
     rank/step provenance and span-correlation IDs.
+``serve [--demo] [--workers N] [--port P] [--for-seconds S]``
+    Run the multi-tenant solver service: requests keyed by the
+    ``repro.cache/1`` signature coalesce onto one job, compiled artifacts
+    are shared across tenants, and a batched priority scheduler places
+    jobs onto simulated GPU workers under per-tenant quotas with bounded
+    queues (typed ``RPR900``/``RPR901`` rejections).  ``--port`` exposes
+    ``/metrics``, ``/status`` (the ``repro.serve/1`` document) and
+    ``/healthz``; ``--demo`` drives N concurrent tenants with
+    mixed-priority duplicate problems and prints the dedup/warm-hit
+    rates; plain ``serve --for-seconds S`` just runs the service.
 
-``bte``, ``bench`` and ``tune`` accept ``--cache-dir DIR`` (persist the
+``bte``, ``bench``, ``tune`` and ``serve`` accept ``--cache-dir DIR`` (persist the
 compilation cache across processes; also ``$REPRO_CACHE_DIR``) and
 ``--no-cache`` (disable it); ``bte --tuned`` applies the stored best
 configuration for the problem before generating.
@@ -815,6 +825,109 @@ def cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+    from contextlib import nullcontext
+
+    from repro.serve import ServiceConfig, serve_session
+
+    _apply_cache_flags(args)
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_max=args.queue_max,
+        batch_max=args.batch_max,
+        max_inflight=args.max_inflight,
+        max_running=args.max_running,
+        preemption=not args.no_preemption,
+        checkpoint_every=args.checkpoint_every,
+        port=args.port,
+    )
+    if args.events:
+        from repro.obs.log import events_run
+
+        events_ctx = events_run(
+            args.events, level=getattr(args, "log_level", None) or "info")
+    else:
+        events_ctx = nullcontext()
+    with events_ctx:
+        with serve_session(config) as service:
+            if service.http_port is not None:
+                _say(f"serving http://{config.host}:{service.http_port} "
+                     "(/metrics /status /healthz)")
+            if args.demo:
+                _run_serve_demo(service, tenants=args.tenants,
+                                requests=args.requests, nx=args.nx,
+                                steps=args.steps)
+            elif args.for_seconds > 0:
+                _say(f"service up for {args.for_seconds:.0f}s "
+                     f"({config.workers} worker(s)); Ctrl-C to stop early")
+                try:
+                    time.sleep(args.for_seconds)
+                except KeyboardInterrupt:
+                    _say("interrupted; shutting down")
+            doc = service.status_doc()
+            counters = doc["counters"]
+            _say(f"served {counters['requests']} request(s): "
+                 f"{counters['completed']} completed, "
+                 f"{counters['failed']} failed, "
+                 f"{counters['rejected']} rejected")
+            if args.status_json:
+                import json
+
+                Path(args.status_json).write_text(json.dumps(doc, indent=1))
+                _say(f"status document written to {args.status_json}")
+    return 0
+
+
+def _run_serve_demo(service, *, tenants: int, requests: int,
+                    nx: int, steps: int) -> None:
+    """N concurrent tenants submitting mixed-priority duplicate problems."""
+    from repro.bte import build_bte_problem, hotspot_scenario
+
+    def make_problem(nx_i: int, nsteps_i: int):
+        scenario = hotspot_scenario(nx=nx_i, ny=nx_i, ndirs=4,
+                                    n_freq_bands=4, dt=1e-12, nsteps=nsteps_i)
+        problem, _ = build_bte_problem(scenario)
+        return problem
+
+    # three request shapes over ONE mesh size: two share a compiled
+    # artifact (same signature, different nsteps binding), so the demo
+    # shows both job-level dedup and cross-tenant artifact sharing
+    shapes = [(nx, steps), (nx, steps), (nx, steps + 2)]
+    priorities = ["normal", "high", "batch"]
+    total = tenants * requests
+    _say(f"demo: {total} request(s) from {tenants} tenant(s), "
+         f"{len(set(shapes))} distinct problem(s), mixed priorities ...")
+    client = service.client
+    client.hold()  # line the burst up so coalescing is deterministic
+    tickets = []
+    for t in range(tenants):
+        for r in range(requests):
+            shape = shapes[r % len(shapes)]
+            tickets.append(client.submit(
+                make_problem(*shape), tenant=f"tenant{t}",
+                priority=priorities[(t + r) % len(priorities)]))
+    client.release()
+    for ticket in tickets:
+        ticket.result(300)
+    doc = service.status_doc()
+    counters, cache = doc["counters"], doc["cache"]
+    served_without_solve = counters["deduped"] + counters["results_reused"]
+    dedup_rate = served_without_solve / max(1, counters["requests"])
+    lookups = cache["memory_hits"] + cache["disk_hits"] + cache["misses"]
+    warm_rate = (cache["memory_hits"] + cache["disk_hits"]) / max(1, lookups)
+    _say(f"jobs solved: {counters['completed']} for {counters['requests']} "
+         f"requests (in-flight dedup: {counters['deduped']}, "
+         f"result reuse: {counters['results_reused']})")
+    _say(f"dedup rate: {100 * dedup_rate:.1f}%  "
+         f"artifact builds: {cache['builds']}  "
+         f"warm-hit rate: {100 * warm_rate:.1f}%")
+    roots = {name: state["hashtree"]["root"]
+             for name, state in doc["tenants"].items()}
+    _say("tenant hashtree roots: "
+         + " ".join(f"{name}={root}" for name, root in sorted(roots.items())))
+
+
 def main(argv: list[str] | None = None) -> int:
     # -v works both before and after the subcommand; the subparser copy
     # SUPPRESSes its default so it cannot clobber a value the top-level
@@ -1101,6 +1214,44 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--codes", action="store_true",
                         help="print the RPR### diagnostic catalogue and exit")
 
+    p_srv = sub.add_parser(
+        "serve", help="run the multi-tenant solver service",
+        parents=[common, cache],
+    )
+    p_srv.add_argument("--demo", action="store_true",
+                       help="drive N concurrent tenants with mixed-priority "
+                            "duplicate problems and print dedup/warm rates")
+    p_srv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="simulated GPU worker slots (default 2)")
+    p_srv.add_argument("--queue-max", type=int, default=64, metavar="N",
+                       help="bounded queue size; RPR900 backpressure past it")
+    p_srv.add_argument("--batch-max", type=int, default=4, metavar="N",
+                       help="max same-priority jobs batched onto one worker")
+    p_srv.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="default per-tenant in-flight request quota")
+    p_srv.add_argument("--max-running", type=int, default=2, metavar="N",
+                       help="default per-tenant running-job quota")
+    p_srv.add_argument("--no-preemption", action="store_true",
+                       help="disable checkpoint-preemption of running jobs")
+    p_srv.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="periodic checkpoint cadence for served jobs")
+    p_srv.add_argument("--port", type=int, default=None, metavar="P",
+                       help="HTTP endpoint port (0 = ephemeral; default off)")
+    p_srv.add_argument("--for-seconds", type=float, default=0.0, metavar="S",
+                       help="keep the service up this long (without --demo)")
+    p_srv.add_argument("--tenants", type=int, default=4, metavar="N",
+                       help="demo: number of concurrent tenants")
+    p_srv.add_argument("--requests", type=int, default=4, metavar="N",
+                       help="demo: requests submitted per tenant")
+    p_srv.add_argument("--nx", type=int, default=8, metavar="N",
+                       help="demo: mesh resolution per side")
+    p_srv.add_argument("--steps", type=int, default=3, metavar="N",
+                       help="demo: time steps per problem")
+    p_srv.add_argument("--events", default=None, metavar="FILE",
+                       help="stream the structured event log to FILE (JSONL)")
+    p_srv.add_argument("--status-json", default=None, metavar="FILE",
+                       help="write the final repro.serve/1 status document")
+
     p_ev = sub.add_parser(
         "events", help="tail/filter/pretty-print a repro.events/1 JSONL log",
         parents=[common],
@@ -1203,6 +1354,8 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return cmd_lint(args)
     if args.command == "events":
         return cmd_events(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     parser.print_help()
     return 2
 
@@ -1216,7 +1369,7 @@ def _render_error(exc: "ReproError") -> str:
 #: Subcommands the ``bte`` alias passes straight through to ``main``.
 _COMMANDS = {"info", "figures", "pipeline", "latex", "bte", "analyze",
              "profile", "compare", "history", "bench", "tune", "lint",
-             "events"}
+             "events", "serve"}
 
 
 def bte_main(argv: list[str] | None = None) -> int:

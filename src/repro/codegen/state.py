@@ -95,6 +95,19 @@ class SolverState:
         # (rebuilt per run) inherit them without target-specific plumbing
         self.checkpoint_every = int(self.extra.get("checkpoint_every", 0) or 0)
         self.checkpoint_dir = self.extra.get("checkpoint_dir")
+        # concurrent solves sharing one --checkpoint-dir would clobber each
+        # other's ckpt_step*.npz (names carry only step + rank).  An opt-in
+        # namespace isolates them: "auto" derives a per-problem prefix from
+        # the repro.cache/1 signature; any other value is used verbatim
+        # (the solver service passes its job key).
+        namespace = self.extra.get("checkpoint_namespace")
+        if namespace:
+            if namespace == "auto":
+                from repro.tune.signature import cache_key
+
+                namespace = cache_key(problem, "checkpoint")[:12]
+            self.checkpoint_dir = str(
+                Path(self.checkpoint_dir or ".") / str(namespace))
         # elastic runtime hook: the distributed targets attach a
         # per-rank imbalance monitor here (see runtime.rebalance)
         self.rebalance = None

@@ -174,27 +174,54 @@ class CodegenTarget:
         from repro.tune.signature import cache_key
 
         cache = get_cache()
-        key = cache_key(problem, self.name) if cache.enabled else ""
+        # a caller that already content-addressed this exact problem for
+        # this target (the solver service keys every request before
+        # scheduling) can pass the key down and skip re-hashing the
+        # problem; always popped so a stale hint never outlives one call
+        hint = problem.extra.pop("_cache_key_hint", None)
+        if not cache.enabled:
+            key = ""
+        elif (isinstance(hint, tuple) and len(hint) == 2
+                and hint[0] == self.name):
+            key = hint[1]
+        else:
+            key = cache_key(problem, self.name)
         artifact = cache.get(key) if key else None
         info: dict[str, Any] = {"target": self.name, "key": key[:12]}
         if artifact is None:
-            metrics = get_metrics()
-            t0 = time.perf_counter()
-            with phase_span(f"codegen_build[{self.name}]", cat="codegen"):
-                artifact = self.build_artifact(problem)
-            build_s = time.perf_counter() - t0
-            artifact.key = key or artifact.key
-            artifact.build_seconds = build_s
-            cache.stats.builds += 1
-            metrics.counter(
-                "codegen_build_total", "full artifact builds (cache misses)"
-            ).inc(1, target=self.name)
-            metrics.histogram(
-                "codegen_build_seconds", "wall seconds per artifact build"
-            ).observe(build_s, target=self.name)
-            if key:
-                cache.put(key, artifact)
-            info.update(cache="miss", build_seconds=build_s)
+            build_lock = cache.build_lock(key) if key else None
+            if build_lock is not None:
+                build_lock.acquire()
+            try:
+                # single-flight: while we waited for the lock, another thread
+                # may have built and published this key — peek (stats-free:
+                # our miss is already counted) and reuse instead of rebuilding
+                artifact = cache.peek(key) if key else None
+                if artifact is not None:
+                    cache.record_coalesced(key, artifact)
+                    info.update(cache="coalesced",
+                                build_seconds=artifact.build_seconds)
+                else:
+                    metrics = get_metrics()
+                    t0 = time.perf_counter()
+                    with phase_span(f"codegen_build[{self.name}]", cat="codegen"):
+                        artifact = self.build_artifact(problem)
+                    build_s = time.perf_counter() - t0
+                    artifact.key = key or artifact.key
+                    artifact.build_seconds = build_s
+                    cache.stats.builds += 1
+                    metrics.counter(
+                        "codegen_build_total", "full artifact builds (cache misses)"
+                    ).inc(1, target=self.name)
+                    metrics.histogram(
+                        "codegen_build_seconds", "wall seconds per artifact build"
+                    ).observe(build_s, target=self.name)
+                    if key:
+                        cache.put(key, artifact)
+                    info.update(cache="miss", build_seconds=build_s)
+            finally:
+                if build_lock is not None:
+                    build_lock.release()
         else:
             info.update(cache="hit", build_seconds=artifact.build_seconds)
         elog = get_event_log()

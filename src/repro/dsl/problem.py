@@ -389,6 +389,25 @@ class Problem:
                 )
 
     # --------------------------------------------------------------- generation
+    def resolve_target(self, target: str | None = None) -> str:
+        """The codegen target ``generate`` would dispatch to.
+
+        ``target`` passes an explicit choice through; ``None`` applies the
+        automatic dispatch over the configuration.  The solver service uses
+        this to compute a request's cache key without generating.
+        """
+        if target is not None:
+            return target
+        if self.config.solver_type == "FEM":
+            return "fem"
+        if self.config.use_gpu and self.config.nparts > 1:
+            return "gpu_distributed"  # one CPU process per device (Fig. 7)
+        if self.config.use_gpu:
+            return "gpu"
+        if self.config.nparts > 1:
+            return "distributed"
+        return "cpu"
+
     def generate(self, target: str | None = None):
         """Generate a solver.  ``target`` overrides the automatic choice:
         ``'cpu'``, ``'distributed'`` or ``'gpu'``."""
@@ -401,18 +420,7 @@ class Problem:
 
             maybe_apply_tuned(self, target)
         self.validate()
-        if target is None:
-            if self.config.solver_type == "FEM":
-                target = "fem"
-            elif self.config.use_gpu and self.config.nparts > 1:
-                target = "gpu_distributed"  # one CPU process per device (Fig. 7)
-            elif self.config.use_gpu:
-                target = "gpu"
-            elif self.config.nparts > 1:
-                target = "distributed"
-            else:
-                target = "cpu"
-        return make_target(target).generate(self)
+        return make_target(self.resolve_target(target)).generate(self)
 
     def solve(self, variable: Variable | str | None = None, target: str | None = None):
         """Generate and run to completion; returns the finished solver."""

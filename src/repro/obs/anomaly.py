@@ -60,6 +60,15 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
     # steps), which on the tiny bench problem is a visible fraction of a
     # ~10 ms solve even though it vanishes at production sizes
     "rebalance_overhead": 0.25,
+    # bench gate: tolerated solver-service on/off wall ratio above the
+    # ideal 1.0 — one warm solve submitted through the running service vs
+    # called directly.  The asyncio + executor + signature hops are the
+    # price of admission control; the 10% budget keeps them honest
+    "serve_overhead": 0.10,
+    # bench gate: minimum wall speedup the service's request coalescing
+    # must deliver on a burst of identical requests vs solving each one
+    # directly (a *floor*, unlike the slowdown tolerances above)
+    "serve_dedup_speedup_min": 2.0,
     # per-kernel profile: tolerated |measured/predicted - 1| before the
     # drift column flags the cost model for recalibration
     "perfmodel_drift": 0.5,

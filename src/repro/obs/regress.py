@@ -59,6 +59,16 @@ FUSION_OVERHEAD_THRESHOLD = DEFAULT_THRESHOLDS["fusion_overhead"]
 #: passive observability toggles'.
 REBALANCE_OVERHEAD_THRESHOLD = DEFAULT_THRESHOLDS["rebalance_overhead"]
 
+#: Solver-service overhead (``serve_overhead_wall_s``): served/direct
+#: wall ratio of one warm solve, gated against the ideal 1.0 — the
+#: asyncio/executor/admission hops must stay inside the 10% budget.
+SERVE_OVERHEAD_THRESHOLD = DEFAULT_THRESHOLDS["serve_overhead"]
+
+#: Dedup speedup (``serve_dedup_speedup_x``) is a *floor*, not a
+#: slowdown: a burst of identical requests served (coalesced onto one
+#: solve) must beat solving each directly by at least this factor.
+SERVE_DEDUP_SPEEDUP_MIN = DEFAULT_THRESHOLDS["serve_dedup_speedup_min"]
+
 #: Baselines below this are too small to judge relatively.
 MIN_BASE_SECONDS = 1e-6
 
@@ -108,8 +118,13 @@ class BenchDelta:
     def slowdown(self) -> float | None:
         if self.cur_s is None:
             return None
+        if "dedup_speedup" in self.name:
+            # a speedup floor: positive (= regression) only when the
+            # measured speedup falls below the required minimum
+            return (SERVE_DEDUP_SPEEDUP_MIN - self.cur_s) / SERVE_DEDUP_SPEEDUP_MIN
         if ("_on_vs_off_" in self.name or "fused_vs_unfused" in self.name
-                or "rebalance_overhead" in self.name):
+                or "rebalance_overhead" in self.name
+                or "serve_overhead" in self.name):
             # overhead/speed ratios are judged against the ideal 1.0 — "the
             # instrumentation is free" / "fusion never loses" — not against
             # the baseline's own equally-noisy measurement of the same ideal
@@ -187,6 +202,13 @@ def _threshold_for(name: str, threshold: float | None,
         # with its own (looser) budget — the watcher does real collective
         # work, unlike the passive observability toggles
         return REBALANCE_OVERHEAD_THRESHOLD
+    if "serve_overhead" in name:
+        # solver-service per-request overhead ratio vs the ideal 1.0
+        return SERVE_OVERHEAD_THRESHOLD
+    if "dedup_speedup" in name:
+        # the floor itself lives in the slowdown computation; any shortfall
+        # below the required minimum is a regression
+        return 0.0
     if name.endswith("_wall_s"):
         return wall_threshold if wall_threshold is not None else DEFAULT_WALL_THRESHOLD
     return threshold if threshold is not None else DEFAULT_THRESHOLD
@@ -273,6 +295,14 @@ def run_benchmarks(nx: int = 16, ndirs: int = 4, bands: int = 4,
     ideal 1.0 with ``DEFAULT_THRESHOLDS['fusion_overhead']``): the fused
     vector-program fast path must not run slower than the emitted
     expression it replaces.
+
+    Solver-service entries: ``serve_overhead_wall_s`` (served/direct wall
+    ratio of one warm solve, vs the ideal 1.0 under
+    ``DEFAULT_THRESHOLDS['serve_overhead']``) and
+    ``serve_dedup_speedup_x`` (wall speedup of a coalesced identical-
+    request burst over direct per-request solves; a
+    ``DEFAULT_THRESHOLDS['serve_dedup_speedup_min']`` floor, not a
+    slowdown tolerance).
     """
     timings: dict[str, float] = {}
 
@@ -499,6 +529,84 @@ def run_benchmarks(nx: int = 16, ndirs: int = 4, bands: int = 4,
         if spmd is not None:
             timings[f"skewed_rebalance_virtual_s_r{ranks}"] = spmd.makespan
 
+    # solver service.  (a) serve_overhead_wall_s: one warm solve submitted
+    # through the running service vs called directly — interleaved
+    # min-of-4 ratio against the ideal 1.0 (admission, dedup keying and
+    # the asyncio/executor hop must fit the 10% serve budget).
+    # (b) serve_dedup_speedup_x: a held burst of identical requests is
+    # coalesced onto ONE solve; its wall time vs answering each request
+    # with its own direct solve is gated as a >=2x floor (in practice it
+    # approaches the burst size).  Result reuse is disabled so both
+    # benches measure the scheduling path, not the answer cache.
+    from repro.obs.metrics import metrics_run
+    from repro.serve import ServiceConfig, serve_session
+
+    # one shared metrics registry for BOTH sides: without it the service
+    # would install its own (the /metrics endpoint needs one) and the
+    # served solves would pay per-step metric costs the direct solves
+    # skip, polluting the ratio with instrumentation instead of the hop
+    with cache_scope(), metrics_run():
+        # longer window than one suite run: the service's fixed per-job
+        # cost (submit hop, dedup keying, warm generate, result packaging;
+        # ~3 ms) is constant, so the ratio only means something once a
+        # solve is long enough to amortise it — same trick as the fusion
+        # bench, with a wider window because the budget is tighter
+        serve_steps = 24 * nsteps
+
+        def serve_problem():
+            return _bte_problem(nx, ndirs, bands, serve_steps)
+
+        serve_problem().generate()  # warm the artifact for every side
+        with serve_session(ServiceConfig(
+                workers=2, reuse_results=False)) as service:
+            client = service.client
+            client.solve(serve_problem())  # service-side warmup
+
+            def one_side(served: bool) -> float:
+                p = serve_problem()  # construction outside the window
+                t0 = time.perf_counter()
+                if served:
+                    client.solve(p)
+                else:
+                    p.solve()
+                return time.perf_counter() - t0
+
+            import gc
+
+            served_best = direct_best = float("inf")
+            gc.collect()
+            gc.disable()
+            try:
+                for i in range(4):
+                    for served in ((True, False) if i % 2 == 0
+                                   else (False, True)):
+                        t = one_side(served)
+                        if served:
+                            served_best = min(served_best, t)
+                        else:
+                            direct_best = min(direct_best, t)
+            finally:
+                gc.enable()
+            timings["serve_overhead_wall_s"] = served_best / max(
+                direct_best, 1e-9)
+
+            burst = 6
+            direct_probs = [serve_problem() for _ in range(burst)]
+            served_probs = [serve_problem() for _ in range(burst)]
+            t0 = time.perf_counter()
+            for p in direct_probs:
+                p.solve()
+            direct_wall = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            client.hold()  # stage the burst so every request coalesces
+            tickets = [client.submit(p) for p in served_probs]
+            client.release()
+            for ticket in tickets:
+                ticket.result(300)
+            served_wall = time.perf_counter() - t0
+            timings["serve_dedup_speedup_x"] = direct_wall / max(
+                served_wall, 1e-9)
+
     return timings
 
 
@@ -509,6 +617,8 @@ __all__ = [
     "FUSION_OVERHEAD_THRESHOLD",
     "MIN_BASE_SECONDS",
     "OBS_OVERHEAD_THRESHOLD",
+    "SERVE_DEDUP_SPEEDUP_MIN",
+    "SERVE_OVERHEAD_THRESHOLD",
     "RegressionReport",
     "SCHEMA",
     "compare",

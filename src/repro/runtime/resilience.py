@@ -88,6 +88,8 @@ class ResilienceLog:
             self.restores = 0
             self.degraded: list[dict[str, Any]] = []
             self.migrations: list[dict[str, Any]] = []
+            self.preemptions: list[dict[str, Any]] = []
+            self.resumes = 0
 
     # --------------------------------------------------------------- events
     def record_injected(self, kind: str, **labels: Any) -> None:
@@ -178,6 +180,24 @@ class ResilienceLog:
         self._event("state.migrated", "warning", kind=kind, step=step,
                     from_ranks=from_ranks, to_ranks=to_ranks, **labels)
 
+    def record_preemption(self, job: str, step: int, **labels: Any) -> None:
+        """A running job was checkpointed and yielded its worker (serve)."""
+        with self._lock:
+            self.preemptions.append({"job": job, "step": int(step), **labels})
+        self._metric_counter(
+            "resilience_preemptions_total",
+            "jobs checkpointed and preempted off their worker", **labels)
+        self._event("job.preempted", "warning", job=job, step=step, **labels)
+
+    def record_resume(self, job: str, step: int, **labels: Any) -> None:
+        """A preempted/killed job resumed from its checkpoint (serve)."""
+        with self._lock:
+            self.resumes += 1
+        self._metric_counter(
+            "resilience_resumes_total",
+            "jobs resumed from checkpoint on a fresh worker", **labels)
+        self._event("job.resumed", "info", job=job, step=step, **labels)
+
     @staticmethod
     def _metric_counter(name: str, help: str, **labels: Any) -> None:
         from repro.obs.metrics import get_metrics
@@ -204,6 +224,7 @@ class ResilienceLog:
                 self.injected or self.retries or self.recovered
                 or self.duplicates_dropped or self.checkpoints_written
                 or self.restores or self.degraded or self.migrations
+                or self.preemptions or self.resumes
             )
 
     def as_dict(self) -> dict[str, Any]:
@@ -220,6 +241,8 @@ class ResilienceLog:
                 "restores": self.restores,
                 "degraded_placements": list(self.degraded),
                 "migrations": list(self.migrations),
+                "preemptions": list(self.preemptions),
+                "resumes": self.resumes,
             }
             if lat:
                 section["recovery_latency_s"] = {
@@ -254,6 +277,10 @@ class ResilienceLog:
                 f"{e['kind']}@{e['step']}:{e['from_ranks']}->{e['to_ranks']}"
                 for e in d["migrations"])
             parts.append(f"migrations: {len(d['migrations'])} ({kinds})")
+        if d["preemptions"]:
+            parts.append(f"preemptions: {len(d['preemptions'])}")
+        if d["resumes"]:
+            parts.append(f"resumes: {d['resumes']}")
         return "; ".join(parts)
 
 

@@ -1,0 +1,105 @@
+"""In-process client for the solver service.
+
+The service runs its own event loop (usually on a dedicated thread, see
+``SolverService.start_in_thread`` / ``serve_session``); the client gives
+synchronous code a threadsafe door into it.  ``submit`` returns a
+:class:`Ticket` immediately — admission rejections and job failures
+surface, typed, from ``Ticket.result()`` — and ``solve`` is the blocking
+one-call form.  Coalesced requests resolve to the *same*
+:class:`~repro.serve.schema.JobResult` object across tickets and tenants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import TYPE_CHECKING, Any
+
+from repro.serve.schema import JobResult
+from repro.util.errors import ServeError
+
+if TYPE_CHECKING:
+    from repro.dsl.problem import Problem
+    from repro.serve.server import SolverService
+
+
+class Ticket:
+    """A pending request: a threadsafe handle on the job's outcome."""
+
+    def __init__(self, future: concurrent.futures.Future):
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = 120.0) -> JobResult:
+        """The shared job result; raises the job's typed error on failure."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = 120.0) -> BaseException | None:
+        return self._future.exception(timeout)
+
+
+class Client:
+    """Threadsafe, synchronous facade over one :class:`SolverService`."""
+
+    def __init__(self, service: "SolverService"):
+        self._service = service
+
+    def submit(self, problem: "Problem", *, tenant: str = "default",
+               priority: str | int = "normal",
+               target: str | None = None) -> Ticket:
+        """Enqueue without blocking; returns a :class:`Ticket`."""
+        service = self._service
+
+        async def _submit_and_wait() -> JobResult:
+            fut = await service.submit(
+                problem, tenant=tenant, priority=priority, target=target)
+            return await fut
+
+        try:
+            loop = service.loop
+        except ServeError:
+            raise
+        cfut = asyncio.run_coroutine_threadsafe(_submit_and_wait(), loop)
+        return Ticket(cfut)
+
+    def solve(self, problem: "Problem", *, tenant: str = "default",
+              priority: str | int = "normal", target: str | None = None,
+              timeout: float | None = 120.0) -> JobResult:
+        """Submit and block until the shared result is ready."""
+        return self.submit(problem, tenant=tenant, priority=priority,
+                           target=target).result(timeout)
+
+    def status(self) -> dict[str, Any]:
+        """A point-in-time ``repro.serve/1`` status document (loop-safe)."""
+        service = self._service
+
+        async def _status() -> dict[str, Any]:
+            return service.status_doc()
+
+        return asyncio.run_coroutine_threadsafe(
+            _status(), service.loop).result(30)
+
+    # -------------------------------------------------- operational controls
+    def hold(self) -> None:
+        """Pause dispatch so a burst of submits coalesces deterministically."""
+        self._call(self._service.hold_workers())
+
+    def release(self) -> None:
+        self._call(self._service.release_workers())
+
+    def fail_worker(self, wid: int) -> None:
+        """Simulate losing worker ``wid`` (its job resumes elsewhere)."""
+        self._call(self._service.fail_worker(wid))
+
+    def preempt(self, key: str | None = None) -> str | None:
+        """Checkpoint-preempt a running job; returns its key (or None)."""
+        return self._call(self._service.preempt(key))
+
+    def _call(self, coro) -> Any:
+        return asyncio.run_coroutine_threadsafe(
+            coro, self._service.loop).result(30)
+
+
+__all__ = ["Client", "Ticket"]

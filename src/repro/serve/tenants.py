@@ -1,0 +1,81 @@
+"""Per-tenant state: usage accounting plus a content-hash tree.
+
+The hashtree borrows the reconciliation idiom from multi-tenant cloud
+controllers: each tenant keeps a flat map of *leaves* (job key -> result
+digest) and a *root* digest over the sorted leaves.  Comparing roots is an
+O(1) answer to "did anything this tenant computed change?" — a client can
+poll the status document and re-fetch only when its root moves, and the
+service reuses a completed result (``reused=True``) whenever the leaf it
+would recompute is already present with the same key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+class HashTree:
+    """Flat content-hash tree: leaf map + lazily recomputed root digest."""
+
+    def __init__(self) -> None:
+        self._leaves: dict[str, str] = {}
+        self._root: str | None = None
+
+    def update(self, leaf: str, digest: str) -> bool:
+        """Set one leaf; returns True when the tree (hence root) changed."""
+        if self._leaves.get(leaf) == digest:
+            return False
+        self._leaves[leaf] = digest
+        self._root = None
+        return True
+
+    def get(self, leaf: str) -> str | None:
+        return self._leaves.get(leaf)
+
+    @property
+    def root(self) -> str:
+        if self._root is None:
+            h = hashlib.sha256()
+            for leaf in sorted(self._leaves):
+                h.update(leaf.encode())
+                h.update(self._leaves[leaf].encode())
+            self._root = h.hexdigest()
+        return self._root
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"root": self.root[:16], "leaves": len(self._leaves)}
+
+
+class TenantState:
+    """Everything the service tracks about one tenant."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.submitted = 0
+        self.deduped = 0
+        self.reused = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        #: requests currently inside the service (queued/running/undelivered)
+        self.inflight = 0
+        self.tree = HashTree()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "reused": self.reused,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "inflight": self.inflight,
+            "hashtree": self.tree.as_dict(),
+        }
+
+
+__all__ = ["HashTree", "TenantState"]

@@ -86,6 +86,9 @@ class CacheStats:
     builds: int = 0
     disk_writes: int = 0
     disk_errors: int = 0
+    #: concurrent generates that waited on another thread's in-flight build
+    #: of the same key and reused its artifact (single-flight dedup)
+    coalesced: int = 0
 
     @property
     def hits(self) -> int:
@@ -99,6 +102,7 @@ class CacheStats:
             "builds": self.builds,
             "disk_writes": self.disk_writes,
             "disk_errors": self.disk_errors,
+            "coalesced": self.coalesced,
         }
 
 
@@ -111,6 +115,8 @@ class CompilationCache:
         self.stats = CacheStats()
         self._memory: dict[str, GenerationArtifact] = {}
         self._lock = threading.Lock()
+        #: per-key build locks (single-flight: one builder, late arrivals wait)
+        self._build_locks: dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------ config
     def configure(self, cache_dir: str | Path | None = None,
@@ -168,6 +174,40 @@ class CompilationCache:
             "codegen_cache_misses_total", "compilation-cache misses"
         ).inc(1)
         return None
+
+    def peek(self, key: str) -> GenerationArtifact | None:
+        """Stats-free memory lookup.
+
+        Used by the single-flight recheck after acquiring a build lock: the
+        original :meth:`get` already counted this request's hit-or-miss, so
+        the recheck must not count a second one.
+        """
+        if not self.enabled or not key:
+            return None
+        with self._lock:
+            return self._memory.get(key)
+
+    def build_lock(self, key: str) -> threading.Lock:
+        """The per-key lock serializing concurrent builds of ``key``.
+
+        Callers that miss :meth:`get` acquire this, :meth:`peek` again (the
+        winner published its artifact while they waited), and only build on
+        a still-empty recheck.  Locks are retained for the cache lifetime;
+        the population is bounded by the number of distinct problem
+        signatures, each a few hundred bytes.
+        """
+        with self._lock:
+            lock = self._build_locks.get(key)
+            if lock is None:
+                lock = self._build_locks[key] = threading.Lock()
+            return lock
+
+    def record_coalesced(self, key: str, artifact: GenerationArtifact) -> None:
+        """Count one single-flight reuse (metrics layer ``inflight``)."""
+        self.stats.coalesced += 1
+        _metrics().counter(
+            "codegen_cache_hits_total", "compilation-cache hits"
+        ).inc(1, layer="inflight", target=artifact.target_name)
 
     def put(self, key: str, artifact: GenerationArtifact) -> None:
         if not self.enabled or not key:

@@ -229,6 +229,20 @@ def cache_key(problem: "Problem", target_name: str) -> str:
     return signature_digest(problem_signature(problem, target_name))
 
 
+def request_key(problem: "Problem", target: str | None = None) -> str:
+    """The solver-service dedup key for a request: the compilation-cache
+    key of the target the problem *would* dispatch to.
+
+    Identical in-flight requests (same signature, same resolved target)
+    coalesce onto one job and one compiled artifact; ``dt``/``nsteps``/
+    initial values/callbacks are excluded from the signature by design, so
+    requests differing only in those do NOT coalesce at the job layer —
+    the service additionally keys jobs on the runtime binding (see
+    :mod:`repro.serve.schema`).
+    """
+    return cache_key(problem, problem.resolve_target(target))
+
+
 def tuning_key(problem: "Problem", target_name: str | None = None) -> str:
     """The tuning-database key: the cache signature with every *tunable*
     field (assembly order, partitioning, GPU knob extras) normalised out,
@@ -248,6 +262,7 @@ __all__ = [
     "cache_key",
     "mesh_signature",
     "problem_signature",
+    "request_key",
     "signature_digest",
     "tuning_key",
 ]

@@ -213,6 +213,37 @@ class ScalingModelError(ConfigError, ValueError):
     default_code = "RPR420"
 
 
+class ServeError(ReproError):
+    """Solver-service failure (misuse, unavailable, shut down mid-request)."""
+
+    default_code = "RPR903"
+
+
+class AdmissionError(ServeError):
+    """Request rejected at admission: the bounded queue is full
+    (backpressure).  Clients should retry with backoff or lower load."""
+
+    default_code = "RPR900"
+
+    def __init__(self, *args, tenant: str = "", code: str | None = None):
+        self.tenant = tenant
+        super().__init__(*args, code=code)
+
+
+class QuotaExceededError(AdmissionError):
+    """Request rejected at admission: the tenant is over its quota
+    (in-flight or running cap).  Distinct from queue backpressure — other
+    tenants' requests are still being admitted."""
+
+    default_code = "RPR901"
+
+
+class JobFailedError(ServeError):
+    """A served job failed on every attempt; carries the underlying cause."""
+
+    default_code = "RPR902"
+
+
 __all__ = [
     "ReproError",
     "DSLError",
@@ -237,5 +268,9 @@ __all__ = [
     "BenchFormatError",
     "AnalysisInputError",
     "ScalingModelError",
+    "ServeError",
+    "AdmissionError",
+    "QuotaExceededError",
+    "JobFailedError",
     "caret_block",
 ]

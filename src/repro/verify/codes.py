@@ -17,6 +17,9 @@ band  layer
 3xx   runtime sanitizer findings (``--sanitize`` layer 3)
 4xx   observability / performance-model usage errors
 5xx   mesh input errors
+7xx   autotuning / calibration persistence
+8xx   observability persistence
+9xx   solver service (admission, quota, job lifecycle)
 ====  =======================================================
 
 ``docs/architecture.md`` renders this catalogue; a test asserts the two
@@ -112,6 +115,11 @@ _RAW: list[tuple[str, str, str, str]] = [
     ("RPR702", "perfmodel", "calibration file malformed or unreadable", "error"),
     # ---- 8xx: observability persistence ------------------------------------
     ("RPR801", "obs", "run-registry entry malformed or unwritable", "error"),
+    # ---- 9xx: solver service ----------------------------------------------
+    ("RPR900", "serve", "request rejected: bounded queue full (backpressure)", "error"),
+    ("RPR901", "serve", "request rejected: tenant quota exceeded", "error"),
+    ("RPR902", "serve", "served job failed on every attempt", "error"),
+    ("RPR903", "serve", "solver service unavailable or misused", "error"),
 ]
 
 #: code -> CodeInfo for every known diagnostic code.

@@ -1,0 +1,39 @@
+"""Shared helpers for the solver-service tests."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bte.problem import build_bte_problem, hotspot_scenario
+
+
+def make_problem(nsteps: int = 3, nx: int = 8, slow_s: float = 0.0):
+    """The reduced hot-spot problem; ``slow_s`` adds a per-step sleep via a
+    post-step callback (signature-neutral) so tests get a preemption
+    window without a bigger mesh."""
+    scenario = hotspot_scenario(nx=nx, ny=nx, ndirs=4, n_freq_bands=4,
+                                dt=1e-12, nsteps=nsteps)
+    problem, _ = build_bte_problem(scenario)
+    if slow_s:
+        problem.add_post_step(lambda state: time.sleep(slow_s),
+                              name="slow_step")
+    return problem
+
+
+def wait_until(predicate, timeout_s: float = 15.0, interval_s: float = 0.05):
+    """Poll ``predicate`` until truthy; returns its value (fails the test
+    on timeout)."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    pytest.fail(f"condition not reached within {timeout_s}s")
+
+
+@pytest.fixture
+def problem_factory():
+    return make_problem

@@ -1,0 +1,85 @@
+"""Admission control units: typed RPR-coded rejections and accounting."""
+
+import pytest
+
+from repro.serve import AdmissionController, TenantQuota
+from repro.serve.schema import normalize_priority
+from repro.util.errors import (
+    AdmissionError,
+    ConfigError,
+    JobFailedError,
+    QuotaExceededError,
+    ReproError,
+    ServeError,
+)
+from repro.verify.codes import CATALOGUE
+
+
+def test_queue_full_raises_backpressure_error():
+    ctl = AdmissionController(queue_max=2)
+    ctl.admit("alice", queued_total=1, tenant_inflight=0)
+    with pytest.raises(AdmissionError) as exc_info:
+        ctl.admit("alice", queued_total=2, tenant_inflight=0)
+    assert exc_info.value.code == "RPR900"
+    assert exc_info.value.tenant == "alice"
+    assert "backoff" in str(exc_info.value)
+
+
+def test_tenant_over_quota_raises_typed_quota_error():
+    ctl = AdmissionController(
+        queue_max=64, quotas={"bob": TenantQuota(max_inflight=1)})
+    ctl.admit("bob", queued_total=0, tenant_inflight=0)
+    with pytest.raises(QuotaExceededError) as exc_info:
+        ctl.admit("bob", queued_total=0, tenant_inflight=1)
+    assert exc_info.value.code == "RPR901"
+    assert exc_info.value.tenant == "bob"
+    # other tenants are unaffected by bob's cap (default quota applies)
+    ctl.admit("carol", queued_total=0, tenant_inflight=1)
+
+
+def test_rejections_are_counted_per_code_and_tenant():
+    ctl = AdmissionController(
+        queue_max=1, quotas={"bob": TenantQuota(max_inflight=1)})
+    for _ in range(3):
+        with pytest.raises(AdmissionError):
+            ctl.admit("alice", queued_total=1, tenant_inflight=0)
+    with pytest.raises(QuotaExceededError):
+        ctl.admit("bob", queued_total=0, tenant_inflight=5)
+    assert ctl.rejected_total() == 4
+    assert ctl.rejected_total("RPR900") == 3
+    assert ctl.rejected_total("RPR901") == 1
+    doc = ctl.as_dict()
+    assert doc["rejected_by_code"] == {"RPR900": 3, "RPR901": 1}
+    assert doc["recent_rejections"][-1]["tenant"] == "bob"
+    assert doc["recent_rejections"][-1]["code"] == "RPR901"
+
+
+def test_serve_error_hierarchy_and_default_codes():
+    # quota errors are admission errors are serve errors are repro errors,
+    # so one `except ServeError` catches every service-side rejection
+    assert issubclass(QuotaExceededError, AdmissionError)
+    assert issubclass(AdmissionError, ServeError)
+    assert issubclass(JobFailedError, ServeError)
+    assert issubclass(ServeError, ReproError)
+    assert ServeError("x").code == "RPR903"
+    assert AdmissionError("x").code == "RPR900"
+    assert QuotaExceededError("x").code == "RPR901"
+    assert JobFailedError("x").code == "RPR902"
+
+
+def test_serve_codes_registered_in_catalogue():
+    for code in ("RPR900", "RPR901", "RPR902", "RPR903"):
+        assert code in CATALOGUE, f"{code} missing from diagnostics catalogue"
+        assert CATALOGUE[code].layer == "serve"
+        assert CATALOGUE[code].severity == "error"
+
+
+def test_priority_normalization():
+    assert normalize_priority("high") == 0
+    assert normalize_priority("normal") == 1
+    assert normalize_priority("batch") == 2
+    assert normalize_priority(2) == 2
+    with pytest.raises(ConfigError):
+        normalize_priority("urgent")
+    with pytest.raises(ConfigError):
+        normalize_priority(7)

@@ -1,0 +1,35 @@
+"""The ``bte serve`` command (demo mode + status-document output)."""
+
+import json
+
+from repro.cli import main
+from repro.tune.cache import cache_scope
+
+
+def test_serve_demo_prints_dedup_and_warm_rates(capsys, tmp_path):
+    status = tmp_path / "serve.json"
+    with cache_scope():
+        assert main(["serve", "--demo", "--tenants", "2", "--requests", "2",
+                     "--nx", "6", "--steps", "3",
+                     "--status-json", str(status)]) == 0
+    out = capsys.readouterr().out
+    assert "dedup rate" in out
+    assert "warm-hit rate" in out
+    assert "jobs solved" in out
+
+    doc = json.loads(status.read_text())
+    assert doc["schema"] == "repro.serve/1"
+    assert doc["counters"]["requests"] == 4
+    # 2 tenants x [steps, steps] -> one distinct problem repeated 4x,
+    # plus zero failures or rejections in the demo
+    assert doc["counters"]["failed"] == 0
+    assert doc["counters"]["rejected"] == 0
+    assert doc["counters"]["completed"] >= 1
+    assert doc["counters"]["deduped"] + doc["counters"]["results_reused"] >= 1
+    assert doc["cache"]["builds"] >= 1
+    assert doc["tenants"]["tenant0"]["hashtree"]["root"]
+
+
+def test_serve_quiet_idle_exits_cleanly(capsys):
+    with cache_scope():
+        assert main(["serve", "-q", "--for-seconds", "0"]) == 0

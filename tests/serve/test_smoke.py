@@ -1,0 +1,82 @@
+"""The CI ``serve-smoke`` acceptance test.
+
+8 concurrent requests — 4 identical, 4 sharing the same ``repro.cache/1``
+signature with a different runtime binding — must trigger exactly ONE
+codegen/compile, return bit-identical results matching direct
+``Problem.solve()`` calls, and leave a cleanly scrapeable ``/metrics``
+endpoint.  When ``REPRO_SERVE_SMOKE_EVENTS`` is set the structured event
+log is written there (CI uploads it on failure).
+"""
+
+import os
+import urllib.request
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.obs.metrics import metrics_run
+from repro.tune.cache import cache_scope
+from tests.serve.conftest import make_problem
+
+
+def _total(registry, name):
+    counter = registry.counter(name)
+    return sum(cell[0] for cell in counter.series().values())
+
+
+def test_serve_smoke_eight_concurrent_one_compile():
+    from repro.serve import serve_session
+
+    events_path = os.environ.get("REPRO_SERVE_SMOKE_EVENTS")
+    if events_path:
+        from repro.obs.log import events_run
+
+        events_ctx = events_run(events_path)
+    else:
+        events_ctx = nullcontext()
+
+    with events_ctx, cache_scope() as cache, metrics_run() as metrics:
+        with serve_session(workers=2, queue_max=64, port=0) as service:
+            client = service.client
+            client.hold()
+            # 4 identical + 4 identical-signature/different-binding: one
+            # compiled artifact serves all 8, two solves answer them
+            tickets = [client.submit(make_problem(nsteps=3),
+                                     tenant=f"t{i % 4}") for i in range(4)]
+            tickets += [client.submit(make_problem(nsteps=5),
+                                      tenant=f"t{i % 4}") for i in range(4)]
+            client.release()
+            results = [t.result(300) for t in tickets]
+            doc = client.status()
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{service.http_port}/metrics",
+                    timeout=30) as rsp:
+                assert rsp.status == 200
+                scrape = rsp.read().decode()
+
+        # exactly one compile across all 8 requests
+        assert cache.stats.builds == 1
+        assert _total(metrics, "codegen_build_total") == 1
+        assert _total(metrics, "codegen_compile_total") == 1
+
+        # bit-identical to direct solves of the same problems
+        direct3 = make_problem(nsteps=3).solve().solution()
+        direct5 = make_problem(nsteps=5).solve().solution()
+
+    group3, group5 = results[:4], results[4:]
+    assert all(r is group3[0] for r in group3)
+    assert all(r is group5[0] for r in group5)
+    assert np.array_equal(group3[0].u, direct3)
+    assert np.array_equal(group5[0].u, direct5)
+    assert group3[0].cache_key == group5[0].cache_key
+    assert group3[0].key != group5[0].key
+
+    assert doc["counters"]["requests"] == 8
+    assert doc["counters"]["deduped"] == 6
+    assert doc["counters"]["completed"] == 2
+    assert doc["counters"]["failed"] == 0
+
+    # the scrape carries the service's own series
+    for series in ("serve_requests_total", "serve_dedup_total",
+                   "serve_jobs_total", "codegen_build_total"):
+        assert series in scrape, f"{series} missing from /metrics"
